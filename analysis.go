@@ -1,0 +1,101 @@
+package mica
+
+// AnalysisConfig parameterizes the full-paper analysis.
+type AnalysisConfig struct {
+	// ThresholdFraction is the similar/dissimilar distance threshold as
+	// a fraction of the maximum observed distance (paper: 0.20).
+	ThresholdFraction float64
+	// GASeed seeds the genetic algorithm.
+	GASeed int64
+	// CESizes are the correlation-elimination subset sizes evaluated on
+	// the ROC (the paper reports 17, 12 and 7 retained metrics).
+	CESizes []int
+	// ClusterMaxK bounds the Figure 6 K sweep (paper: 70).
+	ClusterMaxK int
+	// ClusterSeed seeds k-means.
+	ClusterSeed int64
+}
+
+// DefaultAnalysisConfig returns the paper's analysis parameters.
+func DefaultAnalysisConfig() AnalysisConfig {
+	return AnalysisConfig{
+		ThresholdFraction: DefaultThresholdFraction,
+		GASeed:            2006,
+		CESizes:           []int{17, 12, 7},
+		ClusterMaxK:       70,
+		ClusterSeed:       2006,
+	}
+}
+
+func (c AnalysisConfig) withDefaults() AnalysisConfig {
+	if c.ThresholdFraction == 0 {
+		c.ThresholdFraction = DefaultThresholdFraction
+	}
+	if c.CESizes == nil {
+		c.CESizes = []int{17, 12, 7}
+	}
+	if c.ClusterMaxK == 0 {
+		c.ClusterMaxK = 70
+	}
+	return c
+}
+
+// Analysis bundles every statistic the paper's evaluation section
+// reports.
+type Analysis struct {
+	Space *Space
+
+	// Rho is Figure 1's HPC-vs-µarch-independent distance correlation.
+	Rho float64
+	// Tuples is Table III's quadrant classification.
+	Tuples Quadrants
+
+	// GA is the Table IV genetic-algorithm selection.
+	GA GAResult
+	// CE is the correlation-elimination result.
+	CE CEResult
+	// CECurve is Figure 5's CE series (rho at every retained size).
+	CECurve []float64
+
+	// AUCAll, AUCGA and AUCCE are Figure 4's areas under the ROC curves
+	// for all 47 characteristics, the GA subset, and each configured CE
+	// subset size.
+	AUCAll float64
+	AUCGA  float64
+	AUCCE  map[int]float64
+
+	// Clusters is Figure 6's BIC-selected k-means clustering in the
+	// GA-selected key-characteristic space.
+	Clusters ClusterSelection
+
+	// Config echoes the analysis parameters used.
+	Config AnalysisConfig
+}
+
+// Analyze runs the complete evaluation pipeline of Sections IV-VI on
+// profiled benchmarks.
+func Analyze(results []ProfileResult, cfg AnalysisConfig) *Analysis {
+	cfg = cfg.withDefaults()
+	s := NewSpace(results)
+	a := &Analysis{Space: s, Config: cfg}
+
+	// Section IV: the pitfall.
+	a.Rho = s.DistanceCorrelation()
+	a.Tuples = s.ClassifyTuples(cfg.ThresholdFraction)
+
+	// Section V: key characteristic selection.
+	a.GA = s.GASelect(cfg.GASeed)
+	a.CE = s.CorrelationElimination()
+	a.CECurve = s.CECurve()
+
+	a.AUCAll = AUC(s.ROCCurve(nil, cfg.ThresholdFraction))
+	a.AUCGA = AUC(s.ROCCurve(a.GA.Selected, cfg.ThresholdFraction))
+	a.AUCCE = make(map[int]float64, len(cfg.CESizes))
+	for _, k := range cfg.CESizes {
+		a.AUCCE[k] = AUC(s.ROCCurve(a.CE.Retained(k), cfg.ThresholdFraction))
+	}
+
+	// Section VI: clustering in the key-characteristic space.
+	a.Clusters = s.Cluster(a.GA.Selected, cfg.ClusterMaxK, cfg.ClusterSeed)
+	return a
+}

@@ -1,0 +1,95 @@
+// Command mica-profile measures the microarchitecture-independent
+// characteristics (Table II) and machine-model performance counters of
+// one benchmark, or of every benchmark in the registry.
+//
+// Usage:
+//
+//	mica-profile -list
+//	mica-profile -bench SPEC2000/mcf/ref [-budget 300000]
+//	mica-profile -all -json results.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mica"
+	"mica/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to profile (suite/program/input)")
+		all       = flag.Bool("all", false, "profile all 122 benchmarks")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		budget    = flag.Uint64("budget", 300_000, "dynamic instruction budget per benchmark")
+		jsonOut   = flag.String("json", "", "write results to a JSON file")
+	)
+	flag.Parse()
+	if err := run(*benchName, *all, *list, *budget, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mica-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName string, all, list bool, budget uint64, jsonOut string) error {
+	if list {
+		t := report.NewTable("name", "kernel", "paper I-cnt (M)")
+		for _, b := range mica.Benchmarks() {
+			t.AddRow(b.Name(), b.Kernel, b.PaperICountM)
+		}
+		fmt.Print(t.String())
+		return nil
+	}
+
+	cfg := mica.DefaultConfig()
+	cfg.InstBudget = budget
+
+	switch {
+	case all:
+		cfg.Progress = func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
+		}
+		results, err := mica.ProfileAll(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		if jsonOut != "" {
+			if err := mica.SaveResults(jsonOut, budget, results); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d results to %s\n", len(results), jsonOut)
+			return nil
+		}
+		fmt.Print(mica.RenderTableII(results))
+		return nil
+
+	case benchName != "":
+		b, err := mica.BenchmarkByName(benchName)
+		if err != nil {
+			return err
+		}
+		res, err := mica.Profile(b, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (kernel %s, %d instructions)\n\n", b.Name(), b.Kernel, res.Insts)
+		t := report.NewTable("#", "category", "characteristic", "value")
+		for c := 0; c < mica.NumChars; c++ {
+			t.AddRow(c+1, mica.CharCategory(c), mica.CharName(c), res.Chars[c])
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+		h := report.NewTable("HPC metric", "value")
+		for c := 0; c < mica.NumHPCMetrics; c++ {
+			h.AddRow(mica.HPCMetricName(c), res.HPC[c])
+		}
+		fmt.Print(h.String())
+		return nil
+
+	default:
+		return fmt.Errorf("pass -bench <name>, -all or -list")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout during f and returns what was printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run("", false, true, 1000, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SPEC2000/mcf/ref") {
+		t.Error("list output missing mcf")
+	}
+	if strings.Count(out, "\n") < 122 {
+		t.Errorf("list too short: %d lines", strings.Count(out, "\n"))
+	}
+}
+
+func TestRunSingleBenchmark(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("MiBench/sha/large", false, false, 5_000, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pct_loads", "ppm_pas", "ipc_ev56", "5000 instructions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", false, false, 1000, "") }); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunNoModeIsError(t *testing.T) {
+	if _, err := capture(t, func() error { return run("", false, false, 1000, "") }); err == nil {
+		t.Error("missing mode accepted")
+	}
+}
+
+func TestRunAllToJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles all 122 benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if _, err := capture(t, func() error { return run("", true, false, 2_000, path) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BioInfoMark/blast/protein") {
+		t.Error("JSON missing benchmarks")
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: profile one benchmark and print its 47
+// microarchitecture-independent characteristics (Table II) next to its
+// machine-model performance counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mica"
+)
+
+func main() {
+	b, err := mica.BenchmarkByName("SPEC2000/gzip/program")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := mica.DefaultConfig()
+	cfg.InstBudget = 200_000
+
+	res, err := mica.Profile(b, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (backing kernel %s)\n", b.Name(), b.Kernel)
+	fmt.Printf("profiled %d dynamic instructions\n\n", res.Insts)
+
+	fmt.Println("microarchitecture-independent characteristics:")
+	for c := 0; c < mica.NumChars; c++ {
+		fmt.Printf("  %2d  %-26s %10.4f   (%s)\n",
+			c+1, mica.CharName(c), res.Chars[c], mica.CharCategory(c))
+	}
+
+	fmt.Println("\nhardware performance counter metrics (EV56/EV67 machine models):")
+	for c := 0; c < mica.NumHPCMetrics; c++ {
+		fmt.Printf("  %-24s %10.4f\n", mica.HPCMetricName(c), res.HPC[c])
+	}
+}

@@ -1,0 +1,370 @@
+package mica
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mica/internal/report"
+	"mica/internal/stats"
+)
+
+// This file renders each of the paper's tables and figures from an
+// Analysis. Every Render function regenerates one experiment artifact;
+// cmd/mica-compare writes them to files and bench_test.go regenerates
+// them under the benchmark harness.
+
+// RenderTableI reproduces Table I: the benchmark registry with suite,
+// program, input and dynamic instruction counts. The paper's absolute
+// counts are preserved as documentation; the profiled trace lengths of
+// this run are shown alongside.
+func RenderTableI(results []ProfileResult) string {
+	t := report.NewTable("suite", "program", "input", "paper I-cnt (M)", "profiled insts")
+	for _, r := range results {
+		b := r.Benchmark
+		t.AddRow(b.Suite, b.Program, b.Input, b.PaperICountM, r.Insts)
+	}
+	return "Table I: benchmarks, inputs and dynamic instruction counts\n" + t.String()
+}
+
+// RenderTableII reproduces Table II: the 47 microarchitecture-independent
+// characteristics, annotated with the observed range across the profiled
+// benchmarks.
+func RenderTableII(results []ProfileResult) string {
+	t := report.NewTable("#", "category", "characteristic", "min", "mean", "max")
+	n := len(results)
+	for c := 0; c < NumChars; c++ {
+		col := make([]float64, n)
+		for i, r := range results {
+			col[i] = r.Chars[c]
+		}
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		t.AddRow(c+1, CharCategory(c), CharName(c), lo, stats.Mean(col), hi)
+	}
+	return "Table II: microarchitecture-independent characteristics\n" + t.String()
+}
+
+// RenderFigure1 reproduces Figure 1: the scatter of HPC-space distance
+// versus microarchitecture-independent-space distance over all benchmark
+// tuples, reported here as the correlation coefficient plus a coarse
+// ASCII density plot.
+func (a *Analysis) RenderFigure1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: HPC distance vs microarchitecture-independent distance\n")
+	fmt.Fprintf(&b, "benchmark tuples: %d\n", len(a.Space.CharDist))
+	fmt.Fprintf(&b, "correlation coefficient: %.3f (paper: 0.46, 'modest')\n\n", a.Rho)
+	b.WriteString(asciiScatter(a.Space.CharDist, a.Space.HPCDist, 48, 20))
+	return b.String()
+}
+
+// asciiScatter renders a density scatter with x and y scaled to their
+// maxima.
+func asciiScatter(xs, ys []float64, w, h int) string {
+	maxX, maxY := stats.Max(xs), stats.Max(ys)
+	if maxX == 0 || maxY == 0 {
+		return "(degenerate scatter)\n"
+	}
+	grid := make([][]int, h)
+	for i := range grid {
+		grid[i] = make([]int, w)
+	}
+	for i := range xs {
+		x := int(xs[i] / maxX * float64(w-1))
+		y := int(ys[i] / maxY * float64(h-1))
+		grid[h-1-y][x]++
+	}
+	shades := " .:+*#@"
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: HPC-space distance (max %.2f)\n", maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		for _, c := range row {
+			idx := c
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "x: uarch-independent distance (max %.2f)\n", maxX)
+	return b.String()
+}
+
+// RenderTableIII reproduces Table III: the quadrant classification of all
+// benchmark tuples at the 20%-of-max thresholds.
+func (a *Analysis) RenderTableIII() string {
+	fn, tp, tn, fp := a.Tuples.Fractions()
+	t := report.NewTable("", "small dist in uarch-indep space", "large dist in uarch-indep space")
+	t.AddRow("large dist in HPC space",
+		fmt.Sprintf("false negative: %.1f%%", fn*100),
+		fmt.Sprintf("true positive: %.1f%%", tp*100))
+	t.AddRow("small dist in HPC space",
+		fmt.Sprintf("true negative: %.1f%%", tn*100),
+		fmt.Sprintf("false positive: %.1f%%", fp*100))
+	return fmt.Sprintf("Table III: classifying benchmark tuples (threshold %.0f%% of max)\n",
+		a.Config.ThresholdFraction*100) + t.String() +
+		"\npaper: FN 0.2%, TP 56.9%, TN 1.8%, FP 41.1%\n"
+}
+
+// pitfallPair returns the indices of the Figure 2/3 case-study pair:
+// SPEC's bzip2 (graphic) versus BioInfoMark's blast.
+func (a *Analysis) pitfallPair() (int, int, error) {
+	bi, bj := -1, -1
+	for i, n := range a.Space.Names {
+		switch n {
+		case "SPEC2000/bzip2/graphic":
+			bi = i
+		case "BioInfoMark/blast/protein":
+			bj = i
+		}
+	}
+	if bi < 0 || bj < 0 {
+		return 0, 0, fmt.Errorf("mica: pitfall pair not present in space")
+	}
+	return bi, bj, nil
+}
+
+// RenderFigure2 reproduces Figure 2: bzip2 versus blast in the HPC
+// space, each metric normalized to the maximum observed value.
+func (a *Analysis) RenderFigure2() string {
+	bi, bj, err := a.pitfallPair()
+	if err != nil {
+		return err.Error() + "\n"
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: hardware performance counter characteristics, bzip2 vs blast\n")
+	b.WriteString("(each metric normalized to the max across benchmarks)\n")
+	t := report.NewTable("metric", "bzip2", "blast", "|diff|")
+	for c := 0; c < NumHPCMetrics; c++ {
+		col := a.Space.HPC.Column(c)
+		maxv := stats.Max(col)
+		x, y := 0.0, 0.0
+		if maxv > 0 {
+			x, y = a.Space.HPC.At(bi, c)/maxv, a.Space.HPC.At(bj, c)/maxv
+		}
+		t.AddRow(HPCMetricName(c), x, y, abs(x-y))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "normalized HPC-space distance: %.3f of max\n",
+		a.Space.HPCDist[a.Space.PairIndex(bi, bj)]/stats.Max(a.Space.HPCDist))
+	return b.String()
+}
+
+// RenderFigure3 reproduces Figure 3: the same pair compared on all 47
+// microarchitecture-independent characteristics, where the working sets,
+// global-history branch predictability and global store strides diverge.
+func (a *Analysis) RenderFigure3() string {
+	bi, bj, err := a.pitfallPair()
+	if err != nil {
+		return err.Error() + "\n"
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: microarchitecture-independent characteristics, bzip2 vs blast\n")
+	b.WriteString("(each characteristic normalized to the max across benchmarks)\n")
+	t := report.NewTable("#", "characteristic", "bzip2", "blast", "|diff|")
+	for c := 0; c < NumChars; c++ {
+		col := a.Space.Chars.Column(c)
+		maxv := stats.Max(col)
+		x, y := 0.0, 0.0
+		if maxv > 0 {
+			x, y = a.Space.Chars.At(bi, c)/maxv, a.Space.Chars.At(bj, c)/maxv
+		}
+		t.AddRow(c+1, CharName(c), x, y, abs(x-y))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "normalized uarch-independent distance: %.3f of max\n",
+		a.Space.CharDist[a.Space.PairIndex(bi, bj)]/stats.Max(a.Space.CharDist))
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderFigure4 reproduces Figure 4: ROC curves (as AUC summaries plus
+// sampled points) for all characteristics, the GA subset, and the CE
+// subsets.
+func (a *Analysis) RenderFigure4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: ROC curves for workload characterization methods\n")
+	t := report.NewTable("method", "metrics", "AUC")
+	t.AddRow("all characteristics", NumChars, a.AUCAll)
+	t.AddRow("genetic algorithm", len(a.GA.Selected), a.AUCGA)
+	sizes := append([]int(nil), a.Config.CESizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for _, k := range sizes {
+		t.AddRow(fmt.Sprintf("correlation elimination (%d)", k), k, a.AUCCE[k])
+	}
+	b.WriteString(t.String())
+	b.WriteString("paper: all 0.72, GA 0.69, CE 0.67 (17 metrics) / 0.64 (12 and 7)\n\n")
+
+	curve := a.Space.ROCCurve(a.GA.Selected, a.Config.ThresholdFraction)
+	b.WriteString("GA ROC curve (sampled):\n")
+	ct := report.NewTable("1-specificity", "sensitivity")
+	step := len(curve) / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(curve); i += step {
+		ct.AddRow(curve[i].OneMinusSpec, curve[i].Sensitivity)
+	}
+	b.WriteString(ct.String())
+	return b.String()
+}
+
+// RenderFigure5 reproduces Figure 5: the distance-correlation of the CE
+// subsets at every retained size, against the GA subset's correlation at
+// its chosen size.
+func (a *Analysis) RenderFigure5() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: distance correlation vs number of retained characteristics\n")
+	fmt.Fprintf(&b, "GA: %d characteristics, rho = %.3f (paper: 8 characteristics, rho = 0.876)\n\n",
+		len(a.GA.Selected), a.GA.Rho)
+	t := report.NewTable("retained", "CE rho", "")
+	for k := NumChars; k >= 1; k-- {
+		marker := ""
+		if k == len(a.GA.Selected) {
+			marker = fmt.Sprintf("<- GA rho at this size: %.3f", a.GA.Rho)
+		}
+		t.AddRow(k, a.CECurve[k-1], marker)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderTableIV reproduces Table IV: the characteristics retained by the
+// genetic algorithm.
+func (a *Analysis) RenderTableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV: microarchitecture-independent characteristics selected by the GA\n")
+	t := report.NewTable("#", "characteristic", "category")
+	for i, c := range a.GA.Selected {
+		t.AddRow(i+1, CharName(c), CharCategory(c))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "rho = %.3f, fitness = %.3f\n", a.GA.Rho, a.GA.Fitness)
+	b.WriteString("paper's 8: pct loads; avg input operands; dep dist <=8; local load stride <=64;\n")
+	b.WriteString("           global load stride <=512; local store stride <=4096; D-WS 4KB pages; ILP 256\n")
+	return b.String()
+}
+
+// RenderFigure6 reproduces Figure 6: the clusters found by k-means with
+// BIC-selected K in the key-characteristic space, with one kiviat diagram
+// per benchmark grouped by cluster.
+func (a *Analysis) RenderFigure6(withKiviats bool) string {
+	var b strings.Builder
+	groups := a.Space.ClusterGroups(a.Clusters)
+	fmt.Fprintf(&b, "Figure 6: %d clusters over %d benchmarks in the %d-D key space (paper: 15 clusters)\n\n",
+		a.Clusters.Best.K, a.Space.Len(), len(a.GA.Selected))
+	for gi, g := range groups {
+		fmt.Fprintf(&b, "cluster %d (%d benchmarks):\n", gi+1, len(g))
+		for _, name := range g {
+			fmt.Fprintf(&b, "  %s\n", name)
+		}
+	}
+	if withKiviats {
+		b.WriteString("\nkiviat diagrams (axes = GA-selected characteristics):\n\n")
+		idxOf := make(map[string]int, a.Space.Len())
+		for i, n := range a.Space.Names {
+			idxOf[n] = i
+		}
+		for gi, g := range groups {
+			fmt.Fprintf(&b, "--- cluster %d ---\n", gi+1)
+			for _, name := range g {
+				d, err := a.Space.Kiviat(idxOf[name], a.GA.Selected)
+				if err != nil {
+					continue
+				}
+				b.WriteString(d.ASCII(5))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// SuiteSimilarityReport summarizes, per suite, how many benchmarks share
+// a cluster with at least one SPEC CPU2000 benchmark — the paper's
+// Section VI conclusion (BioInfoMark/BioMetrics/CommBench dissimilar,
+// MediaBench/MiBench similar).
+func (a *Analysis) SuiteSimilarityReport() string {
+	assign := a.Clusters.Best.Assign
+	specClusters := map[int]bool{}
+	for i, suite := range a.Space.Suites {
+		if suite == "SPEC2000" {
+			specClusters[assign[i]] = true
+		}
+	}
+	type rowT struct {
+		suite          string
+		total, overlap int
+	}
+	order := []string{}
+	rows := map[string]*rowT{}
+	for i, suite := range a.Space.Suites {
+		if suite == "SPEC2000" {
+			continue
+		}
+		r, ok := rows[suite]
+		if !ok {
+			r = &rowT{suite: suite}
+			rows[suite] = r
+			order = append(order, suite)
+		}
+		r.total++
+		if specClusters[assign[i]] {
+			r.overlap++
+		}
+	}
+	t := report.NewTable("suite", "benchmarks", "co-clustered with SPEC", "fraction")
+	for _, s := range order {
+		r := rows[s]
+		t.AddRow(r.suite, r.total, r.overlap, float64(r.overlap)/float64(r.total))
+	}
+	out := fmt.Sprintf("Suite similarity to SPEC CPU2000 (shared clusters, BIC-selected K = %d)\n",
+		a.Clusters.Best.K) + t.String()
+
+	// The synthetic workloads cluster more finely than the paper's real
+	// benchmarks (see EXPERIMENTS.md); a coarse clustering at the
+	// paper's granularity makes the suite-level comparison direct.
+	coarse := a.Space.Cluster(a.GA.Selected, 15, a.Config.ClusterSeed)
+	cAssign := coarse.Best.Assign
+	specClusters = map[int]bool{}
+	for i, suite := range a.Space.Suites {
+		if suite == "SPEC2000" {
+			specClusters[cAssign[i]] = true
+		}
+	}
+	ct := report.NewTable("suite", "benchmarks", "co-clustered with SPEC", "fraction")
+	for _, s := range order {
+		total, overlap := 0, 0
+		for i, suite := range a.Space.Suites {
+			if suite != s {
+				continue
+			}
+			total++
+			if specClusters[cAssign[i]] {
+				overlap++
+			}
+		}
+		ct.AddRow(s, total, overlap, float64(overlap)/float64(total))
+	}
+	out += fmt.Sprintf("\nAt the paper's granularity (K = %d):\n%s", coarse.Best.K, ct.String())
+	out += "paper: BioInfoMark/BioMetrics/CommBench dissimilar from SPEC; MediaBench/MiBench mostly similar\n"
+	return out
+}

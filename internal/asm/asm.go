@@ -1,0 +1,288 @@
+// Package asm implements a two-pass assembler for the synthetic ISA.
+//
+// The accepted syntax is a small Alpha-flavoured assembly language:
+//
+//	# comment (also ';')
+//	        .data
+//	table:  .quad 1, 2, 3          # 64-bit words
+//	pix:    .byte 0xff, 0x00       # bytes
+//	buf:    .space 4096            # zeroed bytes
+//	        .align 8
+//	        .text
+//	main:   lda   r1, table        # address of a label
+//	loop:   ldq   r2, 0(r1)
+//	        addq  r2, 1, r2        # immediate form
+//	        stq   r2, 0(r1)
+//	        subq  r3, r4, r3       # register form
+//	        bne   r3, loop
+//	        halt
+//
+// Pass one assigns addresses to labels (instruction indices for code,
+// data-segment offsets for data); pass two encodes instructions and
+// resolves label references. Errors carry the source name and line.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"mica/internal/isa"
+)
+
+// Error is an assembly error at a specific source location.
+type Error struct {
+	Source string
+	Line   int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Source, e.Line, e.Msg)
+}
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+type lineKind int
+
+const (
+	lineEmpty lineKind = iota
+	lineInst
+	lineDirective
+)
+
+// parsedLine is the pass-one representation of one source line.
+type parsedLine struct {
+	num       int
+	labels    []string
+	kind      lineKind
+	mnemonic  string // instruction mnemonic or directive (with dot)
+	operands  []string
+	instIndex int // assigned in pass one for lineInst in .text
+}
+
+// Assemble translates source into a Program. name identifies the source in
+// error messages and becomes the program name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{
+		name:     name,
+		symbols:  make(map[string]uint64),
+		dataBase: isa.DefaultDataBase,
+	}
+	if err := a.passOne(source); err != nil {
+		return nil, err
+	}
+	if err := a.passTwo(); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Name:     name,
+		Insts:    a.insts,
+		Data:     a.data,
+		DataBase: a.dataBase,
+		Symbols:  a.symbols,
+	}
+	if entry, ok := a.symbols["main"]; ok && entry >= isa.CodeBase {
+		prog.Entry = isa.IndexForPC(entry)
+	}
+	if len(prog.Insts) == 0 {
+		return nil, &Error{Source: name, Line: 1, Msg: "program has no instructions"}
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble but panics on error; intended for the built-in
+// kernel library where the sources are compile-time constants.
+func MustAssemble(name, source string) *isa.Program {
+	prog, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type assembler struct {
+	name     string
+	lines    []parsedLine
+	insts    []isa.Inst
+	data     []byte
+	dataBase uint64
+	symbols  map[string]uint64
+	// codeLabels maps a label to its instruction index for branch
+	// resolution (symbols stores byte addresses).
+	codeLabels map[string]int
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Source: a.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// passOne splits the source into lines, assigns label addresses, and sizes
+// the data segment.
+func (a *assembler) passOne(source string) error {
+	a.codeLabels = make(map[string]int)
+	seg := segText
+	nInst := 0
+	dataOff := 0
+
+	defineLabel := func(lineNum int, label string) error {
+		if _, dup := a.symbols[label]; dup {
+			return a.errf(lineNum, "label %q redefined", label)
+		}
+		if seg == segText {
+			a.codeLabels[label] = nInst
+			a.symbols[label] = isa.PCForIndex(nInst)
+		} else {
+			a.symbols[label] = a.dataBase + uint64(dataOff)
+		}
+		return nil
+	}
+
+	for i, raw := range strings.Split(source, "\n") {
+		lineNum := i + 1
+		pl, err := splitLine(a.name, lineNum, raw)
+		if err != nil {
+			return err
+		}
+		if pl.kind == lineDirective && (pl.mnemonic == ".text" || pl.mnemonic == ".data") {
+			for _, lb := range pl.labels {
+				if err := defineLabel(lineNum, lb); err != nil {
+					return err
+				}
+			}
+			if pl.mnemonic == ".text" {
+				seg = segText
+			} else {
+				seg = segData
+			}
+			continue
+		}
+		for _, lb := range pl.labels {
+			if err := defineLabel(lineNum, lb); err != nil {
+				return err
+			}
+		}
+		switch pl.kind {
+		case lineEmpty:
+			continue
+		case lineInst:
+			if seg != segText {
+				return a.errf(lineNum, "instruction %q in .data segment", pl.mnemonic)
+			}
+			pl.instIndex = nInst
+			nInst++
+		case lineDirective:
+			if seg != segData {
+				return a.errf(lineNum, "data directive %q outside .data segment", pl.mnemonic)
+			}
+			n, err := a.directiveSize(lineNum, pl.mnemonic, pl.operands, dataOff)
+			if err != nil {
+				return err
+			}
+			dataOff += n
+		}
+		a.lines = append(a.lines, pl)
+	}
+	a.insts = make([]isa.Inst, 0, nInst)
+	a.data = make([]byte, 0, dataOff)
+	return nil
+}
+
+// directiveSize returns the number of data bytes a directive contributes.
+func (a *assembler) directiveSize(line int, dir string, ops []string, off int) (int, error) {
+	switch dir {
+	case ".quad":
+		return 8 * len(ops), nil
+	case ".long":
+		return 4 * len(ops), nil
+	case ".word":
+		return 2 * len(ops), nil
+	case ".byte":
+		return len(ops), nil
+	case ".space":
+		if len(ops) != 1 {
+			return 0, a.errf(line, ".space wants one operand, got %d", len(ops))
+		}
+		n, err := parseInt(ops[0])
+		if err != nil || n < 0 {
+			return 0, a.errf(line, ".space operand %q is not a non-negative integer", ops[0])
+		}
+		return int(n), nil
+	case ".align":
+		if len(ops) != 1 {
+			return 0, a.errf(line, ".align wants one operand, got %d", len(ops))
+		}
+		n, err := parseInt(ops[0])
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return 0, a.errf(line, ".align operand %q is not a power of two", ops[0])
+		}
+		pad := (int(n) - off%int(n)) % int(n)
+		return pad, nil
+	default:
+		return 0, a.errf(line, "unknown directive %q", dir)
+	}
+}
+
+// passTwo encodes instructions and emits data bytes.
+func (a *assembler) passTwo() error {
+	for _, pl := range a.lines {
+		switch pl.kind {
+		case lineInst:
+			inst, err := a.encode(pl)
+			if err != nil {
+				return err
+			}
+			a.insts = append(a.insts, inst)
+		case lineDirective:
+			if err := a.emitData(pl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emitData(pl parsedLine) error {
+	emitInt := func(v int64, width int) {
+		for b := 0; b < width; b++ {
+			a.data = append(a.data, byte(v>>(8*b)))
+		}
+	}
+	switch pl.mnemonic {
+	case ".quad", ".long", ".word", ".byte":
+		width := map[string]int{".quad": 8, ".long": 4, ".word": 2, ".byte": 1}[pl.mnemonic]
+		for _, op := range pl.operands {
+			v, err := a.resolveValue(pl.num, op)
+			if err != nil {
+				return err
+			}
+			emitInt(v, width)
+		}
+	case ".space":
+		n, _ := parseInt(pl.operands[0])
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		n, _ := parseInt(pl.operands[0])
+		pad := (int(n) - len(a.data)%int(n)) % int(n)
+		a.data = append(a.data, make([]byte, pad)...)
+	}
+	return nil
+}
+
+// resolveValue evaluates an integer literal or label reference (optionally
+// label+offset / label-offset).
+func (a *assembler) resolveValue(line int, s string) (int64, error) {
+	if v, err := parseInt(s); err == nil {
+		return v, nil
+	}
+	base, off := splitLabelOffset(s)
+	if addr, ok := a.symbols[base]; ok {
+		return int64(addr) + off, nil
+	}
+	return 0, a.errf(line, "undefined symbol or bad integer %q", s)
+}

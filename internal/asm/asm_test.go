@@ -1,0 +1,242 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mica/internal/isa"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	prog, err := Assemble("t", `
+main:	addq r1, 1, r1
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Insts) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(prog.Insts))
+	}
+	in := prog.Insts[0]
+	if in.Op != isa.OpAddQ || !in.HasImm || in.Imm != 1 {
+		t.Errorf("first instruction = %s, want addq r1, 1, r1", in.String())
+	}
+	if prog.Entry != 0 {
+		t.Errorf("entry = %d, want 0", prog.Entry)
+	}
+}
+
+func TestAssembleDataAndSymbols(t *testing.T) {
+	prog, err := Assemble("t", `
+	.data
+tbl:	.quad 1, 2, 3
+b:	.byte 0xff
+	.align 8
+buf:	.space 16
+	.text
+main:	lda r1, tbl
+	ldq r2, 0(r1)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := prog.MustSymbol("tbl")
+	if tbl != prog.DataBase {
+		t.Errorf("tbl at %#x, want data base %#x", tbl, prog.DataBase)
+	}
+	if got := prog.MustSymbol("b"); got != prog.DataBase+24 {
+		t.Errorf("b at %#x, want +24", got)
+	}
+	if got := prog.MustSymbol("buf"); got != prog.DataBase+32 {
+		t.Errorf("buf at %#x, want +32 (aligned)", got)
+	}
+	if len(prog.Data) != 48 {
+		t.Errorf("data segment %d bytes, want 48", len(prog.Data))
+	}
+	// .quad values are little-endian.
+	if prog.Data[0] != 1 || prog.Data[8] != 2 || prog.Data[16] != 3 {
+		t.Errorf("quad data wrong: % x", prog.Data[:24])
+	}
+	if prog.Data[24] != 0xff {
+		t.Errorf("byte data wrong: %#x", prog.Data[24])
+	}
+	// lda of a data label resolves to its absolute address.
+	in := prog.Insts[0]
+	if in.Op != isa.OpLda || uint64(in.Imm) != tbl || in.Rb != isa.RegZero {
+		t.Errorf("lda encoding wrong: %s", in.String())
+	}
+}
+
+func TestAssembleBranchTargets(t *testing.T) {
+	prog, err := Assemble("t", `
+main:	lda  r1, 10
+loop:	subq r1, 1, r1
+	bne  r1, loop
+	br   end
+	nop
+end:	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne := prog.Insts[2]
+	if bne.Target != 1 {
+		t.Errorf("bne target = %d, want 1", bne.Target)
+	}
+	br := prog.Insts[3]
+	if br.Target != 5 {
+		t.Errorf("br target = %d, want 5", br.Target)
+	}
+}
+
+func TestAssembleEntryDefaultsToZero(t *testing.T) {
+	prog, err := Assemble("t", "start:\taddq r1, 1, r1\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != 0 {
+		t.Errorf("entry = %d, want 0 without main", prog.Entry)
+	}
+}
+
+func TestAssembleEntryAtMain(t *testing.T) {
+	prog, err := Assemble("t", `
+helper:	ret (r26)
+main:	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != 1 {
+		t.Errorf("entry = %d, want 1 (main)", prog.Entry)
+	}
+}
+
+func TestAssembleLabelOffset(t *testing.T) {
+	prog, err := Assemble("t", `
+	.data
+arr:	.space 64
+	.text
+main:	lda r1, arr+16
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prog.MustSymbol("arr") + 16
+	if got := uint64(prog.Insts[0].Imm); got != want {
+		t.Errorf("arr+16 resolved to %#x, want %#x", got, want)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	prog, err := Assemble("t", `
+# full-line comment
+main:	addq r1, 1, r1   # trailing comment
+	halt             ; alt comment char
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Insts) != 2 {
+		t.Errorf("got %d instructions, want 2", len(prog.Insts))
+	}
+}
+
+func TestAssembleFPOps(t *testing.T) {
+	prog, err := Assemble("t", `
+main:	addt  f1, f2, f3
+	sqrtt f3, f4
+	itoft r1, f5
+	ftoit f5, r2
+	fbne  f4, main
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addt := prog.Insts[0]
+	if !addt.Ra.IsFP() || !addt.Rb.IsFP() || !addt.Rc.IsFP() {
+		t.Errorf("addt registers not FP: %s", addt.String())
+	}
+	itof := prog.Insts[2]
+	if itof.Rb.IsFP() || !itof.Rc.IsFP() {
+		t.Errorf("itoft register files wrong: %s", itof.String())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main:\tfrob r1, r2, r3\n", "unknown mnemonic"},
+		{"bad register", "main:\taddq r1, r99, r3\n\thalt\n", "undefined symbol"},
+		{"fp reg in int op dst", "main:\taddq r1, r2, f3\n\thalt\n", "must be a integer register"},
+		{"int reg in fp op", "main:\taddt r1, f2, f3\n\thalt\n", "must be a floating-point register"},
+		{"undefined branch label", "main:\tbeq r1, nowhere\n\thalt\n", "undefined code label"},
+		{"redefined label", "x:\tnop\nx:\thalt\n", "redefined"},
+		{"operand count", "main:\taddq r1, r2\n\thalt\n", "wants 3 operands"},
+		{"imm in fp op", "main:\taddt f1, 3, f3\n\thalt\n", "not allowed"},
+		{"inst in data", "\t.data\nmain:\taddq r1, 1, r1\n", "in .data segment"},
+		{"directive in text", "main:\t.quad 3\n", "outside .data"},
+		{"bad align", "\t.data\n\t.align 3\n\t.text\nmain:\thalt\n", "power of two"},
+		{"empty program", "# nothing\n", "no instructions"},
+		{"fp base register", "main:\tldq r1, 0(f2)\n\thalt\n", "must be an integer register"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t", c.src)
+			if err == nil {
+				t.Fatalf("assembly succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("prog.s", "main:\tnop\n\tfrob r1\n\thalt\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if aerr.Line != 2 || aerr.Source != "prog.s" {
+		t.Errorf("error at %s:%d, want prog.s:2", aerr.Source, aerr.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("t", "main:\tfrob\n")
+}
+
+func TestJumpEncodings(t *testing.T) {
+	prog, err := Assemble("t", `
+main:	lda  r5, fn
+	jsr  r26, (r5)
+	halt
+fn:	ret  (r26)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsr := prog.Insts[1]
+	if jsr.Ra != isa.RegRA || jsr.Rb != isa.IntReg(5) {
+		t.Errorf("jsr encoding wrong: %s", jsr.String())
+	}
+	ret := prog.Insts[3]
+	if ret.Rb != isa.RegRA {
+		t.Errorf("ret encoding wrong: %s", ret.String())
+	}
+}

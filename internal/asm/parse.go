@@ -1,0 +1,372 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"mica/internal/isa"
+)
+
+// splitLine performs the lexical split of one source line: comment
+// stripping, label extraction, mnemonic and comma-separated operands.
+func splitLine(source string, num int, raw string) (parsedLine, error) {
+	pl := parsedLine{num: num}
+	line := raw
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+
+	// Peel off leading labels ("name:"), possibly several on one line.
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if !isIdent(label) {
+			break
+		}
+		pl.labels = append(pl.labels, label)
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		pl.kind = lineEmpty
+		return pl, nil
+	}
+
+	var mnemonic, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnemonic = line
+	}
+	pl.mnemonic = strings.ToLower(mnemonic)
+	if rest != "" {
+		for _, op := range strings.Split(rest, ",") {
+			op = strings.TrimSpace(op)
+			if op == "" {
+				return pl, &Error{Source: source, Line: num, Msg: "empty operand"}
+			}
+			pl.operands = append(pl.operands, op)
+		}
+	}
+	if strings.HasPrefix(pl.mnemonic, ".") {
+		pl.kind = lineDirective
+	} else {
+		pl.kind = lineInst
+	}
+	return pl, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt parses decimal and 0x-hex integer literals, with optional sign.
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// splitLabelOffset splits "label+off" / "label-off" into the label and the
+// signed offset; a bare label has offset 0.
+func splitLabelOffset(s string) (string, int64) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := parseInt(s[i:])
+			if err != nil {
+				return s, 0
+			}
+			return s[:i], off
+		}
+	}
+	return s, 0
+}
+
+// parseReg parses a register operand ("r12", "f3", "sp", "ra").
+func parseReg(s string) (isa.Reg, bool) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return isa.RegSP, true
+	case "ra":
+		return isa.RegRA, true
+	case "zero":
+		return isa.RegZero, true
+	}
+	if len(s) < 2 {
+		return isa.RegInvalid, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return isa.RegInvalid, false
+	}
+	switch s[0] {
+	case 'r', 'R':
+		return isa.IntReg(n), true
+	case 'f', 'F':
+		return isa.FPReg(n), true
+	}
+	return isa.RegInvalid, false
+}
+
+// parseMemOperand parses "disp(reg)", "(reg)", "label", "label+off" or a
+// bare integer into (base register, displacement). For label and integer
+// forms the base is the zero register.
+func (a *assembler) parseMemOperand(line int, s string) (isa.Reg, int64, error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return 0, 0, a.errf(line, "malformed memory operand %q", s)
+		}
+		regName := s[i+1 : len(s)-1]
+		base, ok := parseReg(regName)
+		if !ok {
+			return 0, 0, a.errf(line, "bad base register %q in %q", regName, s)
+		}
+		dispStr := strings.TrimSpace(s[:i])
+		var disp int64
+		if dispStr != "" {
+			v, err := a.resolveValue(line, dispStr)
+			if err != nil {
+				return 0, 0, err
+			}
+			disp = v
+		}
+		return base, disp, nil
+	}
+	v, err := a.resolveValue(line, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return isa.RegZero, v, nil
+}
+
+// encode translates one instruction line to an isa.Inst.
+func (a *assembler) encode(pl parsedLine) (isa.Inst, error) {
+	op, ok := isa.OpByName(pl.mnemonic)
+	if !ok {
+		return isa.Inst{}, a.errf(pl.num, "unknown mnemonic %q", pl.mnemonic)
+	}
+	in := isa.Inst{Op: op, Ra: isa.RegInvalid, Rb: isa.RegInvalid, Rc: isa.RegInvalid, Line: pl.num}
+	ops := pl.operands
+
+	wantRegFile := func(r isa.Reg, fp bool, what string) error {
+		if r.IsFP() != fp {
+			kind := "integer"
+			if fp {
+				kind = "floating-point"
+			}
+			return a.errf(pl.num, "%s of %s must be a %s register, got %s", what, op.Name(), kind, r)
+		}
+		return nil
+	}
+	reg := func(i int, what string) (isa.Reg, error) {
+		if i >= len(ops) {
+			return isa.RegInvalid, a.errf(pl.num, "%s: missing %s operand", op.Name(), what)
+		}
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return isa.RegInvalid, a.errf(pl.num, "%s: bad register %q for %s", op.Name(), ops[i], what)
+		}
+		return r, nil
+	}
+
+	switch op.Format() {
+	case isa.FmtOperate:
+		if len(ops) != 3 {
+			return in, a.errf(pl.num, "%s wants 3 operands, got %d", op.Name(), len(ops))
+		}
+		ra, err := reg(0, "source 1")
+		if err != nil {
+			return in, err
+		}
+		if err := wantRegFile(ra, op.IsFPRegs(), "source 1"); err != nil {
+			return in, err
+		}
+		in.Ra = ra
+		if rb, ok := parseReg(ops[1]); ok {
+			if err := wantRegFile(rb, op.IsFPRegs(), "source 2"); err != nil {
+				return in, err
+			}
+			in.Rb = rb
+		} else {
+			v, err := a.resolveValue(pl.num, ops[1])
+			if err != nil {
+				return in, err
+			}
+			if op.IsFPRegs() {
+				return in, a.errf(pl.num, "%s: immediate operands are not allowed for FP ops", op.Name())
+			}
+			in.Imm, in.HasImm = v, true
+		}
+		rc, err := reg(2, "destination")
+		if err != nil {
+			return in, err
+		}
+		if err := wantRegFile(rc, op.IsFPRegs(), "destination"); err != nil {
+			return in, err
+		}
+		in.Rc = rc
+
+	case isa.FmtFPUnary:
+		if len(ops) != 2 {
+			return in, a.errf(pl.num, "%s wants 2 operands, got %d", op.Name(), len(ops))
+		}
+		rb, err := reg(0, "source")
+		if err != nil {
+			return in, err
+		}
+		rc, err := reg(1, "destination")
+		if err != nil {
+			return in, err
+		}
+		srcFP, dstFP := true, true
+		switch op {
+		case isa.OpItofT:
+			srcFP = false
+		case isa.OpFtoiT:
+			dstFP = false
+		}
+		if err := wantRegFile(rb, srcFP, "source"); err != nil {
+			return in, err
+		}
+		if err := wantRegFile(rc, dstFP, "destination"); err != nil {
+			return in, err
+		}
+		in.Rb, in.Rc = rb, rc
+
+	case isa.FmtMem:
+		if len(ops) != 2 {
+			return in, a.errf(pl.num, "%s wants 2 operands, got %d", op.Name(), len(ops))
+		}
+		ra, err := reg(0, "data")
+		if err != nil {
+			return in, err
+		}
+		if err := wantRegFile(ra, op.IsFPRegs(), "data"); err != nil {
+			return in, err
+		}
+		base, disp, err := a.parseMemOperand(pl.num, ops[1])
+		if err != nil {
+			return in, err
+		}
+		if base.IsFP() {
+			return in, a.errf(pl.num, "%s: base register %s must be an integer register", op.Name(), base)
+		}
+		in.Ra, in.Rb, in.Imm = ra, base, disp
+
+	case isa.FmtLea:
+		if len(ops) != 2 {
+			return in, a.errf(pl.num, "%s wants 2 operands, got %d", op.Name(), len(ops))
+		}
+		ra, err := reg(0, "destination")
+		if err != nil {
+			return in, err
+		}
+		if ra.IsFP() {
+			return in, a.errf(pl.num, "lda destination must be an integer register")
+		}
+		base, disp, err := a.parseMemOperand(pl.num, ops[1])
+		if err != nil {
+			return in, err
+		}
+		if base.IsFP() {
+			return in, a.errf(pl.num, "lda base register %s must be an integer register", base)
+		}
+		in.Ra, in.Rb, in.Imm = ra, base, disp
+
+	case isa.FmtBranch:
+		targetIdx := 0
+		switch {
+		case op.IsConditional():
+			if len(ops) != 2 {
+				return in, a.errf(pl.num, "%s wants 2 operands, got %d", op.Name(), len(ops))
+			}
+			ra, err := reg(0, "test")
+			if err != nil {
+				return in, err
+			}
+			if err := wantRegFile(ra, op.IsFPRegs(), "test"); err != nil {
+				return in, err
+			}
+			in.Ra = ra
+			targetIdx = 1
+		default: // br, bsr
+			switch len(ops) {
+			case 1:
+				in.Ra = isa.RegZero
+			case 2:
+				ra, err := reg(0, "link")
+				if err != nil {
+					return in, err
+				}
+				in.Ra = ra
+				targetIdx = 1
+			default:
+				return in, a.errf(pl.num, "%s wants 1 or 2 operands, got %d", op.Name(), len(ops))
+			}
+		}
+		label := ops[targetIdx]
+		idx, ok := a.codeLabels[label]
+		if !ok {
+			return in, a.errf(pl.num, "%s: undefined code label %q", op.Name(), label)
+		}
+		in.Target = idx
+
+	case isa.FmtJump:
+		switch op {
+		case isa.OpJsr:
+			if len(ops) != 2 {
+				return in, a.errf(pl.num, "jsr wants 2 operands (link, (target)), got %d", len(ops))
+			}
+			ra, err := reg(0, "link")
+			if err != nil {
+				return in, err
+			}
+			in.Ra = ra
+			base, disp, err := a.parseMemOperand(pl.num, ops[1])
+			if err != nil {
+				return in, err
+			}
+			if disp != 0 {
+				return in, a.errf(pl.num, "jsr target must be a plain (reg)")
+			}
+			in.Rb = base
+		default: // jmp, ret
+			if len(ops) != 1 {
+				return in, a.errf(pl.num, "%s wants 1 operand, got %d", op.Name(), len(ops))
+			}
+			base, disp, err := a.parseMemOperand(pl.num, ops[0])
+			if err != nil {
+				return in, err
+			}
+			if disp != 0 {
+				return in, a.errf(pl.num, "%s target must be a plain (reg)", op.Name())
+			}
+			in.Rb = base
+			in.Ra = isa.RegZero
+		}
+
+	case isa.FmtMisc:
+		if len(ops) != 0 {
+			return in, a.errf(pl.num, "%s wants no operands", op.Name())
+		}
+
+	default:
+		return in, a.errf(pl.num, "internal: unhandled format for %s", op.Name())
+	}
+	return in, nil
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+
+	"mica/internal/stats"
+)
+
+// Linkage selects the inter-cluster distance rule for hierarchical
+// clustering.
+type Linkage uint8
+
+// Linkage rules.
+const (
+	// CompleteLinkage merges on the maximum pairwise distance — the
+	// rule used by the workload-similarity prior work the paper builds
+	// on (Phansalkar et al., ISPASS 2005).
+	CompleteLinkage Linkage = iota
+	// SingleLinkage merges on the minimum pairwise distance.
+	SingleLinkage
+	// AverageLinkage merges on the mean pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// Merge records one agglomeration step: clusters A and B (identified by
+// dendrogram node ids) joined at the given distance into node Parent.
+// Leaves are nodes 0..n-1; internal nodes are n..2n-2.
+type Merge struct {
+	A, B     int
+	Parent   int
+	Distance float64
+}
+
+// Dendrogram is the full agglomeration history of n points.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Hierarchical builds a dendrogram over the rows of m by agglomerative
+// clustering with the given linkage, using the Lance-Williams update.
+func Hierarchical(m *stats.Matrix, linkage Linkage) *Dendrogram {
+	n := m.Rows
+	d := &Dendrogram{N: n}
+	if n == 0 {
+		return d
+	}
+	// Active cluster distance matrix, updated in place.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e := stats.Euclidean(m.Row(i), m.Row(j))
+			dist[i][j], dist[j][i] = e, e
+		}
+	}
+	active := make([]bool, n)
+	node := make([]int, n) // dendrogram node id of slot i
+	size := make([]int, n) // cluster size of slot i
+	for i := 0; i < n; i++ {
+		active[i], node[i], size[i] = true, i, 1
+	}
+
+	next := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if active[j] && dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		d.Merges = append(d.Merges, Merge{A: node[bi], B: node[bj], Parent: next, Distance: best})
+		// Merge bj into bi; update distances per linkage.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(dist[bi][k], dist[bj][k])
+			case AverageLinkage:
+				wi, wj := float64(size[bi]), float64(size[bj])
+				nd = (wi*dist[bi][k] + wj*dist[bj][k]) / (wi + wj)
+			default: // CompleteLinkage
+				nd = math.Max(dist[bi][k], dist[bj][k])
+			}
+			dist[bi][k], dist[k][bi] = nd, nd
+		}
+		active[bj] = false
+		size[bi] += size[bj]
+		node[bi] = next
+		next++
+	}
+	return d
+}
+
+// Cut flattens the dendrogram into exactly k clusters by undoing the last
+// k-1 merges, returning an assignment of leaves to cluster ids 0..k-1.
+func (d *Dendrogram) Cut(k int) []int {
+	n := d.N
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Union-find over leaves, replaying merges except the last k-1.
+	parent := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	stop := len(d.Merges) - (k - 1)
+	for i := 0; i < stop; i++ {
+		mg := d.Merges[i]
+		parent[find(mg.A)] = mg.Parent
+		parent[find(mg.B)] = mg.Parent
+	}
+	ids := map[int]int{}
+	out := make([]int, n)
+	for leaf := 0; leaf < n; leaf++ {
+		root := find(leaf)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		out[leaf] = id
+	}
+	return out
+}
+
+// CutAtDistance flattens the dendrogram by cutting all merges above the
+// given distance threshold.
+func (d *Dendrogram) CutAtDistance(threshold float64) []int {
+	k := 1
+	for _, mg := range d.Merges {
+		if mg.Distance > threshold {
+			k++
+		}
+	}
+	return d.Cut(k)
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"mica/internal/stats"
+)
+
+func TestHierarchicalRecoversBlobs(t *testing.T) {
+	m, truth := threeBlobs(15, 11)
+	for _, linkage := range []Linkage{CompleteLinkage, SingleLinkage, AverageLinkage} {
+		d := Hierarchical(m, linkage)
+		if len(d.Merges) != m.Rows-1 {
+			t.Fatalf("linkage %d: %d merges, want %d", linkage, len(d.Merges), m.Rows-1)
+		}
+		assign := d.Cut(3)
+		mapping := map[int]int{}
+		ok := true
+		for i, tc := range truth {
+			if got, seen := mapping[tc]; seen {
+				if got != assign[i] {
+					ok = false
+				}
+			} else {
+				mapping[tc] = assign[i]
+			}
+		}
+		if !ok || len(mapping) != 3 {
+			t.Errorf("linkage %d did not recover the three blobs", linkage)
+		}
+	}
+}
+
+func TestMergeDistancesNondecreasingComplete(t *testing.T) {
+	m, _ := threeBlobs(10, 12)
+	d := Hierarchical(m, CompleteLinkage)
+	// Complete linkage is monotone: merge distances never decrease.
+	for i := 1; i < len(d.Merges); i++ {
+		if d.Merges[i].Distance+1e-9 < d.Merges[i-1].Distance {
+			t.Fatalf("merge %d at %g after %g", i, d.Merges[i].Distance, d.Merges[i-1].Distance)
+		}
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	m, _ := threeBlobs(5, 13)
+	d := Hierarchical(m, CompleteLinkage)
+	one := d.Cut(1)
+	for _, c := range one {
+		if c != 0 {
+			t.Fatal("Cut(1) not a single cluster")
+		}
+	}
+	all := d.Cut(m.Rows)
+	seen := map[int]bool{}
+	for _, c := range all {
+		seen[c] = true
+	}
+	if len(seen) != m.Rows {
+		t.Fatalf("Cut(n) gave %d clusters, want %d", len(seen), m.Rows)
+	}
+	if got := d.Cut(0); len(got) != m.Rows {
+		t.Error("Cut(0) should clamp to 1 cluster over all leaves")
+	}
+	if got := d.Cut(m.Rows + 5); len(got) != m.Rows {
+		t.Error("Cut beyond n should clamp")
+	}
+}
+
+func TestCutAtDistance(t *testing.T) {
+	// Two tight pairs far apart: cutting between the scales gives 2
+	// clusters.
+	m := stats.FromRows([][]float64{{0}, {0.1}, {100}, {100.1}})
+	d := Hierarchical(m, CompleteLinkage)
+	assign := d.CutAtDistance(1.0)
+	if assign[0] != assign[1] || assign[2] != assign[3] || assign[0] == assign[2] {
+		t.Errorf("CutAtDistance(1) = %v", assign)
+	}
+	if got := d.CutAtDistance(1e9); got[0] != got[3] {
+		t.Error("huge threshold should give one cluster")
+	}
+}
+
+func TestHierarchicalEmpty(t *testing.T) {
+	d := Hierarchical(stats.NewMatrix(0, 2), CompleteLinkage)
+	if d.N != 0 || len(d.Merges) != 0 {
+		t.Error("empty input mishandled")
+	}
+}
+
+func TestSingleVsCompleteOnChain(t *testing.T) {
+	// A chain of equidistant points: single linkage chains them into
+	// one cluster early, complete linkage resists.
+	rows := make([][]float64, 8)
+	for i := range rows {
+		rows[i] = []float64{float64(i)}
+	}
+	m := stats.FromRows(rows)
+	single := Hierarchical(m, SingleLinkage)
+	complete := Hierarchical(m, CompleteLinkage)
+	// Final merge distance: single = 1 (all merges at distance 1),
+	// complete = 7 (full diameter).
+	if got := single.Merges[len(single.Merges)-1].Distance; got != 1 {
+		t.Errorf("single final merge at %g, want 1", got)
+	}
+	if got := complete.Merges[len(complete.Merges)-1].Distance; got != 7 {
+		t.Errorf("complete final merge at %g, want 7", got)
+	}
+}

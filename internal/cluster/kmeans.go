@@ -1,0 +1,240 @@
+// Package cluster implements k-means clustering and the Bayesian
+// Information Criterion model selection the paper uses for Figure 6:
+// k-means for K in 1..70, keeping the smallest K whose BIC score is
+// within 90% of the maximum.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"mica/internal/stats"
+)
+
+// Result is one k-means clustering outcome.
+type Result struct {
+	K int
+	// Assign maps each row to its cluster id in [0, K).
+	Assign []int
+	// Centroids holds the K cluster centers.
+	Centroids *stats.Matrix
+	// SSE is the total within-cluster sum of squared distances.
+	SSE float64
+}
+
+// KMeans clusters the rows of m into k clusters using k-means++ seeding
+// and Lloyd iterations. It is deterministic for a given seed.
+func KMeans(m *stats.Matrix, k int, seed int64) Result {
+	return kmeans(m, k, seed, true)
+}
+
+// KMeansNaiveSeed is KMeans with first-K-rows seeding instead of
+// k-means++; kept for the seeding ablation benchmark.
+func KMeansNaiveSeed(m *stats.Matrix, k int, seed int64) Result {
+	return kmeans(m, k, seed, false)
+}
+
+func kmeans(m *stats.Matrix, k int, seed int64, plusplus bool) Result {
+	n, d := m.Rows, m.Cols
+	if k <= 0 || n == 0 {
+		return Result{K: k, Assign: make([]int, n), Centroids: stats.NewMatrix(0, d)}
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var cents *stats.Matrix
+	if plusplus {
+		cents = seedPlusPlus(m, k, rng)
+	} else {
+		cents = stats.NewMatrix(k, d)
+		for c := 0; c < k; c++ {
+			copy(cents.Row(c), m.Row(c))
+		}
+	}
+	assign := make([]int, n)
+	counts := make([]int, k)
+
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dist := sqDist(m.Row(i), cents.Row(c))
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for j := 0; j < d; j++ {
+				cents.Set(c, j, 0)
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := m.Row(i)
+			for j := 0; j < d; j++ {
+				cents.Set(c, j, cents.At(c, j)+row[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest
+				// from its centroid.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					dist := sqDist(m.Row(i), cents.Row(assign[i]))
+					if dist > farD {
+						far, farD = i, dist
+					}
+				}
+				copy(cents.Row(c), m.Row(far))
+				assign[far] = c
+				continue
+			}
+			for j := 0; j < d; j++ {
+				cents.Set(c, j, cents.At(c, j)/float64(counts[c]))
+			}
+		}
+	}
+
+	sse := 0.0
+	for i := 0; i < n; i++ {
+		sse += sqDist(m.Row(i), cents.Row(assign[i]))
+	}
+	return Result{K: k, Assign: assign, Centroids: cents, SSE: sse}
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule.
+func seedPlusPlus(m *stats.Matrix, k int, rng *rand.Rand) *stats.Matrix {
+	n, d := m.Rows, m.Cols
+	cents := stats.NewMatrix(k, d)
+	first := rng.Intn(n)
+	copy(cents.Row(0), m.Row(first))
+
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = sqDist(m.Row(i), cents.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, dd := range minD {
+			total += dd
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, dd := range minD {
+				acc += dd
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cents.Row(c), m.Row(pick))
+		for i := range minD {
+			if dd := sqDist(m.Row(i), cents.Row(c)); dd < minD[i] {
+				minD[i] = dd
+			}
+		}
+	}
+	return cents
+}
+
+// BIC scores a clustering with the Bayesian Information Criterion under
+// the identical-spherical-Gaussian model of Pelleg & Moore (the scoring
+// SimPoint adopted and the paper cites via [18]). Larger is better.
+func BIC(m *stats.Matrix, res Result) float64 {
+	n, d := m.Rows, m.Cols
+	k := res.K
+	if n <= k {
+		return math.Inf(-1)
+	}
+	variance := res.SSE / float64(d*(n-k))
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	counts := make([]int, k)
+	for _, c := range res.Assign {
+		counts[c]++
+	}
+	ll := 0.0
+	for _, rn := range counts {
+		if rn == 0 {
+			continue
+		}
+		r := float64(rn)
+		ll += r*math.Log(r) -
+			r*math.Log(float64(n)) -
+			r*float64(d)/2*math.Log(2*math.Pi*variance) -
+			(r-1)*float64(d)/2
+	}
+	params := float64(k-1) + float64(k*d) + 1
+	return ll - params/2*math.Log(float64(n))
+}
+
+// Selection holds the outcome of BIC-based K selection.
+type Selection struct {
+	// Best is the clustering at the chosen K.
+	Best Result
+	// Scores maps K (1-based index position K-1) to its BIC score.
+	Scores []float64
+	// MaxScore is the maximum BIC over the swept K values.
+	MaxScore float64
+}
+
+// SelectK sweeps K in [1, maxK], scores each clustering with BIC, and
+// returns the smallest K whose score reaches frac (the paper uses 0.9) of
+// the way from the lowest to the highest score across the sweep — the
+// SimPoint "90% of max BIC" rule, which operates on the score range so it
+// is well defined for negative log-likelihood-based scores.
+func SelectK(m *stats.Matrix, maxK int, frac float64, seed int64) Selection {
+	if maxK > m.Rows {
+		maxK = m.Rows
+	}
+	results := make([]Result, maxK)
+	scores := make([]float64, maxK)
+	best, worst := math.Inf(-1), math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		results[k-1] = KMeans(m, k, seed+int64(k))
+		scores[k-1] = BIC(m, results[k-1])
+		if scores[k-1] > best {
+			best = scores[k-1]
+		}
+		if scores[k-1] < worst {
+			worst = scores[k-1]
+		}
+	}
+	cut := worst + frac*(best-worst)
+	for k := 1; k <= maxK; k++ {
+		if scores[k-1] >= cut {
+			return Selection{Best: results[k-1], Scores: scores, MaxScore: best}
+		}
+	}
+	return Selection{Best: results[maxK-1], Scores: scores, MaxScore: best}
+}

@@ -1,0 +1,111 @@
+package ga
+
+import "testing"
+
+// onemax counts set bits: the classic GA sanity problem.
+func onemax(genes []bool) float64 {
+	n := 0.0
+	for _, g := range genes {
+		if g {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRunSolvesOneMax(t *testing.T) {
+	res := Run(Config{Genes: 32, Seed: 1}, onemax)
+	if res.Best.Fitness < 31 {
+		t.Errorf("best fitness = %g on 32-bit onemax, want >= 31", res.Best.Fitness)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(Config{Genes: 24, Seed: 7}, onemax)
+	b := Run(Config{Genes: 24, Seed: 7}, onemax)
+	if a.Best.Fitness != b.Best.Fitness || a.Generations != b.Generations {
+		t.Error("same seed gave different results")
+	}
+	for i := range a.Best.Genes {
+		if a.Best.Genes[i] != b.Best.Genes[i] {
+			t.Fatal("same seed gave different genes")
+		}
+	}
+}
+
+func TestRunTargetSubset(t *testing.T) {
+	// Fitness rewards exactly genes {2, 5, 11} and punishes others:
+	// the GA should find the precise subset.
+	target := map[int]bool{2: true, 5: true, 11: true}
+	fit := func(genes []bool) float64 {
+		score := 0.0
+		for i, g := range genes {
+			if g == target[i] {
+				score++
+			}
+		}
+		return score
+	}
+	res := Run(Config{Genes: 16, Seed: 3}, fit)
+	for i, g := range res.Best.Genes {
+		if g != target[i] {
+			t.Errorf("gene %d = %v, want %v", i, g, target[i])
+		}
+	}
+}
+
+func TestHistoryMonotone(t *testing.T) {
+	res := Run(Config{Genes: 20, Seed: 5}, onemax)
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatal("best-so-far history decreased")
+		}
+	}
+}
+
+func TestStallStopsEarly(t *testing.T) {
+	// Constant fitness: the run should stop after StallGenerations.
+	res := Run(Config{Genes: 8, Seed: 2, StallGenerations: 5, MaxGenerations: 1000},
+		func([]bool) float64 { return 1 })
+	if res.Generations > 10 {
+		t.Errorf("ran %d generations on flat fitness, want <= 10", res.Generations)
+	}
+}
+
+func TestCountSet(t *testing.T) {
+	ind := Individual{Genes: []bool{true, false, true, true}}
+	if ind.CountSet() != 3 {
+		t.Errorf("CountSet = %d, want 3", ind.CountSet())
+	}
+}
+
+func TestZeroGenesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with 0 genes did not panic")
+		}
+	}()
+	Run(Config{}, onemax)
+}
+
+func TestElitismPreservesBest(t *testing.T) {
+	// A deceptive fitness where mutation usually hurts: the best found
+	// must never regress thanks to elitism (checked via history).
+	fit := func(genes []bool) float64 {
+		v := 0.0
+		for i, g := range genes {
+			if g && i%2 == 0 {
+				v += 2
+			} else if g {
+				v -= 1
+			}
+		}
+		return v
+	}
+	res := Run(Config{Genes: 30, Seed: 11}, fit)
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatal("elite lost between generations")
+		}
+	}
+}

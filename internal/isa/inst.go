@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CodeBase is the byte address of the first instruction. Instruction i
+// lives at CodeBase + 4*i, giving the instruction stream a realistic byte
+// address layout for working-set analysis (32-byte blocks, 4KB pages).
+const CodeBase uint64 = 0x0000_0000_0001_0000
+
+// InstBytes is the encoded size of one instruction.
+const InstBytes = 4
+
+// PCForIndex returns the byte address of the instruction at index i.
+func PCForIndex(i int) uint64 { return CodeBase + uint64(i)*InstBytes }
+
+// IndexForPC returns the instruction index for a code byte address.
+func IndexForPC(pc uint64) int { return int((pc - CodeBase) / InstBytes) }
+
+// Inst is one decoded instruction. Operand meaning depends on the opcode
+// format:
+//
+//   - FmtOperate: Rc = Ra op (Rb or Imm if HasImm)
+//   - FmtFPUnary: Rc = op Rb
+//   - FmtMem:     Ra <-> memory[Rb + Imm]
+//   - FmtLea:     Ra = Rb + Imm (Rb may be RegZero for absolute addresses)
+//   - FmtBranch:  test Ra, target instruction index Target
+//   - FmtJump:    jump to Rb, link in Ra
+type Inst struct {
+	Op     Op
+	Ra     Reg
+	Rb     Reg
+	Rc     Reg
+	Imm    int64
+	HasImm bool
+	// Target is the branch target as an instruction index, resolved by
+	// the assembler.
+	Target int
+	// Line is the 1-based source line the instruction came from, for
+	// diagnostics; 0 when built programmatically.
+	Line int
+}
+
+// SrcRegs appends the source registers of the instruction to buf and
+// returns the extended slice. Hardwired zero registers are included (they
+// are architecturally read); callers that care about true dependencies
+// filter them with Reg.IsZero.
+func (in *Inst) SrcRegs(buf []Reg) []Reg {
+	switch in.Op.Format() {
+	case FmtOperate:
+		buf = append(buf, in.Ra)
+		if !in.HasImm {
+			buf = append(buf, in.Rb)
+		}
+	case FmtFPUnary:
+		buf = append(buf, in.Rb)
+	case FmtMem:
+		buf = append(buf, in.Rb) // base address
+		if in.Op.IsStore() {
+			buf = append(buf, in.Ra) // stored value
+		}
+	case FmtLea:
+		if in.Rb != RegZero {
+			buf = append(buf, in.Rb)
+		}
+	case FmtBranch:
+		if in.Op.IsConditional() {
+			buf = append(buf, in.Ra)
+		}
+	case FmtJump:
+		buf = append(buf, in.Rb)
+	}
+	return buf
+}
+
+// DstReg returns the destination register of the instruction and whether
+// one exists. Writes to the zero registers are reported (the instruction
+// still architecturally names them); callers filter with Reg.IsZero.
+func (in *Inst) DstReg() (Reg, bool) {
+	switch in.Op.Format() {
+	case FmtOperate, FmtFPUnary:
+		return in.Rc, true
+	case FmtMem:
+		if in.Op.IsLoad() {
+			return in.Ra, true
+		}
+		return RegInvalid, false
+	case FmtLea:
+		return in.Ra, true
+	case FmtBranch:
+		if in.Op == OpBr || in.Op == OpBsr {
+			return in.Ra, true
+		}
+		return RegInvalid, false
+	case FmtJump:
+		if in.Op == OpJsr {
+			return in.Ra, true
+		}
+		return RegInvalid, false
+	}
+	return RegInvalid, false
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.Name())
+	switch in.Op.Format() {
+	case FmtOperate:
+		if in.HasImm {
+			fmt.Fprintf(&b, " %s, %d, %s", in.Ra, in.Imm, in.Rc)
+		} else {
+			fmt.Fprintf(&b, " %s, %s, %s", in.Ra, in.Rb, in.Rc)
+		}
+	case FmtFPUnary:
+		fmt.Fprintf(&b, " %s, %s", in.Rb, in.Rc)
+	case FmtMem:
+		fmt.Fprintf(&b, " %s, %d(%s)", in.Ra, in.Imm, in.Rb)
+	case FmtLea:
+		fmt.Fprintf(&b, " %s, %d(%s)", in.Ra, in.Imm, in.Rb)
+	case FmtBranch:
+		if in.Op.IsConditional() {
+			fmt.Fprintf(&b, " %s, @%d", in.Ra, in.Target)
+		} else {
+			fmt.Fprintf(&b, " @%d", in.Target)
+		}
+	case FmtJump:
+		if in.Op == OpJsr {
+			fmt.Fprintf(&b, " %s, (%s)", in.Ra, in.Rb)
+		} else {
+			fmt.Fprintf(&b, " (%s)", in.Rb)
+		}
+	}
+	return b.String()
+}
+
+// Program is an assembled program: its instructions, initialized data
+// segment, and symbol table.
+type Program struct {
+	// Name identifies the program for diagnostics.
+	Name string
+	// Insts is the instruction sequence; execution starts at Entry.
+	Insts []Inst
+	// Entry is the instruction index where execution starts.
+	Entry int
+	// Data is the initialized data segment, loaded at DataBase.
+	Data []byte
+	// DataBase is the load address of the data segment.
+	DataBase uint64
+	// Symbols maps labels (both code and data) to byte addresses.
+	Symbols map[string]uint64
+}
+
+// DefaultDataBase is the default load address of the data segment, placed
+// well away from the code so instruction and data working sets do not
+// alias at page granularity.
+const DefaultDataBase uint64 = 0x0000_0000_1000_0000
+
+// Symbol returns the address of a label, or an error naming the program
+// and label if it is not defined.
+func (p *Program) Symbol(name string) (uint64, error) {
+	addr, ok := p.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("isa: program %q has no symbol %q", p.Name, name)
+	}
+	return addr, nil
+}
+
+// MustSymbol is Symbol but panics on unknown labels. Intended for kernel
+// setup code where a missing label is a programming error.
+func (p *Program) MustSymbol(name string) uint64 {
+	addr, err := p.Symbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}

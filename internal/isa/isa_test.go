@@ -1,0 +1,253 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	cases := []struct {
+		reg  Reg
+		want string
+	}{
+		{IntReg(0), "r0"},
+		{IntReg(31), "r31"},
+		{FPReg(0), "f0"},
+		{FPReg(31), "f31"},
+		{RegSP, "r30"},
+		{RegRA, "r26"},
+	}
+	for _, c := range cases {
+		if got := c.reg.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.reg, got, c.want)
+		}
+	}
+}
+
+func TestRegZero(t *testing.T) {
+	if !RegZero.IsZero() || !RegFZero.IsZero() {
+		t.Error("hardwired zero registers not recognized")
+	}
+	if IntReg(5).IsZero() || FPReg(7).IsZero() {
+		t.Error("ordinary registers reported as zero registers")
+	}
+	if RegZero.IsFP() {
+		t.Error("r31 reported as FP")
+	}
+	if !RegFZero.IsFP() {
+		t.Error("f31 not reported as FP")
+	}
+}
+
+func TestRegIndexRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		i := int(n % 32)
+		return IntReg(i).Index() == i && FPReg(i).Index() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRegPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntReg(32) did not panic")
+		}
+	}()
+	IntReg(32)
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpAddQ, ClassIntArith},
+		{OpLda, ClassIntArith},
+		{OpMulQ, ClassIntMul},
+		{OpDivQ, ClassIntMul},
+		{OpAddT, ClassFP},
+		{OpSqrtT, ClassFP},
+		{OpItofT, ClassFP},
+		{OpLdQ, ClassLoad},
+		{OpLdT, ClassLoad},
+		{OpStB, ClassStore},
+		{OpBeq, ClassBranch},
+		{OpJsr, ClassBranch},
+		{OpRet, ClassBranch},
+		{OpHalt, ClassOther},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %s, want %s", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLdQ.IsLoad() || OpLdQ.IsStore() {
+		t.Error("ldq load/store predicates wrong")
+	}
+	if !OpStT.IsStore() || OpStT.IsLoad() {
+		t.Error("stt load/store predicates wrong")
+	}
+	if !OpBeq.IsConditional() || OpBr.IsConditional() {
+		t.Error("conditional predicates wrong")
+	}
+	if !OpJmp.IsBranch() {
+		t.Error("jmp not a branch")
+	}
+}
+
+func TestOpMemSizes(t *testing.T) {
+	cases := map[Op]uint8{
+		OpLdQ: 8, OpLdL: 4, OpLdWU: 2, OpLdBU: 1,
+		OpStQ: 8, OpStL: 4, OpStW: 2, OpStB: 1,
+		OpLdT: 8, OpLdS: 4, OpStT: 8, OpStS: 4,
+		OpAddQ: 0, OpBeq: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemSize(); got != want {
+			t.Errorf("%s.MemSize() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpByNameCoversAllOps(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		got, ok := OpByName(op.Name())
+		if !ok {
+			t.Errorf("OpByName(%q) not found", op.Name())
+			continue
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.Name(), got, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error(`OpByName("bogus") succeeded`)
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		i := int(n)
+		return IndexForPC(PCForIndex(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrcDstRegs(t *testing.T) {
+	cases := []struct {
+		name    string
+		inst    Inst
+		wantSrc []Reg
+		wantDst Reg
+		hasDst  bool
+	}{
+		{
+			name:    "operate reg form",
+			inst:    Inst{Op: OpAddQ, Ra: IntReg(1), Rb: IntReg(2), Rc: IntReg(3)},
+			wantSrc: []Reg{IntReg(1), IntReg(2)},
+			wantDst: IntReg(3), hasDst: true,
+		},
+		{
+			name:    "operate imm form",
+			inst:    Inst{Op: OpAddQ, Ra: IntReg(1), Rc: IntReg(3), Imm: 7, HasImm: true},
+			wantSrc: []Reg{IntReg(1)},
+			wantDst: IntReg(3), hasDst: true,
+		},
+		{
+			name:    "load",
+			inst:    Inst{Op: OpLdQ, Ra: IntReg(4), Rb: IntReg(5), Imm: 8},
+			wantSrc: []Reg{IntReg(5)},
+			wantDst: IntReg(4), hasDst: true,
+		},
+		{
+			name:    "store",
+			inst:    Inst{Op: OpStQ, Ra: IntReg(4), Rb: IntReg(5), Imm: 8},
+			wantSrc: []Reg{IntReg(5), IntReg(4)},
+			hasDst:  false,
+		},
+		{
+			name:    "conditional branch",
+			inst:    Inst{Op: OpBne, Ra: IntReg(6), Target: 3},
+			wantSrc: []Reg{IntReg(6)},
+			hasDst:  false,
+		},
+		{
+			name:    "unconditional branch links",
+			inst:    Inst{Op: OpBr, Ra: RegZero, Target: 3},
+			wantSrc: nil,
+			wantDst: RegZero, hasDst: true,
+		},
+		{
+			name:    "jsr",
+			inst:    Inst{Op: OpJsr, Ra: RegRA, Rb: IntReg(9)},
+			wantSrc: []Reg{IntReg(9)},
+			wantDst: RegRA, hasDst: true,
+		},
+		{
+			name:    "fp unary",
+			inst:    Inst{Op: OpSqrtT, Rb: FPReg(1), Rc: FPReg(2)},
+			wantSrc: []Reg{FPReg(1)},
+			wantDst: FPReg(2), hasDst: true,
+		},
+		{
+			name:    "lea from zero has no sources",
+			inst:    Inst{Op: OpLda, Ra: IntReg(1), Rb: RegZero, Imm: 100},
+			wantSrc: nil,
+			wantDst: IntReg(1), hasDst: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := c.inst.SrcRegs(nil)
+			if len(src) != len(c.wantSrc) {
+				t.Fatalf("SrcRegs = %v, want %v", src, c.wantSrc)
+			}
+			for i := range src {
+				if src[i] != c.wantSrc[i] {
+					t.Fatalf("SrcRegs = %v, want %v", src, c.wantSrc)
+				}
+			}
+			dst, ok := c.inst.DstReg()
+			if ok != c.hasDst {
+				t.Fatalf("DstReg ok = %v, want %v", ok, c.hasDst)
+			}
+			if ok && dst != c.wantDst {
+				t.Fatalf("DstReg = %v, want %v", dst, c.wantDst)
+			}
+		})
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{Op: OpAddQ, Ra: IntReg(1), Imm: 5, HasImm: true, Rc: IntReg(2)}
+	if got, want := in.String(), "addq r1, 5, r2"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	ld := Inst{Op: OpLdQ, Ra: IntReg(3), Rb: IntReg(4), Imm: 16}
+	if got, want := ld.String(), "ldq r3, 16(r4)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestProgramSymbols(t *testing.T) {
+	p := &Program{Name: "t", Symbols: map[string]uint64{"x": 42}}
+	if addr, err := p.Symbol("x"); err != nil || addr != 42 {
+		t.Errorf("Symbol(x) = %d, %v", addr, err)
+	}
+	if _, err := p.Symbol("y"); err == nil {
+		t.Error("Symbol(y) did not fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol on missing label did not panic")
+		}
+	}()
+	p.MustSymbol("y")
+}

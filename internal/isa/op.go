@@ -1,0 +1,330 @@
+package isa
+
+import "fmt"
+
+// Class categorizes an instruction for the purposes of the paper's
+// instruction-mix characterization (Table II, characteristics 1-6).
+type Class uint8
+
+// Instruction classes. Control transfers cover conditional branches,
+// unconditional branches, indirect jumps, calls and returns. Integer
+// multiplies are split from other integer arithmetic exactly as the paper
+// splits "percentage integer multiplies" from "percentage arithmetic
+// operations".
+const (
+	ClassIntArith Class = iota // integer ALU, address computation, compares
+	ClassIntMul                // integer multiply/divide
+	ClassFP                    // floating-point operations
+	ClassLoad                  // memory loads (integer and FP)
+	ClassStore                 // memory stores (integer and FP)
+	ClassBranch                // control transfers
+	ClassOther                 // halt and other non-mix instructions
+	numClasses
+)
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+// String returns a short human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassIntArith:
+		return "arith"
+	case ClassIntMul:
+		return "imul"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassOther:
+		return "other"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Format describes the operand encoding of an opcode.
+type Format uint8
+
+// Operand formats.
+const (
+	FmtOperate Format = iota // rc = ra OP (rb | imm)
+	FmtFPUnary               // fc = OP fb (sqrt, cvt, mov)
+	FmtMem                   // ra, disp(rb): loads and stores
+	FmtLea                   // lda ra, disp(rb) or lda ra, symbol
+	FmtBranch                // conditional/unconditional PC-relative branch
+	FmtJump                  // jmp/jsr/ret via register
+	FmtMisc                  // halt, nop
+)
+
+// Op enumerates the opcodes of the synthetic ISA.
+type Op uint8
+
+// Opcodes. The mnemonics follow Alpha conventions: the Q suffix means
+// 64-bit ("quadword"), L means 32-bit ("longword"), T means IEEE double
+// ("T floating").
+const (
+	OpInvalid Op = iota
+
+	// Integer arithmetic (ClassIntArith).
+	OpAddQ
+	OpSubQ
+	OpAnd
+	OpBic // and-not
+	OpOr
+	OpOrnot
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpCmpEq
+	OpCmpLt
+	OpCmpLe
+	OpCmpULt
+	OpCmpULe
+	OpS4AddQ // scaled add: rc = 4*ra + rb
+	OpS8AddQ // scaled add: rc = 8*ra + rb
+	OpLda    // address/immediate computation
+	OpSextL  // sign-extend low 32 bits
+
+	// Integer multiply / divide (ClassIntMul).
+	OpMulQ
+	OpUMulH // high 64 bits of unsigned 128-bit product
+	OpDivQ  // quotient (not on real Alpha; classed with multiplies)
+	OpRemQ  // remainder
+
+	// Floating point (ClassFP).
+	OpAddT
+	OpSubT
+	OpMulT
+	OpDivT
+	OpSqrtT
+	OpCmpTEq
+	OpCmpTLt
+	OpCmpTLe
+	OpCvtQT // int -> double (fc = double(rb as int bits from fb))
+	OpCvtTQ // double -> int (truncate)
+	OpFMov  // fc = fb
+	OpFNeg  // fc = -fb
+	OpFAbs  // fc = |fb|
+	OpItofT // fc = bits of rb (int reg -> fp reg move, as on EV6)
+	OpFtoiT // rc = bits of fb (fp reg -> int reg move)
+
+	// Loads (ClassLoad).
+	OpLdQ  // 64-bit integer load
+	OpLdL  // 32-bit sign-extending integer load
+	OpLdBU // 8-bit zero-extending load
+	OpLdWU // 16-bit zero-extending load
+	OpLdT  // 64-bit FP load
+	OpLdS  // 32-bit FP load
+
+	// Stores (ClassStore).
+	OpStQ
+	OpStL
+	OpStB
+	OpStW
+	OpStT
+	OpStS
+
+	// Control transfers (ClassBranch).
+	OpBeq  // branch if ra == 0
+	OpBne  // branch if ra != 0
+	OpBlt  // branch if ra < 0 (signed)
+	OpBle  // branch if ra <= 0
+	OpBgt  // branch if ra > 0
+	OpBge  // branch if ra >= 0
+	OpBlbc // branch if low bit clear
+	OpBlbs // branch if low bit set
+	OpFBeq // branch if fa == 0.0
+	OpFBne // branch if fa != 0.0
+	OpFBlt // branch if fa < 0.0
+	OpFBge // branch if fa >= 0.0
+	OpBr   // unconditional branch, ra gets return address
+	OpBsr  // branch subroutine (same as br; kept for readability)
+	OpJmp  // indirect jump via rb
+	OpJsr  // indirect call via rb, ra gets return address
+	OpRet  // return via rb
+
+	// Miscellaneous (ClassOther).
+	OpHalt
+	OpNop
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (excluding OpInvalid).
+const NumOps = int(numOps)
+
+type opInfo struct {
+	name   string
+	class  Class
+	format Format
+	// memSize is the access width in bytes for loads/stores, else 0.
+	memSize uint8
+	// fp marks operate-format instructions whose register operands live
+	// in the FP register file.
+	fp bool
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {"invalid", ClassOther, FmtMisc, 0, false},
+
+	OpAddQ:   {"addq", ClassIntArith, FmtOperate, 0, false},
+	OpSubQ:   {"subq", ClassIntArith, FmtOperate, 0, false},
+	OpAnd:    {"and", ClassIntArith, FmtOperate, 0, false},
+	OpBic:    {"bic", ClassIntArith, FmtOperate, 0, false},
+	OpOr:     {"or", ClassIntArith, FmtOperate, 0, false},
+	OpOrnot:  {"ornot", ClassIntArith, FmtOperate, 0, false},
+	OpXor:    {"xor", ClassIntArith, FmtOperate, 0, false},
+	OpSll:    {"sll", ClassIntArith, FmtOperate, 0, false},
+	OpSrl:    {"srl", ClassIntArith, FmtOperate, 0, false},
+	OpSra:    {"sra", ClassIntArith, FmtOperate, 0, false},
+	OpCmpEq:  {"cmpeq", ClassIntArith, FmtOperate, 0, false},
+	OpCmpLt:  {"cmplt", ClassIntArith, FmtOperate, 0, false},
+	OpCmpLe:  {"cmple", ClassIntArith, FmtOperate, 0, false},
+	OpCmpULt: {"cmpult", ClassIntArith, FmtOperate, 0, false},
+	OpCmpULe: {"cmpule", ClassIntArith, FmtOperate, 0, false},
+	OpS4AddQ: {"s4addq", ClassIntArith, FmtOperate, 0, false},
+	OpS8AddQ: {"s8addq", ClassIntArith, FmtOperate, 0, false},
+	OpLda:    {"lda", ClassIntArith, FmtLea, 0, false},
+	OpSextL:  {"sextl", ClassIntArith, FmtOperate, 0, false},
+
+	OpMulQ:  {"mulq", ClassIntMul, FmtOperate, 0, false},
+	OpUMulH: {"umulh", ClassIntMul, FmtOperate, 0, false},
+	OpDivQ:  {"divq", ClassIntMul, FmtOperate, 0, false},
+	OpRemQ:  {"remq", ClassIntMul, FmtOperate, 0, false},
+
+	OpAddT:   {"addt", ClassFP, FmtOperate, 0, true},
+	OpSubT:   {"subt", ClassFP, FmtOperate, 0, true},
+	OpMulT:   {"mult", ClassFP, FmtOperate, 0, true},
+	OpDivT:   {"divt", ClassFP, FmtOperate, 0, true},
+	OpSqrtT:  {"sqrtt", ClassFP, FmtFPUnary, 0, true},
+	OpCmpTEq: {"cmpteq", ClassFP, FmtOperate, 0, true},
+	OpCmpTLt: {"cmptlt", ClassFP, FmtOperate, 0, true},
+	OpCmpTLe: {"cmptle", ClassFP, FmtOperate, 0, true},
+	OpCvtQT:  {"cvtqt", ClassFP, FmtFPUnary, 0, true},
+	OpCvtTQ:  {"cvttq", ClassFP, FmtFPUnary, 0, true},
+	OpFMov:   {"fmov", ClassFP, FmtFPUnary, 0, true},
+	OpFNeg:   {"fneg", ClassFP, FmtFPUnary, 0, true},
+	OpFAbs:   {"fabs", ClassFP, FmtFPUnary, 0, true},
+	OpItofT:  {"itoft", ClassFP, FmtFPUnary, 0, true},
+	OpFtoiT:  {"ftoit", ClassFP, FmtFPUnary, 0, true},
+
+	OpLdQ:  {"ldq", ClassLoad, FmtMem, 8, false},
+	OpLdL:  {"ldl", ClassLoad, FmtMem, 4, false},
+	OpLdBU: {"ldbu", ClassLoad, FmtMem, 1, false},
+	OpLdWU: {"ldwu", ClassLoad, FmtMem, 2, false},
+	OpLdT:  {"ldt", ClassLoad, FmtMem, 8, true},
+	OpLdS:  {"lds", ClassLoad, FmtMem, 4, true},
+
+	OpStQ: {"stq", ClassStore, FmtMem, 8, false},
+	OpStL: {"stl", ClassStore, FmtMem, 4, false},
+	OpStB: {"stb", ClassStore, FmtMem, 1, false},
+	OpStW: {"stw", ClassStore, FmtMem, 2, false},
+	OpStT: {"stt", ClassStore, FmtMem, 8, true},
+	OpStS: {"sts", ClassStore, FmtMem, 4, true},
+
+	OpBeq:  {"beq", ClassBranch, FmtBranch, 0, false},
+	OpBne:  {"bne", ClassBranch, FmtBranch, 0, false},
+	OpBlt:  {"blt", ClassBranch, FmtBranch, 0, false},
+	OpBle:  {"ble", ClassBranch, FmtBranch, 0, false},
+	OpBgt:  {"bgt", ClassBranch, FmtBranch, 0, false},
+	OpBge:  {"bge", ClassBranch, FmtBranch, 0, false},
+	OpBlbc: {"blbc", ClassBranch, FmtBranch, 0, false},
+	OpBlbs: {"blbs", ClassBranch, FmtBranch, 0, false},
+	OpFBeq: {"fbeq", ClassBranch, FmtBranch, 0, true},
+	OpFBne: {"fbne", ClassBranch, FmtBranch, 0, true},
+	OpFBlt: {"fblt", ClassBranch, FmtBranch, 0, true},
+	OpFBge: {"fbge", ClassBranch, FmtBranch, 0, true},
+	OpBr:   {"br", ClassBranch, FmtBranch, 0, false},
+	OpBsr:  {"bsr", ClassBranch, FmtBranch, 0, false},
+	OpJmp:  {"jmp", ClassBranch, FmtJump, 0, false},
+	OpJsr:  {"jsr", ClassBranch, FmtJump, 0, false},
+	OpRet:  {"ret", ClassBranch, FmtJump, 0, false},
+
+	OpHalt: {"halt", ClassOther, FmtMisc, 0, false},
+	OpNop:  {"nop", ClassOther, FmtMisc, 0, false},
+}
+
+// Name returns the assembler mnemonic of op.
+func (op Op) Name() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return op.Name() }
+
+// Class returns the instruction-mix class of op.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassOther
+	}
+	return opTable[op].class
+}
+
+// Format returns the operand format of op.
+func (op Op) Format() Format {
+	if op >= numOps {
+		return FmtMisc
+	}
+	return opTable[op].format
+}
+
+// MemSize returns the memory access width in bytes for loads and stores,
+// and 0 for all other opcodes.
+func (op Op) MemSize() uint8 {
+	if op >= numOps {
+		return 0
+	}
+	return opTable[op].memSize
+}
+
+// IsFPRegs reports whether the opcode's register operands live in the FP
+// register file.
+func (op Op) IsFPRegs() bool {
+	if op >= numOps {
+		return false
+	}
+	return opTable[op].fp
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsBranch reports whether op is a control transfer.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsConditional reports whether op is a conditional control transfer.
+func (op Op) IsConditional() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge, OpBlbc, OpBlbs,
+		OpFBeq, OpFBne, OpFBlt, OpFBge:
+		return true
+	}
+	return false
+}
+
+// OpByName maps an assembler mnemonic to its opcode. The second result is
+// false if the mnemonic is unknown.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

@@ -1,0 +1,82 @@
+// Package isa defines the synthetic 64-bit Alpha-style RISC instruction set
+// executed by the VM substrate. The instruction set is deliberately close in
+// spirit to the Alpha ISA used in the paper: a load/store architecture with
+// 32 integer and 32 floating-point registers, register-zero hardwired to
+// zero, and instruction classes that map one-to-one onto the paper's
+// instruction-mix categories (loads, stores, control transfers, integer
+// arithmetic, integer multiplies, floating-point operations).
+package isa
+
+import "fmt"
+
+// Reg identifies a register in a unified namespace: values 0..31 are the
+// integer registers r0..r31, values 32..63 are the floating-point registers
+// f0..f31. r31 and f31 read as zero and ignore writes, as on Alpha.
+type Reg uint8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+)
+
+// Distinguished registers.
+const (
+	// RegZero is the hardwired integer zero register (r31).
+	RegZero Reg = 31
+	// RegFZero is the hardwired floating-point zero register (f31).
+	RegFZero Reg = 63
+	// RegSP is the conventional stack pointer (r30).
+	RegSP Reg = 30
+	// RegRA is the conventional return-address register (r26), matching
+	// Alpha calling conventions.
+	RegRA Reg = 26
+	// RegInvalid marks an absent register operand.
+	RegInvalid Reg = 255
+)
+
+// IntReg returns the Reg for integer register i (0..31).
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the Reg for floating-point register i (0..31).
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// IsZero reports whether r is one of the hardwired zero registers.
+func (r Reg) IsZero() bool { return r == RegZero || r == RegFZero }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Index returns the index of r within its register file (0..31).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r) - NumIntRegs
+	}
+	return int(r)
+}
+
+// String returns the assembler name of the register ("r7", "f12").
+func (r Reg) String() string {
+	switch {
+	case !r.Valid():
+		return "r?"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	default:
+		return fmt.Sprintf("r%d", r.Index())
+	}
+}

@@ -1,0 +1,203 @@
+package kernels
+
+import "mica/internal/vm"
+
+// SmithWaterman is banded local sequence alignment by dynamic programming
+// (clustalw, fasta, ce, hmmer's DP): the two-row integer DP recurrence
+// with a four-way max implemented as data-dependent branches. Size is the
+// database sequence length; the query length is fixed at 128.
+var SmithWaterman = mustKernel("smithwaterman", `
+	.data
+params:	.space 64		# [0]=n (db length)  [1]=m (query length)
+dbseq:	.space 131072
+query:	.space 256
+hprev:	.space 1048584		# n+1 quads
+hcur:	.space 1048584
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# m
+	lda	r2, dbseq
+	lda	r3, query
+	lda	r4, hprev
+	lda	r5, hcur
+	# zero hprev row
+	lda	r6, 0
+zrow:	s8addq	r6, r4, r7
+	stq	r31, 0(r7)
+	addq	r6, 1, r6
+	subq	r16, r6, r7
+	bge	r7, zrow
+	lda	r15, 0		# best score
+	lda	r8, 1		# i (query index)
+irow:	addq	r3, r8, r9
+	ldbu	r9, -1(r9)	# query[i-1]
+	stq	r31, 0(r5)	# hcur[0] = 0
+	lda	r10, 1		# j
+jcol:	addq	r2, r10, r11
+	ldbu	r11, -1(r11)	# db[j-1]
+	subq	r9, r11, r12
+	# score: +2 match, -1 mismatch
+	lda	r13, -1
+	bne	r12, mis
+	lda	r13, 2
+mis:	s8addq	r10, r4, r12
+	ldq	r14, -8(r12)	# hprev[j-1]
+	addq	r14, r13, r14	# diag
+	ldq	r13, 0(r12)	# hprev[j]
+	subq	r13, 1, r13	# up
+	subq	r14, r13, r12
+	bge	r12, m1
+	or	r13, r31, r14
+m1:	s8addq	r10, r5, r12
+	ldq	r13, -8(r12)	# hcur[j-1]
+	subq	r13, 1, r13	# left
+	subq	r14, r13, r18
+	bge	r18, m2
+	or	r13, r31, r14
+m2:	bge	r14, m3		# max(0, .)
+	lda	r14, 0
+m3:	stq	r14, 0(r12)	# hcur[j]
+	subq	r14, r15, r18
+	ble	r18, m4
+	or	r14, r31, r15	# new best
+m4:	addq	r10, 1, r10
+	subq	r16, r10, r18
+	bge	r18, jcol
+	# swap rows
+	or	r4, r31, r18
+	or	r5, r31, r4
+	or	r18, r31, r5
+	addq	r8, 1, r8
+	subq	r17, r8, r18
+	bge	r18, irow
+	br	outer
+`, 4096, 131071, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	db := make([]byte, p.Size)
+	for i := range db {
+		db[i] = byte(r.intn(4)) // DNA alphabet
+	}
+	writeBytes(m, "dbseq", db)
+	q := make([]byte, 128)
+	copy(q, db[:64]) // plant similarity so the DP finds real alignments
+	for i := 64; i < 128; i++ {
+		q[i] = byte(r.intn(4))
+	}
+	writeBytes(m, "query", q)
+	writeParams(m, uint64(p.Size), 128)
+	return nil
+})
+
+// KmerCount is the k-mer hashing core of blast/glimmer: a rolling 2-bit
+// encoding of a DNA stream hashed into a large count table. The table
+// size parameter (grown with Variant) gives blast its paper-visible
+// signature: a huge, randomly accessed data working set. Size is the
+// sequence length in bases.
+var KmerCount = mustKernel("kmercount", `
+	.data
+params:	.space 64		# [0]=n  [1]=table mask (entries-1)
+seq:	.space 262144
+table:	.space 8388608		# up to 1M counters
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# mask
+	lda	r2, seq
+	lda	r3, table
+	lda	r4, 0		# i
+	lda	r5, 0		# rolling code
+kloop:	addq	r2, r4, r6
+	ldbu	r7, 0(r6)	# base (0..3)
+	sll	r5, 2, r5
+	or	r5, r7, r5
+	lda	r8, 0xffffffff
+	and	r5, r8, r5	# keep 16 bases
+	mulq	r5, 2654435761, r8
+	srl	r8, 16, r8
+	and	r8, r17, r8	# bucket
+	s8addq	r8, r3, r9
+	ldq	r10, 0(r9)
+	addq	r10, 1, r10
+	stq	r10, 0(r9)	# count++
+	addq	r4, 1, r4
+	subq	r16, r4, r6
+	bgt	r6, kloop
+	br	outer
+`, 65536, 262144, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	seq := make([]byte, p.Size)
+	for i := range seq {
+		seq[i] = byte(r.intn(4))
+	}
+	writeBytes(m, "seq", seq)
+	// Variant selects the count-table footprint: 0 -> 64K entries
+	// (512KB), 1 -> 1M entries (8MB, the blast-like configuration).
+	mask := uint64(1<<16 - 1)
+	if p.Variant == 1 {
+		mask = 1<<20 - 1
+	}
+	writeParams(m, uint64(p.Size), mask)
+	return nil
+})
+
+// Parsimony is the bit-parallel Fitch parsimony step of phylip's
+// dnapenny: AND/OR set operations over packed state vectors for every
+// tree node — wide bitwise ALU work over medium-sized arrays. Size is the
+// number of packed words per state vector.
+var Parsimony = mustKernel("parsimony", `
+	.data
+params:	.space 64		# [0]=words  [1]=nodes
+states:	.space 1048576		# nodes x words quads
+cost:	.space 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# words
+	ldq	r17, 8(r1)	# nodes (pairs combined)
+	lda	r2, states
+	lda	r14, 0		# node pair index
+nloop:	mulq	r14, r16, r3
+	sll	r3, 4, r3	# two children per pair: 2*words*8
+	addq	r2, r3, r3	# child A; child B at +words*8
+	sll	r16, 3, r4
+	addq	r3, r4, r4	# child B
+	lda	r5, 0		# word index
+	lda	r15, 0		# cost accumulator
+wloop:	s8addq	r5, r3, r6
+	ldq	r7, 0(r6)	# a
+	s8addq	r5, r4, r8
+	ldq	r9, 0(r8)	# b
+	and	r7, r9, r10	# intersection
+	bne	r10, keep
+	or	r7, r9, r10	# union when disjoint
+	addq	r15, 1, r15	# mutation cost
+keep:	stq	r10, 0(r6)	# write parent state over child A
+	addq	r5, 1, r5
+	subq	r16, r5, r6
+	bgt	r6, wloop
+	addq	r14, 1, r14
+	subq	r17, r14, r6
+	bgt	r6, nloop
+	br	outer
+`, 512, 2048, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	words := p.Size
+	nodes := 32
+	for nodes*words*16 > 1048576 {
+		nodes /= 2
+	}
+	if nodes < 2 {
+		nodes = 2
+	}
+	states := make([]uint64, nodes*words*2)
+	for i := range states {
+		// Sparse set bits so AND is often zero (cost path taken).
+		states[i] = r.next() & r.next() & r.next()
+	}
+	writeQuads(m, "states", states)
+	writeParams(m, uint64(words), uint64(nodes))
+	return nil
+})

@@ -1,0 +1,269 @@
+package kernels
+
+import "mica/internal/vm"
+
+// LZ77 is a hash-chain string-matching compressor loop in the spirit of
+// gzip/bzip2's match finders: hash three bytes, probe a hash table,
+// compare candidate matches. Size is the input buffer length in bytes.
+var LZ77 = mustKernel("lz77", `
+	.data
+params:	.space 64		# [0]=n  [1]=hash mask
+src:	.space 262144
+htab:	.space 524288		# 65536 entries x 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# hash mask
+	lda	r2, src
+	lda	r3, htab
+	lda	r4, 0		# i
+	lda	r5, 0		# matched bytes accumulator
+loop:	addq	r2, r4, r6	# &src[i]
+	ldbu	r7, 0(r6)
+	ldbu	r8, 1(r6)
+	ldbu	r9, 2(r6)
+	sll	r8, 8, r8
+	sll	r9, 16, r9
+	or	r7, r8, r7
+	or	r7, r9, r7
+	mulq	r7, 2654435761, r7
+	srl	r7, 12, r7
+	and	r7, r17, r7	# hash bucket
+	s8addq	r7, r3, r10
+	ldq	r11, 0(r10)	# previous position with this hash
+	stq	r4, 0(r10)
+	beq	r11, nomatch
+	addq	r2, r11, r12	# candidate
+	ldq	r13, 0(r12)
+	ldq	r14, 0(r6)
+	xor	r13, r14, r13
+	beq	r13, match8
+	addq	r5, 1, r5	# partial match
+	br	nomatch
+match8:	addq	r5, 8, r5	# full 8-byte match
+nomatch:
+	addq	r4, 1, r4
+	subq	r16, r4, r6
+	subq	r6, 8, r6
+	bgt	r6, loop
+	br	outer
+`, 65536, 262144-16, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	// Compressible data: random bytes with repeated phrases copied from
+	// earlier in the buffer.
+	buf := make([]byte, p.Size+16)
+	for i := range buf {
+		if i > 64 && r.intn(4) != 0 {
+			// Copy a short phrase from a recent position.
+			src := i - 8 - r.intn(48)
+			buf[i] = buf[src]
+		} else {
+			buf[i] = byte(r.intn(64))
+		}
+	}
+	writeBytes(m, "src", buf)
+	writeParams(m, uint64(p.Size), 65535)
+	return nil
+})
+
+// Huffman is a bit-serial entropy decoder: walk a binary code tree one
+// bit at a time, emitting a symbol at each leaf, as in JPEG/MPEG entropy
+// decoding. Size is the bitstream length in 64-bit words.
+var Huffman = mustKernel("huffman", `
+	.data
+params:	.space 64		# [0]=nwords
+bits:	.space 65536
+tree:	.space 16384		# 1024 nodes x 16 (left, right)
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# nwords
+	lda	r2, bits
+	lda	r3, tree
+	lda	r4, 0		# word index
+	lda	r9, 0		# symbols decoded
+wloop:	s8addq	r4, r2, r5
+	ldq	r6, 0(r5)	# bit buffer
+	lda	r7, 64		# bits remaining
+	lda	r8, 0		# current node
+bloop:	and	r6, 1, r10
+	srl	r6, 1, r6
+	sll	r8, 4, r11	# node offset = node*16
+	addq	r3, r11, r11
+	s8addq	r10, r11, r11	# &node.child[bit]
+	ldq	r8, 0(r11)
+	and	r8, 1024, r12	# leaf flag (bit 10)
+	beq	r12, noleaf
+	addq	r9, 1, r9	# emit symbol
+	lda	r8, 0		# back to root
+noleaf:	subq	r7, 1, r7
+	bgt	r7, bloop
+	addq	r4, 1, r4
+	subq	r16, r4, r5
+	bgt	r5, wloop
+	br	outer
+`, 4096, 8192, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	// Build a random binary code tree with 1024 node slots. Node i has
+	// children at entries 2i and 2i+1 (as values); children past the
+	// interior depth become leaves (flag bit 10 set).
+	const nodes = 1024
+	tree := make([]uint64, 2*nodes)
+	for i := 0; i < nodes; i++ {
+		for c := 0; c < 2; c++ {
+			child := 2*i + 1 + c
+			// Interior with decreasing probability in depth; all
+			// nodes past half the table are leaves.
+			if child < nodes/2 && r.intn(3) != 0 {
+				tree[2*i+c] = uint64(child)
+			} else {
+				tree[2*i+c] = 1024 | uint64(r.intn(256)) // leaf
+			}
+		}
+	}
+	writeQuads(m, "tree", tree)
+	bits := make([]uint64, p.Size)
+	for i := range bits {
+		bits[i] = r.next()
+	}
+	writeQuads(m, "bits", bits)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// CRC32 is the table-driven cyclic redundancy checksum of CommBench's tcp
+// and MiBench's CRC32: one table lookup and a handful of ALU operations
+// per input byte, fully serial through the crc register. Size is the
+// buffer length in bytes.
+var CRC32 = mustKernel("crc32", `
+	.data
+params:	.space 64		# [0]=n
+buf:	.space 131072
+ctab:	.space 2048		# 256 x 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)
+	lda	r2, buf
+	lda	r3, ctab
+	lda	r4, 0
+	ornot	r31, r31, r5	# crc = ~0
+cloop:	addq	r2, r4, r6
+	ldbu	r7, 0(r6)
+	xor	r5, r7, r8
+	and	r8, 255, r8
+	s8addq	r8, r3, r8
+	ldq	r8, 0(r8)
+	srl	r5, 8, r5
+	xor	r5, r8, r5
+	addq	r4, 1, r4
+	subq	r16, r4, r6
+	bgt	r6, cloop
+	br	outer
+`, 32768, 131072, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	buf := make([]byte, p.Size)
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	writeBytes(m, "buf", buf)
+	// Standard CRC-32 (IEEE) table, stored as 64-bit entries.
+	tab := make([]uint64, 256)
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xedb88320 ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		tab[i] = uint64(c)
+	}
+	writeQuads(m, "ctab", tab)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// ReedSolomon is the GF(256) systematic encoder inner loop of CommBench's
+// reed benchmark: per input byte, four Galois-field multiply-accumulate
+// steps through a 64KB log/antilog-free multiplication table. Size is the
+// message length in bytes.
+var ReedSolomon = mustKernel("reedsolomon", `
+	.data
+params:	.space 64		# [0]=n  [1..4]=generator coefficients
+data:	.space 65536
+gmul:	.space 65536		# gmul[a*256+b] = GF(256) product
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r20, 8(r1)	# g0
+	ldq	r21, 16(r1)	# g1
+	ldq	r22, 24(r1)	# g2
+	ldq	r23, 32(r1)	# g3
+	lda	r2, data
+	lda	r3, gmul
+	lda	r4, 0		# i
+	lda	r5, 0		# parity0
+	lda	r6, 0		# parity1
+	lda	r7, 0		# parity2
+	lda	r8, 0		# parity3
+eloop:	addq	r2, r4, r9
+	ldbu	r10, 0(r9)	# data byte
+	xor	r5, r10, r10	# feedback
+	and	r10, 255, r10
+	sll	r10, 8, r10	# row offset
+	addq	r3, r10, r10
+	addq	r10, r20, r11
+	ldbu	r11, 0(r11)
+	xor	r6, r11, r5	# parity0'
+	addq	r10, r21, r12
+	ldbu	r12, 0(r12)
+	xor	r7, r12, r6	# parity1'
+	addq	r10, r22, r13
+	ldbu	r13, 0(r13)
+	xor	r8, r13, r7	# parity2'
+	addq	r10, r23, r14
+	ldbu	r14, 0(r14)
+	or	r14, r31, r8	# parity3'
+	addq	r4, 1, r4
+	subq	r16, r4, r9
+	bgt	r9, eloop
+	br	outer
+`, 16384, 65536, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	buf := make([]byte, p.Size)
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	writeBytes(m, "data", buf)
+	// GF(256) multiplication table for the AES polynomial 0x11b.
+	tab := make([]byte, 65536)
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			tab[a*256+b] = gfMul(byte(a), byte(b))
+		}
+	}
+	writeBytes(m, "gmul", tab)
+	writeParams(m, uint64(p.Size), 0x45, 0x87, 0xa9, 0x13)
+	return nil
+})
+
+// gfMul multiplies in GF(2^8) with polynomial 0x11b.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}

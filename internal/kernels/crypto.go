@@ -1,0 +1,286 @@
+package kernels
+
+import "mica/internal/vm"
+
+// SHA is a hash compression loop in the SHA-1/SHA-256 family: per 64-byte
+// block, a long sequence of rotates, xors and additions with a serial
+// dependence through the working variables. Almost no memory traffic
+// beyond the message schedule — a pure integer-ALU, low-ILP workload.
+// Size is the number of 64-byte blocks.
+var SHA = mustKernel("sha", `
+	.data
+params:	.space 64		# [0]=blocks
+msg:	.space 262144
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# blocks
+	lda	r2, msg
+	lda	r3, 0		# block index
+	lda	r4, 0x67452301	# a
+	lda	r5, 0xefcdab89	# b
+	lda	r6, 0x98badcfe	# c
+	lda	r7, 0x10325476	# d
+	lda	r8, 0xc3d2e1f0	# e
+bloop:	lda	r9, 0		# round
+rloop:	# w = msg word (round mod 8)
+	and	r9, 7, r10
+	s8addq	r10, r2, r10
+	ldq	r11, 0(r10)
+	# f = (b & c) | (~b & d)
+	and	r5, r6, r12
+	bic	r7, r5, r13
+	or	r12, r13, r12
+	# rotl5(a)
+	sll	r4, 5, r13
+	srl	r4, 27, r14
+	or	r13, r14, r13
+	addq	r13, r12, r13
+	addq	r13, r8, r13
+	addq	r13, r11, r13
+	addq	r13, 0x5a827999, r13	# temp
+	# rotate registers: e=d d=c c=rotl30(b) b=a a=temp
+	or	r7, r31, r8
+	or	r6, r31, r7
+	sll	r5, 30, r12
+	srl	r5, 2, r14
+	or	r12, r14, r6
+	or	r4, r31, r5
+	or	r13, r31, r4
+	addq	r9, 1, r9
+	subq	r9, 80, r10
+	blt	r10, rloop
+	addq	r2, 64, r2
+	addq	r3, 1, r3
+	subq	r16, r3, r10
+	bgt	r10, bloop
+	br	outer
+`, 1024, 4096, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	msg := make([]uint64, p.Size*8)
+	for i := range msg {
+		msg[i] = r.next()
+	}
+	writeQuads(m, "msg", msg)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// Blowfish is the Feistel cipher round loop of MiBench's blowfish: 16
+// rounds per 8-byte block, each round doing four S-box lookups in 8KB of
+// tables — dependent loads feeding ALU ops. Size is the number of 8-byte
+// blocks.
+var Blowfish = mustKernel("blowfish", `
+	.data
+params:	.space 64		# [0]=blocks
+data:	.space 262144
+sbox:	.space 8192		# 4 x 256 x 8
+parr:	.space 160		# 18 round keys + padding
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# blocks
+	lda	r2, data
+	lda	r3, sbox
+	lda	r15, parr
+	lda	r4, 0		# block index
+bloop:	s8addq	r4, r2, r5
+	ldq	r6, 0(r5)	# block
+	srl	r6, 32, r7	# left
+	lda	r8, 0xffffffff
+	and	r6, r8, r8	# right
+	lda	r9, 0		# round
+rloop:	s8addq	r9, r15, r10
+	ldq	r10, 0(r10)	# round key
+	xor	r7, r10, r7
+	# F(left): four s-box lookups
+	srl	r7, 24, r10
+	and	r10, 255, r10
+	s8addq	r10, r3, r10
+	ldq	r10, 0(r10)
+	srl	r7, 16, r11
+	and	r11, 255, r11
+	s8addq	r11, r3, r11
+	ldq	r11, 2048(r11)
+	addq	r10, r11, r10
+	srl	r7, 8, r12
+	and	r12, 255, r12
+	s8addq	r12, r3, r12
+	ldq	r12, 4096(r12)
+	xor	r10, r12, r10
+	and	r7, 255, r13
+	s8addq	r13, r3, r13
+	ldq	r13, 6144(r13)
+	addq	r10, r13, r10
+	xor	r8, r10, r8
+	# swap halves
+	or	r7, r31, r14
+	or	r8, r31, r7
+	or	r14, r31, r8
+	addq	r9, 1, r9
+	subq	r9, 16, r10
+	blt	r10, rloop
+	sll	r7, 32, r7
+	or	r7, r8, r6
+	stq	r6, 0(r5)
+	addq	r4, 1, r4
+	subq	r16, r4, r10
+	bgt	r10, bloop
+	br	outer
+`, 8192, 32768, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	data := make([]uint64, p.Size)
+	for i := range data {
+		data[i] = r.next()
+	}
+	writeQuads(m, "data", data)
+	sbox := make([]uint64, 1024)
+	for i := range sbox {
+		sbox[i] = r.next() & 0xffffffff
+	}
+	writeQuads(m, "sbox", sbox)
+	pa := make([]uint64, 18)
+	for i := range pa {
+		pa[i] = r.next() & 0xffffffff
+	}
+	writeQuads(m, "parr", pa)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// Bignum is the multi-precision multiply-reduce of public-key crypto
+// (MiBench pgp): schoolbook multiplication of 16-limb numbers using
+// mulq/umulh pairs with carry chains. Integer-multiply dominated. Size is
+// the number of multiplications per pass.
+var Bignum = mustKernel("bignum", `
+	.data
+params:	.space 64		# [0]=count
+anum:	.space 131072		# operand pool
+bnum:	.space 131072
+prod:	.space 256		# 32-limb product scratch
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# count
+	lda	r14, 0		# op index
+oloop:	lda	r2, anum
+	lda	r3, bnum
+	and	r14, 511, r4	# pool slot
+	sll	r4, 7, r4	# x 128 bytes (16 limbs)
+	addq	r2, r4, r2
+	addq	r3, r4, r3
+	lda	r4, prod
+	# clear product
+	lda	r5, 0
+clr:	s8addq	r5, r4, r6
+	stq	r31, 0(r6)
+	addq	r5, 1, r5
+	subq	r5, 32, r6
+	blt	r6, clr
+	lda	r5, 0		# i
+iloop:	s8addq	r5, r2, r6
+	ldq	r6, 0(r6)	# a[i]
+	lda	r7, 0		# j
+	lda	r8, 0		# carry
+jloop:	s8addq	r7, r3, r9
+	ldq	r9, 0(r9)	# b[j]
+	mulq	r6, r9, r10	# lo
+	umulh	r6, r9, r11	# hi
+	addq	r5, r7, r12
+	s8addq	r12, r4, r12	# &prod[i+j]
+	ldq	r13, 0(r12)
+	addq	r13, r10, r13
+	cmpult	r13, r10, r15	# carry out of lo add
+	addq	r11, r15, r11
+	addq	r13, r8, r13
+	cmpult	r13, r8, r15
+	addq	r11, r15, r11
+	stq	r13, 0(r12)
+	or	r11, r31, r8	# carry = hi
+	addq	r7, 1, r7
+	subq	r7, 16, r9
+	blt	r9, jloop
+	addq	r5, 16, r12
+	s8addq	r12, r4, r12
+	stq	r8, 0(r12)
+	addq	r5, 1, r5
+	subq	r5, 16, r6
+	blt	r6, iloop
+	addq	r14, 1, r14
+	subq	r16, r14, r6
+	bgt	r6, oloop
+	br	outer
+`, 64, 4096, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	pool := make([]uint64, 512*16)
+	for i := range pool {
+		pool[i] = r.next()
+	}
+	writeQuads(m, "anum", pool)
+	pool2 := make([]uint64, 512*16)
+	for i := range pool2 {
+		pool2[i] = r.next()
+	}
+	writeQuads(m, "bnum", pool2)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// Bitcount runs MiBench's bit-manipulation medley over a word array:
+// parallel popcount, parity, bit reversal — shift/mask ALU chains with a
+// loop branch and almost no memory pressure. Size is the array length in
+// words.
+var Bitcount = mustKernel("bitcount", `
+	.data
+params:	.space 64		# [0]=n
+words:	.space 262144
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, words
+	lda	r3, 0		# i
+	lda	r4, 0		# total
+	lda	r20, 0x5555555555555555
+	lda	r21, 0x3333333333333333
+	lda	r22, 0x0f0f0f0f0f0f0f0f
+loop:	s8addq	r3, r2, r5
+	ldq	r6, 0(r5)
+	# popcount
+	srl	r6, 1, r7
+	and	r7, r20, r7
+	subq	r6, r7, r7
+	srl	r7, 2, r8
+	and	r7, r21, r7
+	and	r8, r21, r8
+	addq	r7, r8, r7
+	srl	r7, 4, r8
+	addq	r7, r8, r7
+	and	r7, r22, r7
+	mulq	r7, 0x0101010101010101, r7
+	srl	r7, 56, r7
+	addq	r4, r7, r4
+	# parity of the word
+	srl	r6, 32, r8
+	xor	r6, r8, r8
+	srl	r8, 16, r9
+	xor	r8, r9, r8
+	srl	r8, 8, r9
+	xor	r8, r9, r8
+	and	r8, 1, r8
+	beq	r8, even
+	addq	r4, 1, r4
+even:	addq	r3, 1, r3
+	subq	r16, r3, r5
+	bgt	r5, loop
+	br	outer
+`, 8192, 32768, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	words := make([]uint64, p.Size)
+	for i := range words {
+		words[i] = r.next()
+	}
+	writeQuads(m, "words", words)
+	writeParams(m, uint64(p.Size))
+	return nil
+})

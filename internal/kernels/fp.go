@@ -1,0 +1,449 @@
+package kernels
+
+import (
+	"math"
+
+	"mica/internal/vm"
+)
+
+// FFT is an iterative radix-2 complex FFT over double-precision arrays
+// with a precomputed twiddle table: the floating-point butterfly loops of
+// MiBench's FFT, lame/mad's filterbanks and SPEC's lucas. Size is the
+// transform length (rounded down to a power of two, minimum 64).
+var FFT = mustKernel("fft", `
+	.data
+params:	.space 64		# [0]=n
+re:	.space 65536
+im:	.space 65536
+wre:	.space 32768
+wim:	.space 32768
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, re
+	lda	r3, im
+	lda	r4, wre
+	lda	r5, wim
+	lda	r6, 2		# len
+stage:	srl	r6, 1, r7	# half
+	divq	r16, r6, r8	# twiddle stride
+	lda	r9, 0		# group base i
+group:	lda	r10, 0		# j
+bfly:	mulq	r10, r8, r11	# twiddle index
+	s8addq	r11, r4, r12
+	ldt	f1, 0(r12)	# wr
+	s8addq	r11, r5, r12
+	ldt	f2, 0(r12)	# wi
+	addq	r9, r10, r13	# a
+	addq	r13, r7, r14	# b
+	s8addq	r14, r2, r15
+	ldt	f3, 0(r15)	# re[b]
+	s8addq	r14, r3, r18
+	ldt	f4, 0(r18)	# im[b]
+	mult	f3, f1, f5
+	mult	f4, f2, f6
+	subt	f5, f6, f5	# tr
+	mult	f3, f2, f6
+	mult	f4, f1, f7
+	addt	f6, f7, f6	# ti
+	s8addq	r13, r2, r19
+	ldt	f8, 0(r19)	# re[a]
+	s8addq	r13, r3, r20
+	ldt	f9, 0(r20)	# im[a]
+	subt	f8, f5, f10
+	stt	f10, 0(r15)
+	subt	f9, f6, f10
+	stt	f10, 0(r18)
+	addt	f8, f5, f10
+	stt	f10, 0(r19)
+	addt	f9, f6, f10
+	stt	f10, 0(r20)
+	addq	r10, 1, r10
+	subq	r7, r10, r11
+	bgt	r11, bfly
+	addq	r9, r6, r9
+	subq	r16, r9, r11
+	bgt	r11, group
+	sll	r6, 1, r6
+	subq	r6, r16, r11
+	ble	r11, stage
+	br	outer
+`, 2048, 8192, func(m *vm.Machine, p Params) error {
+	n := 64
+	for n*2 <= p.Size && n < 8192 {
+		n *= 2
+	}
+	r := newRNG(p.Seed)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = r.float01()*2 - 1
+		im[i] = r.float01()*2 - 1
+	}
+	writeFloats(m, "re", re)
+	writeFloats(m, "im", im)
+	wre := make([]float64, n/2)
+	wim := make([]float64, n/2)
+	for k := range wre {
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		wre[k] = math.Cos(ang)
+		wim[k] = -math.Sin(ang)
+	}
+	writeFloats(m, "wre", wre)
+	writeFloats(m, "wim", wim)
+	writeParams(m, uint64(n))
+	return nil
+})
+
+// Stencil5 is the 2-D five-point relaxation sweep at the heart of SPEC
+// CPU2000's swim/mgrid/applu: regular strided double-precision loads,
+// a multiply-add per point, and near-perfect spatial locality. Size is
+// the square grid edge length.
+var Stencil5 = mustKernel("stencil5", `
+	.data
+params:	.space 64		# [0]=n
+grid:	.space 524288		# n x n doubles (n <= 256)
+outg:	.space 524288
+coef:	.space 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, grid
+	lda	r3, outg
+	lda	r4, coef
+	ldt	f1, 0(r4)	# 0.2
+	lda	r5, 1		# y
+yloop:	lda	r6, 1		# x
+	mulq	r5, r16, r7	# row offset
+xloop:	addq	r7, r6, r8	# idx
+	s8addq	r8, r2, r9	# &in[y][x]
+	ldt	f2, 0(r9)
+	ldt	f3, -8(r9)
+	ldt	f4, 8(r9)
+	addt	f2, f3, f2
+	addt	f2, f4, f2
+	sll	r16, 3, r10	# row bytes
+	subq	r9, r10, r11
+	ldt	f5, 0(r11)	# north
+	addq	r9, r10, r11
+	ldt	f6, 0(r11)	# south
+	addt	f2, f5, f2
+	addt	f2, f6, f2
+	mult	f2, f1, f2
+	s8addq	r8, r3, r9
+	stt	f2, 0(r9)
+	addq	r6, 1, r6
+	subq	r16, r6, r8
+	subq	r8, 1, r8
+	bgt	r8, xloop
+	addq	r5, 1, r5
+	subq	r16, r5, r8
+	subq	r8, 1, r8
+	bgt	r8, yloop
+	br	outer
+`, 128, 256, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	n := p.Size
+	grid := make([]float64, n*n)
+	for i := range grid {
+		grid[i] = r.float01()
+	}
+	writeFloats(m, "grid", grid)
+	writeFloats(m, "coef", []float64{0.2})
+	writeParams(m, uint64(n))
+	return nil
+})
+
+// MatMul is dense double-precision matrix multiplication (csu's subspace
+// projections, facerec, wupwise): the classic ijk triple loop with a
+// multiply-add recurrence on the accumulator. Size is the matrix edge
+// length. Variant 1 walks B transposed (sequential rather than strided),
+// the access shape of covariance/Gram-matrix computations like csu's
+// subspace training — a distinctly different stride signature.
+var MatMul = mustKernel("matmul", `
+	.data
+params:	.space 64		# [0]=n  [1]=transposed B
+ma:	.space 131072		# n x n doubles (n <= 128)
+mb:	.space 131072
+mc:	.space 131072
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# transposed flag
+	lda	r2, ma
+	lda	r3, mb
+	lda	r4, mc
+	lda	r5, 0		# i
+iloop:	lda	r6, 0		# j
+jloop:	fmov	f31, f1		# acc = 0
+	lda	r7, 0		# k
+	mulq	r5, r16, r8	# row i offset
+	mulq	r6, r16, r11	# row j offset (transposed walk)
+kloop:	addq	r8, r7, r9	# a[i][k]
+	s8addq	r9, r2, r9
+	ldt	f2, 0(r9)
+	bne	r17, bt
+	mulq	r7, r16, r10
+	addq	r10, r6, r10	# b[k][j] (strided)
+	br	bgo
+bt:	addq	r11, r7, r10	# b[j][k] (sequential)
+bgo:	s8addq	r10, r3, r10
+	ldt	f3, 0(r10)
+	mult	f2, f3, f4
+	addt	f1, f4, f1
+	addq	r7, 1, r7
+	subq	r16, r7, r9
+	bgt	r9, kloop
+	addq	r8, r6, r9	# c[i][j]
+	s8addq	r9, r4, r9
+	stt	f1, 0(r9)
+	addq	r6, 1, r6
+	subq	r16, r6, r9
+	bgt	r9, jloop
+	addq	r5, 1, r5
+	subq	r16, r5, r9
+	bgt	r9, iloop
+	br	outer
+`, 64, 128, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	n := p.Size
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.float01()
+		b[i] = r.float01()
+	}
+	writeFloats(m, "ma", a)
+	writeFloats(m, "mb", b)
+	writeParams(m, uint64(n), uint64(p.Variant))
+	return nil
+})
+
+// NBody is the all-pairs gravitational force kernel of molecular/particle
+// codes (ammp, fma3d, eon's shading loops): per pair, subtractions,
+// multiply-adds, one square root and one divide — heavy FP with long
+// latencies. Size is the particle count.
+var NBody = mustKernel("nbody", `
+	.data
+params:	.space 64		# [0]=n
+px:	.space 32768
+py:	.space 32768
+pz:	.space 32768
+fx:	.space 32768
+eps:	.space 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, px
+	lda	r3, py
+	lda	r4, pz
+	lda	r5, fx
+	lda	r6, eps
+	ldt	f1, 0(r6)	# epsilon
+	lda	r7, 0		# i
+iloop:	s8addq	r7, r2, r8
+	ldt	f2, 0(r8)	# xi
+	s8addq	r7, r3, r8
+	ldt	f3, 0(r8)	# yi
+	s8addq	r7, r4, r8
+	ldt	f4, 0(r8)	# zi
+	fmov	f31, f5		# force accumulator
+	lda	r9, 0		# j
+jloop:	s8addq	r9, r2, r10
+	ldt	f6, 0(r10)
+	subt	f6, f2, f6	# dx
+	s8addq	r9, r3, r10
+	ldt	f7, 0(r10)
+	subt	f7, f3, f7	# dy
+	s8addq	r9, r4, r10
+	ldt	f8, 0(r10)
+	subt	f8, f4, f8	# dz
+	mult	f6, f6, f9
+	mult	f7, f7, f10
+	addt	f9, f10, f9
+	mult	f8, f8, f10
+	addt	f9, f10, f9
+	addt	f9, f1, f9	# r2 + eps
+	sqrtt	f9, f10		# r
+	mult	f9, f10, f9	# r^3
+	divt	f6, f9, f10	# dx / r^3
+	addt	f5, f10, f5
+	addq	r9, 1, r9
+	subq	r16, r9, r10
+	bgt	r10, jloop
+	s8addq	r7, r5, r8
+	stt	f5, 0(r8)
+	addq	r7, 1, r7
+	subq	r16, r7, r8
+	bgt	r8, iloop
+	br	outer
+`, 256, 4096, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	n := p.Size
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.float01() * 10
+		ys[i] = r.float01() * 10
+		zs[i] = r.float01() * 10
+	}
+	writeFloats(m, "px", xs)
+	writeFloats(m, "py", ys)
+	writeFloats(m, "pz", zs)
+	writeFloats(m, "eps", []float64{1e-6})
+	writeParams(m, uint64(n))
+	return nil
+})
+
+// Neural is the art-style neural-network evaluation: stream a large
+// weight matrix through a dot-product per output neuron, find the winner,
+// and update the winning row — large-footprint sequential FP reads with
+// poor temporal locality, exactly what makes art an outlier in the paper.
+// Size is the input dimension; the network has Size/4 output neurons.
+var Neural = mustKernel("neural", `
+	.data
+params:	.space 64		# [0]=inputs  [1]=neurons
+weights:	.space 4194304	# neurons x inputs doubles
+input:	.space 32768
+activ:	.space 8192
+rate:	.space 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# inputs
+	ldq	r17, 8(r1)	# neurons
+	lda	r2, weights
+	lda	r3, input
+	lda	r4, activ
+	lda	r5, 0		# neuron j
+nloop:	fmov	f31, f1		# dot = 0
+	mulq	r5, r16, r6	# row offset
+	lda	r7, 0		# i
+dloop:	addq	r6, r7, r8
+	s8addq	r8, r2, r8
+	ldt	f2, 0(r8)	# w[j][i]
+	s8addq	r7, r3, r9
+	ldt	f3, 0(r9)	# x[i]
+	mult	f2, f3, f4
+	addt	f1, f4, f1
+	addq	r7, 1, r7
+	subq	r16, r7, r8
+	bgt	r8, dloop
+	s8addq	r5, r4, r8
+	stt	f1, 0(r8)
+	addq	r5, 1, r5
+	subq	r17, r5, r8
+	bgt	r8, nloop
+	# winner-take-all scan
+	lda	r5, 1
+	lda	r9, 0		# argmax
+	ldt	f1, 0(r4)	# max
+wloop:	s8addq	r5, r4, r8
+	ldt	f2, 0(r8)
+	subt	f2, f1, f3
+	fblt	f3, nw
+	fmov	f2, f1
+	or	r5, r31, r9
+nw:	addq	r5, 1, r5
+	subq	r17, r5, r8
+	bgt	r8, wloop
+	# update winner row toward the input
+	lda	r10, rate
+	ldt	f5, 0(r10)
+	mulq	r9, r16, r6
+	lda	r7, 0
+uloop:	addq	r6, r7, r8
+	s8addq	r8, r2, r8
+	ldt	f2, 0(r8)
+	s8addq	r7, r3, r11
+	ldt	f3, 0(r11)
+	subt	f3, f2, f4
+	mult	f4, f5, f4
+	addt	f2, f4, f2
+	stt	f2, 0(r8)
+	addq	r7, 1, r7
+	subq	r16, r7, r8
+	bgt	r8, uloop
+	br	outer
+`, 1024, 2048, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	inputs := p.Size
+	neurons := inputs / 4
+	if neurons < 8 {
+		neurons = 8
+	}
+	if inputs*neurons > 524288 {
+		neurons = 524288 / inputs
+	}
+	w := make([]float64, neurons*inputs)
+	for i := range w {
+		w[i] = r.float01()
+	}
+	writeFloats(m, "weights", w)
+	x := make([]float64, inputs)
+	for i := range x {
+		x[i] = r.float01()
+	}
+	writeFloats(m, "input", x)
+	writeFloats(m, "rate", []float64{0.1})
+	writeParams(m, uint64(inputs), uint64(neurons))
+	return nil
+})
+
+// Likelihood is the per-site probability evaluation of phylogenetic codes
+// (phylip promlk, predator): a floating-point recurrence per data site
+// with a data-dependent renormalization branch. Size is the number of
+// sites.
+var Likelihood = mustKernel("likelihood", `
+	.data
+params:	.space 64		# [0]=sites  [1]=rounds
+sites:	.space 131072		# doubles
+consts:	.space 24		# a, b, one
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# sites
+	ldq	r17, 8(r1)	# rounds
+	lda	r2, sites
+	lda	r3, consts
+	ldt	f1, 0(r3)	# a
+	ldt	f2, 8(r3)	# b
+	ldt	f3, 16(r3)	# 1.0
+	fmov	f31, f10	# accumulator
+	lda	r4, 0		# site
+sloop:	s8addq	r4, r2, r5
+	ldt	f4, 0(r5)	# p
+	lda	r6, 0		# round
+rloop:	mult	f4, f1, f5
+	addt	f5, f2, f4	# p = p*a + b
+	subt	f4, f3, f6
+	fblt	f6, norm	# p < 1: no renormalize
+	subt	f4, f3, f4	# p -= 1
+norm:	addq	r6, 1, r6
+	subq	r17, r6, r7
+	bgt	r7, rloop
+	addt	f10, f4, f10
+	addq	r4, 1, r4
+	subq	r16, r4, r5
+	bgt	r5, sloop
+	br	outer
+`, 4096, 16384, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	vals := make([]float64, p.Size)
+	for i := range vals {
+		vals[i] = r.float01()
+	}
+	writeFloats(m, "sites", vals)
+	writeFloats(m, "consts", []float64{0.97, 0.11, 1.0})
+	rounds := uint64(16)
+	if p.Variant == 1 {
+		rounds = 48 // deeper trees
+	}
+	writeParams(m, uint64(p.Size), rounds)
+	return nil
+})

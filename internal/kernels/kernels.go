@@ -1,0 +1,156 @@
+// Package kernels provides the workload kernel library: small assembly
+// programs for the synthetic ISA that stand in for the 122 real
+// benchmarks of Table I. Each kernel is a real program with data-dependent
+// control flow and memory behaviour — compression, entropy coding,
+// checksums, DSP transforms, graph algorithms, sequence alignment,
+// floating-point solvers — parameterized by input size and seed so that
+// one kernel can back several benchmark/input pairs.
+//
+// Kernels are written as infinite outer loops: the VM's instruction
+// budget determines the trace length, mirroring how the paper's traces
+// cover a benchmark's dynamic execution.
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mica/internal/asm"
+	"mica/internal/isa"
+	"mica/internal/vm"
+)
+
+// Params configures one kernel instantiation.
+type Params struct {
+	// Size is the primary input size (meaning is kernel-specific:
+	// bytes, elements, nodes, ...). Zero selects the kernel default.
+	Size int
+	// Seed drives deterministic input generation.
+	Seed uint64
+	// Variant selects kernel-specific behaviour flavours (e.g. encode
+	// versus decode); kernels ignore it unless documented.
+	Variant int
+}
+
+// Kernel is one workload program plus its input builder.
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Prog is the assembled program.
+	Prog *isa.Program
+	// DefaultSize is used when Params.Size is zero.
+	DefaultSize int
+	// MaxSize bounds Params.Size (input buffers are statically sized).
+	MaxSize int
+	// Setup writes the input data and parameter block for p into the
+	// machine's memory.
+	Setup func(m *vm.Machine, p Params) error
+}
+
+// Instantiate creates a Machine loaded with the kernel and its inputs.
+func (k *Kernel) Instantiate(p Params) (*vm.Machine, error) {
+	if p.Size == 0 {
+		p.Size = k.DefaultSize
+	}
+	if p.Size < 1 || p.Size > k.MaxSize {
+		return nil, fmt.Errorf("kernels: %s size %d out of range [1, %d]", k.Name, p.Size, k.MaxSize)
+	}
+	m := vm.New(k.Prog)
+	if err := k.Setup(m, p); err != nil {
+		return nil, fmt.Errorf("kernels: %s setup: %w", k.Name, err)
+	}
+	return m, nil
+}
+
+var registry = map[string]*Kernel{}
+
+// register adds a kernel at init time; name collisions are programming
+// errors.
+func register(k *Kernel) *Kernel {
+	if _, dup := registry[k.Name]; dup {
+		panic("kernels: duplicate kernel " + k.Name)
+	}
+	registry[k.Name] = k
+	return k
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (*Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+// Names returns all kernel names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mustKernel assembles a kernel source at init time.
+func mustKernel(name, source string, defaultSize, maxSize int,
+	setup func(m *vm.Machine, p Params) error) *Kernel {
+	return register(&Kernel{
+		Name:        name,
+		Prog:        asm.MustAssemble(name, source),
+		DefaultSize: defaultSize,
+		MaxSize:     maxSize,
+		Setup:       setup,
+	})
+}
+
+// rng is a splitmix64 generator for deterministic input data.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float01() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// writeParams stores 64-bit parameter slots at the kernel's "params"
+// symbol.
+func writeParams(m *vm.Machine, vals ...uint64) {
+	base := m.Program().MustSymbol("params")
+	for i, v := range vals {
+		m.Mem.WriteUint(base+uint64(i*8), 8, v)
+	}
+}
+
+// writeQuads stores 64-bit values starting at a symbol.
+func writeQuads(m *vm.Machine, sym string, vals []uint64) {
+	base := m.Program().MustSymbol(sym)
+	for i, v := range vals {
+		m.Mem.WriteUint(base+uint64(i*8), 8, v)
+	}
+}
+
+// writeBytes stores raw bytes starting at a symbol.
+func writeBytes(m *vm.Machine, sym string, data []byte) {
+	m.Mem.Write(m.Program().MustSymbol(sym), data)
+}
+
+// writeFloats stores float64 values starting at a symbol.
+func writeFloats(m *vm.Machine, sym string, vals []float64) {
+	base := m.Program().MustSymbol(sym)
+	for i, v := range vals {
+		m.Mem.WriteUint(base+uint64(i*8), 8, floatBits(v))
+	}
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"errors"
+	"testing"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+	"mica/internal/vm"
+)
+
+// TestAllKernelsRunCleanly executes every registered kernel for a slice
+// of instructions and checks that it neither faults nor halts early
+// (kernels must be infinite loops truncated by the budget).
+func TestAllKernelsRunCleanly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := k.Instantiate(Params{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := m.Run(60_000, nil)
+			if !errors.Is(err, vm.ErrBudget) {
+				t.Fatalf("kernel stopped early after %d instructions: %v", n, err)
+			}
+		})
+	}
+}
+
+// TestKernelsAreDeterministic reruns a kernel with the same seed and
+// checks that the dynamic instruction stream is identical.
+func TestKernelsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"lz77", "fft", "interp", "qsort"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := func() uint64 {
+			m, err := k.Instantiate(Params{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h uint64 = 14695981039346656037
+			_, err = m.Run(30_000, trace.ObserverFunc(func(ev *trace.Event) {
+				h ^= ev.PC ^ ev.MemAddr<<1
+				h *= 1099511628211
+			}))
+			if !errors.Is(err, vm.ErrBudget) {
+				t.Fatal(err)
+			}
+			return h
+		}
+		if sig() != sig() {
+			t.Errorf("%s: same seed produced different traces", name)
+		}
+	}
+}
+
+// TestSeedChangesData checks that the seed actually changes the input.
+func TestSeedChangesData(t *testing.T) {
+	k, err := ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(seed uint64) uint64 {
+		m, err := k.Instantiate(Params{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := m.Program().MustSymbol("buf")
+		s := uint64(0)
+		for i := uint64(0); i < 64; i++ {
+			s = s*31 + uint64(m.Mem.ByteAt(base+i))
+		}
+		return s
+	}
+	if sum(1) == sum(2) {
+		t.Error("different seeds produced identical input data")
+	}
+}
+
+func TestInstantiateSizeBounds(t *testing.T) {
+	k, err := ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Instantiate(Params{Size: k.MaxSize + 1}); err == nil {
+		t.Error("oversized input accepted")
+	}
+	if _, err := k.Instantiate(Params{Size: -1}); err == nil {
+		t.Error("negative size accepted")
+	}
+	m, err := k.Instantiate(Params{}) // default size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil machine")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelClassDiversity(t *testing.T) {
+	// The kernel library must span the behavioural axes the paper's
+	// suites span. Check a few signatures: FP kernels execute FP ops,
+	// integer kernels do not, the multiply kernel is multiply-heavy,
+	// pointerchase is load-dominated.
+	classFractions := func(name string) (fp, mul, load float64) {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Instantiate(Params{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c trace.Counter
+		if _, err := m.Run(50_000, &c); !errors.Is(err, vm.ErrBudget) {
+			t.Fatal(err)
+		}
+		tot := float64(c.Total)
+		return float64(c.ByClass[isa.ClassFP]) / tot,
+			float64(c.ByClass[isa.ClassIntMul]) / tot,
+			float64(c.ByClass[isa.ClassLoad]) / tot
+	}
+
+	if fp, _, _ := classFractions("fft"); fp < 0.2 {
+		t.Errorf("fft FP fraction = %g, want > 0.2", fp)
+	}
+	if fp, _, _ := classFractions("crc32"); fp != 0 {
+		t.Errorf("crc32 FP fraction = %g, want 0", fp)
+	}
+	if _, mul, _ := classFractions("bignum"); mul < 0.05 {
+		t.Errorf("bignum multiply fraction = %g, want > 0.05", mul)
+	}
+	if _, _, load := classFractions("pointerchase"); load < 0.15 {
+		t.Errorf("pointerchase load fraction = %g, want > 0.15", load)
+	}
+}
+
+func TestKernelWorkingSetDiversity(t *testing.T) {
+	// blast-like kmercount (variant 1) must touch far more data pages
+	// than the cache-resident sha kernel.
+	pages := func(name string, variant int) int {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Instantiate(Params{Seed: 5, Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]struct{}{}
+		if _, err := m.Run(100_000, trace.ObserverFunc(func(ev *trace.Event) {
+			if ev.MemSize > 0 {
+				seen[ev.MemAddr>>12] = struct{}{}
+			}
+		})); !errors.Is(err, vm.ErrBudget) {
+			t.Fatal(err)
+		}
+		return len(seen)
+	}
+	big := pages("kmercount", 1)
+	small := pages("sha", 0)
+	if big < 20*small {
+		t.Errorf("kmercount pages (%d) not much larger than sha pages (%d)", big, small)
+	}
+}

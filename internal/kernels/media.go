@@ -1,0 +1,379 @@
+package kernels
+
+import "mica/internal/vm"
+
+// DCT8 applies a 1-D 8-point integer transform pass over image rows, the
+// arithmetic core of JPEG/MPEG encoders: strided loads, butterflies of
+// adds/subs and integer multiplies by fixed-point cosines. Size is the
+// number of 8-sample rows.
+var DCT8 = mustKernel("dct8", `
+	.data
+params:	.space 64		# [0]=rows
+img:	.space 524288		# rows x 8 quads
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# rows
+	lda	r2, img
+	lda	r3, 0		# row index
+rloop:	ldq	r4, 0(r2)
+	ldq	r5, 8(r2)
+	ldq	r6, 16(r2)
+	ldq	r7, 24(r2)
+	ldq	r8, 32(r2)
+	ldq	r9, 40(r2)
+	ldq	r10, 48(r2)
+	ldq	r11, 56(r2)
+	# stage 1 butterflies
+	addq	r4, r11, r12	# s0 = x0+x7
+	subq	r4, r11, r13	# d0 = x0-x7
+	addq	r5, r10, r14	# s1 = x1+x6
+	subq	r5, r10, r15	# d1
+	addq	r6, r9, r4	# s2
+	subq	r6, r9, r5	# d2
+	addq	r7, r8, r6	# s3
+	subq	r7, r8, r7	# d3
+	# stage 2: even part
+	addq	r12, r6, r8	# e0 = s0+s3
+	subq	r12, r6, r9	# e1 = s0-s3
+	addq	r14, r4, r10	# e2 = s1+s2
+	subq	r14, r4, r11	# e3 = s1-s2
+	addq	r8, r10, r12	# X0
+	subq	r8, r10, r14	# X4
+	mulq	r9, 17734, r9	# X2 ~ c2*e1
+	mulq	r11, 7344, r11
+	addq	r9, r11, r9
+	sra	r9, 14, r9
+	# odd part
+	mulq	r13, 16069, r13
+	mulq	r15, 13623, r15
+	mulq	r5, 9102, r5
+	mulq	r7, 3196, r7
+	addq	r13, r15, r13
+	addq	r5, r7, r5
+	addq	r13, r5, r13
+	sra	r13, 14, r13
+	# store transformed row
+	stq	r12, 0(r2)
+	stq	r9, 16(r2)
+	stq	r14, 32(r2)
+	stq	r13, 48(r2)
+	addq	r2, 64, r2
+	addq	r3, 1, r3
+	subq	r16, r3, r4
+	bgt	r4, rloop
+	br	outer
+`, 2048, 8192, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	rows := make([]uint64, p.Size*8)
+	for i := range rows {
+		rows[i] = uint64(r.intn(256))
+	}
+	writeQuads(m, "img", rows)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// MotionEst is the sum-of-absolute-differences search of an MPEG encoder:
+// for each 16-byte macroblock row, scan nine candidate offsets in the
+// reference frame and keep the minimum SAD. Byte loads, data-dependent
+// abs/min branches. Size is the number of macroblock rows.
+var MotionEst = mustKernel("motionest", `
+	.data
+params:	.space 64		# [0]=blocks
+cur:	.space 65536
+ref:	.space 65600		# + slack for candidate offsets
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# blocks
+	lda	r2, cur
+	lda	r3, ref
+	lda	r4, 0		# block index
+bloop:	lda	r5, 0		# candidate dx
+	ornot	r31, r31, r6	# best = maxint
+	srl	r6, 1, r6
+cand:	lda	r7, 0		# sad
+	lda	r8, 0		# byte index
+sad:	addq	r2, r8, r9
+	ldbu	r10, 0(r9)	# cur[b]
+	addq	r3, r8, r11
+	addq	r11, r5, r11
+	ldbu	r12, 0(r11)	# ref[b+dx]
+	subq	r10, r12, r13
+	bge	r13, pos
+	subq	r31, r13, r13	# abs
+pos:	addq	r7, r13, r7
+	addq	r8, 1, r8
+	subq	r8, 16, r9
+	blt	r9, sad
+	subq	r7, r6, r9	# sad - best
+	bge	r9, worse
+	or	r7, r31, r6	# new best
+worse:	addq	r5, 1, r5
+	subq	r5, 9, r9
+	blt	r9, cand
+	addq	r2, 16, r2
+	addq	r3, 16, r3
+	addq	r4, 1, r4
+	subq	r16, r4, r9
+	bgt	r9, bloop
+	# reset block pointers for the next outer pass
+	br	outer
+`, 2048, 4096, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	cur := make([]byte, p.Size*16)
+	ref := make([]byte, p.Size*16+64)
+	for i := range ref {
+		ref[i] = byte(r.intn(256))
+	}
+	for i := range cur {
+		// Current frame is the reference shifted with noise, so SAD
+		// minima exist at nonzero offsets.
+		cur[i] = ref[i+3] + byte(r.intn(7))
+	}
+	writeBytes(m, "cur", cur)
+	writeBytes(m, "ref", ref)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// ADPCM is the serial adaptive differential PCM codec of MediaBench and
+// MiBench: a tight, branchy loop with a four-instruction serial
+// dependence through the predictor state and step-table lookups. Size is
+// the number of input samples. Variant 1 biases toward the decoder's
+// shorter path.
+var ADPCM = mustKernel("adpcm", `
+	.data
+params:	.space 64		# [0]=n
+in:	.space 131072
+steps:	.space 1024		# 89-entry step table + padding
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, in
+	lda	r3, steps
+	lda	r4, 0		# i
+	lda	r5, 0		# predictor
+	lda	r6, 0		# step index
+sloop:	addq	r2, r4, r7
+	ldbu	r8, 0(r7)	# delta nibble source
+	and	r8, 15, r8
+	s8addq	r6, r3, r9
+	ldq	r9, 0(r9)	# step = steps[index]
+	# diff = step>>3 + (delta&1)*step>>2 + ...
+	srl	r9, 3, r10
+	blbc	r8, b0
+	addq	r10, r9, r10
+b0:	and	r8, 2, r11
+	beq	r11, b1
+	srl	r9, 1, r11
+	addq	r10, r11, r10
+b1:	and	r8, 4, r11
+	beq	r11, b2
+	addq	r10, r9, r10
+b2:	and	r8, 8, r11
+	beq	r11, up
+	subq	r5, r10, r5	# predictor -= diff
+	br	clamp
+up:	addq	r5, r10, r5	# predictor += diff
+clamp:	lda	r11, 32767
+	subq	r5, r11, r12
+	ble	r12, cl2
+	or	r11, r31, r5
+cl2:	addq	r5, r11, r12
+	bge	r12, cl3
+	subq	r31, r11, r5
+cl3:	# index adjust: +- from table of nibble
+	and	r8, 7, r11
+	subq	r11, 3, r11
+	ble	r11, down
+	addq	r6, r11, r6
+	br	ixcl
+down:	subq	r6, 1, r6
+ixcl:	bge	r6, ixlo
+	lda	r6, 0
+ixlo:	subq	r6, 88, r11
+	ble	r11, ixok
+	lda	r6, 88
+ixok:	addq	r4, 1, r4
+	subq	r16, r4, r7
+	bgt	r7, sloop
+	br	outer
+`, 32768, 131072, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	in := make([]byte, p.Size)
+	for i := range in {
+		if p.Variant == 1 {
+			in[i] = byte(r.intn(8)) // decoder-ish: small deltas
+		} else {
+			in[i] = byte(r.intn(256))
+		}
+	}
+	writeBytes(m, "in", in)
+	// The IMA ADPCM step table.
+	steps := []uint64{
+		7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34,
+		37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+		157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494,
+		544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+		1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
+		4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,
+		12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+		29794, 32767,
+	}
+	writeQuads(m, "steps", steps)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// Susan is a 3x3 neighbourhood image filter with a brightness threshold,
+// the structure of MiBench's susan corner/edge detector and of simple
+// raster filters (tiff dither/median): two-dimensional byte addressing
+// and data-dependent accumulation. Size is the square image edge length.
+var Susan = mustKernel("susan", `
+	.data
+params:	.space 64		# [0]=edge length  [1]=threshold
+img:	.space 262144
+out:	.space 262144
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# threshold
+	lda	r2, img
+	lda	r3, out
+	lda	r4, 1		# y
+yloop:	lda	r5, 1		# x
+	mulq	r4, r16, r6	# row base
+xloop:	addq	r6, r5, r7	# index = y*n + x
+	addq	r2, r7, r8
+	ldbu	r9, 0(r8)	# center
+	lda	r10, 0		# count of similar neighbours
+	# neighbours: -n-1, -n, -n+1, -1, +1, +n-1, +n, +n+1
+	subq	r8, r16, r11
+	ldbu	r12, -1(r11)
+	subq	r12, r9, r12
+	bge	r12, s1
+	subq	r31, r12, r12
+s1:	subq	r12, r17, r12
+	bgt	r12, n1
+	addq	r10, 1, r10
+n1:	ldbu	r12, 0(r11)
+	subq	r12, r9, r12
+	bge	r12, s2
+	subq	r31, r12, r12
+s2:	subq	r12, r17, r12
+	bgt	r12, n2
+	addq	r10, 1, r10
+n2:	ldbu	r12, 1(r11)
+	subq	r12, r9, r12
+	bge	r12, s3
+	subq	r31, r12, r12
+s3:	subq	r12, r17, r12
+	bgt	r12, n3
+	addq	r10, 1, r10
+n3:	ldbu	r12, -1(r8)
+	subq	r12, r9, r12
+	bge	r12, s4
+	subq	r31, r12, r12
+s4:	subq	r12, r17, r12
+	bgt	r12, n4
+	addq	r10, 1, r10
+n4:	ldbu	r12, 1(r8)
+	subq	r12, r9, r12
+	bge	r12, s5
+	subq	r31, r12, r12
+s5:	subq	r12, r17, r12
+	bgt	r12, n5
+	addq	r10, 1, r10
+n5:	addq	r8, r16, r11
+	ldbu	r12, 0(r11)
+	subq	r12, r9, r12
+	bge	r12, s6
+	subq	r31, r12, r12
+s6:	subq	r12, r17, r12
+	bgt	r12, n6
+	addq	r10, 1, r10
+n6:	addq	r3, r7, r13
+	stb	r10, 0(r13)
+	addq	r5, 1, r5
+	subq	r16, r5, r7
+	subq	r7, 1, r7
+	bgt	r7, xloop
+	addq	r4, 1, r4
+	subq	r16, r4, r7
+	subq	r7, 1, r7
+	bgt	r7, yloop
+	br	outer
+`, 256, 512, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	img := make([]byte, p.Size*p.Size)
+	for i := range img {
+		// Smooth-ish image: neighbouring pixels correlate.
+		if i > 0 && r.intn(3) != 0 {
+			img[i] = img[i-1] + byte(r.intn(9)) - 4
+		} else {
+			img[i] = byte(r.intn(256))
+		}
+	}
+	writeBytes(m, "img", img)
+	thresh := uint64(20)
+	if p.Variant == 1 {
+		thresh = 60 // smoothing flavour: more "similar" neighbours
+	}
+	writeParams(m, uint64(p.Size), thresh)
+	return nil
+})
+
+// Fragment is CommBench's packet fragmentation: copy variable-size
+// packets from an input ring to an output ring in 8-byte chunks, writing
+// a small header per fragment — a streaming store-heavy workload. Size is
+// the packet buffer length in bytes.
+var Fragment = mustKernel("fragment", `
+	.data
+params:	.space 64		# [0]=buffer len  [1]=mtu
+inb:	.space 262144
+outb:	.space 524288
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# len
+	ldq	r17, 8(r1)	# mtu
+	lda	r2, inb
+	lda	r3, outb
+	lda	r4, 0		# input offset
+	lda	r15, 0		# fragment id
+floop:	# fragment header: id and offset
+	stq	r15, 0(r3)
+	stq	r4, 8(r3)
+	addq	r3, 16, r3
+	lda	r5, 0		# copied
+cpy:	addq	r2, r4, r6
+	ldq	r7, 0(r6)
+	stq	r7, 0(r3)
+	addq	r3, 8, r3
+	addq	r4, 8, r4
+	addq	r5, 8, r5
+	subq	r16, r4, r8	# input exhausted?
+	ble	r8, done
+	subq	r17, r5, r8	# mtu filled?
+	bgt	r8, cpy
+	addq	r15, 1, r15
+	br	floop
+done:	br	outer
+`, 65536, 262144-8, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	buf := make([]byte, p.Size+8)
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	writeBytes(m, "inb", buf)
+	mtu := uint64(256)
+	if p.Variant == 1 {
+		mtu = 1024
+	}
+	writeParams(m, uint64(p.Size), mtu)
+	return nil
+})

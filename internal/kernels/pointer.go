@@ -1,0 +1,491 @@
+package kernels
+
+import "mica/internal/vm"
+
+// PointerChase is the mcf/patricia-style dependent-load workload: walk a
+// random permutation cycle through a large array of next-indices. Every
+// load depends on the previous one, so ILP is minimal and the data
+// working set is the whole array. Size is the number of 8-byte nodes.
+var PointerChase = mustKernel("pointerchase", `
+	.data
+params:	.space 64		# [0]=steps per pass
+ring:	.space 8388608		# up to 1M nodes x 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# steps
+	lda	r2, ring
+	lda	r3, 0		# current index
+	lda	r4, 0		# step
+	lda	r5, 0		# checksum
+chase:	s8addq	r3, r2, r6
+	ldq	r3, 0(r6)	# next index (dependent load)
+	addq	r5, r3, r5
+	addq	r4, 1, r4
+	subq	r16, r4, r6
+	bgt	r6, chase
+	br	outer
+`, 65536, 1048576, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	// Sattolo's algorithm: a single cycle covering all nodes.
+	n := p.Size
+	next := make([]uint64, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < n; i++ {
+		next[perm[i]] = uint64(perm[(i+1)%n])
+	}
+	writeQuads(m, "ring", next)
+	writeParams(m, uint64(4*n))
+	return nil
+})
+
+// DRR is CommBench's deficit round robin scheduler: cycle over a ring of
+// flow descriptors, accumulate quantum into per-flow deficit counters and
+// dequeue packets whose lengths come from a per-flow packet list —
+// pointer-linked structures with short branchy loops. Size is the number
+// of flows.
+var DRR = mustKernel("drr", `
+	.data
+params:	.space 64		# [0]=flows  [1]=quantum
+flows:	.space 65536		# per flow: deficit, head (2 quads = 16B)
+pkts:	.space 524288		# packet length pool (quads)
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# flows
+	ldq	r17, 8(r1)	# quantum
+	lda	r2, flows
+	lda	r3, pkts
+	lda	r4, 0		# flow index
+floop:	sll	r4, 4, r5
+	addq	r2, r5, r5	# &flow[f]
+	ldq	r6, 0(r5)	# deficit
+	ldq	r7, 8(r5)	# packet cursor
+	addq	r6, r17, r6	# deficit += quantum
+deq:	and	r7, 65535, r8	# wrap cursor
+	s8addq	r8, r3, r9
+	ldq	r10, 0(r9)	# packet length
+	subq	r6, r10, r11	# enough deficit?
+	blt	r11, stop
+	or	r11, r31, r6	# deficit -= len
+	addq	r7, 1, r7	# next packet
+	br	deq
+stop:	stq	r6, 0(r5)
+	stq	r7, 8(r5)
+	addq	r4, 1, r4
+	subq	r16, r4, r8
+	bgt	r8, floop
+	br	outer
+`, 256, 4096, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	flows := make([]uint64, p.Size*2)
+	for f := 0; f < p.Size; f++ {
+		flows[2*f] = 0                      // deficit
+		flows[2*f+1] = uint64(r.intn(4096)) // cursor start
+	}
+	writeQuads(m, "flows", flows)
+	pkts := make([]uint64, 65536)
+	for i := range pkts {
+		pkts[i] = uint64(64 + r.intn(1400)) // packet sizes
+	}
+	writeQuads(m, "pkts", pkts)
+	writeParams(m, uint64(p.Size), 1500)
+	return nil
+})
+
+// Dijkstra is MiBench's shortest-path benchmark: an O(n^2)
+// adjacency-matrix single-source Dijkstra with a linear min-scan — long
+// dependent compare/branch chains over a quadratically sized data set.
+// Size is the number of graph nodes.
+var Dijkstra = mustKernel("dijkstra", `
+	.data
+params:	.space 64		# [0]=n
+adj:	.space 2097152		# n x n quads (n <= 512)
+dist:	.space 4096
+visit:	.space 4096
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, adj
+	lda	r3, dist
+	lda	r4, visit
+	# init dist = INF except source, visit = 0
+	lda	r5, 0
+	lda	r6, 1000000000
+init:	s8addq	r5, r3, r7
+	stq	r6, 0(r7)
+	s8addq	r5, r4, r7
+	stq	r31, 0(r7)
+	addq	r5, 1, r5
+	subq	r16, r5, r7
+	bgt	r7, init
+	stq	r31, 0(r3)	# dist[0] = 0
+	lda	r15, 0		# iteration
+iter:	# find unvisited min
+	lda	r5, 0		# scan index
+	lda	r7, -1		# argmin
+	lda	r8, 2000000000	# min
+scan:	s8addq	r5, r4, r9
+	ldq	r9, 0(r9)	# visited?
+	bne	r9, skip
+	s8addq	r5, r3, r9
+	ldq	r9, 0(r9)	# dist[v]
+	subq	r9, r8, r10
+	bge	r10, skip
+	or	r9, r31, r8
+	or	r5, r31, r7
+skip:	addq	r5, 1, r5
+	subq	r16, r5, r9
+	bgt	r9, scan
+	blt	r7, restart	# all visited
+	# mark visited, relax neighbours
+	s8addq	r7, r4, r9
+	lda	r10, 1
+	stq	r10, 0(r9)
+	mulq	r7, r16, r9
+	s8addq	r9, r2, r9	# adjacency row of argmin
+	lda	r5, 0
+relax:	s8addq	r5, r31, r10
+	addq	r9, r10, r10
+	ldq	r11, 0(r10)	# weight
+	beq	r11, next	# no edge
+	addq	r8, r11, r11	# dist[u] + w
+	s8addq	r5, r3, r12
+	ldq	r13, 0(r12)
+	subq	r11, r13, r14
+	bge	r14, next
+	stq	r11, 0(r12)
+next:	addq	r5, 1, r5
+	subq	r16, r5, r10
+	bgt	r10, relax
+	addq	r15, 1, r15
+	subq	r16, r15, r9
+	bgt	r9, iter
+restart:
+	br	outer
+`, 128, 512, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	n := p.Size
+	adj := make([]uint64, n*n)
+	// Sparse random digraph: ~8 out-edges per node.
+	for u := 0; u < n; u++ {
+		for e := 0; e < 8; e++ {
+			v := r.intn(n)
+			if v != u {
+				adj[u*n+v] = uint64(1 + r.intn(100))
+			}
+		}
+	}
+	writeQuads(m, "adj", adj)
+	writeParams(m, uint64(n))
+	return nil
+})
+
+// Qsort is an iterative quicksort with an explicit range stack: the
+// recursive partitioning of MiBench's qsort with data-dependent branches
+// on every comparison and swap traffic across a shrinking working set.
+// Size is the array length in words.
+var Qsort = mustKernel("qsort", `
+	.data
+params:	.space 64		# [0]=n
+arr:	.space 524288
+orig:	.space 524288
+stack:	.space 8192		# (lo, hi) pairs
+	.text
+main:
+outer:	# restore the unsorted array so each pass does real work
+	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	lda	r2, arr
+	lda	r3, orig
+	lda	r4, 0
+copy:	s8addq	r4, r3, r5
+	ldq	r6, 0(r5)
+	s8addq	r4, r2, r5
+	stq	r6, 0(r5)
+	addq	r4, 1, r4
+	subq	r16, r4, r5
+	bgt	r5, copy
+	# push (0, n-1)
+	lda	r7, stack	# stack pointer
+	stq	r31, 0(r7)
+	subq	r16, 1, r5
+	stq	r5, 8(r7)
+	addq	r7, 16, r7
+qloop:	lda	r8, stack
+	subq	r7, r8, r8
+	ble	r8, outer	# stack empty -> restart
+	subq	r7, 16, r7
+	ldq	r9, 0(r7)	# lo
+	ldq	r10, 8(r7)	# hi
+	subq	r10, r9, r11
+	ble	r11, qloop	# trivial range
+	# partition around arr[hi]
+	s8addq	r10, r2, r12
+	ldq	r12, 0(r12)	# pivot
+	or	r9, r31, r13	# store index i
+	or	r9, r31, r14	# scan index j
+part:	s8addq	r14, r2, r5
+	ldq	r6, 0(r5)	# arr[j]
+	subq	r6, r12, r4
+	bge	r4, noswap
+	# swap arr[i], arr[j]
+	s8addq	r13, r2, r4
+	ldq	r15, 0(r4)
+	stq	r6, 0(r4)
+	stq	r15, 0(r5)
+	addq	r13, 1, r13
+noswap:	addq	r14, 1, r14
+	subq	r10, r14, r5
+	bgt	r5, part
+	# place pivot at i
+	s8addq	r10, r2, r5
+	ldq	r6, 0(r5)	# pivot value again
+	s8addq	r13, r2, r4
+	ldq	r15, 0(r4)
+	stq	r6, 0(r4)
+	stq	r15, 0(r5)
+	# push (lo, i-1) and (i+1, hi)
+	subq	r13, 1, r5
+	subq	r5, r9, r6
+	ble	r6, right
+	stq	r9, 0(r7)
+	stq	r5, 8(r7)
+	addq	r7, 16, r7
+right:	addq	r13, 1, r5
+	subq	r10, r5, r6
+	ble	r6, qloop
+	stq	r5, 0(r7)
+	stq	r10, 8(r7)
+	addq	r7, 16, r7
+	br	qloop
+`, 16384, 65536, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	arr := make([]uint64, p.Size)
+	for i := range arr {
+		arr[i] = r.next() >> 32
+	}
+	writeQuads(m, "orig", arr)
+	writeParams(m, uint64(p.Size))
+	return nil
+})
+
+// StringSearch is a Horspool-style multi-pattern text scanner (ispell,
+// parser, typeset workloads): byte comparisons with a bad-character skip
+// table and irregular, data-dependent advance. Size is the text length in
+// bytes.
+var StringSearch = mustKernel("stringsearch", `
+	.data
+params:	.space 64		# [0]=text len  [1]=pattern len
+text:	.space 262144
+pat:	.space 64
+skip:	.space 2048		# 256 x 8
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# n
+	ldq	r17, 8(r1)	# m
+	lda	r2, text
+	lda	r3, pat
+	lda	r4, skip
+	subq	r17, 1, r18	# m-1
+	lda	r5, 0		# window start
+	lda	r15, 0		# match count
+wloop:	# compare pattern right-to-left
+	or	r18, r31, r6	# k = m-1
+cmp:	addq	r5, r6, r7
+	addq	r2, r7, r7
+	ldbu	r8, 0(r7)	# text[s+k]
+	addq	r3, r6, r9
+	ldbu	r10, 0(r9)	# pat[k]
+	subq	r8, r10, r11
+	bne	r11, miss
+	subq	r6, 1, r6
+	bge	r6, cmp
+	addq	r15, 1, r15	# full match
+	addq	r5, 1, r5
+	br	bound
+miss:	# advance by skip[text[s+m-1]]
+	addq	r5, r18, r7
+	addq	r2, r7, r7
+	ldbu	r8, 0(r7)
+	s8addq	r8, r4, r8
+	ldq	r8, 0(r8)
+	addq	r5, r8, r5
+bound:	addq	r5, r17, r7
+	subq	r16, r7, r7
+	bgt	r7, wloop
+	br	outer
+`, 65536, 262080, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	// English-ish text over a 27-letter alphabet.
+	text := make([]byte, p.Size+64)
+	for i := range text {
+		text[i] = byte('a' + r.intn(27))
+	}
+	mLen := 6
+	if p.Variant == 1 {
+		mLen = 3 // short patterns: more partial matches
+	}
+	pat := make([]byte, mLen)
+	for i := range pat {
+		pat[i] = byte('a' + r.intn(27))
+	}
+	// Plant occurrences so full matches happen.
+	for k := 0; k < p.Size/500; k++ {
+		copy(text[r.intn(p.Size-mLen):], pat)
+	}
+	writeBytes(m, "text", text)
+	writeBytes(m, "pat", pat)
+	skip := make([]uint64, 256)
+	for i := range skip {
+		skip[i] = uint64(mLen)
+	}
+	for i := 0; i < mLen-1; i++ {
+		skip[pat[i]] = uint64(mLen - 1 - i)
+	}
+	writeQuads(m, "skip", skip)
+	writeParams(m, uint64(p.Size), uint64(mLen))
+	return nil
+})
+
+// Interp is a bytecode interpreter with an indirect-dispatch loop over 16
+// handlers operating on a memory-resident register file — the branchy,
+// instruction-footprint-heavy structure of gcc/perlbmk/crafty. Size is
+// the bytecode program length.
+var Interp = mustKernel("interp", `
+	.data
+params:	.space 64		# [0]=code len
+code:	.space 65536		# bytecode: 1 byte op, 1 byte operand
+jtab:	.space 128		# 16 handler addresses
+regs:	.space 256		# 32 virtual registers
+	.text
+main:
+outer:	lda	r1, params
+	ldq	r16, 0(r1)	# code len
+	lda	r2, code
+	lda	r3, jtab
+	lda	r4, regs
+	lda	r5, 0		# vpc
+fetch:	addq	r2, r5, r6
+	ldbu	r7, 0(r6)	# opcode
+	ldbu	r8, 1(r6)	# operand
+	addq	r5, 2, r5
+	and	r7, 15, r7
+	s8addq	r7, r3, r9
+	ldq	r9, 0(r9)	# handler address
+	jmp	(r9)
+op0:	# add reg, imm
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	addq	r11, 3, r11
+	stq	r11, 0(r10)
+	br	bound
+op1:	# sub
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	subq	r11, 1, r11
+	stq	r11, 0(r10)
+	br	bound
+op2:	# xor with accumulator r14
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	xor	r14, r11, r14
+	br	bound
+op3:	# shift
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	sll	r11, 1, r11
+	srl	r11, 7, r12
+	or	r11, r12, r11
+	stq	r11, 0(r10)
+	br	bound
+op4:	# mul accumulate
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	mulq	r11, 17, r11
+	addq	r14, r11, r14
+	br	bound
+op5:	# compare and conditionally bump
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r11, 0(r10)
+	and	r11, 1, r12
+	beq	r12, b5
+	addq	r14, 1, r14
+b5:	br	bound
+op6:	# store accumulator
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	stq	r14, 0(r10)
+	br	bound
+op7:	# load accumulator
+	and	r8, 31, r10
+	s8addq	r10, r4, r10
+	ldq	r14, 0(r10)
+	br	bound
+op8:	and	r14, 255, r10
+	addq	r14, r10, r14
+	br	bound
+op9:	srl	r14, 3, r10
+	xor	r14, r10, r14
+	br	bound
+op10:	addq	r14, r8, r14
+	br	bound
+op11:	subq	r14, r8, r14
+	br	bound
+op12:	mulq	r14, 13, r14
+	br	bound
+op13:	ornot	r14, r8, r14
+	br	bound
+op14:	sra	r14, 1, r14
+	br	bound
+op15:	xor	r14, r8, r14
+	br	bound
+bound:	subq	r16, r5, r6
+	bgt	r6, fetch
+	lda	r5, 0		# rewind bytecode
+	br	outer
+`, 8192, 32768, func(m *vm.Machine, p Params) error {
+	r := newRNG(p.Seed)
+	n := p.Size &^ 1 // even: op/operand pairs
+	code := make([]byte, n)
+	for i := 0; i < n; i += 2 {
+		code[i] = byte(r.intn(16))
+		code[i+1] = byte(r.intn(256))
+	}
+	writeBytes(m, "code", code)
+	prog := m.Program()
+	jtab := make([]uint64, 16)
+	for i := 0; i < 16; i++ {
+		jtab[i] = prog.MustSymbol("op" + itoa(i))
+	}
+	writeQuads(m, "jtab", jtab)
+	regs := make([]uint64, 32)
+	for i := range regs {
+		regs[i] = r.next()
+	}
+	writeQuads(m, "regs", regs)
+	writeParams(m, uint64(n))
+	return nil
+})
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,158 @@
+// Package kiviat renders kiviat (radar) diagrams of benchmark
+// characteristic vectors, the presentation format of the paper's Figure
+// 6. Two renderers are provided: a character-grid renderer for terminals
+// and an SVG renderer for files.
+package kiviat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Diagram is one kiviat plot: a label per axis and a value in [0, 1] per
+// axis. Values outside [0, 1] are clamped at render time.
+type Diagram struct {
+	Title  string
+	Labels []string
+	Values []float64
+}
+
+// New builds a diagram; labels and values must have equal nonzero length.
+func New(title string, labels []string, values []float64) (*Diagram, error) {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return nil, fmt.Errorf("kiviat: %d labels but %d values", len(labels), len(values))
+	}
+	return &Diagram{Title: title, Labels: labels, Values: values}, nil
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// ASCII renders the diagram on a character grid of the given radius (in
+// character cells; height is compressed 2:1 to account for cell aspect).
+// Each axis is drawn as a spoke with a marker at the value position.
+func (d *Diagram) ASCII(radius int) string {
+	if radius < 3 {
+		radius = 3
+	}
+	w := radius*4 + 1
+	h := radius*2 + 1
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	cx, cy := w/2, h/2
+	put := func(x, y int, ch byte) {
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = ch
+		}
+	}
+	n := len(d.Values)
+	for i := 0; i < n; i++ {
+		angle := 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+		dx, dy := math.Cos(angle), math.Sin(angle)
+		// Spoke.
+		for r := 0; r <= radius; r++ {
+			x := cx + int(math.Round(float64(2*r)*dx))
+			y := cy + int(math.Round(float64(r)*dy))
+			put(x, y, '.')
+		}
+		// Value marker.
+		val := clamp01(d.Values[i])
+		r := val * float64(radius)
+		x := cx + int(math.Round(2*r*dx))
+		y := cy + int(math.Round(r*dy))
+		put(x, y, '*')
+		// Axis index label just beyond the spoke end.
+		lx := cx + int(math.Round(float64(2*(radius+1))*dx))
+		ly := cy + int(math.Round(float64(radius+1)*dy))
+		label := fmt.Sprintf("%d", i+1)
+		for k := 0; k < len(label); k++ {
+			put(lx+k, ly, label[k])
+		}
+	}
+	put(cx, cy, '+')
+
+	var b strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&b, "%s\n", d.Title)
+	}
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	for i, lab := range d.Labels {
+		fmt.Fprintf(&b, "  %2d: %-26s %.3f\n", i+1, lab, clamp01(d.Values[i]))
+	}
+	return b.String()
+}
+
+// SVG renders the diagram as a standalone SVG document of the given pixel
+// size.
+func (d *Diagram) SVG(size int) string {
+	if size < 100 {
+		size = 100
+	}
+	c := float64(size) / 2
+	rMax := c * 0.72
+	n := len(d.Values)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", size, size)
+	if d.Title != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="16" text-anchor="middle" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+			c, xmlEscape(d.Title))
+	}
+	// Reference rings at 25/50/75/100%.
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		b.WriteString(ringPath(c, c, rMax*frac, n, `fill="none" stroke="#ddd" stroke-width="1"`))
+	}
+	// Spokes and labels.
+	for i := 0; i < n; i++ {
+		x, y := polar(c, c, rMax, i, n)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="1"/>`+"\n", c, c, x, y)
+		lx, ly := polar(c, c, rMax*1.12, i, n)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="9" font-family="sans-serif">%s</text>`+"\n",
+			lx, ly, xmlEscape(d.Labels[i]))
+	}
+	// Value polygon.
+	var pts []string
+	for i, v := range d.Values {
+		x, y := polar(c, c, rMax*clamp01(v), i, n)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	fmt.Fprintf(&b, `<polygon points="%s" fill="rgba(70,110,200,0.35)" stroke="#3a5fb0" stroke-width="1.5"/>`+"\n",
+		strings.Join(pts, " "))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func polar(cx, cy, r float64, i, n int) (float64, float64) {
+	angle := 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+	return cx + r*math.Cos(angle), cy + r*math.Sin(angle)
+}
+
+func ringPath(cx, cy, r float64, n int, attrs string) string {
+	var pts []string
+	for i := 0; i < n; i++ {
+		x, y := polar(cx, cy, r, i, n)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	return fmt.Sprintf(`<polygon points="%s" %s/>`+"\n", strings.Join(pts, " "), attrs)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

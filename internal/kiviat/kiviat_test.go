@@ -1,0 +1,74 @@
+package kiviat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("t", []string{"a"}, []float64{0.5}); err != nil {
+		t.Errorf("valid diagram rejected: %v", err)
+	}
+	if _, err := New("t", []string{"a", "b"}, []float64{0.5}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := New("t", nil, nil); err == nil {
+		t.Error("empty diagram accepted")
+	}
+}
+
+func TestASCIIContainsAxesAndLegend(t *testing.T) {
+	d, err := New("demo", []string{"alpha", "beta", "gamma", "delta"},
+		[]float64{0.2, 0.9, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.ASCII(6)
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	for _, lab := range []string{"alpha", "beta", "gamma", "delta"} {
+		if !strings.Contains(out, lab) {
+			t.Errorf("legend missing %q", lab)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers missing")
+	}
+	if strings.Count(out, "*") != 4 {
+		t.Errorf("got %d value markers, want 4", strings.Count(out, "*"))
+	}
+}
+
+func TestASCIIClampsValues(t *testing.T) {
+	d, _ := New("", []string{"x", "y"}, []float64{-5, 42})
+	out := d.ASCII(5)
+	if !strings.Contains(out, "0.000") || !strings.Contains(out, "1.000") {
+		t.Error("legend did not show clamped values")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	d, _ := New("plot <1>", []string{"a&b", "c"}, []float64{0.3, 0.8})
+	svg := d.SVG(300)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if !strings.Contains(svg, "polygon") {
+		t.Error("value polygon missing")
+	}
+	if strings.Contains(svg, "a&b") {
+		t.Error("unescaped ampersand in SVG")
+	}
+	if !strings.Contains(svg, "a&amp;b") || !strings.Contains(svg, "&lt;1&gt;") {
+		t.Error("escaping missing")
+	}
+}
+
+func TestSVGMinimumSize(t *testing.T) {
+	d, _ := New("", []string{"a", "b", "c"}, []float64{1, 1, 1})
+	svg := d.SVG(10)
+	if !strings.Contains(svg, `width="100"`) {
+		t.Error("size floor not applied")
+	}
+}

@@ -1,0 +1,166 @@
+// Package mica implements the paper's primary contribution: the 47
+// microarchitecture-independent program characteristics of Table II,
+// measured in a single pass over the dynamic instruction stream, plus the
+// orchestration that turns a workload run into a feature vector.
+//
+// The characteristic indices below follow Table II exactly (0-based where
+// the paper is 1-based).
+package mica
+
+import "fmt"
+
+// NumChars is the number of microarchitecture-independent characteristics
+// (Table II).
+const NumChars = 47
+
+// Characteristic indices into a Vector, mirroring Table II rows 1-47.
+const (
+	// Instruction mix (1-6).
+	CharPctLoads = iota
+	CharPctStores
+	CharPctBranches
+	CharPctArith
+	CharPctIntMul
+	CharPctFP
+	// ILP for idealized windows (7-10).
+	CharILP32
+	CharILP64
+	CharILP128
+	CharILP256
+	// Register traffic (11-19).
+	CharAvgInputOperands
+	CharAvgDegreeOfUse
+	CharDepDistEq1
+	CharDepDistLE2
+	CharDepDistLE4
+	CharDepDistLE8
+	CharDepDistLE16
+	CharDepDistLE32
+	CharDepDistLE64
+	// Working set sizes (20-23).
+	CharDWSBlocks
+	CharDWSPages
+	CharIWSBlocks
+	CharIWSPages
+	// Data stream strides (24-43).
+	CharLocalLoadStride0
+	CharLocalLoadStrideLE8
+	CharLocalLoadStrideLE64
+	CharLocalLoadStrideLE512
+	CharLocalLoadStrideLE4096
+	CharGlobalLoadStride0
+	CharGlobalLoadStrideLE8
+	CharGlobalLoadStrideLE64
+	CharGlobalLoadStrideLE512
+	CharGlobalLoadStrideLE4096
+	CharLocalStoreStride0
+	CharLocalStoreStrideLE8
+	CharLocalStoreStrideLE64
+	CharLocalStoreStrideLE512
+	CharLocalStoreStrideLE4096
+	CharGlobalStoreStride0
+	CharGlobalStoreStrideLE8
+	CharGlobalStoreStrideLE64
+	CharGlobalStoreStrideLE512
+	CharGlobalStoreStrideLE4096
+	// Branch predictability (44-47).
+	CharPPMGAg
+	CharPPMPAg
+	CharPPMGAs
+	CharPPMPAs
+)
+
+// Vector is one benchmark's 47-dimensional characteristic vector.
+type Vector [NumChars]float64
+
+// charNames holds the short names of all characteristics in Table II
+// order.
+var charNames = [NumChars]string{
+	"pct_loads",
+	"pct_stores",
+	"pct_branches",
+	"pct_arith",
+	"pct_int_mul",
+	"pct_fp",
+	"ilp_w32",
+	"ilp_w64",
+	"ilp_w128",
+	"ilp_w256",
+	"avg_input_operands",
+	"avg_degree_of_use",
+	"dep_dist_eq1",
+	"dep_dist_le2",
+	"dep_dist_le4",
+	"dep_dist_le8",
+	"dep_dist_le16",
+	"dep_dist_le32",
+	"dep_dist_le64",
+	"dws_32b_blocks",
+	"dws_4kb_pages",
+	"iws_32b_blocks",
+	"iws_4kb_pages",
+	"local_load_stride_0",
+	"local_load_stride_le8",
+	"local_load_stride_le64",
+	"local_load_stride_le512",
+	"local_load_stride_le4096",
+	"global_load_stride_0",
+	"global_load_stride_le8",
+	"global_load_stride_le64",
+	"global_load_stride_le512",
+	"global_load_stride_le4096",
+	"local_store_stride_0",
+	"local_store_stride_le8",
+	"local_store_stride_le64",
+	"local_store_stride_le512",
+	"local_store_stride_le4096",
+	"global_store_stride_0",
+	"global_store_stride_le8",
+	"global_store_stride_le64",
+	"global_store_stride_le512",
+	"global_store_stride_le4096",
+	"ppm_gag",
+	"ppm_pag",
+	"ppm_gas",
+	"ppm_pas",
+}
+
+// charCategories maps each characteristic to its Table II category.
+var charCategories = [NumChars]string{}
+
+func init() {
+	set := func(lo, hi int, cat string) {
+		for i := lo; i <= hi; i++ {
+			charCategories[i] = cat
+		}
+	}
+	set(CharPctLoads, CharPctFP, "instruction mix")
+	set(CharILP32, CharILP256, "ILP")
+	set(CharAvgInputOperands, CharDepDistLE64, "register traffic")
+	set(CharDWSBlocks, CharIWSPages, "working set size")
+	set(CharLocalLoadStride0, CharGlobalStoreStrideLE4096, "data stream strides")
+	set(CharPPMGAg, CharPPMPAs, "branch predictability")
+}
+
+// CharName returns the short name of characteristic i.
+func CharName(i int) string {
+	if i < 0 || i >= NumChars {
+		return fmt.Sprintf("char(%d)", i)
+	}
+	return charNames[i]
+}
+
+// CharCategory returns the Table II category of characteristic i.
+func CharCategory(i int) string {
+	if i < 0 || i >= NumChars {
+		return "unknown"
+	}
+	return charCategories[i]
+}
+
+// CharNames returns all 47 characteristic names in Table II order.
+func CharNames() []string {
+	out := make([]string, NumChars)
+	copy(out, charNames[:])
+	return out
+}

@@ -1,0 +1,149 @@
+package mica
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// DefaultILPWindows are the idealized instruction-window sizes of Table II
+// (characteristics 7-10).
+var DefaultILPWindows = []int{32, 64, 128, 256}
+
+// ILPAnalyzer measures the instruction-level parallelism achievable by an
+// idealized out-of-order processor: perfect branch prediction, perfect
+// caches, infinite functional units, unit latencies — limited only by the
+// instruction window size and true data dependencies. This follows the
+// paper's ILP definition for window sizes 32/64/128/256.
+//
+// The model is the standard dataflow-limit simulation: an instruction may
+// issue when all its producers have completed and the instruction W
+// positions earlier has retired (making window room). Both register
+// dependencies and store-to-load memory dependencies are honored; the
+// latter can be disabled for ablation.
+type ILPAnalyzer struct {
+	states []*ilpState
+	// TrackMemDeps controls whether store-to-load dependencies through
+	// memory constrain issue (default true).
+	trackMemDeps bool
+}
+
+type ilpState struct {
+	win      int
+	regReady [isa.NumRegs]uint64
+	// ring holds completion cycles of the last win instructions.
+	ring    []uint64
+	pos     int
+	n       uint64
+	maxDone uint64
+	// memReady maps 8-byte-aligned addresses to the completion cycle of
+	// the last store covering them.
+	memReady map[uint64]uint64
+}
+
+// NewILPAnalyzer builds an analyzer for the given window sizes (nil means
+// DefaultILPWindows). trackMemDeps enables store-to-load dependence
+// tracking through memory.
+func NewILPAnalyzer(windows []int, trackMemDeps bool) *ILPAnalyzer {
+	if windows == nil {
+		windows = DefaultILPWindows
+	}
+	a := &ILPAnalyzer{trackMemDeps: trackMemDeps}
+	for _, w := range windows {
+		if w <= 0 {
+			panic("mica: ILP window size must be positive")
+		}
+		a.states = append(a.states, &ilpState{
+			win:      w,
+			ring:     make([]uint64, w),
+			memReady: make(map[uint64]uint64),
+		})
+	}
+	return a
+}
+
+// Observe implements trace.Observer.
+func (a *ILPAnalyzer) Observe(ev *trace.Event) {
+	for _, s := range a.states {
+		s.observe(ev, a.trackMemDeps)
+	}
+}
+
+func (s *ilpState) observe(ev *trace.Event, memDeps bool) {
+	var ready uint64
+	for i := uint8(0); i < ev.NSrc; i++ {
+		r := ev.Src[i]
+		if r.IsZero() {
+			continue
+		}
+		if t := s.regReady[r]; t > ready {
+			ready = t
+		}
+	}
+	// Window constraint: the slot becomes free when the instruction W
+	// positions back completes.
+	if s.n >= uint64(s.win) {
+		if t := s.ring[s.pos]; t > ready {
+			ready = t
+		}
+	}
+	if memDeps && ev.MemSize > 0 {
+		blk := ev.MemAddr >> 3
+		if ev.Class == isa.ClassLoad {
+			if t := s.memReady[blk]; t > ready {
+				ready = t
+			}
+		}
+	}
+	done := ready + 1
+	if memDeps && ev.MemSize > 0 && ev.Class == isa.ClassStore {
+		s.memReady[ev.MemAddr>>3] = done
+	}
+	if ev.HasDst && !ev.Dst.IsZero() {
+		s.regReady[ev.Dst] = done
+	}
+	s.ring[s.pos] = done
+	s.pos++
+	if s.pos == s.win {
+		s.pos = 0
+	}
+	if done > s.maxDone {
+		s.maxDone = done
+	}
+	s.n++
+}
+
+// IPC returns the achieved instructions-per-cycle for the i-th configured
+// window.
+func (a *ILPAnalyzer) IPC(i int) float64 {
+	s := a.states[i]
+	if s.maxDone == 0 {
+		return 0
+	}
+	return float64(s.n) / float64(s.maxDone)
+}
+
+// Windows returns the configured window sizes.
+func (a *ILPAnalyzer) Windows() []int {
+	out := make([]int, len(a.states))
+	for i, s := range a.states {
+		out[i] = s.win
+	}
+	return out
+}
+
+// Fill writes characteristics 7-10 into v; it requires the analyzer to be
+// configured with the four default windows.
+func (a *ILPAnalyzer) Fill(v *Vector) {
+	for i, s := range a.states {
+		switch s.win {
+		case 32:
+			v[CharILP32] = a.IPC(i)
+		case 64:
+			v[CharILP64] = a.IPC(i)
+		case 128:
+			v[CharILP128] = a.IPC(i)
+		case 256:
+			v[CharILP256] = a.IPC(i)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package mica
+
+import (
+	"math"
+	"testing"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// evStream is a tiny helper for feeding hand-built events to analyzers.
+type evStream struct {
+	seq uint64
+	pc  uint64
+}
+
+func newStream() *evStream { return &evStream{pc: isa.CodeBase} }
+
+func (s *evStream) next(op isa.Op) trace.Event {
+	ev := trace.Event{Seq: s.seq, PC: s.pc, Op: op, Class: op.Class()}
+	s.seq++
+	s.pc += isa.InstBytes
+	return ev
+}
+
+// alu builds an ALU event dst = f(srcs...).
+func (s *evStream) alu(dst isa.Reg, srcs ...isa.Reg) trace.Event {
+	ev := s.next(isa.OpAddQ)
+	for i, r := range srcs {
+		ev.Src[i] = r
+	}
+	ev.NSrc = uint8(len(srcs))
+	ev.Dst, ev.HasDst = dst, true
+	return ev
+}
+
+func (s *evStream) load(dst isa.Reg, base isa.Reg, addr uint64) trace.Event {
+	ev := s.next(isa.OpLdQ)
+	ev.Src[0] = base
+	ev.NSrc = 1
+	ev.Dst, ev.HasDst = dst, true
+	ev.MemAddr, ev.MemSize = addr, 8
+	return ev
+}
+
+func (s *evStream) store(val, base isa.Reg, addr uint64) trace.Event {
+	ev := s.next(isa.OpStQ)
+	ev.Src[0], ev.Src[1] = base, val
+	ev.NSrc = 2
+	ev.MemAddr, ev.MemSize = addr, 8
+	return ev
+}
+
+// branch builds a conditional branch event at a fixed PC (so per-address
+// predictors see one static branch).
+func (s *evStream) branchAt(pc uint64, taken bool) trace.Event {
+	ev := trace.Event{Seq: s.seq, PC: pc, Op: isa.OpBne, Class: isa.ClassBranch,
+		Conditional: true, Taken: taken}
+	s.seq++
+	return ev
+}
+
+func TestMixFractions(t *testing.T) {
+	a := NewMixAnalyzer()
+	s := newStream()
+	feed := func(ev trace.Event) { a.Observe(&ev) }
+	feed(s.alu(isa.IntReg(1), isa.IntReg(2)))
+	feed(s.load(isa.IntReg(1), isa.IntReg(2), 0x100))
+	feed(s.load(isa.IntReg(1), isa.IntReg(2), 0x108))
+	feed(s.store(isa.IntReg(1), isa.IntReg(2), 0x110))
+	if got := a.Fraction(isa.ClassLoad); got != 0.5 {
+		t.Errorf("load fraction = %g, want 0.5", got)
+	}
+	if got := a.Fraction(isa.ClassStore); got != 0.25 {
+		t.Errorf("store fraction = %g, want 0.25", got)
+	}
+	if got := a.Fraction(isa.ClassIntArith); got != 0.25 {
+		t.Errorf("arith fraction = %g, want 0.25", got)
+	}
+	var v Vector
+	a.Fill(&v)
+	if v[CharPctLoads] != 0.5 || v[CharPctStores] != 0.25 {
+		t.Error("Fill wrote wrong mix values")
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	a := NewMixAnalyzer()
+	if a.Fraction(isa.ClassLoad) != 0 {
+		t.Error("empty analyzer fraction not 0")
+	}
+}
+
+func TestILPSerialChain(t *testing.T) {
+	// r1 = r1 + r1 repeated: fully serial, IPC -> 1 regardless of window.
+	a := NewILPAnalyzer([]int{32, 256}, true)
+	s := newStream()
+	for i := 0; i < 1000; i++ {
+		ev := s.alu(isa.IntReg(1), isa.IntReg(1))
+		a.Observe(&ev)
+	}
+	for i := range a.Windows() {
+		if got := a.IPC(i); math.Abs(got-1.0) > 0.01 {
+			t.Errorf("window %d serial IPC = %g, want ~1", a.Windows()[i], got)
+		}
+	}
+}
+
+func TestILPIndependentLimitedByWindow(t *testing.T) {
+	// Fully independent instructions rotating over many destination
+	// registers: ILP is limited only by the window size W (W issue in
+	// the first cycle, then one slot frees per retire -> IPC ~ W in the
+	// idealized unit-latency model since every cycle all W slots clear).
+	a := NewILPAnalyzer([]int{32, 64}, true)
+	s := newStream()
+	for i := 0; i < 64000; i++ {
+		dst := isa.IntReg(i % 16)
+		ev := s.alu(dst) // no sources: independent
+		a.Observe(&ev)
+	}
+	ipc32, ipc64 := a.IPC(0), a.IPC(1)
+	if ipc64 <= ipc32 {
+		t.Errorf("independent stream: IPC(64)=%g not greater than IPC(32)=%g", ipc64, ipc32)
+	}
+	if math.Abs(ipc32-32) > 1 {
+		t.Errorf("IPC(32) = %g, want ~32", ipc32)
+	}
+	if math.Abs(ipc64-64) > 2 {
+		t.Errorf("IPC(64) = %g, want ~64", ipc64)
+	}
+}
+
+func TestILPWindowMonotonicity(t *testing.T) {
+	// Mixed dependency pattern: wider windows can never hurt.
+	a := NewILPAnalyzer(nil, true)
+	s := newStream()
+	for i := 0; i < 20000; i++ {
+		var ev trace.Event
+		if i%7 == 0 {
+			ev = s.alu(isa.IntReg(1), isa.IntReg(1)) // serial link
+		} else {
+			ev = s.alu(isa.IntReg(2+i%8), isa.IntReg(1))
+		}
+		a.Observe(&ev)
+	}
+	prev := 0.0
+	for i, w := range a.Windows() {
+		ipc := a.IPC(i)
+		if ipc+1e-9 < prev {
+			t.Errorf("IPC not monotone in window: w=%d ipc=%g < prev %g", w, ipc, prev)
+		}
+		prev = ipc
+	}
+}
+
+func TestILPMemoryDependence(t *testing.T) {
+	// store r1 -> A; load r2 <- A chain. With memory dependence
+	// tracking the loads serialize on the stores; without it they
+	// don't.
+	build := func(track bool) float64 {
+		a := NewILPAnalyzer([]int{64}, track)
+		s := newStream()
+		for i := 0; i < 5000; i++ {
+			st := s.store(isa.IntReg(1), isa.RegZero, 0x1000)
+			a.Observe(&st)
+			ld := s.load(isa.IntReg(1), isa.RegZero, 0x1000)
+			a.Observe(&ld)
+		}
+		return a.IPC(0)
+	}
+	with := build(true)
+	without := build(false)
+	if with >= without {
+		t.Errorf("memory deps ignored: IPC with=%g, without=%g", with, without)
+	}
+	if math.Abs(with-1.0) > 0.05 {
+		t.Errorf("fully memory-serialized IPC = %g, want ~1", with)
+	}
+}
+
+func TestRegTrafficOperandsAndDegree(t *testing.T) {
+	a := NewRegTrafficAnalyzer()
+	s := newStream()
+	// write r1; then read it 3 times.
+	w := s.alu(isa.IntReg(1))
+	a.Observe(&w)
+	for i := 0; i < 3; i++ {
+		r := s.alu(isa.IntReg(2+i), isa.IntReg(1))
+		a.Observe(&r)
+	}
+	if got := a.AvgDegreeOfUse(); math.Abs(got-3.0/4.0) > 1e-12 {
+		t.Errorf("degree of use = %g, want 0.75 (3 reads / 4 writes)", got)
+	}
+	if got := a.AvgInputOperands(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("avg input operands = %g, want 0.75", got)
+	}
+}
+
+func TestRegTrafficDepDistance(t *testing.T) {
+	a := NewRegTrafficAnalyzer()
+	s := newStream()
+	// Producer, then a consumer exactly 1 instruction later and another
+	// 5 instructions later.
+	p := s.alu(isa.IntReg(1))
+	a.Observe(&p)
+	c1 := s.alu(isa.IntReg(2), isa.IntReg(1)) // dist 1
+	a.Observe(&c1)
+	for i := 0; i < 3; i++ {
+		f := s.alu(isa.IntReg(3))
+		a.Observe(&f)
+	}
+	c2 := s.alu(isa.IntReg(4), isa.IntReg(1)) // dist 5
+	a.Observe(&c2)
+	cdf := a.DepDistCDF()
+	// Two distances observed: 1 and 5.
+	if cdf[0] != 0.5 { // = 1
+		t.Errorf("P(dist=1) = %g, want 0.5", cdf[0])
+	}
+	if cdf[2] != 0.5 { // <= 4
+		t.Errorf("P(dist<=4) = %g, want 0.5", cdf[2])
+	}
+	if cdf[3] != 1.0 { // <= 8
+		t.Errorf("P(dist<=8) = %g, want 1", cdf[3])
+	}
+	if cdf[len(cdf)-1] != 1.0 {
+		t.Errorf("P(dist<=64) = %g, want 1", cdf[len(cdf)-1])
+	}
+}
+
+func TestRegTrafficIgnoresZeroRegs(t *testing.T) {
+	a := NewRegTrafficAnalyzer()
+	s := newStream()
+	ev := s.alu(isa.RegZero, isa.RegZero)
+	a.Observe(&ev)
+	if a.AvgInputOperands() != 0 || a.AvgDegreeOfUse() != 0 {
+		t.Error("zero register traffic was counted")
+	}
+}
+
+func TestWorkingSetCounts(t *testing.T) {
+	a := NewWorkingSetAnalyzer()
+	s := newStream()
+	// 4 loads in one 32B block; 1 load in a different page.
+	for i := uint64(0); i < 4; i++ {
+		ev := s.load(isa.IntReg(1), isa.RegZero, 0x1000+i*8)
+		a.Observe(&ev)
+	}
+	far := s.load(isa.IntReg(1), isa.RegZero, 0x100000)
+	a.Observe(&far)
+	if got := a.DataBlocks(); got != 2 {
+		t.Errorf("data blocks = %d, want 2", got)
+	}
+	if got := a.DataPages(); got != 2 {
+		t.Errorf("data pages = %d, want 2", got)
+	}
+	// 5 sequential PCs: they fit in one 32B block (4B each)? 5*4=20 < 32
+	// but may straddle depending on base; CodeBase is 32B aligned so
+	// they occupy exactly 1 block and 1 page.
+	if got := a.InstBlocks(); got != 1 {
+		t.Errorf("inst blocks = %d, want 1", got)
+	}
+	if got := a.InstPages(); got != 1 {
+		t.Errorf("inst pages = %d, want 1", got)
+	}
+}
+
+func TestWorkingSetStraddle(t *testing.T) {
+	a := NewWorkingSetAnalyzer()
+	s := newStream()
+	// 8-byte access at block-boundary-minus-4 touches two blocks.
+	ev := s.load(isa.IntReg(1), isa.RegZero, 32-4)
+	a.Observe(&ev)
+	if got := a.DataBlocks(); got != 2 {
+		t.Errorf("straddling access blocks = %d, want 2", got)
+	}
+}
+
+func TestStridesSequentialLoads(t *testing.T) {
+	a := NewStrideAnalyzer()
+	pc := isa.CodeBase
+	for i := uint64(0); i < 100; i++ {
+		ev := trace.Event{PC: pc, Op: isa.OpLdQ, Class: isa.ClassLoad,
+			MemAddr: 0x1000 + i*8, MemSize: 8}
+		a.Observe(&ev)
+	}
+	ll := a.LocalLoadCDF()
+	if ll[0] != 0 { // stride 8, never 0
+		t.Errorf("P(local load stride=0) = %g, want 0", ll[0])
+	}
+	if ll[1] != 1 { // all strides are 8
+		t.Errorf("P(local load stride<=8) = %g, want 1", ll[1])
+	}
+	gl := a.GlobalLoadCDF()
+	if gl[1] != 1 {
+		t.Errorf("P(global load stride<=8) = %g, want 1", gl[1])
+	}
+}
+
+func TestStridesLocalVsGlobal(t *testing.T) {
+	// Two static loads interleaved: one walks array A, the other array
+	// B far away. Local strides are small; global strides alternate
+	// between huge jumps.
+	a := NewStrideAnalyzer()
+	pcA, pcB := isa.CodeBase, isa.CodeBase+4
+	baseA, baseB := uint64(0x10000), uint64(0x900000)
+	for i := uint64(0); i < 200; i++ {
+		evA := trace.Event{PC: pcA, Op: isa.OpLdQ, Class: isa.ClassLoad, MemAddr: baseA + i*8, MemSize: 8}
+		a.Observe(&evA)
+		evB := trace.Event{PC: pcB, Op: isa.OpLdQ, Class: isa.ClassLoad, MemAddr: baseB + i*8, MemSize: 8}
+		a.Observe(&evB)
+	}
+	ll := a.LocalLoadCDF()
+	if ll[1] != 1 {
+		t.Errorf("local strides should all be 8, CDF le8 = %g", ll[1])
+	}
+	gl := a.GlobalLoadCDF()
+	if gl[4] > 0.01 {
+		t.Errorf("global strides should be huge, CDF le4096 = %g", gl[4])
+	}
+}
+
+func TestStridesStoreZero(t *testing.T) {
+	a := NewStrideAnalyzer()
+	pc := isa.CodeBase
+	for i := 0; i < 50; i++ {
+		ev := trace.Event{PC: pc, Op: isa.OpStQ, Class: isa.ClassStore, MemAddr: 0x2000, MemSize: 8}
+		a.Observe(&ev)
+	}
+	ls := a.LocalStoreCDF()
+	if ls[0] != 1 {
+		t.Errorf("P(local store stride=0) = %g, want 1", ls[0])
+	}
+	gs := a.GlobalStoreCDF()
+	if gs[0] != 1 {
+		t.Errorf("P(global store stride=0) = %g, want 1", gs[0])
+	}
+	// No loads at all: load CDFs are zero.
+	if a.LocalLoadCDF()[4] != 0 {
+		t.Error("load CDF nonzero without loads")
+	}
+}
+
+func TestPPMAlwaysTaken(t *testing.T) {
+	a := NewPPMAnalyzer(4)
+	s := newStream()
+	for i := 0; i < 1000; i++ {
+		ev := s.branchAt(isa.CodeBase, true)
+		a.Observe(&ev)
+	}
+	for v := PPMVariant(0); v < numPPMVariants; v++ {
+		if acc := a.Accuracy(v); acc < 0.99 {
+			t.Errorf("%s accuracy on always-taken = %g, want ~1", v, acc)
+		}
+	}
+}
+
+func TestPPMAlternatingPattern(t *testing.T) {
+	// T,N,T,N...: trivially predictable from 1 bit of history once
+	// warmed up.
+	a := NewPPMAnalyzer(4)
+	s := newStream()
+	for i := 0; i < 2000; i++ {
+		ev := s.branchAt(isa.CodeBase, i%2 == 0)
+		a.Observe(&ev)
+	}
+	if acc := a.Accuracy(PPMGAg); acc < 0.95 {
+		t.Errorf("GAg accuracy on alternating = %g, want > 0.95", acc)
+	}
+	if acc := a.Accuracy(PPMPAs); acc < 0.95 {
+		t.Errorf("PAs accuracy on alternating = %g, want > 0.95", acc)
+	}
+}
+
+func TestPPMRandomNearHalf(t *testing.T) {
+	a := NewPPMAnalyzer(4)
+	s := newStream()
+	// Deterministic pseudo-random outcomes.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		ev := s.branchAt(isa.CodeBase, x&1 == 1)
+		a.Observe(&ev)
+	}
+	for v := PPMVariant(0); v < numPPMVariants; v++ {
+		acc := a.Accuracy(v)
+		if acc < 0.4 || acc > 0.62 {
+			t.Errorf("%s accuracy on random = %g, want ~0.5", v, acc)
+		}
+	}
+}
+
+func TestPPMPerAddressBeatsGlobalOnInterleaved(t *testing.T) {
+	// Two branches with private alternating phases, interleaved with a
+	// noise branch: per-address history isolates each branch's pattern.
+	a := NewPPMAnalyzer(6)
+	s := newStream()
+	x := uint64(12345)
+	for i := 0; i < 4000; i++ {
+		b1 := s.branchAt(isa.CodeBase, i%2 == 0)
+		a.Observe(&b1)
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		noise := s.branchAt(isa.CodeBase+8, x&1 == 1)
+		a.Observe(&noise)
+		b2 := s.branchAt(isa.CodeBase+4, i%3 == 0)
+		a.Observe(&b2)
+	}
+	pas, gag := a.Accuracy(PPMPAs), a.Accuracy(PPMGAg)
+	if pas <= gag {
+		t.Errorf("PAs (%g) should beat GAg (%g) on interleaved private patterns", pas, gag)
+	}
+}
+
+func TestPPMIgnoresUnconditional(t *testing.T) {
+	a := NewPPMAnalyzer(4)
+	ev := trace.Event{PC: isa.CodeBase, Op: isa.OpBr, Class: isa.ClassBranch, Taken: true}
+	a.Observe(&ev)
+	if a.Branches() != 0 {
+		t.Error("unconditional branch was scored")
+	}
+}
+
+func TestProfilerFullVector(t *testing.T) {
+	p := NewProfiler(DefaultOptions())
+	s := newStream()
+	for i := 0; i < 500; i++ {
+		ld := s.load(isa.IntReg(1), isa.IntReg(2), 0x1000+uint64(i%64)*8)
+		p.Observe(&ld)
+		add := s.alu(isa.IntReg(3), isa.IntReg(1), isa.IntReg(3))
+		p.Observe(&add)
+		st := s.store(isa.IntReg(3), isa.IntReg(2), 0x8000+uint64(i%64)*8)
+		p.Observe(&st)
+		br := s.branchAt(isa.CodeBase, i%4 != 0)
+		p.Observe(&br)
+	}
+	v := p.Vector()
+	if math.Abs(v[CharPctLoads]-0.25) > 1e-9 {
+		t.Errorf("pct loads = %g, want 0.25", v[CharPctLoads])
+	}
+	if v[CharILP256] < v[CharILP32] {
+		t.Error("ILP decreases with window")
+	}
+	if v[CharDWSBlocks] == 0 || v[CharIWSBlocks] == 0 {
+		t.Error("working sets empty")
+	}
+	if v[CharPPMGAg] == 0 {
+		t.Error("PPM accuracy zero")
+	}
+}
+
+func TestProfilerSubsetSkipsAnalyzers(t *testing.T) {
+	subset := make([]bool, NumChars)
+	subset[CharPctLoads] = true
+	opts := DefaultOptions()
+	opts.Subset = subset
+	p := NewProfiler(opts)
+	if p.ilp != nil || p.ppm != nil || p.ws != nil || p.strides != nil || p.reg != nil {
+		t.Error("subset profiler instantiated unneeded analyzers")
+	}
+	if p.mix == nil {
+		t.Fatal("subset profiler missing the mix analyzer")
+	}
+	s := newStream()
+	ld := s.load(isa.IntReg(1), isa.IntReg(2), 0x100)
+	p.Observe(&ld)
+	v := p.Vector()
+	if v[CharPctLoads] != 1.0 {
+		t.Errorf("pct loads = %g, want 1", v[CharPctLoads])
+	}
+	if v[CharILP32] != 0 {
+		t.Error("disabled analyzer wrote a value")
+	}
+}
+
+func TestCharMetadata(t *testing.T) {
+	if len(CharNames()) != NumChars {
+		t.Fatal("CharNames length mismatch")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < NumChars; i++ {
+		n := CharName(i)
+		if n == "" || seen[n] {
+			t.Errorf("characteristic %d has empty/duplicate name %q", i, n)
+		}
+		seen[n] = true
+		if CharCategory(i) == "" {
+			t.Errorf("characteristic %d (%s) has no category", i, n)
+		}
+	}
+	if CharName(CharPPMPAs) != "ppm_pas" {
+		t.Error("last characteristic misnamed")
+	}
+	if CharCategory(CharDWSBlocks) != "working set size" {
+		t.Errorf("category of dws_32b_blocks = %q", CharCategory(CharDWSBlocks))
+	}
+	if CharName(-1) == "" || CharCategory(99) != "unknown" {
+		t.Error("out-of-range metadata handling wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package mica
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// MixAnalyzer measures the instruction mix (Table II, characteristics
+// 1-6): the fraction of loads, stores, control transfers, integer
+// arithmetic, integer multiplies and floating-point operations.
+type MixAnalyzer struct {
+	counts [isa.NumClasses]uint64
+	total  uint64
+}
+
+// NewMixAnalyzer returns a ready MixAnalyzer.
+func NewMixAnalyzer() *MixAnalyzer { return &MixAnalyzer{} }
+
+// Observe implements trace.Observer.
+func (a *MixAnalyzer) Observe(ev *trace.Event) {
+	a.counts[ev.Class]++
+	a.total++
+}
+
+// Total returns the number of observed instructions.
+func (a *MixAnalyzer) Total() uint64 { return a.total }
+
+// Fraction returns the fraction of instructions in class c, in [0,1].
+func (a *MixAnalyzer) Fraction(c isa.Class) float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.counts[c]) / float64(a.total)
+}
+
+// Fill writes characteristics 1-6 into v.
+func (a *MixAnalyzer) Fill(v *Vector) {
+	v[CharPctLoads] = a.Fraction(isa.ClassLoad)
+	v[CharPctStores] = a.Fraction(isa.ClassStore)
+	v[CharPctBranches] = a.Fraction(isa.ClassBranch)
+	v[CharPctArith] = a.Fraction(isa.ClassIntArith)
+	v[CharPctIntMul] = a.Fraction(isa.ClassIntMul)
+	v[CharPctFP] = a.Fraction(isa.ClassFP)
+}

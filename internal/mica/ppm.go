@@ -1,0 +1,218 @@
+package mica
+
+import (
+	"fmt"
+
+	"mica/internal/trace"
+)
+
+// PPMVariant selects one of the four Prediction-by-Partial-Matching
+// branch predictability metrics of Table II (characteristics 44-47),
+// following Chen et al.'s taxonomy: the first letter selects the history
+// (Global or Per-address), the second whether the prediction table is
+// shared by all branches ('g') or separate per branch ('s').
+type PPMVariant uint8
+
+// The four PPM variants used in the paper.
+const (
+	PPMGAg PPMVariant = iota // global history, shared table
+	PPMPAg                   // per-address history, shared table
+	PPMGAs                   // global history, per-branch tables
+	PPMPAs                   // per-address history, per-branch tables
+	numPPMVariants
+)
+
+// NumPPMVariants is the number of PPM predictor variants.
+const NumPPMVariants = int(numPPMVariants)
+
+// String returns the conventional predictor name.
+func (v PPMVariant) String() string {
+	switch v {
+	case PPMGAg:
+		return "GAg"
+	case PPMPAg:
+		return "PAg"
+	case PPMGAs:
+		return "GAs"
+	case PPMPAs:
+		return "PAs"
+	default:
+		return fmt.Sprintf("ppm(%d)", uint8(v))
+	}
+}
+
+// DefaultPPMOrder is the default maximum PPM context order (history
+// length in bits). The PPM predictor is to be seen as a theoretical upper
+// bound on branch predictability, not a hardware design; order 8 is deep
+// enough to capture loop and correlation patterns while remaining cheap
+// to measure. The ablation bench sweeps this parameter.
+const DefaultPPMOrder = 8
+
+type ppmKey struct {
+	order uint8
+	pc    uint64 // 0 for shared ('g') tables
+	hist  uint64
+}
+
+// ppmPredictor is one PPM predictor instance.
+type ppmPredictor struct {
+	variant  PPMVariant
+	maxOrder int
+
+	globalHist uint64
+	localHist  map[uint64]uint64 // pc -> history
+
+	table map[ppmKey]*[2]uint32
+
+	correct uint64
+	total   uint64
+
+	// scratch buffer of per-order count entries, reused across branches.
+	chain []*[2]uint32
+}
+
+func newPPMPredictor(variant PPMVariant, maxOrder int) *ppmPredictor {
+	if maxOrder < 0 || maxOrder > 32 {
+		panic("mica: PPM order out of range")
+	}
+	return &ppmPredictor{
+		variant:   variant,
+		maxOrder:  maxOrder,
+		localHist: make(map[uint64]uint64),
+		table:     make(map[ppmKey]*[2]uint32),
+		chain:     make([]*[2]uint32, maxOrder+1),
+	}
+}
+
+// observe predicts the branch at pc, scores the prediction against taken,
+// and updates the model.
+func (p *ppmPredictor) observe(pc uint64, taken bool) {
+	var hist uint64
+	perAddr := p.variant == PPMPAg || p.variant == PPMPAs
+	if perAddr {
+		hist = p.localHist[pc]
+	} else {
+		hist = p.globalHist
+	}
+	var tablePC uint64
+	if p.variant == PPMGAs || p.variant == PPMPAs {
+		tablePC = pc
+	}
+
+	// Walk orders from longest to shortest; remember each order's count
+	// cell (allocating on first touch) and predict from the longest
+	// context that has been seen before.
+	predicted := true // static default: predict taken
+	decided := false
+	for k := p.maxOrder; k >= 0; k-- {
+		key := ppmKey{order: uint8(k), pc: tablePC, hist: hist & (1<<uint(k) - 1)}
+		cell := p.table[key]
+		if cell == nil {
+			cell = new([2]uint32)
+			p.table[key] = cell
+		}
+		p.chain[k] = cell
+		if !decided && cell[0]+cell[1] > 0 {
+			predicted = cell[1] >= cell[0]
+			decided = true
+		}
+	}
+
+	p.total++
+	if predicted == taken {
+		p.correct++
+	}
+	outcome := 0
+	if taken {
+		outcome = 1
+	}
+	for k := 0; k <= p.maxOrder; k++ {
+		p.chain[k][outcome]++
+	}
+
+	// Shift the outcome into the history.
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	if perAddr {
+		p.localHist[pc] = hist<<1 | bit
+	} else {
+		p.globalHist = hist<<1 | bit
+	}
+}
+
+// accuracy returns the fraction of correctly predicted branches.
+func (p *ppmPredictor) accuracy() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.total)
+}
+
+// PPMAnalyzer measures branch predictability with a configurable set of
+// PPM variants. Only conditional branches are scored; unconditional
+// transfers are perfectly predictable and excluded, as in the paper's
+// methodology.
+type PPMAnalyzer struct {
+	preds  [NumPPMVariants]*ppmPredictor
+	active []*ppmPredictor
+}
+
+// NewPPMAnalyzer returns an analyzer with all four variants at the given
+// maximum order (use DefaultPPMOrder).
+func NewPPMAnalyzer(maxOrder int) *PPMAnalyzer {
+	return NewPPMAnalyzerVariants(maxOrder, nil)
+}
+
+// NewPPMAnalyzerVariants measures only the listed variants (nil means all
+// four). Measuring fewer variants is proportionally cheaper — the
+// per-characteristic saving the paper's key-subset methodology banks on.
+func NewPPMAnalyzerVariants(maxOrder int, variants []PPMVariant) *PPMAnalyzer {
+	if variants == nil {
+		variants = []PPMVariant{PPMGAg, PPMPAg, PPMGAs, PPMPAs}
+	}
+	a := &PPMAnalyzer{}
+	for _, v := range variants {
+		if a.preds[v] == nil {
+			a.preds[v] = newPPMPredictor(v, maxOrder)
+			a.active = append(a.active, a.preds[v])
+		}
+	}
+	return a
+}
+
+// Observe implements trace.Observer.
+func (a *PPMAnalyzer) Observe(ev *trace.Event) {
+	if !ev.Conditional {
+		return
+	}
+	for _, p := range a.active {
+		p.observe(ev.PC, ev.Taken)
+	}
+}
+
+// Accuracy returns the prediction accuracy of a variant (0 when the
+// variant was not configured).
+func (a *PPMAnalyzer) Accuracy(v PPMVariant) float64 {
+	if a.preds[v] == nil {
+		return 0
+	}
+	return a.preds[v].accuracy()
+}
+
+// Branches returns the number of conditional branches scored.
+func (a *PPMAnalyzer) Branches() uint64 {
+	if len(a.active) == 0 {
+		return 0
+	}
+	return a.active[0].total
+}
+
+// Fill writes characteristics 44-47 into v.
+func (a *PPMAnalyzer) Fill(v *Vector) {
+	v[CharPPMGAg] = a.Accuracy(PPMGAg)
+	v[CharPPMPAg] = a.Accuracy(PPMPAg)
+	v[CharPPMGAs] = a.Accuracy(PPMGAs)
+	v[CharPPMPAs] = a.Accuracy(PPMPAs)
+}

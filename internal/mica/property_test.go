@@ -1,0 +1,213 @@
+package mica
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// randomEventStream builds a deterministic pseudo-random instruction
+// stream from a seed, covering ALU ops, loads, stores and branches.
+func randomEventStream(seed uint64, n int) []trace.Event {
+	out := make([]trace.Event, 0, n)
+	x := seed | 1
+	next := func(mod int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(mod))
+	}
+	pc := isa.CodeBase
+	for i := 0; i < n; i++ {
+		ev := trace.Event{Seq: uint64(i), PC: pc}
+		switch next(10) {
+		case 0, 1:
+			ev.Op, ev.Class = isa.OpLdQ, isa.ClassLoad
+			ev.Src[0], ev.NSrc = isa.IntReg(next(30)), 1
+			ev.Dst, ev.HasDst = isa.IntReg(next(30)), true
+			ev.MemAddr, ev.MemSize = uint64(0x10000+next(1<<18)), 8
+		case 2:
+			ev.Op, ev.Class = isa.OpStQ, isa.ClassStore
+			ev.Src[0], ev.Src[1], ev.NSrc = isa.IntReg(next(30)), isa.IntReg(next(30)), 2
+			ev.MemAddr, ev.MemSize = uint64(0x10000+next(1<<18)), 8
+		case 3:
+			ev.Op, ev.Class = isa.OpBne, isa.ClassBranch
+			ev.Src[0], ev.NSrc = isa.IntReg(next(30)), 1
+			ev.Conditional = true
+			ev.Taken = next(2) == 1
+		default:
+			ev.Op, ev.Class = isa.OpAddQ, isa.ClassIntArith
+			ev.Src[0], ev.Src[1], ev.NSrc = isa.IntReg(next(30)), isa.IntReg(next(30)), 2
+			ev.Dst, ev.HasDst = isa.IntReg(next(30)), true
+		}
+		out = append(out, ev)
+		pc += isa.InstBytes
+	}
+	return out
+}
+
+// TestPropertyVectorBounds checks invariants that must hold on the
+// characteristic vector of ANY instruction stream: probabilities in
+// [0,1], mix summing to 1, monotone CDFs, ILP monotone in window size.
+func TestPropertyVectorBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		events := randomEventStream(seed, 3000)
+		p := NewProfiler(DefaultOptions())
+		for i := range events {
+			p.Observe(&events[i])
+		}
+		v := p.Vector()
+
+		// Mix fractions sum to 1.
+		mix := v[CharPctLoads] + v[CharPctStores] + v[CharPctBranches] +
+			v[CharPctArith] + v[CharPctIntMul] + v[CharPctFP]
+		if math.Abs(mix-1) > 1e-9 {
+			t.Logf("mix sum %g", mix)
+			return false
+		}
+		// All probability-valued characteristics in [0,1].
+		probRanges := [][2]int{
+			{CharPctLoads, CharPctFP},
+			{CharDepDistEq1, CharDepDistLE64},
+			{CharLocalLoadStride0, CharGlobalStoreStrideLE4096},
+			{CharPPMGAg, CharPPMPAs},
+		}
+		for _, r := range probRanges {
+			for c := r[0]; c <= r[1]; c++ {
+				if v[c] < 0 || v[c] > 1+1e-12 {
+					t.Logf("%s = %g out of [0,1]", CharName(c), v[c])
+					return false
+				}
+			}
+		}
+		// Dependency-distance CDF is nondecreasing.
+		for c := CharDepDistEq1; c < CharDepDistLE64; c++ {
+			if v[c+1]+1e-12 < v[c] {
+				t.Logf("dep dist CDF decreasing at %s", CharName(c))
+				return false
+			}
+		}
+		// Stride CDFs are nondecreasing within each group of 5.
+		for _, base := range []int{CharLocalLoadStride0, CharGlobalLoadStride0,
+			CharLocalStoreStride0, CharGlobalStoreStride0} {
+			for k := 0; k < 4; k++ {
+				if v[base+k+1]+1e-12 < v[base+k] {
+					t.Logf("stride CDF decreasing at %s", CharName(base+k))
+					return false
+				}
+			}
+		}
+		// ILP monotone in window size, and at least 1 instruction/cycle
+		// cannot be exceeded by a serial chain bound of n.
+		if v[CharILP32] > v[CharILP64]+1e-9 || v[CharILP64] > v[CharILP128]+1e-9 ||
+			v[CharILP128] > v[CharILP256]+1e-9 {
+			t.Log("ILP not monotone")
+			return false
+		}
+		if v[CharILP32] <= 0 {
+			t.Log("ILP zero on nonempty stream")
+			return false
+		}
+		// Working sets bounded by access counts.
+		if v[CharIWSBlocks] > 3000 || v[CharDWSBlocks] > 2*3000 {
+			t.Log("working sets exceed stream length")
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWindowNeverHurts: for random streams, a larger ILP window
+// never reduces achievable IPC.
+func TestPropertyWindowNeverHurts(t *testing.T) {
+	f := func(seed uint64) bool {
+		events := randomEventStream(seed, 2000)
+		a := NewILPAnalyzer([]int{16, 48, 96}, true)
+		for i := range events {
+			a.Observe(&events[i])
+		}
+		return a.IPC(0) <= a.IPC(1)+1e-9 && a.IPC(1) <= a.IPC(2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPPMAccuracyBounds: accuracies are always in [0,1] and all
+// four variants see the same branch count.
+func TestPropertyPPMAccuracyBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		events := randomEventStream(seed, 2000)
+		a := NewPPMAnalyzer(6)
+		for i := range events {
+			a.Observe(&events[i])
+		}
+		for v := PPMVariant(0); v < numPPMVariants; v++ {
+			acc := a.Accuracy(v)
+			if acc < 0 || acc > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProfilerOrderIndependentAnalyzers: feeding the same stream
+// twice into two fresh profilers gives identical vectors (analyzers hold
+// no global state).
+func TestPropertyProfilerDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		events := randomEventStream(seed, 1500)
+		v := [2]Vector{}
+		for trial := 0; trial < 2; trial++ {
+			p := NewProfiler(DefaultOptions())
+			for i := range events {
+				p.Observe(&events[i])
+			}
+			v[trial] = p.Vector()
+		}
+		return v[0] == v[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySubsetVectorIsProjection: profiling with a subset yields
+// exactly the full vector's values on selected characteristics within
+// the same analyzer group.
+func TestPropertySubsetVectorIsProjection(t *testing.T) {
+	events := randomEventStream(99, 4000)
+	full := NewProfiler(DefaultOptions())
+	for i := range events {
+		full.Observe(&events[i])
+	}
+	fv := full.Vector()
+
+	subset := make([]bool, NumChars)
+	for _, c := range []int{CharPctLoads, CharILP256, CharDWSPages, CharPPMGAs} {
+		subset[c] = true
+	}
+	opts := DefaultOptions()
+	opts.Subset = subset
+	part := NewProfiler(opts)
+	for i := range events {
+		part.Observe(&events[i])
+	}
+	pv := part.Vector()
+	for _, c := range []int{CharPctLoads, CharILP256, CharDWSPages, CharPPMGAs} {
+		if math.Abs(pv[c]-fv[c]) > 1e-12 {
+			t.Errorf("%s: subset %g vs full %g", CharName(c), pv[c], fv[c])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mica
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// DepDistBuckets are the register dependency distance buckets of Table II
+// (characteristics 13-19): P(dist = 1) and P(dist <= 2, 4, 8, 16, 32, 64).
+var DepDistBuckets = []uint64{1, 2, 4, 8, 16, 32, 64}
+
+// RegTrafficAnalyzer measures the register traffic characteristics of
+// Table II (11-19), following Franklin & Sohi's register traffic analysis:
+//
+//   - the average number of register input operands per instruction,
+//   - the average degree of use (reads per register instance), and
+//   - the cumulative distribution of register dependency distances, where
+//     the distance is the number of dynamic instructions between a
+//     register write and a read of that instance.
+//
+// Hardwired zero registers are excluded: they carry no true dependencies.
+type RegTrafficAnalyzer struct {
+	// lastWrite[r] is the dynamic sequence number of the instruction
+	// that produced the current instance of r, or noProducer.
+	lastWrite [isa.NumRegs]uint64
+	seq       uint64
+
+	totalInsts   uint64
+	totalSrcRegs uint64
+	totalWrites  uint64
+	totalReads   uint64
+
+	distCounts []uint64 // per DepDistBuckets, non-cumulative counting below
+	distTotal  uint64
+}
+
+const noProducer = ^uint64(0)
+
+// NewRegTrafficAnalyzer returns a ready analyzer.
+func NewRegTrafficAnalyzer() *RegTrafficAnalyzer {
+	a := &RegTrafficAnalyzer{distCounts: make([]uint64, len(DepDistBuckets))}
+	for i := range a.lastWrite {
+		a.lastWrite[i] = noProducer
+	}
+	return a
+}
+
+// Observe implements trace.Observer.
+func (a *RegTrafficAnalyzer) Observe(ev *trace.Event) {
+	a.totalInsts++
+	for i := uint8(0); i < ev.NSrc; i++ {
+		r := ev.Src[i]
+		if r.IsZero() {
+			continue
+		}
+		a.totalSrcRegs++
+		if w := a.lastWrite[r]; w != noProducer {
+			a.totalReads++
+			dist := a.seq - w
+			a.distTotal++
+			for b, lim := range DepDistBuckets {
+				if dist <= lim {
+					a.distCounts[b]++
+				}
+			}
+		}
+	}
+	if ev.HasDst && !ev.Dst.IsZero() {
+		a.totalWrites++
+		a.lastWrite[ev.Dst] = a.seq
+	}
+	a.seq++
+}
+
+// AvgInputOperands returns the average number of register source operands
+// per instruction.
+func (a *RegTrafficAnalyzer) AvgInputOperands() float64 {
+	if a.totalInsts == 0 {
+		return 0
+	}
+	return float64(a.totalSrcRegs) / float64(a.totalInsts)
+}
+
+// AvgDegreeOfUse returns the average number of reads per register
+// instance (register write).
+func (a *RegTrafficAnalyzer) AvgDegreeOfUse() float64 {
+	if a.totalWrites == 0 {
+		return 0
+	}
+	return float64(a.totalReads) / float64(a.totalWrites)
+}
+
+// DepDistCDF returns P(dependency distance <= DepDistBuckets[i]) for each
+// bucket. The first bucket is P(dist = 1) since distances are >= 1.
+func (a *RegTrafficAnalyzer) DepDistCDF() []float64 {
+	out := make([]float64, len(DepDistBuckets))
+	if a.distTotal == 0 {
+		return out
+	}
+	for i, c := range a.distCounts {
+		out[i] = float64(c) / float64(a.distTotal)
+	}
+	return out
+}
+
+// Fill writes characteristics 11-19 into v.
+func (a *RegTrafficAnalyzer) Fill(v *Vector) {
+	v[CharAvgInputOperands] = a.AvgInputOperands()
+	v[CharAvgDegreeOfUse] = a.AvgDegreeOfUse()
+	cdf := a.DepDistCDF()
+	for i, p := range cdf {
+		v[CharDepDistEq1+i] = p
+	}
+}

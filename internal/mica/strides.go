@@ -1,0 +1,125 @@
+package mica
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// StrideBuckets are the data stride buckets of Table II (characteristics
+// 24-43): P(stride = 0) and P(|stride| <= 8, 64, 512, 4096).
+var StrideBuckets = []uint64{0, 8, 64, 512, 4096}
+
+// strideDist accumulates the cumulative stride distribution for one
+// (local/global, load/store) combination.
+type strideDist struct {
+	counts [5]uint64
+	total  uint64
+}
+
+func (d *strideDist) add(stride uint64) {
+	d.total++
+	for i, lim := range StrideBuckets {
+		if stride <= lim {
+			d.counts[i]++
+		}
+	}
+}
+
+// cdf returns the cumulative probabilities, zero when no strides were
+// observed.
+func (d *strideDist) cdf() [5]float64 {
+	var out [5]float64
+	if d.total == 0 {
+		return out
+	}
+	for i, c := range d.counts {
+		out[i] = float64(c) / float64(d.total)
+	}
+	return out
+}
+
+// StrideAnalyzer measures the data-stream stride characteristics of Table
+// II (24-43). A global stride is the absolute address difference between
+// temporally adjacent memory accesses (loads and stores tracked
+// separately, as the paper distinguishes load and store streams). A local
+// stride is the same quantity restricted to accesses issued by one static
+// instruction (tracked per PC). The first access of a stream defines no
+// stride.
+type StrideAnalyzer struct {
+	lastGlobalLoad  uint64
+	haveGlobalLoad  bool
+	lastGlobalStore uint64
+	haveGlobalStore bool
+
+	lastLocal map[uint64]uint64 // PC -> last address
+
+	localLoad   strideDist
+	globalLoad  strideDist
+	localStore  strideDist
+	globalStore strideDist
+}
+
+// NewStrideAnalyzer returns a ready analyzer.
+func NewStrideAnalyzer() *StrideAnalyzer {
+	return &StrideAnalyzer{lastLocal: make(map[uint64]uint64)}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Observe implements trace.Observer.
+func (a *StrideAnalyzer) Observe(ev *trace.Event) {
+	if ev.MemSize == 0 {
+		return
+	}
+	addr := ev.MemAddr
+	if last, ok := a.lastLocal[ev.PC]; ok {
+		s := absDiff(addr, last)
+		if ev.Class == isa.ClassLoad {
+			a.localLoad.add(s)
+		} else {
+			a.localStore.add(s)
+		}
+	}
+	a.lastLocal[ev.PC] = addr
+
+	if ev.Class == isa.ClassLoad {
+		if a.haveGlobalLoad {
+			a.globalLoad.add(absDiff(addr, a.lastGlobalLoad))
+		}
+		a.lastGlobalLoad, a.haveGlobalLoad = addr, true
+	} else {
+		if a.haveGlobalStore {
+			a.globalStore.add(absDiff(addr, a.lastGlobalStore))
+		}
+		a.lastGlobalStore, a.haveGlobalStore = addr, true
+	}
+}
+
+// LocalLoadCDF returns the cumulative local load stride distribution.
+func (a *StrideAnalyzer) LocalLoadCDF() [5]float64 { return a.localLoad.cdf() }
+
+// GlobalLoadCDF returns the cumulative global load stride distribution.
+func (a *StrideAnalyzer) GlobalLoadCDF() [5]float64 { return a.globalLoad.cdf() }
+
+// LocalStoreCDF returns the cumulative local store stride distribution.
+func (a *StrideAnalyzer) LocalStoreCDF() [5]float64 { return a.localStore.cdf() }
+
+// GlobalStoreCDF returns the cumulative global store stride distribution.
+func (a *StrideAnalyzer) GlobalStoreCDF() [5]float64 { return a.globalStore.cdf() }
+
+// Fill writes characteristics 24-43 into v.
+func (a *StrideAnalyzer) Fill(v *Vector) {
+	ll, gl := a.localLoad.cdf(), a.globalLoad.cdf()
+	ls, gs := a.localStore.cdf(), a.globalStore.cdf()
+	for i := 0; i < 5; i++ {
+		v[CharLocalLoadStride0+i] = ll[i]
+		v[CharGlobalLoadStride0+i] = gl[i]
+		v[CharLocalStoreStride0+i] = ls[i]
+		v[CharGlobalStoreStride0+i] = gs[i]
+	}
+}

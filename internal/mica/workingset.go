@@ -1,0 +1,70 @@
+package mica
+
+import "mica/internal/trace"
+
+// Working-set granularities from Table II (characteristics 20-23).
+const (
+	wsBlockShift = 5  // 32-byte blocks
+	wsPageShift  = 12 // 4KB pages
+)
+
+// WorkingSetAnalyzer counts the number of unique 32-byte blocks and unique
+// 4KB pages touched by the instruction stream and by the data stream
+// (Table II characteristics 20-23).
+type WorkingSetAnalyzer struct {
+	dBlocks map[uint64]struct{}
+	dPages  map[uint64]struct{}
+	iBlocks map[uint64]struct{}
+	iPages  map[uint64]struct{}
+}
+
+// NewWorkingSetAnalyzer returns a ready analyzer.
+func NewWorkingSetAnalyzer() *WorkingSetAnalyzer {
+	return &WorkingSetAnalyzer{
+		dBlocks: make(map[uint64]struct{}),
+		dPages:  make(map[uint64]struct{}),
+		iBlocks: make(map[uint64]struct{}),
+		iPages:  make(map[uint64]struct{}),
+	}
+}
+
+// Observe implements trace.Observer.
+func (a *WorkingSetAnalyzer) Observe(ev *trace.Event) {
+	a.iBlocks[ev.PC>>wsBlockShift] = struct{}{}
+	a.iPages[ev.PC>>wsPageShift] = struct{}{}
+	if ev.MemSize > 0 {
+		// A wide access that straddles a block boundary touches both
+		// blocks.
+		first := ev.MemAddr >> wsBlockShift
+		last := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsBlockShift
+		for b := first; b <= last; b++ {
+			a.dBlocks[b] = struct{}{}
+		}
+		a.dPages[ev.MemAddr>>wsPageShift] = struct{}{}
+		if lp := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsPageShift; lp != ev.MemAddr>>wsPageShift {
+			a.dPages[lp] = struct{}{}
+		}
+	}
+}
+
+// DataBlocks returns the number of unique 32B blocks in the data stream.
+func (a *WorkingSetAnalyzer) DataBlocks() int { return len(a.dBlocks) }
+
+// DataPages returns the number of unique 4KB pages in the data stream.
+func (a *WorkingSetAnalyzer) DataPages() int { return len(a.dPages) }
+
+// InstBlocks returns the number of unique 32B blocks in the instruction
+// stream.
+func (a *WorkingSetAnalyzer) InstBlocks() int { return len(a.iBlocks) }
+
+// InstPages returns the number of unique 4KB pages in the instruction
+// stream.
+func (a *WorkingSetAnalyzer) InstPages() int { return len(a.iPages) }
+
+// Fill writes characteristics 20-23 into v.
+func (a *WorkingSetAnalyzer) Fill(v *Vector) {
+	v[CharDWSBlocks] = float64(a.DataBlocks())
+	v[CharDWSPages] = float64(a.DataPages())
+	v[CharIWSBlocks] = float64(a.InstBlocks())
+	v[CharIWSPages] = float64(a.InstPages())
+}

@@ -1,0 +1,187 @@
+// Package pca implements principal components analysis via cyclic Jacobi
+// eigendecomposition of the covariance matrix. PCA is the prior-work
+// baseline the paper's Section V-C compares against: it also reduces the
+// dimensionality of the workload space, but requires all original
+// characteristics to be measured and produces dimensions that are linear
+// combinations rather than individual characteristics.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mica/internal/stats"
+)
+
+// Result is a fitted PCA model.
+type Result struct {
+	// Components holds the eigenvectors as rows, sorted by decreasing
+	// eigenvalue.
+	Components *stats.Matrix
+	// Eigenvalues are the corresponding variances, decreasing.
+	Eigenvalues []float64
+}
+
+// Fit computes the principal components of the rows of m. The input
+// should already be normalized (the paper z-scores characteristics
+// first); Fit does not normalize.
+func Fit(m *stats.Matrix) Result {
+	n, d := m.Rows, m.Cols
+	if n < 2 {
+		panic("pca: need at least two rows")
+	}
+	// Covariance matrix.
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		means[j] = stats.Mean(m.Column(j))
+	}
+	cov := stats.NewMatrix(d, d)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += (m.At(i, a) - means[a]) * (m.At(i, b) - means[b])
+			}
+			s /= float64(n - 1)
+			cov.Set(a, b, s)
+			cov.Set(b, a, s)
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+
+	res := Result{
+		Components:  stats.NewMatrix(d, d),
+		Eigenvalues: make([]float64, d),
+	}
+	for r, idx := range order {
+		res.Eigenvalues[r] = vals[idx]
+		for c := 0; c < d; c++ {
+			// Eigenvectors are the columns of vecs.
+			res.Components.Set(r, c, vecs.At(c, idx))
+		}
+	}
+	return res
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi
+// method, returning eigenvalues and the accumulated rotation matrix whose
+// columns are eigenvectors.
+func jacobiEigen(a *stats.Matrix) ([]float64, *stats.Matrix) {
+	d := a.Rows
+	if a.Cols != d {
+		panic(fmt.Sprintf("pca: jacobi on non-square %dx%d matrix", a.Rows, a.Cols))
+	}
+	m := a.Clone()
+	v := stats.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < d; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < d; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < d; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, d)
+	for i := 0; i < d; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}
+
+// Transform projects the rows of m onto the first k principal components.
+func (r Result) Transform(m *stats.Matrix, k int) *stats.Matrix {
+	d := r.Components.Cols
+	if m.Cols != d {
+		panic("pca: transform dimensionality mismatch")
+	}
+	if k > r.Components.Rows {
+		k = r.Components.Rows
+	}
+	out := stats.NewMatrix(m.Rows, k)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for c := 0; c < k; c++ {
+			comp := r.Components.Row(c)
+			s := 0.0
+			for j := 0; j < d; j++ {
+				s += row[j] * comp[j]
+			}
+			out.Set(i, c, s)
+		}
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total variance captured by
+// the first k components.
+func (r Result) ExplainedVariance(k int) float64 {
+	if k > len(r.Eigenvalues) {
+		k = len(r.Eigenvalues)
+	}
+	total, top := 0.0, 0.0
+	for i, v := range r.Eigenvalues {
+		if v > 0 {
+			total += v
+			if i < k {
+				top += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// ComponentsNeeded returns the smallest number of components whose
+// cumulative explained variance reaches frac.
+func (r Result) ComponentsNeeded(frac float64) int {
+	for k := 1; k <= len(r.Eigenvalues); k++ {
+		if r.ExplainedVariance(k) >= frac {
+			return k
+		}
+	}
+	return len(r.Eigenvalues)
+}

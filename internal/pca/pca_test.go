@@ -1,0 +1,117 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mica/internal/stats"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along the diagonal y = x with small noise: PC1 should be
+	// ~(1/sqrt2, 1/sqrt2) and capture nearly all variance.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		v := rng.NormFloat64() * 10
+		rows[i] = []float64{v + rng.NormFloat64()*0.1, v + rng.NormFloat64()*0.1}
+	}
+	res := Fit(stats.FromRows(rows))
+	if res.Eigenvalues[0] < res.Eigenvalues[1] {
+		t.Fatal("eigenvalues not sorted descending")
+	}
+	pc1 := res.Components.Row(0)
+	ratio := math.Abs(pc1[0] / pc1[1])
+	if math.Abs(ratio-1) > 0.05 {
+		t.Errorf("PC1 = %v, want ~diagonal", pc1)
+	}
+	if ev := res.ExplainedVariance(1); ev < 0.99 {
+		t.Errorf("PC1 explains %g, want > 0.99", ev)
+	}
+}
+
+func TestPCAOrthonormalComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 2, rng.NormFloat64() * 3, rng.NormFloat64()}
+	}
+	res := Fit(stats.FromRows(rows))
+	d := res.Components.Rows
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			dot := 0.0
+			for j := 0; j < d; j++ {
+				dot += res.Components.At(a, j) * res.Components.At(b, j)
+			}
+			want := 0.0
+			if a == b {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("components %d . %d = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestPCAEigenvaluesMatchVariance(t *testing.T) {
+	// Independent axes: eigenvalues should approximate the per-axis
+	// variances.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 5000)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64()}
+	}
+	res := Fit(stats.FromRows(rows))
+	if math.Abs(res.Eigenvalues[0]-9) > 0.7 {
+		t.Errorf("eigenvalue[0] = %g, want ~9", res.Eigenvalues[0])
+	}
+	if math.Abs(res.Eigenvalues[1]-1) > 0.2 {
+		t.Errorf("eigenvalue[1] = %g, want ~1", res.Eigenvalues[1])
+	}
+}
+
+func TestTransformPreservesDistancesFullRank(t *testing.T) {
+	// A full-rank orthonormal projection preserves Euclidean distances.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	m := stats.FromRows(rows)
+	res := Fit(m)
+	p := res.Transform(m, 3)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			d0 := stats.Euclidean(m.Row(i), m.Row(j))
+			d1 := stats.Euclidean(p.Row(i), p.Row(j))
+			if math.Abs(d0-d1) > 1e-8 {
+				t.Fatalf("distance (%d,%d) changed: %g -> %g", i, j, d0, d1)
+			}
+		}
+	}
+}
+
+func TestComponentsNeeded(t *testing.T) {
+	res := Result{Eigenvalues: []float64{8, 1, 0.5, 0.5}}
+	if got := res.ComponentsNeeded(0.8); got != 1 {
+		t.Errorf("ComponentsNeeded(0.8) = %d, want 1", got)
+	}
+	if got := res.ComponentsNeeded(0.95); got != 3 {
+		t.Errorf("ComponentsNeeded(0.95) = %d, want 3", got)
+	}
+	if got := res.ComponentsNeeded(1.0); got != 4 {
+		t.Errorf("ComponentsNeeded(1.0) = %d, want 4", got)
+	}
+}
+
+func TestFitPanicsOnTinyInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fit on 1 row did not panic")
+		}
+	}()
+	Fit(stats.FromRows([][]float64{{1, 2}}))
+}

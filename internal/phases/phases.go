@@ -1,0 +1,174 @@
+// Package phases implements interval-based program phase analysis, the
+// extension the paper's related-work section points at (SimPoint-style
+// phase classification, Sherwood et al. [18]; Eeckhout et al. [16] use
+// the same microarchitecture-independent characteristics per phase): a
+// benchmark's trace is split into fixed-length intervals, each interval
+// is characterized with the Table II metrics, intervals are clustered
+// into phases with k-means + BIC, and one representative interval is
+// selected per phase with a weight proportional to the phase's share of
+// execution — the recipe for reduced-trace simulation.
+package phases
+
+import (
+	"errors"
+	"fmt"
+
+	"mica/internal/cluster"
+	"mica/internal/mica"
+	"mica/internal/stats"
+	"mica/internal/vm"
+)
+
+// Config parameterizes phase analysis.
+type Config struct {
+	// IntervalLen is the interval length in dynamic instructions
+	// (default 10k).
+	IntervalLen uint64
+	// MaxIntervals bounds the trace length (default 100 intervals).
+	MaxIntervals int
+	// MaxK bounds the BIC sweep (default 10).
+	MaxK int
+	// Seed drives k-means.
+	Seed int64
+	// Options configures the per-interval profiler.
+	Options mica.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntervalLen == 0 {
+		c.IntervalLen = 10_000
+	}
+	if c.MaxIntervals == 0 {
+		c.MaxIntervals = 100
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 10
+	}
+	return c
+}
+
+// Interval is one characterized trace slice.
+type Interval struct {
+	// Index is the interval's position in the trace.
+	Index int
+	// Start is the dynamic instruction number of the interval's first
+	// instruction.
+	Start uint64
+	// Insts is the interval length (the last interval may be short).
+	Insts uint64
+	// Vec is the interval's characteristic vector.
+	Vec mica.Vector
+}
+
+// Representative is one phase's chosen simulation point.
+type Representative struct {
+	// Phase is the cluster id.
+	Phase int
+	// Interval is the index of the interval closest to the phase
+	// centroid.
+	Interval int
+	// Weight is the fraction of intervals belonging to the phase.
+	Weight float64
+}
+
+// Result is the outcome of phase analysis for one benchmark.
+type Result struct {
+	Intervals []Interval
+	// Assign maps each interval to its phase.
+	Assign []int
+	// K is the BIC-selected number of phases.
+	K int
+	// Representatives holds one weighted simulation point per phase,
+	// ordered by descending weight.
+	Representatives []Representative
+}
+
+// Analyze runs phase analysis over a machine's execution: up to
+// MaxIntervals intervals of IntervalLen instructions each. The machine
+// should be freshly instantiated.
+func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	var start uint64
+	for i := 0; i < cfg.MaxIntervals; i++ {
+		prof := mica.NewProfiler(cfg.Options)
+		n, err := m.Run(cfg.IntervalLen, prof)
+		if n > 0 {
+			res.Intervals = append(res.Intervals, Interval{
+				Index: i, Start: start, Insts: n, Vec: prof.Vector(),
+			})
+			start += n
+		}
+		if err == nil {
+			break // program halted
+		}
+		if !errors.Is(err, vm.ErrBudget) {
+			return nil, fmt.Errorf("phases: interval %d: %w", i, err)
+		}
+	}
+	if len(res.Intervals) == 0 {
+		return nil, fmt.Errorf("phases: program produced no instructions")
+	}
+
+	// Cluster intervals in the normalized characteristic space.
+	mtx := stats.NewMatrix(len(res.Intervals), mica.NumChars)
+	for i, iv := range res.Intervals {
+		copy(mtx.Row(i), iv.Vec[:])
+	}
+	norm := stats.ZScoreNormalize(mtx)
+	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
+	res.Assign = sel.Best.Assign
+	res.K = sel.Best.K
+
+	// Pick the interval closest to each centroid as the phase
+	// representative (the SimPoint selection rule).
+	counts := make([]int, res.K)
+	bestIdx := make([]int, res.K)
+	bestDist := make([]float64, res.K)
+	for c := range bestDist {
+		bestDist[c] = -1
+	}
+	for i, c := range res.Assign {
+		counts[c]++
+		d := stats.Euclidean(norm.Row(i), sel.Best.Centroids.Row(c))
+		if bestDist[c] < 0 || d < bestDist[c] {
+			bestDist[c], bestIdx[c] = d, i
+		}
+	}
+	total := float64(len(res.Intervals))
+	for c := 0; c < res.K; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		res.Representatives = append(res.Representatives, Representative{
+			Phase:    c,
+			Interval: bestIdx[c],
+			Weight:   float64(counts[c]) / total,
+		})
+	}
+	// Order by descending weight (insertion sort; K is small).
+	reps := res.Representatives
+	for i := 1; i < len(reps); i++ {
+		for j := i; j > 0 && reps[j].Weight > reps[j-1].Weight; j-- {
+			reps[j], reps[j-1] = reps[j-1], reps[j]
+		}
+	}
+	return res, nil
+}
+
+// WeightedVector reconstructs a whole-program characteristic estimate
+// from the representatives alone — the quantity a reduced simulation
+// would use in place of the full trace.
+func (r *Result) WeightedVector() mica.Vector {
+	var out mica.Vector
+	for _, rep := range r.Representatives {
+		v := r.Intervals[rep.Interval].Vec
+		for c := range out {
+			out[c] += rep.Weight * v[c]
+		}
+	}
+	return out
+}
+
+// PhaseOf returns the phase of interval i.
+func (r *Result) PhaseOf(i int) int { return r.Assign[i] }

@@ -1,0 +1,169 @@
+package phases
+
+import (
+	"math"
+	"testing"
+
+	"mica/internal/asm"
+	"mica/internal/mica"
+	"mica/internal/vm"
+)
+
+// twoPhaseProgram alternates between a compute-heavy phase and a
+// memory-streaming phase, each lasting ~25k instructions, repeated
+// indefinitely.
+const twoPhaseProgram = `
+	.data
+arr:	.space 1048576
+	.text
+main:
+outer:	lda	r1, 6000	# compute phase iterations
+comp:	addq	r2, 1, r2
+	mulq	r2, 17, r3
+	xor	r3, r2, r4
+	subq	r1, 1, r1
+	bgt	r1, comp
+	lda	r1, 6000	# memory phase iterations
+	lda	r5, arr
+mem:	ldq	r6, 0(r5)
+	addq	r6, 1, r6
+	stq	r6, 0(r5)
+	addq	r5, 64, r5
+	subq	r1, 1, r1
+	bgt	r1, mem
+	br	outer
+`
+
+func newMachine(t *testing.T) *vm.Machine {
+	t.Helper()
+	prog, err := asm.Assemble("twophase", twoPhaseProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(prog)
+}
+
+func TestAnalyzeFindsTwoPhases(t *testing.T) {
+	m := newMachine(t)
+	res, err := Analyze(m, Config{
+		IntervalLen:  5_000,
+		MaxIntervals: 40,
+		MaxK:         6,
+		Seed:         1,
+		Options:      mica.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 40 {
+		t.Fatalf("got %d intervals, want 40", len(res.Intervals))
+	}
+	if res.K < 2 {
+		t.Errorf("K = %d, want >= 2 distinct phases", res.K)
+	}
+	// Compute intervals have ~0 loads; memory intervals have many. The
+	// clustering must separate the two extremes.
+	var loadHeavy, loadLight int
+	for i, iv := range res.Intervals {
+		if iv.Vec[0] > 0.15 { // pct_loads
+			loadHeavy = res.Assign[i]
+		} else if iv.Vec[0] < 0.05 {
+			loadLight = res.Assign[i]
+		}
+	}
+	if loadHeavy == loadLight {
+		t.Error("memory-bound and compute-bound intervals share a phase")
+	}
+}
+
+func TestRepresentativeWeightsSumToOne(t *testing.T) {
+	m := newMachine(t)
+	res, err := Analyze(m, Config{IntervalLen: 5_000, MaxIntervals: 30, MaxK: 5, Seed: 2,
+		Options: mica.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, rep := range res.Representatives {
+		if rep.Weight <= 0 || rep.Weight > 1 {
+			t.Errorf("representative weight %g out of range", rep.Weight)
+		}
+		if rep.Interval < 0 || rep.Interval >= len(res.Intervals) {
+			t.Errorf("representative interval %d out of range", rep.Interval)
+		}
+		if res.Assign[rep.Interval] != rep.Phase {
+			t.Error("representative not a member of its phase")
+		}
+		sum += rep.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g, want 1", sum)
+	}
+	// Ordered by descending weight.
+	for i := 1; i < len(res.Representatives); i++ {
+		if res.Representatives[i].Weight > res.Representatives[i-1].Weight {
+			t.Error("representatives not sorted by weight")
+		}
+	}
+}
+
+func TestWeightedVectorApproximatesFullTrace(t *testing.T) {
+	m := newMachine(t)
+	res, err := Analyze(m, Config{IntervalLen: 5_000, MaxIntervals: 40, MaxK: 6, Seed: 3,
+		Options: mica.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := res.WeightedVector()
+
+	// Full-trace measurement over the same instruction count.
+	m2 := newMachine(t)
+	prof := mica.NewProfiler(mica.DefaultOptions())
+	if _, err := m2.Run(200_000, prof); err != vm.ErrBudget {
+		t.Fatal(err)
+	}
+	full := prof.Vector()
+
+	// The phase-weighted mix estimate must track the true mix closely
+	// (instruction-mix fractions are linear over intervals).
+	for c := 0; c < 6; c++ {
+		if math.Abs(approx[c]-full[c]) > 0.05 {
+			t.Errorf("%s: weighted %g vs full %g", mica.CharName(c), approx[c], full[c])
+		}
+	}
+}
+
+func TestHaltingProgramStopsEarly(t *testing.T) {
+	prog, err := asm.Assemble("short", `
+main:	lda  r1, 100
+loop:	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(vm.New(prog), Config{IntervalLen: 50, MaxIntervals: 100, MaxK: 3, Seed: 4,
+		Options: mica.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 201 instructions -> 5 intervals (last one short).
+	if len(res.Intervals) < 4 || len(res.Intervals) > 6 {
+		t.Errorf("got %d intervals for a 201-instruction program", len(res.Intervals))
+	}
+	last := res.Intervals[len(res.Intervals)-1]
+	if last.Insts == 0 {
+		t.Error("empty trailing interval recorded")
+	}
+}
+
+func TestEmptyProgramErrors(t *testing.T) {
+	prog, err := asm.Assemble("empty", "main:\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(vm.New(prog), Config{Options: mica.DefaultOptions()}); err == nil {
+		t.Error("program with no instructions accepted")
+	}
+}

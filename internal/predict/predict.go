@@ -1,0 +1,123 @@
+// Package predict implements performance prediction from inherent
+// program similarity, the application the paper's companion work (Hoste
+// et al., PACT 2006, reference [8]) builds on the same characteristics:
+// a new application's performance on a machine is estimated from the
+// measured performance of its nearest neighbours in the
+// microarchitecture-independent workload space.
+//
+// The package provides distance-weighted k-nearest-neighbour regression
+// plus leave-one-out evaluation, which quantifies how much predictive
+// power a characteristic subset retains — an end-to-end validation of
+// the paper's key-characteristic selection.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mica/internal/stats"
+)
+
+// KNN is a fitted nearest-neighbour regressor over a normalized workload
+// space.
+type KNN struct {
+	feats  *stats.Matrix
+	target []float64
+	k      int
+}
+
+// NewKNN builds a regressor from a (normalized) benchmark-by-
+// characteristic matrix and one target metric per benchmark (e.g. IPC on
+// some machine). k is the neighbourhood size.
+func NewKNN(feats *stats.Matrix, target []float64, k int) (*KNN, error) {
+	if feats.Rows != len(target) {
+		return nil, fmt.Errorf("predict: %d feature rows but %d targets", feats.Rows, len(target))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("predict: k must be >= 1, got %d", k)
+	}
+	if feats.Rows == 0 {
+		return nil, fmt.Errorf("predict: empty training set")
+	}
+	return &KNN{feats: feats, target: target, k: k}, nil
+}
+
+// Predict estimates the target metric for a query characteristic vector
+// using inverse-distance weighting over the k nearest training
+// benchmarks. exclude >= 0 removes one training row (for leave-one-out);
+// pass -1 to use all rows.
+func (p *KNN) Predict(query []float64, exclude int) float64 {
+	type cand struct {
+		dist float64
+		val  float64
+	}
+	cands := make([]cand, 0, p.feats.Rows)
+	for i := 0; i < p.feats.Rows; i++ {
+		if i == exclude {
+			continue
+		}
+		cands = append(cands, cand{stats.Euclidean(query, p.feats.Row(i)), p.target[i]})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	k := p.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	num, den := 0.0, 0.0
+	for _, c := range cands[:k] {
+		w := 1 / (c.dist + 1e-9)
+		num += w * c.val
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Evaluation summarizes leave-one-out prediction quality.
+type Evaluation struct {
+	// Predictions holds the leave-one-out estimate per benchmark.
+	Predictions []float64
+	// MAE is the mean absolute error.
+	MAE float64
+	// MAPE is the mean absolute percentage error (rows with zero truth
+	// are skipped).
+	MAPE float64
+	// Correlation is the Pearson correlation of predicted vs true.
+	Correlation float64
+	// RankCorrelation is the Spearman correlation of predicted vs true
+	// — the metric that matters for machine ranking, as in the PACT
+	// 2006 use case.
+	RankCorrelation float64
+}
+
+// LeaveOneOut predicts every benchmark's target from all the others and
+// scores the result.
+func LeaveOneOut(feats *stats.Matrix, target []float64, k int) (Evaluation, error) {
+	p, err := NewKNN(feats, target, k)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	n := feats.Rows
+	ev := Evaluation{Predictions: make([]float64, n)}
+	var absErr, pctErr float64
+	pctN := 0
+	for i := 0; i < n; i++ {
+		pred := p.Predict(feats.Row(i), i)
+		ev.Predictions[i] = pred
+		absErr += math.Abs(pred - target[i])
+		if target[i] != 0 {
+			pctErr += math.Abs(pred-target[i]) / math.Abs(target[i])
+			pctN++
+		}
+	}
+	ev.MAE = absErr / float64(n)
+	if pctN > 0 {
+		ev.MAPE = pctErr / float64(pctN)
+	}
+	ev.Correlation = stats.Pearson(ev.Predictions, target)
+	ev.RankCorrelation = stats.Spearman(ev.Predictions, target)
+	return ev, nil
+}

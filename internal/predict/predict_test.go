@@ -1,0 +1,103 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mica/internal/stats"
+)
+
+// syntheticSpace builds a feature matrix whose target is a smooth
+// function of the features plus noise, so nearby points have nearby
+// targets.
+func syntheticSpace(n int, seed int64) (*stats.Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	target := make([]float64, n)
+	for i := range rows {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		rows[i] = []float64{a, b, c}
+		target[i] = 2*a - b + 0.5*c + rng.NormFloat64()*0.02
+	}
+	return stats.FromRows(rows), target
+}
+
+func TestKNNExactNeighbor(t *testing.T) {
+	feats, target := syntheticSpace(50, 1)
+	p, err := NewKNN(feats, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Querying a training point with k=1 and no exclusion returns its
+	// own target (distance ~0 dominates the weighting).
+	for i := 0; i < 10; i++ {
+		got := p.Predict(feats.Row(i), -1)
+		if math.Abs(got-target[i]) > 1e-6 {
+			t.Errorf("row %d: predicted %g, own target %g", i, got, target[i])
+		}
+	}
+}
+
+func TestLeaveOneOutTracksSmoothFunction(t *testing.T) {
+	feats, target := syntheticSpace(200, 2)
+	ev, err := LeaveOneOut(feats, target, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Correlation < 0.9 {
+		t.Errorf("LOO correlation = %g, want > 0.9 on smooth target", ev.Correlation)
+	}
+	if ev.RankCorrelation < 0.85 {
+		t.Errorf("LOO rank correlation = %g, want > 0.85", ev.RankCorrelation)
+	}
+	if ev.MAE > 0.2 {
+		t.Errorf("MAE = %g, want small", ev.MAE)
+	}
+	if len(ev.Predictions) != 200 {
+		t.Error("prediction count wrong")
+	}
+}
+
+func TestUninformativeFeaturesPredictPoorly(t *testing.T) {
+	// Target independent of features: prediction cannot beat chance.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 150)
+	target := make([]float64, 150)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64()}
+		target[i] = rng.Float64()
+	}
+	ev, err := LeaveOneOut(stats.FromRows(rows), target, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Correlation) > 0.35 {
+		t.Errorf("correlation %g on random target, want ~0", ev.Correlation)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	feats, target := syntheticSpace(10, 4)
+	if _, err := NewKNN(feats, target[:5], 3); err == nil {
+		t.Error("row/target mismatch accepted")
+	}
+	if _, err := NewKNN(feats, target, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKNN(stats.NewMatrix(0, 3), nil, 1); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestKLargerThanTrainingSet(t *testing.T) {
+	feats, target := syntheticSpace(4, 5)
+	p, err := NewKNN(feats, target, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Predict([]float64{0.5, 0.5, 0.5}, -1)
+	if math.IsNaN(got) {
+		t.Error("prediction NaN with k > n")
+	}
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4 (header, rule, 2 rows): %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	// The value column must start at the same offset in both data rows.
+	off2 := strings.Index(lines[2], "1")
+	off3 := strings.Index(lines[3], "123456")
+	if off2 != off3 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off2, off3, out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("x")
+	tb.AddRow(0.123456789)
+	if !strings.Contains(tb.String(), "0.1235") {
+		t.Errorf("float not formatted compactly: %q", tb.String())
+	}
+}
+
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", "y")
+	for _, line := range strings.Split(tb.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing space in %q", line)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row dropped")
+	}
+}

@@ -1,0 +1,118 @@
+package roc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyQuadrants(t *testing.T) {
+	hpc := []float64{10, 10, 1, 1}
+	indep := []float64{10, 1, 10, 1}
+	q := Classify(hpc, indep, 5, 5)
+	if q.TruePositive != 1 || q.FalseNegative != 1 || q.FalsePositive != 1 || q.TrueNegative != 1 {
+		t.Errorf("quadrants = %+v, want one each", q)
+	}
+	if q.Total() != 4 {
+		t.Errorf("total = %d", q.Total())
+	}
+	fn, tp, tn, fp := q.Fractions()
+	if fn != 0.25 || tp != 0.25 || tn != 0.25 || fp != 0.25 {
+		t.Error("fractions wrong")
+	}
+}
+
+func TestClassifyAtFraction(t *testing.T) {
+	// Max distances: hpc 10, indep 100; 20% thresholds: 2 and 20.
+	hpc := []float64{10, 3, 1}
+	indep := []float64{100, 10, 30}
+	q := ClassifyAtFraction(hpc, indep, 0.2)
+	// (10,100): TP. (3,10): large hpc, small indep: FN. (1,30): small
+	// hpc, large indep: FP.
+	if q.TruePositive != 1 || q.FalseNegative != 1 || q.FalsePositive != 1 || q.TrueNegative != 0 {
+		t.Errorf("quadrants = %+v", q)
+	}
+}
+
+func TestSensitivitySpecificity(t *testing.T) {
+	q := Quadrants{TruePositive: 8, FalseNegative: 2, TrueNegative: 3, FalsePositive: 7}
+	if got := q.Sensitivity(); got != 0.8 {
+		t.Errorf("sensitivity = %g, want 0.8", got)
+	}
+	if got := q.Specificity(); got != 0.3 {
+		t.Errorf("specificity = %g, want 0.3", got)
+	}
+	var empty Quadrants
+	if empty.Sensitivity() != 0 || empty.Specificity() != 0 {
+		t.Error("empty quadrants should give 0 rates")
+	}
+}
+
+func TestPerfectClassifierAUC(t *testing.T) {
+	// Indep distance identical to HPC distance: perfect agreement.
+	d := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	pts := Curve(d, d, 0.5)
+	auc := AUC(pts)
+	if auc < 0.99 {
+		t.Errorf("perfect agreement AUC = %g, want ~1", auc)
+	}
+}
+
+func TestAntiCorrelatedAUCIsLow(t *testing.T) {
+	hpc := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	indep := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	auc := AUC(Curve(hpc, indep, 0.5))
+	if auc > 0.2 {
+		t.Errorf("anti-correlated AUC = %g, want ~0", auc)
+	}
+}
+
+func TestCurveEndpoints(t *testing.T) {
+	hpc := []float64{1, 5, 9, 2, 7}
+	indep := []float64{3, 1, 8, 6, 2}
+	pts := Curve(hpc, indep, 0.2)
+	if len(pts) == 0 {
+		t.Fatal("empty curve")
+	}
+	// With threshold below all distances everything is "large":
+	// sensitivity 1, specificity 0.
+	first := pts[len(pts)-1]
+	if first.Sensitivity != 1 || first.OneMinusSpec != 1 {
+		t.Errorf("lowest-threshold point = %+v, want (1,1)", first)
+	}
+	// With threshold at the max everything is "small".
+	last := pts[0]
+	if last.Sensitivity != 0 || last.OneMinusSpec != 0 {
+		t.Errorf("highest-threshold point = %+v, want (0,0)", last)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	hpc := []float64{1, 5, 9, 2, 7, 4, 8, 3}
+	indep := []float64{2, 4, 7, 3, 6, 5, 9, 1}
+	pts := Curve(hpc, indep, 0.3)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OneMinusSpec < pts[i-1].OneMinusSpec {
+			t.Fatal("curve x not sorted")
+		}
+		if pts[i].Sensitivity+1e-12 < pts[i-1].Sensitivity {
+			t.Fatal("sensitivity not monotone along curve")
+		}
+	}
+}
+
+func TestAUCBounds(t *testing.T) {
+	hpc := []float64{1, 5, 9, 2, 7, 4}
+	indep := []float64{2, 4, 7, 3, 6, 5}
+	auc := AUC(Curve(hpc, indep, 0.2))
+	if auc < 0 || auc > 1 || math.IsNaN(auc) {
+		t.Errorf("AUC = %g out of bounds", auc)
+	}
+}
+
+func TestQuadrantsString(t *testing.T) {
+	q := Quadrants{TruePositive: 1, TrueNegative: 1, FalsePositive: 1, FalseNegative: 1}
+	s := q.String()
+	if s == "" {
+		t.Error("empty string")
+	}
+}

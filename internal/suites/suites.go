@@ -1,0 +1,244 @@
+// Package suites defines the 122-benchmark registry mirroring Table I of
+// the paper: six suites (BioInfoMark, BioMetricsWorkload, CommBench,
+// MediaBench, MiBench, SPEC CPU2000) with one entry per benchmark/input
+// pair. Each entry is backed by a workload kernel whose algorithm matches
+// the benchmark's domain (sequence alignment for clustalw, hash-chain
+// compression for gzip/bzip2, dependent pointer chasing for mcf, ...),
+// parameterized so that working-set sizes, instruction mixes and branch
+// behaviours are spread the way the paper's suites are.
+//
+// PaperICountM preserves Table I's dynamic instruction counts (millions)
+// as documentation and as relative trace-length scale factors; the
+// reproduction runs each benchmark for a configurable budget instead of
+// the full count.
+package suites
+
+import (
+	"fmt"
+
+	"mica/internal/kernels"
+	"mica/internal/vm"
+)
+
+// Suite names, as in Table I.
+const (
+	BioInfoMark        = "BioInfoMark"
+	BioMetricsWorkload = "BioMetricsWorkload"
+	CommBench          = "CommBench"
+	MediaBench         = "MediaBench"
+	MiBench            = "MiBench"
+	SPEC               = "SPEC2000"
+)
+
+// SuiteNames lists the six suites in Table I order.
+var SuiteNames = []string{
+	BioInfoMark, BioMetricsWorkload, CommBench, MediaBench, MiBench, SPEC,
+}
+
+// Benchmark is one Table I row.
+type Benchmark struct {
+	Suite   string
+	Program string
+	Input   string
+	// Kernel names the backing workload kernel.
+	Kernel string
+	// Size and Variant parameterize the kernel.
+	Size    int
+	Variant int
+	// PaperICountM is the dynamic instruction count from Table I, in
+	// millions.
+	PaperICountM int64
+}
+
+// Name returns the canonical "suite/program/input" identifier.
+func (b Benchmark) Name() string {
+	return fmt.Sprintf("%s/%s/%s", b.Suite, b.Program, b.Input)
+}
+
+// seed derives a deterministic per-benchmark input seed from the name.
+func (b Benchmark) seed() uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(b.Name()) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Instantiate builds a ready-to-run machine for the benchmark.
+func (b Benchmark) Instantiate() (*vm.Machine, error) {
+	k, err := kernels.ByName(b.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("suites: %s: %w", b.Name(), err)
+	}
+	return k.Instantiate(kernels.Params{Size: b.Size, Seed: b.seed(), Variant: b.Variant})
+}
+
+// all is the Table I registry. Order follows the paper's table.
+var all = []Benchmark{
+	// --- BioInfoMark (bioinformatics) ---
+	{BioInfoMark, "blast", "protein", "kmercount", 262144, 1, 81092},
+	{BioInfoMark, "ce", "ce", "smithwaterman", 2048, 0, 4816},
+	{BioInfoMark, "clustalw", "clustalw", "smithwaterman", 16384, 0, 884859},
+	{BioInfoMark, "fasta", "fasta34", "smithwaterman", 8192, 0, 759654},
+	{BioInfoMark, "glimmer", "004663", "kmercount", 65536, 0, 26610},
+	{BioInfoMark, "hmmer", "build", "likelihood", 2048, 0, 321},
+	{BioInfoMark, "hmmer", "calibrate", "likelihood", 8192, 1, 43048},
+	{BioInfoMark, "hmmer", "search-artemia", "smithwaterman", 1024, 0, 47},
+	{BioInfoMark, "hmmer", "search-sprot", "smithwaterman", 65536, 0, 1785862},
+	{BioInfoMark, "phylip", "dnapenny", "parsimony", 512, 0, 184557},
+	{BioInfoMark, "phylip", "promlk", "likelihood", 4096, 1, 557514},
+	{BioInfoMark, "predator", "predator", "likelihood", 16384, 0, 804859},
+
+	// --- BioMetricsWorkload (biometrics) ---
+	{BioMetricsWorkload, "csu", "Bayesian-project", "matmul", 48, 1, 403313},
+	{BioMetricsWorkload, "csu", "Bayesian-train", "matmul", 96, 1, 28158},
+	{BioMetricsWorkload, "csu", "PreprocessNormalize", "susan", 384, 1, 4059},
+	{BioMetricsWorkload, "csu", "SubspaceProject-LDA", "matmul", 64, 1, 6054},
+	{BioMetricsWorkload, "csu", "SubspaceProject-PCA", "matmul", 80, 1, 6098},
+	{BioMetricsWorkload, "csu", "SubspaceTrain-LDA", "neural", 512, 0, 51297},
+	{BioMetricsWorkload, "csu", "SubspaceTrain-PCA", "neural", 1024, 0, 41729},
+	{BioMetricsWorkload, "speak", "decode", "neural", 256, 0, 46648},
+
+	// --- CommBench (telecommunication) ---
+	{CommBench, "cast", "decode", "blowfish", 8192, 0, 130},
+	{CommBench, "cast", "encode", "blowfish", 16384, 0, 130},
+	{CommBench, "drr", "drr", "drr", 256, 0, 235},
+	{CommBench, "frag", "frag", "fragment", 65536, 0, 49},
+	{CommBench, "jpeg", "decode", "huffman", 4096, 0, 238},
+	{CommBench, "jpeg", "encode", "dct8", 2048, 0, 339},
+	{CommBench, "reed", "decode", "reedsolomon", 16384, 1, 1298},
+	{CommBench, "reed", "encode", "reedsolomon", 32768, 0, 912},
+	{CommBench, "rtr", "rtr", "pointerchase", 16384, 0, 1137},
+	{CommBench, "tcp", "tcp", "crc32", 16384, 0, 58},
+	{CommBench, "zip", "decode", "huffman", 2048, 0, 50},
+	{CommBench, "zip", "encode", "lz77", 65536, 0, 322},
+
+	// --- MediaBench (multimedia) ---
+	{MediaBench, "epic", "test1", "stencil5", 64, 0, 205},
+	{MediaBench, "epic", "test2", "stencil5", 128, 0, 2296},
+	{MediaBench, "unepic", "test1", "huffman", 1024, 0, 35},
+	{MediaBench, "unepic", "test2", "huffman", 2048, 0, 876},
+	{MediaBench, "g721", "decode", "adpcm", 32768, 1, 323},
+	{MediaBench, "g721", "encode", "adpcm", 32768, 0, 343},
+	{MediaBench, "ghostscript", "gs", "susan", 512, 0, 868},
+	{MediaBench, "mesa", "mipmap", "matmul", 32, 0, 32},
+	{MediaBench, "mesa", "osdemo", "nbody", 128, 0, 10},
+	{MediaBench, "mesa", "texgen", "matmul", 128, 0, 86},
+	{MediaBench, "mpeg2", "decode", "huffman", 8192, 0, 149},
+	{MediaBench, "mpeg2", "encode", "motionest", 2048, 0, 1528},
+
+	// --- MiBench (embedded) ---
+	{MiBench, "CRC32", "large", "crc32", 131072, 0, 612},
+	{MiBench, "FFT", "fft-large", "fft", 4096, 0, 237},
+	{MiBench, "FFT", "fftinv-large", "fft", 8192, 0, 217},
+	{MiBench, "adpcm", "rawcaudio", "adpcm", 65536, 0, 758},
+	{MiBench, "adpcm", "rawdaudio", "adpcm", 65536, 1, 639},
+	{MiBench, "basicmath", "large", "nbody", 64, 0, 1523},
+	{MiBench, "bitcount", "large", "bitcount", 16384, 0, 681},
+	{MiBench, "blowfish", "decode", "blowfish", 8192, 0, 495},
+	{MiBench, "blowfish", "encode", "blowfish", 8192, 1, 498},
+	{MiBench, "dijkstra", "large", "dijkstra", 256, 0, 252},
+	{MiBench, "ghostscript", "large", "susan", 448, 0, 868},
+	{MiBench, "ispell", "large", "stringsearch", 65536, 0, 1027},
+	{MiBench, "jpeg", "cjpeg", "dct8", 4096, 0, 121},
+	{MiBench, "jpeg", "djpeg", "huffman", 4096, 1, 24},
+	{MiBench, "lame", "large", "fft", 2048, 0, 1199},
+	{MiBench, "mad", "large", "fft", 1024, 0, 345},
+	{MiBench, "patricia", "large", "pointerchase", 65536, 0, 399},
+	{MiBench, "pgp", "decode", "bignum", 64, 0, 111},
+	{MiBench, "pgp", "encode", "bignum", 128, 0, 48},
+	{MiBench, "qsort", "large", "qsort", 32768, 0, 512},
+	{MiBench, "rsynth", "say-large", "fft", 512, 0, 775},
+	{MiBench, "sha", "large", "sha", 2048, 0, 114},
+	{MiBench, "susan", "corners-large", "susan", 384, 0, 29},
+	{MiBench, "susan", "edges-large", "susan", 256, 0, 73},
+	{MiBench, "susan", "smoothing-large", "susan", 512, 1, 300},
+	{MiBench, "tiff", "2bw", "susan", 320, 1, 143},
+	{MiBench, "tiff", "2rgba", "fragment", 131072, 1, 268},
+	{MiBench, "tiff", "dither", "susan", 320, 0, 1228},
+	{MiBench, "tiff", "median", "susan", 256, 1, 763},
+	{MiBench, "typeset", "lout", "stringsearch", 131072, 1, 609},
+
+	// --- SPEC CPU2000 (general purpose) ---
+	{SPEC, "ammp", "ref", "nbody", 512, 0, 388534},
+	{SPEC, "applu", "ref", "stencil5", 96, 0, 336798},
+	{SPEC, "apsi", "ref", "stencil5", 160, 0, 361955},
+	{SPEC, "art", "ref-110", "neural", 1024, 0, 77067},
+	{SPEC, "art", "ref-470", "neural", 2048, 0, 84660},
+	{SPEC, "bzip2", "graphic", "lz77", 131072, 0, 157003},
+	{SPEC, "bzip2", "program", "lz77", 65536, 0, 136389},
+	{SPEC, "bzip2", "source", "lz77", 98304, 0, 122267},
+	{SPEC, "crafty", "ref", "interp", 16384, 0, 194311},
+	{SPEC, "eon", "cook", "nbody", 256, 0, 100552},
+	{SPEC, "eon", "kajiya", "nbody", 384, 0, 131268},
+	{SPEC, "eon", "rushmeier", "nbody", 512, 0, 73139},
+	{SPEC, "equake", "ref", "neural", 768, 0, 158071},
+	{SPEC, "facerec", "ref", "matmul", 112, 0, 249735},
+	{SPEC, "fma3d", "ref", "nbody", 1024, 0, 312960},
+	{SPEC, "galgel", "ref", "matmul", 128, 0, 326916},
+	{SPEC, "gap", "ref", "interp", 32768, 0, 310323},
+	{SPEC, "gcc", "166", "interp", 8192, 0, 46614},
+	{SPEC, "gcc", "200", "interp", 12288, 0, 106339},
+	{SPEC, "gcc", "expr", "interp", 16384, 0, 11847},
+	{SPEC, "gcc", "integrate", "interp", 20480, 0, 13019},
+	{SPEC, "gcc", "scilab", "interp", 24576, 0, 60784},
+	{SPEC, "gzip", "graphic", "lz77", 49152, 0, 113400},
+	{SPEC, "gzip", "log", "lz77", 16384, 0, 42506},
+	{SPEC, "gzip", "program", "lz77", 32768, 0, 161726},
+	{SPEC, "gzip", "random", "lz77", 131072, 0, 91961},
+	{SPEC, "gzip", "source", "lz77", 24576, 0, 84366},
+	{SPEC, "lucas", "ref", "fft", 8192, 0, 134753},
+	{SPEC, "mcf", "ref", "pointerchase", 1048576, 0, 59800},
+	{SPEC, "mesa", "ref", "matmul", 96, 0, 314449},
+	{SPEC, "mgrid", "ref", "stencil5", 128, 0, 440934},
+	{SPEC, "parser", "ref", "stringsearch", 131072, 0, 530784},
+	{SPEC, "perlbmk", "splitmail.535", "interp", 24576, 0, 69857},
+	{SPEC, "perlbmk", "splitmail.704", "interp", 24576, 0, 73966},
+	{SPEC, "perlbmk", "splitmail.850", "interp", 28672, 0, 142509},
+	{SPEC, "perlbmk", "splitmail.957", "interp", 28672, 0, 122893},
+	{SPEC, "perlbmk", "diffmail", "interp", 12288, 0, 43327},
+	{SPEC, "perlbmk", "makerand", "interp", 4096, 0, 2055},
+	{SPEC, "perlbmk", "perfect", "interp", 8192, 0, 29791},
+	{SPEC, "sixtrack", "ref", "stencil5", 224, 0, 452446},
+	{SPEC, "swim", "ref", "stencil5", 256, 0, 221868},
+	{SPEC, "twolf", "ref", "dijkstra", 384, 0, 397222},
+	{SPEC, "vortex", "ref1", "drr", 2048, 0, 129793},
+	{SPEC, "vortex", "ref2", "drr", 3072, 0, 151475},
+	{SPEC, "vortex", "ref3", "drr", 4096, 0, 145113},
+	{SPEC, "vpr", "place", "qsort", 49152, 0, 117001},
+	{SPEC, "vpr", "route", "dijkstra", 448, 0, 82351},
+	{SPEC, "wupwise", "ref", "matmul", 120, 0, 337770},
+}
+
+// All returns the 122 benchmarks in Table I order. The slice is a copy;
+// callers may reorder it.
+func All() []Benchmark {
+	out := make([]Benchmark, len(all))
+	copy(out, all)
+	return out
+}
+
+// BySuite returns the benchmarks of one suite in table order.
+func BySuite(suite string) []Benchmark {
+	var out []Benchmark
+	for _, b := range all {
+		if b.Suite == suite {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark by its canonical name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range all {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("suites: unknown benchmark %q", name)
+}
+
+// Count returns the number of registered benchmarks (122).
+func Count() int { return len(all) }

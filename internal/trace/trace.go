@@ -1,0 +1,79 @@
+// Package trace defines the dynamic instruction event stream produced by
+// the VM and consumed by analyzers. It is the reproduction's substitute
+// for ATOM binary instrumentation: where the paper instruments an Alpha
+// binary so that analysis routines run per retired instruction, here the
+// VM delivers one Event per retired instruction to every registered
+// Observer in a single pass.
+package trace
+
+import "mica/internal/isa"
+
+// Event describes one dynamically executed (retired) instruction.
+// Events are delivered by pointer and must not be retained by observers;
+// copy any needed fields.
+type Event struct {
+	// Seq is the zero-based dynamic instruction number.
+	Seq uint64
+	// PC is the byte address of the instruction.
+	PC uint64
+	// Op is the opcode; Class caches Op.Class().
+	Op    isa.Op
+	Class isa.Class
+
+	// Src holds the architectural source registers (zero registers
+	// included); NSrc is how many entries are valid.
+	Src  [3]isa.Reg
+	NSrc uint8
+	// Dst is the destination register; HasDst reports whether the
+	// instruction writes a register.
+	Dst    isa.Reg
+	HasDst bool
+
+	// MemAddr and MemSize describe the memory access of loads and
+	// stores; MemSize is 0 otherwise.
+	MemAddr uint64
+	MemSize uint8
+
+	// Branch outcome, valid when Class == ClassBranch. Taken is always
+	// true for unconditional transfers. Target is the byte address
+	// actually transferred to when taken; for not-taken branches it is
+	// the fall-through address.
+	Taken       bool
+	Conditional bool
+	Target      uint64
+}
+
+// Observer consumes the dynamic instruction stream.
+type Observer interface {
+	// Observe is called once per retired instruction in program order.
+	Observe(ev *Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev *Event)
+
+// Observe calls f(ev).
+func (f ObserverFunc) Observe(ev *Event) { f(ev) }
+
+// Multi fans one event stream out to several observers in order.
+type Multi []Observer
+
+// Observe delivers ev to each observer in sequence.
+func (m Multi) Observe(ev *Event) {
+	for _, o := range m {
+		o.Observe(ev)
+	}
+}
+
+// Counter counts events per instruction class; it is the simplest useful
+// observer and handy in tests.
+type Counter struct {
+	Total   uint64
+	ByClass [isa.NumClasses]uint64
+}
+
+// Observe implements Observer.
+func (c *Counter) Observe(ev *Event) {
+	c.Total++
+	c.ByClass[ev.Class]++
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"mica/internal/isa"
+)
+
+func TestObserverFunc(t *testing.T) {
+	var got []uint64
+	obs := ObserverFunc(func(ev *Event) { got = append(got, ev.Seq) })
+	for i := uint64(0); i < 3; i++ {
+		obs.Observe(&Event{Seq: i})
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Errorf("observed %v", got)
+	}
+}
+
+func TestMultiFanOutOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Observer {
+		return ObserverFunc(func(*Event) { order = append(order, name) })
+	}
+	m := Multi{mk("a"), mk("b"), mk("c")}
+	m.Observe(&Event{})
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Errorf("delivery order %v", order)
+	}
+}
+
+func TestMultiEmpty(t *testing.T) {
+	var m Multi
+	m.Observe(&Event{}) // must not panic
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Observe(&Event{Class: isa.ClassLoad})
+	c.Observe(&Event{Class: isa.ClassLoad})
+	c.Observe(&Event{Class: isa.ClassFP})
+	if c.Total != 3 {
+		t.Errorf("total = %d", c.Total)
+	}
+	if c.ByClass[isa.ClassLoad] != 2 || c.ByClass[isa.ClassFP] != 1 {
+		t.Errorf("class counts = %v", c.ByClass)
+	}
+}

@@ -1,0 +1,173 @@
+// Package bpred implements the hardware branch predictors of the two
+// modeled Alpha machines: the bimodal predictor of the 21164A (EV56) and
+// the local/global tournament predictor of the 21264A (EV67). Unlike the
+// PPM predictability metrics in package mica, these are finite hardware
+// structures and therefore microarchitecture-dependent by design.
+package bpred
+
+// Predictor predicts conditional branch outcomes and learns from the
+// actual outcome.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc and
+	// updates the predictor state with the actual outcome.
+	Predict(pc uint64, taken bool) bool
+	// Mispredicts returns the number of wrong predictions so far.
+	Mispredicts() uint64
+	// Branches returns the number of predicted branches.
+	Branches() uint64
+}
+
+// counter2 is a saturating 2-bit counter; values 0-1 predict not-taken,
+// 2-3 predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters, as in the EV56's
+// instruction-cache-coupled branch history table.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+
+	branches    uint64
+	mispredicts uint64
+}
+
+// NewBimodal builds a bimodal predictor with the given number of entries
+// (a power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: bimodal entries must be a power of two")
+	}
+	return &Bimodal{table: make([]counter2, entries), mask: uint64(entries - 1)}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & b.mask
+	pred := b.table[idx].taken()
+	b.table[idx] = b.table[idx].update(taken)
+	b.branches++
+	if pred != taken {
+		b.mispredicts++
+	}
+	return pred
+}
+
+// Mispredicts implements Predictor.
+func (b *Bimodal) Mispredicts() uint64 { return b.mispredicts }
+
+// Branches implements Predictor.
+func (b *Bimodal) Branches() uint64 { return b.branches }
+
+// counter3 is a saturating 3-bit counter used by the EV67 local
+// predictor; values 0-3 predict not-taken, 4-7 taken.
+type counter3 uint8
+
+func (c counter3) taken() bool { return c >= 4 }
+
+func (c counter3) update(taken bool) counter3 {
+	if taken {
+		if c < 7 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Tournament models the EV67 (21264) predictor: a 1K x 10-bit local
+// history table feeding 1K 3-bit counters, a 4K 2-bit global predictor
+// indexed by 12 bits of global history, and a 4K 2-bit chooser that picks
+// between them per branch.
+type Tournament struct {
+	localHist  []uint16 // 10-bit local histories
+	localPred  []counter3
+	globalPred []counter2
+	chooser    []counter2
+	ghist      uint64
+
+	branches    uint64
+	mispredicts uint64
+}
+
+// Tournament structure sizes (the EV67 values).
+const (
+	localHistEntries = 1024
+	localHistBits    = 10
+	globalEntries    = 4096
+	globalHistBits   = 12
+)
+
+// NewTournament builds the EV67 tournament predictor.
+func NewTournament() *Tournament {
+	return &Tournament{
+		localHist:  make([]uint16, localHistEntries),
+		localPred:  make([]counter3, localHistEntries),
+		globalPred: make([]counter2, globalEntries),
+		chooser:    make([]counter2, globalEntries),
+	}
+}
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64, taken bool) bool {
+	lhIdx := (pc >> 2) & (localHistEntries - 1)
+	lh := t.localHist[lhIdx] & (1<<localHistBits - 1)
+	localPred := t.localPred[lh&(localHistEntries-1)].taken()
+
+	gIdx := t.ghist & (globalEntries - 1)
+	globalPred := t.globalPred[gIdx].taken()
+
+	useGlobal := t.chooser[gIdx].taken()
+	pred := localPred
+	if useGlobal {
+		pred = globalPred
+	}
+
+	// Update chooser toward whichever component was right (when they
+	// disagree).
+	if localPred != globalPred {
+		t.chooser[gIdx] = t.chooser[gIdx].update(globalPred == taken)
+	}
+	t.localPred[lh&(localHistEntries-1)] = t.localPred[lh&(localHistEntries-1)].update(taken)
+	t.globalPred[gIdx] = t.globalPred[gIdx].update(taken)
+
+	bit := uint16(0)
+	if taken {
+		bit = 1
+	}
+	t.localHist[lhIdx] = (t.localHist[lhIdx]<<1 | bit) & (1<<localHistBits - 1)
+	gbit := uint64(0)
+	if taken {
+		gbit = 1
+	}
+	t.ghist = (t.ghist<<1 | gbit) & (1<<globalHistBits - 1)
+
+	t.branches++
+	if pred != taken {
+		t.mispredicts++
+	}
+	return pred
+}
+
+// Mispredicts implements Predictor.
+func (t *Tournament) Mispredicts() uint64 { return t.mispredicts }
+
+// Branches implements Predictor.
+func (t *Tournament) Branches() uint64 { return t.branches }

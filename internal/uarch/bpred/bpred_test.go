@@ -1,0 +1,124 @@
+package bpred
+
+import "testing"
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 || !c.taken() {
+		t.Errorf("counter = %d after saturating up", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 || c.taken() {
+		t.Errorf("counter = %d after saturating down", c)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(64)
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		b.Predict(pc, true)
+	}
+	// After warmup, always-taken is predicted perfectly: at most the
+	// first 2 predictions wrong.
+	if b.Mispredicts() > 2 {
+		t.Errorf("mispredicts = %d on always-taken, want <= 2", b.Mispredicts())
+	}
+	if b.Branches() != 100 {
+		t.Errorf("branches = %d, want 100", b.Branches())
+	}
+}
+
+func TestBimodalAlternatingIsHard(t *testing.T) {
+	// A bimodal predictor cannot learn T,N,T,N; it hovers near 50%.
+	b := NewBimodal(64)
+	pc := uint64(0x1000)
+	n := 1000
+	for i := 0; i < n; i++ {
+		b.Predict(pc, i%2 == 0)
+	}
+	rate := float64(b.Mispredicts()) / float64(n)
+	if rate < 0.4 {
+		t.Errorf("bimodal mispredict rate on alternating = %g, want >= 0.4", rate)
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	// Two branches mapping to different entries do not interfere.
+	b := NewBimodal(1024)
+	for i := 0; i < 200; i++ {
+		b.Predict(0x1000, true)
+		b.Predict(0x1010, false)
+	}
+	if b.Mispredicts() > 4 {
+		t.Errorf("mispredicts = %d with two biased branches, want <= 4", b.Mispredicts())
+	}
+}
+
+func TestTournamentLearnsAlternating(t *testing.T) {
+	// The EV67 local history component learns per-branch patterns the
+	// bimodal cannot.
+	p := NewTournament()
+	pc := uint64(0x1000)
+	n := 2000
+	for i := 0; i < n; i++ {
+		p.Predict(pc, i%2 == 0)
+	}
+	rate := float64(p.Mispredicts()) / float64(n)
+	if rate > 0.1 {
+		t.Errorf("tournament mispredict rate on alternating = %g, want < 0.1", rate)
+	}
+}
+
+func TestTournamentLearnsGlobalCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome: global
+	// history captures this.
+	p := NewTournament()
+	x := uint64(98765)
+	n := 4000
+	wrongB := uint64(0)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a := x&1 == 1
+		p.Predict(0x1000, a)
+		before := p.Mispredicts()
+		p.Predict(0x2000, a) // perfectly correlated with previous outcome
+		wrongB += p.Mispredicts() - before
+	}
+	rate := float64(wrongB) / float64(n)
+	if rate > 0.15 {
+		t.Errorf("correlated-branch mispredict rate = %g, want < 0.15", rate)
+	}
+}
+
+func TestTournamentRandomNearHalf(t *testing.T) {
+	p := NewTournament()
+	x := uint64(424242)
+	n := 20000
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.Predict(0x1000, x&1 == 1)
+	}
+	rate := float64(p.Mispredicts()) / float64(n)
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random mispredict rate = %g, want ~0.5", rate)
+	}
+}
+
+func TestBimodalBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBimodal(100) did not panic")
+		}
+	}()
+	NewBimodal(100)
+}

@@ -1,0 +1,137 @@
+// Package cache implements set-associative caches and TLBs with LRU
+// replacement for the microarchitecture timing models. These are the
+// reproduction's substitute for the cache hierarchy of the Alpha machines
+// whose hardware performance counters the paper reads.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the cache in reports ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line (block) size; must be a power of two.
+	LineBytes int
+	// Assoc is the set associativity; Assoc*LineBytes must divide
+	// SizeBytes.
+	Assoc int
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behavior only (no dirty-writeback timing), which is what the
+// miss-rate counters need.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	lineShift uint
+	setMask   uint64
+	clock     uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache. It panics on malformed configurations (these are
+// compile-time machine descriptions, not user input).
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+	}
+	if cfg.Assoc <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by assoc %d x line %d",
+			cfg.Name, cfg.SizeBytes, cfg.Assoc, cfg.LineBytes))
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, nSets))
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1)}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	c.sets = make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, updating LRU state and filling the line on a
+// miss. It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.accesses++
+	blk := addr >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	tag := blk >> uint(popcount(c.setMask))
+
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			return true
+		}
+		// Invalid lines have lru 0 and are preferred victims.
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.misses++
+	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	return false
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Accesses returns the number of lookups performed.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses per access, 0 when idle.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.clock, c.accesses, c.misses = 0, 0, 0
+}
+
+// NewTLB builds a TLB as a fully-associative page-granularity cache with
+// the given number of entries and page size.
+func NewTLB(name string, entries, pageBytes int) *Cache {
+	return New(Config{
+		Name:      name,
+		SizeBytes: entries * pageBytes,
+		LineBytes: pageBytes,
+		Assoc:     entries,
+	})
+}

@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 1KB direct-mapped, 32B lines -> 32 sets. Two addresses 1KB apart
+	// map to the same set and evict each other.
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("second access missed")
+	}
+	if c.Access(1024) {
+		t.Error("conflicting access hit")
+	}
+	if c.Access(0) {
+		t.Error("evicted line still present")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	// Same two conflicting addresses fit in a 2-way cache.
+	c := New(Config{Name: "t", SizeBytes: 2048, LineBytes: 32, Assoc: 2})
+	c.Access(0)
+	c.Access(2048) // same set in a 32-set 2-way cache
+	if !c.Access(0) || !c.Access(2048) {
+		t.Error("2-way cache evicted one of two conflicting lines")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way set: touch A, B, re-touch A, then C evicts B (the LRU).
+	c := New(Config{Name: "t", SizeBytes: 64, LineBytes: 32, Assoc: 2}) // 1 set
+	a, b, x := uint64(0), uint64(64), uint64(128)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // A is now MRU
+	c.Access(x) // evicts B
+	if !c.Access(a) {
+		t.Error("MRU line was evicted")
+	}
+	if c.Access(b) {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestSameLineHits(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c.Access(100)
+	for off := uint64(96); off < 128; off++ {
+		if !c.Access(off) {
+			t.Errorf("offset %d in cached line missed", off)
+		}
+	}
+}
+
+func TestMissRateAccounting(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	for i := 0; i < 10; i++ {
+		c.Access(0)
+	}
+	if c.Accesses() != 10 || c.Misses() != 1 {
+		t.Errorf("accesses=%d misses=%d, want 10/1", c.Accesses(), c.Misses())
+	}
+	if got := c.MissRate(); got != 0.1 {
+		t.Errorf("miss rate = %g, want 0.1", got)
+	}
+}
+
+func TestStreamingMissRate(t *testing.T) {
+	// Sequential walk over 64KB through a 1KB cache: one miss per line.
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	for addr := uint64(0); addr < 64<<10; addr += 8 {
+		c.Access(addr)
+	}
+	// 8-byte steps, 32-byte lines: 1 miss per 4 accesses.
+	if got := c.MissRate(); got < 0.24 || got > 0.26 {
+		t.Errorf("streaming miss rate = %g, want ~0.25", got)
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, LineBytes: 32, Assoc: 4})
+	// Working set 2KB < 4KB capacity: after one pass, all hits.
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 2048; addr += 32 {
+			c.Access(addr)
+		}
+	}
+	// 64 cold misses, 128 warm hits.
+	if c.Misses() != 64 {
+		t.Errorf("misses = %d, want 64 cold misses only", c.Misses())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("counters not reset")
+	}
+	if c.Access(0) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB("DTLB", 4, 4096)
+	// 4 pages fit; a 5th evicts the LRU.
+	for p := uint64(0); p < 4; p++ {
+		tlb.Access(p * 4096)
+	}
+	if !tlb.Access(0) {
+		t.Error("TLB entry evicted too early")
+	}
+	tlb.Access(4 * 4096) // evicts page 1 (LRU)
+	if tlb.Access(1 * 4096) {
+		t.Error("LRU page not evicted")
+	}
+	if !tlb.Access(0) {
+		t.Error("recently used page evicted")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cases := []Config{
+		{Name: "line-not-pow2", SizeBytes: 1024, LineBytes: 33, Assoc: 1},
+		{Name: "size-mismatch", SizeBytes: 1000, LineBytes: 32, Assoc: 1},
+		{Name: "zero-assoc", SizeBytes: 1024, LineBytes: 32, Assoc: 0},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %s did not panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHitImpliesSubsequentHit(t *testing.T) {
+	// Property: accessing the same address twice in a row always hits
+	// the second time, whatever came before.
+	c := New(Config{Name: "t", SizeBytes: 2048, LineBytes: 32, Assoc: 2})
+	f := func(addrs []uint64, probe uint64) bool {
+		for _, a := range addrs {
+			c.Access(a % (1 << 20))
+		}
+		probe %= 1 << 20
+		c.Access(probe)
+		return c.Access(probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

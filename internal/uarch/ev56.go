@@ -1,0 +1,159 @@
+// Package uarch implements cycle-approximate timing models of the two
+// Alpha machines whose hardware performance counters the paper collects
+// with DCPI: the in-order dual-issue 21164A (EV56) and the out-of-order
+// four-wide 21264A (EV67). These models are the reproduction's substitute
+// for the real machines: they project the same dynamic instruction stream
+// onto a fixed microarchitecture and report the counter values the paper
+// uses (IPC, branch misprediction rate, L1 D/I miss rates, L2 miss rate,
+// D-TLB miss rate).
+package uarch
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+	"mica/internal/uarch/bpred"
+	"mica/internal/uarch/cache"
+)
+
+// EV56Config holds the cache and penalty parameters of the in-order
+// model. Defaults follow the Alpha 21164A: 8KB direct-mapped L1 caches
+// with 32B lines, a 96KB 3-way on-chip L2 with 64B lines, a 64-entry
+// fully-associative DTLB, and a 2K-entry branch history table.
+type EV56Config struct {
+	IssueWidth       int
+	L1I, L1D, L2     cache.Config
+	DTLBEntries      int
+	PageBytes        int
+	BpredEntries     int
+	L2LatencyCycles  int
+	MemLatencyCycles int
+	TLBMissCycles    int
+	MispredictCycles int
+}
+
+// DefaultEV56Config returns the 21164A-like parameters.
+func DefaultEV56Config() EV56Config {
+	return EV56Config{
+		IssueWidth:       2,
+		L1I:              cache.Config{Name: "L1I", SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+		L1D:              cache.Config{Name: "L1D", SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+		L2:               cache.Config{Name: "L2", SizeBytes: 96 << 10, LineBytes: 64, Assoc: 3},
+		DTLBEntries:      64,
+		PageBytes:        8 << 10, // Alpha 8KB pages
+		BpredEntries:     2048,
+		L2LatencyCycles:  8,
+		MemLatencyCycles: 60,
+		TLBMissCycles:    30,
+		MispredictCycles: 5,
+	}
+}
+
+// EV56 is the in-order dual-issue timing model. It implements
+// trace.Observer; attach it to a VM run and read the counters afterwards.
+//
+// The timing model is the standard in-order miss-penalty accounting used
+// by back-of-envelope CPI stacks: base cycles = instructions / issue
+// width, plus fixed penalties per L1/L2 miss, DTLB miss and branch
+// misprediction. In-order machines overlap little of these penalties,
+// which makes the additive model a good approximation for an EV56-class
+// pipeline.
+type EV56 struct {
+	cfg  EV56Config
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	dtlb *cache.Cache
+	bp   bpred.Predictor
+
+	insts       uint64
+	memOps      uint64
+	branches    uint64
+	stallCycles uint64
+}
+
+// NewEV56 builds the in-order model.
+func NewEV56(cfg EV56Config) *EV56 {
+	return &EV56{
+		cfg:  cfg,
+		l1i:  cache.New(cfg.L1I),
+		l1d:  cache.New(cfg.L1D),
+		l2:   cache.New(cfg.L2),
+		dtlb: cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.PageBytes),
+		bp:   bpred.NewBimodal(cfg.BpredEntries),
+	}
+}
+
+// Observe implements trace.Observer.
+func (m *EV56) Observe(ev *trace.Event) {
+	m.insts++
+
+	// Instruction fetch: one L1I lookup per instruction, so the I-cache
+	// miss rate is misses per instruction fetched (the DCPI counter).
+	if !m.l1i.Access(ev.PC) {
+		if m.l2.Access(ev.PC) {
+			m.stallCycles += uint64(m.cfg.L2LatencyCycles)
+		} else {
+			m.stallCycles += uint64(m.cfg.MemLatencyCycles)
+		}
+	}
+
+	if ev.MemSize > 0 {
+		m.memOps++
+		if !m.dtlb.Access(ev.MemAddr) {
+			m.stallCycles += uint64(m.cfg.TLBMissCycles)
+		}
+		if !m.l1d.Access(ev.MemAddr) {
+			if m.l2.Access(ev.MemAddr) {
+				m.stallCycles += uint64(m.cfg.L2LatencyCycles)
+			} else {
+				m.stallCycles += uint64(m.cfg.MemLatencyCycles)
+			}
+		}
+	}
+
+	if ev.Class == isa.ClassBranch && ev.Conditional {
+		m.branches++
+		pred := m.bp.Predict(ev.PC, ev.Taken)
+		if pred != ev.Taken {
+			m.stallCycles += uint64(m.cfg.MispredictCycles)
+		}
+	}
+}
+
+// Cycles returns the modeled total cycle count.
+func (m *EV56) Cycles() uint64 {
+	base := (m.insts + uint64(m.cfg.IssueWidth) - 1) / uint64(m.cfg.IssueWidth)
+	return base + m.stallCycles
+}
+
+// IPC returns modeled instructions per cycle.
+func (m *EV56) IPC() float64 {
+	c := m.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(m.insts) / float64(c)
+}
+
+// BranchMispredictRate returns mispredictions per conditional branch.
+func (m *EV56) BranchMispredictRate() float64 {
+	if m.bp.Branches() == 0 {
+		return 0
+	}
+	return float64(m.bp.Mispredicts()) / float64(m.bp.Branches())
+}
+
+// L1DMissRate returns L1 D-cache misses per data access.
+func (m *EV56) L1DMissRate() float64 { return m.l1d.MissRate() }
+
+// L1IMissRate returns L1 I-cache misses per fetch-line access.
+func (m *EV56) L1IMissRate() float64 { return m.l1i.MissRate() }
+
+// L2MissRate returns unified L2 misses per L2 access.
+func (m *EV56) L2MissRate() float64 { return m.l2.MissRate() }
+
+// DTLBMissRate returns DTLB misses per data access.
+func (m *EV56) DTLBMissRate() float64 { return m.dtlb.MissRate() }
+
+// Insts returns the number of instructions observed.
+func (m *EV56) Insts() uint64 { return m.insts }

@@ -1,0 +1,208 @@
+package uarch
+
+import (
+	"mica/internal/isa"
+	"mica/internal/trace"
+	"mica/internal/uarch/bpred"
+	"mica/internal/uarch/cache"
+)
+
+// EV67Config holds the parameters of the out-of-order model. Defaults
+// follow the Alpha 21264A: four-wide, ~80-entry instruction window,
+// 64KB 2-way L1 caches, tournament branch predictor.
+type EV67Config struct {
+	IssueWidth       int
+	WindowSize       int
+	L1I, L1D, L2     cache.Config
+	DTLBEntries      int
+	PageBytes        int
+	L1DLatency       int // load-to-use latency on an L1 hit
+	L2LatencyCycles  int
+	MemLatencyCycles int
+	TLBMissCycles    int
+	MispredictCycles int
+	IntMulLatency    int
+	FPLatency        int
+}
+
+// DefaultEV67Config returns the 21264A-like parameters.
+func DefaultEV67Config() EV67Config {
+	return EV67Config{
+		IssueWidth:       4,
+		WindowSize:       80,
+		L1I:              cache.Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2},
+		L1D:              cache.Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2},
+		L2:               cache.Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 1},
+		DTLBEntries:      128,
+		PageBytes:        8 << 10,
+		L1DLatency:       3,
+		L2LatencyCycles:  12,
+		MemLatencyCycles: 80,
+		TLBMissCycles:    30,
+		MispredictCycles: 7,
+		IntMulLatency:    7,
+		FPLatency:        4,
+	}
+}
+
+// EV67 is the out-of-order four-wide timing model. It runs a
+// window-constrained dataflow simulation: an instruction dispatches when
+// (i) the fetch stream has delivered it (issue-width instructions per
+// cycle, stalling after mispredicted branches), (ii) a window slot is
+// free, and (iii) its register and memory producers have completed. Its
+// completion time adds the functional-unit or memory latency. This
+// captures the essential difference from the EV56: independent long-
+// latency misses overlap.
+type EV67 struct {
+	cfg  EV67Config
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	dtlb *cache.Cache
+	bp   bpred.Predictor
+
+	regReady [isa.NumRegs]uint64
+	memReady map[uint64]uint64
+	ring     []uint64
+	pos      int
+	n        uint64
+	maxDone  uint64
+
+	fetchCycle   uint64 // earliest cycle the next instruction can dispatch
+	fetchInCycle int    // instructions already dispatched at fetchCycle
+}
+
+// NewEV67 builds the out-of-order model.
+func NewEV67(cfg EV67Config) *EV67 {
+	return &EV67{
+		cfg:      cfg,
+		l1i:      cache.New(cfg.L1I),
+		l1d:      cache.New(cfg.L1D),
+		l2:       cache.New(cfg.L2),
+		dtlb:     cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.PageBytes),
+		bp:       bpred.NewTournament(),
+		memReady: make(map[uint64]uint64),
+		ring:     make([]uint64, cfg.WindowSize),
+	}
+}
+
+// Observe implements trace.Observer.
+func (m *EV67) Observe(ev *trace.Event) {
+	// Front end: instruction cache and fetch bandwidth.
+	if !m.l1i.Access(ev.PC) {
+		lat := uint64(m.cfg.MemLatencyCycles)
+		if m.l2.Access(ev.PC) {
+			lat = uint64(m.cfg.L2LatencyCycles)
+		}
+		m.fetchCycle += lat
+		m.fetchInCycle = 0
+	}
+	dispatch := m.fetchCycle
+
+	// Window slot: wait for the instruction WindowSize back to finish.
+	if m.n >= uint64(m.cfg.WindowSize) {
+		if t := m.ring[m.pos]; t > dispatch {
+			dispatch = t
+		}
+	}
+
+	// Register dependencies.
+	for i := uint8(0); i < ev.NSrc; i++ {
+		r := ev.Src[i]
+		if r.IsZero() {
+			continue
+		}
+		if t := m.regReady[r]; t > dispatch {
+			dispatch = t
+		}
+	}
+
+	// Latency by class, including the memory hierarchy for loads.
+	lat := uint64(1)
+	switch {
+	case ev.MemSize > 0:
+		if !m.dtlb.Access(ev.MemAddr) {
+			lat += uint64(m.cfg.TLBMissCycles)
+		}
+		if ev.Class == isa.ClassLoad {
+			if blkReady := m.memReady[ev.MemAddr>>3]; blkReady > dispatch {
+				dispatch = blkReady // store-to-load forwarding delay
+			}
+			switch {
+			case m.l1d.Access(ev.MemAddr):
+				lat += uint64(m.cfg.L1DLatency - 1)
+			case m.l2.Access(ev.MemAddr):
+				lat += uint64(m.cfg.L2LatencyCycles)
+			default:
+				lat += uint64(m.cfg.MemLatencyCycles)
+			}
+		} else {
+			// Stores retire quickly; they occupy the hierarchy but
+			// rarely stall the window.
+			if !m.l1d.Access(ev.MemAddr) {
+				m.l2.Access(ev.MemAddr)
+			}
+		}
+	case ev.Class == isa.ClassIntMul:
+		lat = uint64(m.cfg.IntMulLatency)
+	case ev.Class == isa.ClassFP:
+		lat = uint64(m.cfg.FPLatency)
+	}
+
+	done := dispatch + lat
+
+	if ev.Class == isa.ClassBranch && ev.Conditional {
+		pred := m.bp.Predict(ev.PC, ev.Taken)
+		if pred != ev.Taken {
+			// Fetch restarts after the branch resolves plus the
+			// redirect penalty.
+			m.fetchCycle = done + uint64(m.cfg.MispredictCycles)
+			m.fetchInCycle = 0
+		}
+	}
+
+	if ev.MemSize > 0 && ev.Class == isa.ClassStore {
+		m.memReady[ev.MemAddr>>3] = done
+	}
+	if ev.HasDst && !ev.Dst.IsZero() {
+		m.regReady[ev.Dst] = done
+	}
+	m.ring[m.pos] = done
+	m.pos++
+	if m.pos == m.cfg.WindowSize {
+		m.pos = 0
+	}
+	if done > m.maxDone {
+		m.maxDone = done
+	}
+	m.n++
+
+	// Fetch bandwidth: IssueWidth instructions per cycle.
+	m.fetchInCycle++
+	if m.fetchInCycle >= m.cfg.IssueWidth {
+		m.fetchCycle++
+		m.fetchInCycle = 0
+	}
+}
+
+// Cycles returns the modeled total cycle count.
+func (m *EV67) Cycles() uint64 { return m.maxDone }
+
+// IPC returns modeled instructions per cycle.
+func (m *EV67) IPC() float64 {
+	if m.maxDone == 0 {
+		return 0
+	}
+	return float64(m.n) / float64(m.maxDone)
+}
+
+// BranchMispredictRate returns mispredictions per conditional branch.
+func (m *EV67) BranchMispredictRate() float64 {
+	if m.bp.Branches() == 0 {
+		return 0
+	}
+	return float64(m.bp.Mispredicts()) / float64(m.bp.Branches())
+}
+
+// Insts returns the number of instructions observed.
+func (m *EV67) Insts() uint64 { return m.n }

@@ -1,0 +1,151 @@
+package uarch
+
+import (
+	"testing"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// aluEvent builds an independent single-cycle instruction. PCs cycle
+// through a small loop footprint so the I-cache behaves like a warm loop
+// body rather than a cold straight-line sweep.
+func aluEvent(seq uint64, dst isa.Reg, srcs ...isa.Reg) trace.Event {
+	ev := trace.Event{Seq: seq, PC: isa.CodeBase + (seq%64)*4, Op: isa.OpAddQ, Class: isa.ClassIntArith}
+	for i, r := range srcs {
+		ev.Src[i] = r
+	}
+	ev.NSrc = uint8(len(srcs))
+	ev.Dst, ev.HasDst = dst, true
+	return ev
+}
+
+func TestEV67IssueWidthBoundsIPC(t *testing.T) {
+	m := NewEV67(DefaultEV67Config())
+	for i := uint64(0); i < 10_000; i++ {
+		ev := aluEvent(i, isa.IntReg(int(i%8)))
+		m.Observe(&ev)
+	}
+	ipc := m.IPC()
+	if ipc > float64(m.cfg.IssueWidth)+1e-9 {
+		t.Errorf("IPC %g exceeds issue width %d", ipc, m.cfg.IssueWidth)
+	}
+	if ipc < float64(m.cfg.IssueWidth)*0.8 {
+		t.Errorf("independent ALU stream IPC = %g, want near %d", ipc, m.cfg.IssueWidth)
+	}
+}
+
+func TestEV67SerialChainIsOneIPC(t *testing.T) {
+	m := NewEV67(DefaultEV67Config())
+	for i := uint64(0); i < 10_000; i++ {
+		ev := aluEvent(i, isa.IntReg(1), isa.IntReg(1))
+		m.Observe(&ev)
+	}
+	if ipc := m.IPC(); ipc > 1.05 {
+		t.Errorf("serial chain IPC = %g, want <= ~1", ipc)
+	}
+}
+
+func TestEV67MulLatencySlowsSerialChain(t *testing.T) {
+	run := func(op isa.Op, class isa.Class) float64 {
+		m := NewEV67(DefaultEV67Config())
+		for i := uint64(0); i < 5_000; i++ {
+			ev := trace.Event{Seq: i, PC: isa.CodeBase + (i%64)*4, Op: op, Class: class}
+			ev.Src[0], ev.NSrc = isa.IntReg(1), 1
+			ev.Dst, ev.HasDst = isa.IntReg(1), true
+			m.Observe(&ev)
+		}
+		return m.IPC()
+	}
+	add := run(isa.OpAddQ, isa.ClassIntArith)
+	mul := run(isa.OpMulQ, isa.ClassIntMul)
+	if mul >= add/3 {
+		t.Errorf("serial multiply IPC %g not much below serial add IPC %g", mul, add)
+	}
+}
+
+func TestEV67MispredictStallsFetch(t *testing.T) {
+	run := func(random bool) float64 {
+		m := NewEV67(DefaultEV67Config())
+		x := uint64(777)
+		for i := uint64(0); i < 20_000; i++ {
+			taken := true
+			if random {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				taken = x&1 == 1
+			}
+			ev := trace.Event{Seq: i, PC: isa.CodeBase, Op: isa.OpBne,
+				Class: isa.ClassBranch, Conditional: true, Taken: taken}
+			ev.Src[0], ev.NSrc = isa.IntReg(2), 1
+			m.Observe(&ev)
+			alu := aluEvent(i, isa.IntReg(int(i%4)))
+			m.Observe(&alu)
+		}
+		return m.IPC()
+	}
+	predictable := run(false)
+	random := run(true)
+	if random >= predictable {
+		t.Errorf("random-branch IPC %g not below predictable-branch IPC %g", random, predictable)
+	}
+}
+
+func TestEV67LoadMissLatencyOverlaps(t *testing.T) {
+	// Independent loads to distinct far-apart lines all miss; the OoO
+	// window must overlap their latencies, keeping IPC well above the
+	// serial-miss bound of 1/MemLatency.
+	m := NewEV67(DefaultEV67Config())
+	for i := uint64(0); i < 20_000; i++ {
+		ev := trace.Event{Seq: i, PC: isa.CodeBase + (i%64)*4, Op: isa.OpLdQ, Class: isa.ClassLoad}
+		ev.Src[0], ev.NSrc = isa.IntReg(2), 1
+		ev.Dst, ev.HasDst = isa.IntReg(int(3+i%20)), true
+		ev.MemAddr, ev.MemSize = 0x100000+i*4096, 8
+		m.Observe(&ev)
+	}
+	serialBound := 1.0 / float64(m.cfg.MemLatencyCycles)
+	if ipc := m.IPC(); ipc < 5*serialBound {
+		t.Errorf("independent-miss IPC %g; misses apparently serialized (bound %g)", ipc, serialBound)
+	}
+}
+
+func TestEV67StoreToLoadForwardingDelays(t *testing.T) {
+	// load depends on a just-executed store to the same address: its
+	// dispatch is held back.
+	m := NewEV67(DefaultEV67Config())
+	seq := uint64(0)
+	for i := 0; i < 5_000; i++ {
+		st := trace.Event{Seq: seq, PC: isa.CodeBase, Op: isa.OpStQ, Class: isa.ClassStore,
+			MemAddr: 0x2000, MemSize: 8}
+		st.Src[0], st.Src[1], st.NSrc = isa.IntReg(1), isa.IntReg(2), 2
+		m.Observe(&st)
+		seq++
+		ld := trace.Event{Seq: seq, PC: isa.CodeBase + 4, Op: isa.OpLdQ, Class: isa.ClassLoad,
+			MemAddr: 0x2000, MemSize: 8}
+		ld.Src[0], ld.NSrc = isa.IntReg(1), 1
+		ld.Dst, ld.HasDst = isa.IntReg(2), true
+		m.Observe(&ld)
+		seq++
+	}
+	// Every pair serializes store->load: IPC must sit near 2 insts per
+	// (1 store + load latency) cycles, clearly below issue width.
+	if ipc := m.IPC(); ipc > 1.5 {
+		t.Errorf("store-load chain IPC = %g, expected well below issue width", ipc)
+	}
+}
+
+func TestEV67CountersExposed(t *testing.T) {
+	m := NewEV67(DefaultEV67Config())
+	ev := aluEvent(0, isa.IntReg(1))
+	m.Observe(&ev)
+	if m.Insts() != 1 {
+		t.Errorf("insts = %d", m.Insts())
+	}
+	if m.Cycles() == 0 {
+		t.Error("cycles = 0 after an instruction")
+	}
+	if m.BranchMispredictRate() != 0 {
+		t.Error("mispredict rate nonzero without branches")
+	}
+}

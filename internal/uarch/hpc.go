@@ -1,0 +1,124 @@
+package uarch
+
+import (
+	"fmt"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// NumHPCMetrics is the dimensionality of the hardware-performance-counter
+// characterization: the six EV56 counters of Section III-B, the EV67 IPC,
+// and the six instruction-mix fractions the paper folds into the HPC
+// characterization for Figure 2.
+const NumHPCMetrics = 13
+
+// NumHPCCounterMetrics is the number of true performance-counter metrics
+// (the first 7: both IPCs and the five miss/mispredict rates). The
+// paper's distance analysis (Figure 1, Table III, Figure 4) is computed
+// over these; the instruction-mix tail is used only for the Figure 2
+// comparison.
+const NumHPCCounterMetrics = 7
+
+// HPC metric indices.
+const (
+	HPCIPCEV56 = iota
+	HPCIPCEV67
+	HPCBranchMispredict
+	HPCL1DMiss
+	HPCL1IMiss
+	HPCL2Miss
+	HPCDTLBMiss
+	HPCPctLoads
+	HPCPctStores
+	HPCPctBranches
+	HPCPctArith
+	HPCPctIntMul
+	HPCPctFP
+)
+
+// HPCVector is one benchmark's microarchitecture-dependent metric vector.
+type HPCVector [NumHPCMetrics]float64
+
+var hpcNames = [NumHPCMetrics]string{
+	"ipc_ev56",
+	"ipc_ev67",
+	"branch_mispredict_rate",
+	"l1d_miss_rate",
+	"l1i_miss_rate",
+	"l2_miss_rate",
+	"dtlb_miss_rate",
+	"pct_loads",
+	"pct_stores",
+	"pct_branches",
+	"pct_arith",
+	"pct_int_mul",
+	"pct_fp",
+}
+
+// HPCMetricName returns the name of HPC metric i.
+func HPCMetricName(i int) string {
+	if i < 0 || i >= NumHPCMetrics {
+		return fmt.Sprintf("hpc(%d)", i)
+	}
+	return hpcNames[i]
+}
+
+// HPCMetricNames returns all HPC metric names in index order.
+func HPCMetricNames() []string {
+	out := make([]string, NumHPCMetrics)
+	copy(out, hpcNames[:])
+	return out
+}
+
+// HPCProfiler runs both machine models and the instruction-mix counters
+// over one dynamic instruction stream in a single pass. It is the
+// reproduction's DCPI: attach it to a VM run and call Vector.
+type HPCProfiler struct {
+	ev56 *EV56
+	ev67 *EV67
+
+	classCounts [isa.NumClasses]uint64
+	total       uint64
+}
+
+// NewHPCProfiler builds a profiler with default machine configurations.
+func NewHPCProfiler() *HPCProfiler {
+	return &HPCProfiler{ev56: NewEV56(DefaultEV56Config()), ev67: NewEV67(DefaultEV67Config())}
+}
+
+// Observe implements trace.Observer.
+func (p *HPCProfiler) Observe(ev *trace.Event) {
+	p.ev56.Observe(ev)
+	p.ev67.Observe(ev)
+	p.classCounts[ev.Class]++
+	p.total++
+}
+
+// EV56 returns the in-order machine model.
+func (p *HPCProfiler) EV56() *EV56 { return p.ev56 }
+
+// EV67 returns the out-of-order machine model.
+func (p *HPCProfiler) EV67() *EV67 { return p.ev67 }
+
+// Vector assembles the 13-dimensional HPC metric vector.
+func (p *HPCProfiler) Vector() HPCVector {
+	var v HPCVector
+	v[HPCIPCEV56] = p.ev56.IPC()
+	v[HPCIPCEV67] = p.ev67.IPC()
+	v[HPCBranchMispredict] = p.ev56.BranchMispredictRate()
+	v[HPCL1DMiss] = p.ev56.L1DMissRate()
+	v[HPCL1IMiss] = p.ev56.L1IMissRate()
+	v[HPCL2Miss] = p.ev56.L2MissRate()
+	v[HPCDTLBMiss] = p.ev56.DTLBMissRate()
+	if p.total > 0 {
+		tot := float64(p.total)
+		v[HPCPctLoads] = float64(p.classCounts[isa.ClassLoad]) / tot
+		v[HPCPctStores] = float64(p.classCounts[isa.ClassStore]) / tot
+		v[HPCPctBranches] = float64(p.classCounts[isa.ClassBranch]) / tot
+		v[HPCPctArith] = float64(p.classCounts[isa.ClassIntArith]) / tot
+		v[HPCPctIntMul] = float64(p.classCounts[isa.ClassIntMul]) / tot
+		v[HPCPctFP] = float64(p.classCounts[isa.ClassFP]) / tot
+	}
+	return v
+}

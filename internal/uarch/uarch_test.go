@@ -1,0 +1,227 @@
+package uarch
+
+import (
+	"testing"
+
+	"mica/internal/asm"
+	"mica/internal/isa"
+	"mica/internal/trace"
+	"mica/internal/vm"
+)
+
+// runProgram executes src and feeds the stream to obs.
+func runProgram(t *testing.T, src string, budget uint64, obs trace.Observer) {
+	t.Helper()
+	prog, err := asm.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(prog)
+	if _, err := m.Run(budget, obs); err != nil && err != vm.ErrBudget {
+		t.Fatal(err)
+	}
+}
+
+// tightLoop is a small, cache-resident, predictable kernel.
+const tightLoop = `
+main:	lda  r1, 200000
+loop:	addq r2, 1, r2
+	addq r3, r2, r3
+	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`
+
+// pointerChase walks a large array with a data-dependent stride, built to
+// miss in the caches.
+const pointerChase = `
+	.data
+arr:	.space 2097152
+	.text
+main:	lda  r1, arr
+	lda  r2, 100000      # iterations
+	lda  r3, 0           # index
+loop:	s8addq r3, r1, r4
+	ldq  r5, 0(r4)
+	addq r5, r3, r5
+	mulq r3, 40503, r3   # pseudo-random next index
+	addq r3, 9973, r3
+	srl  r3, 3, r6
+	and  r6, 262143, r3
+	subq r2, 1, r2
+	bgt  r2, loop
+	halt
+`
+
+func TestEV56TightLoopHighIPC(t *testing.T) {
+	m := NewEV56(DefaultEV56Config())
+	runProgram(t, tightLoop, 0, m)
+	if ipc := m.IPC(); ipc < 1.2 {
+		t.Errorf("tight loop EV56 IPC = %g, want > 1.2 (dual issue, all hits)", ipc)
+	}
+	if mr := m.L1DMissRate(); mr != 0 {
+		t.Errorf("tight loop has no memory ops but L1D miss rate = %g", mr)
+	}
+	if mr := m.L1IMissRate(); mr > 0.01 {
+		t.Errorf("tiny loop L1I miss rate = %g, want ~0", mr)
+	}
+	if br := m.BranchMispredictRate(); br > 0.01 {
+		t.Errorf("loop branch mispredict rate = %g, want ~0", br)
+	}
+}
+
+func TestEV56PointerChaseLowIPC(t *testing.T) {
+	hostile := NewEV56(DefaultEV56Config())
+	runProgram(t, pointerChase, 400_000, hostile)
+	friendly := NewEV56(DefaultEV56Config())
+	runProgram(t, tightLoop, 400_000, friendly)
+	if hostile.IPC() >= friendly.IPC() {
+		t.Errorf("pointer chase IPC (%g) should be below tight loop IPC (%g)",
+			hostile.IPC(), friendly.IPC())
+	}
+	if mr := hostile.L1DMissRate(); mr < 0.2 {
+		t.Errorf("random walk over 2MB: L1D miss rate = %g, want > 0.2", mr)
+	}
+	if mr := hostile.DTLBMissRate(); mr < 0.1 {
+		t.Errorf("random walk over 256 pages: DTLB miss rate = %g, want > 0.1", mr)
+	}
+}
+
+func TestEV67OutperformsEV56OnILP(t *testing.T) {
+	// Independent work: the 4-wide OoO machine should beat the 2-wide
+	// in-order one.
+	src := `
+main:	lda  r1, 100000
+loop:	addq r2, 1, r2
+	addq r3, 1, r3
+	addq r4, 1, r4
+	addq r5, 1, r5
+	addq r6, 1, r6
+	addq r7, 1, r7
+	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`
+	e56 := NewEV56(DefaultEV56Config())
+	runProgram(t, src, 0, e56)
+	e67 := NewEV67(DefaultEV67Config())
+	runProgram(t, src, 0, e67)
+	if e67.IPC() <= e56.IPC() {
+		t.Errorf("EV67 IPC (%g) should exceed EV56 IPC (%g) on independent work",
+			e67.IPC(), e56.IPC())
+	}
+	if e67.IPC() > 4.0 {
+		t.Errorf("EV67 IPC = %g exceeds issue width", e67.IPC())
+	}
+}
+
+func TestEV67OverlapsMisses(t *testing.T) {
+	// Independent streaming misses: the OoO machine overlaps them, the
+	// in-order one serializes. Compare slowdowns relative to each
+	// machine's tight-loop IPC.
+	stream := `
+	.data
+arr:	.space 4194304
+	.text
+main:	lda  r1, arr
+	lda  r2, 60000
+loop:	ldq  r3, 0(r1)
+	ldq  r4, 64(r1)
+	ldq  r5, 128(r1)
+	ldq  r6, 192(r1)
+	addq r1, 256, r1
+	subq r2, 1, r2
+	bgt  r2, loop
+	halt
+`
+	e56s := NewEV56(DefaultEV56Config())
+	runProgram(t, stream, 300_000, e56s)
+	e67s := NewEV67(DefaultEV67Config())
+	runProgram(t, stream, 300_000, e67s)
+	e56t := NewEV56(DefaultEV56Config())
+	runProgram(t, tightLoop, 300_000, e56t)
+	e67t := NewEV67(DefaultEV67Config())
+	runProgram(t, tightLoop, 300_000, e67t)
+
+	slow56 := e56t.IPC() / e56s.IPC()
+	slow67 := e67t.IPC() / e67s.IPC()
+	if slow67 >= slow56 {
+		t.Errorf("EV67 slowdown (%gx) should be smaller than EV56 slowdown (%gx) on independent misses",
+			slow67, slow56)
+	}
+}
+
+func TestEV56MispredictsCostCycles(t *testing.T) {
+	// Data-dependent random branches vs a biased branch.
+	random := `
+main:	lda  r1, 50000
+	lda  r2, 12345
+loop:	mulq r2, 1103515245, r2
+	addq r2, 12345, r2
+	srl  r2, 16, r3
+	blbs r3, skip
+	addq r4, 1, r4
+skip:	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`
+	m := NewEV56(DefaultEV56Config())
+	runProgram(t, random, 0, m)
+	if br := m.BranchMispredictRate(); br < 0.15 {
+		t.Errorf("random branch mispredict rate = %g, want > 0.15", br)
+	}
+}
+
+func TestHPCProfilerVector(t *testing.T) {
+	p := NewHPCProfiler()
+	runProgram(t, pointerChase, 200_000, p)
+	v := p.Vector()
+	if v[HPCIPCEV56] <= 0 || v[HPCIPCEV67] <= 0 {
+		t.Error("IPC metrics not populated")
+	}
+	if v[HPCL1DMiss] == 0 {
+		t.Error("L1D miss rate zero on hostile workload")
+	}
+	mixSum := v[HPCPctLoads] + v[HPCPctStores] + v[HPCPctBranches] +
+		v[HPCPctArith] + v[HPCPctIntMul] + v[HPCPctFP]
+	if mixSum < 0.999 || mixSum > 1.001 {
+		t.Errorf("instruction mix sums to %g, want 1", mixSum)
+	}
+}
+
+func TestHPCMetricNames(t *testing.T) {
+	names := HPCMetricNames()
+	if len(names) != NumHPCMetrics {
+		t.Fatal("name count mismatch")
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("metric %d has bad name %q", i, n)
+		}
+		seen[n] = true
+	}
+	if HPCMetricName(HPCIPCEV56) != "ipc_ev56" {
+		t.Error("metric name mapping wrong")
+	}
+	if HPCMetricName(-1) == "" {
+		t.Error("out of range name empty")
+	}
+}
+
+func TestEV56CyclesMonotoneInInsts(t *testing.T) {
+	m := NewEV56(DefaultEV56Config())
+	var prev uint64
+	ev := trace.Event{PC: isa.CodeBase, Op: isa.OpAddQ, Class: isa.ClassIntArith}
+	for i := 0; i < 100; i++ {
+		m.Observe(&ev)
+		if c := m.Cycles(); c < prev {
+			t.Fatalf("cycles decreased: %d -> %d", prev, c)
+		} else {
+			prev = c
+		}
+	}
+	if m.Insts() != 100 {
+		t.Errorf("insts = %d, want 100", m.Insts())
+	}
+}

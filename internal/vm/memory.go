@@ -1,0 +1,162 @@
+// Package vm implements the interpreter for the synthetic ISA. The VM is
+// the reproduction's execution substrate: it runs assembled programs over a
+// sparse paged memory and streams one trace.Event per retired instruction
+// to registered observers, standing in for ATOM instrumentation of Alpha
+// binaries.
+package vm
+
+import "encoding/binary"
+
+// pageBits is log2 of the VM memory page size.
+const pageBits = 12
+
+// PageSize is the VM memory page size in bytes.
+const PageSize = 1 << pageBits
+
+const pageMask = PageSize - 1
+
+// Memory is a sparse, demand-allocated paged memory. Reads of unmapped
+// pages return zeroes without allocating; writes allocate pages. All
+// multi-byte accesses are little-endian and may straddle page boundaries.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Reset drops all mapped pages.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*[PageSize]byte)
+}
+
+// MappedPages returns the number of pages currently allocated.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt reads one byte.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte writes one byte.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read fills buf from memory starting at addr.
+func (m *Memory) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & pageMask
+		n := PageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(buf[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// Write copies buf into memory starting at addr.
+func (m *Memory) Write(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & pageMask
+		n := PageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		copy(m.page(addr, true)[off:off+n], buf[:n])
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// ReadUint reads an unsigned little-endian integer of the given width
+// (1, 2, 4 or 8 bytes).
+func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+	// Fast path: access within one page.
+	off := addr & pageMask
+	if p := m.page(addr, false); p != nil && off+uint64(size) <= PageSize {
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var buf [8]byte
+	m.Read(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	panic("vm: bad access size")
+}
+
+// WriteUint writes an unsigned little-endian integer of the given width.
+func (m *Memory) WriteUint(addr uint64, size int, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	var buf [8]byte
+	switch size {
+	case 1:
+		buf[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(buf[:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(buf[:], v)
+	default:
+		panic("vm: bad access size")
+	}
+	m.Write(addr, buf[:size])
+}

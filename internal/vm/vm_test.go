@@ -1,0 +1,501 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mica/internal/asm"
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := asm.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if _, err := m.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint64, szSel uint8) bool {
+		addr %= 1 << 30
+		size := []int{1, 2, 4, 8}[szSel%4]
+		m.WriteUint(addr, size, v)
+		got := m.ReadUint(addr, size)
+		want := v
+		if size < 8 {
+			want &= 1<<(8*size) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(PageSize - 3)
+	m.WriteUint(addr, 8, 0x1122334455667788)
+	if got := m.ReadUint(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	// Bytes land on both pages.
+	if m.ByteAt(addr) != 0x88 || m.ByteAt(addr+7) != 0x11 {
+		t.Error("cross-page bytes wrong")
+	}
+}
+
+func TestMemoryUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	if m.ReadUint(0xdeadbeef, 8) != 0 {
+		t.Error("unmapped read not zero")
+	}
+	if m.MappedPages() != 0 {
+		t.Error("read allocated a page")
+	}
+}
+
+func TestMemoryBulkReadWrite(t *testing.T) {
+	m := NewMemory()
+	data := make([]byte, 3*PageSize+17)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.Write(100, data)
+	got := make([]byte, len(data))
+	m.Read(100, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+main:	lda   r1, 10
+	lda   r2, 3
+	addq  r1, r2, r3     # 13
+	subq  r1, r2, r4     # 7
+	mulq  r1, r2, r5     # 30
+	divq  r1, r2, r6     # 3
+	remq  r1, r2, r7     # 1
+	sll   r1, 2, r8      # 40
+	sra   r1, 1, r9      # 5
+	cmplt r2, r1, r10    # 1
+	xor   r1, r2, r11    # 9
+	halt
+`)
+	want := map[int]uint64{3: 13, 4: 7, 5: 30, 6: 3, 7: 1, 8: 40, 9: 5, 10: 1, 11: 9}
+	for r, v := range want {
+		if got := m.R[r]; got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestNegativeImmediates(t *testing.T) {
+	m := run(t, `
+main:	lda   r1, -5
+	addq  r1, -3, r2
+	halt
+`)
+	if int64(m.R[1]) != -5 || int64(m.R[2]) != -8 {
+		t.Errorf("r1 = %d, r2 = %d; want -5, -8", int64(m.R[1]), int64(m.R[2]))
+	}
+}
+
+func TestZeroRegisterIgnoresWrites(t *testing.T) {
+	m := run(t, `
+main:	lda   r31, 42
+	addq  r31, 7, r1
+	halt
+`)
+	if m.R[31] != 0 {
+		t.Errorf("r31 = %d, want 0", m.R[31])
+	}
+	if m.R[1] != 7 {
+		t.Errorf("r1 = %d, want 7", m.R[1])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	m := run(t, `
+	.data
+v:	.quad 0x1122334455667788
+out:	.space 32
+	.text
+main:	lda  r1, v
+	lda  r2, out
+	ldq  r3, 0(r1)
+	stq  r3, 0(r2)
+	ldl  r4, 0(r1)       # sign-extends low 32 bits
+	ldbu r5, 7(r1)       # top byte
+	ldwu r6, 0(r1)
+	stb  r5, 8(r2)
+	stw  r6, 10(r2)
+	stl  r4, 12(r2)
+	halt
+`)
+	out := m.Program().MustSymbol("out")
+	if got := m.Mem.ReadUint(out, 8); got != 0x1122334455667788 {
+		t.Errorf("stored quad = %#x", got)
+	}
+	if got := m.R[4]; got != 0x55667788 {
+		t.Errorf("ldl = %#x, want %#x", got, 0x55667788)
+	}
+	if got := m.R[5]; got != 0x11 {
+		t.Errorf("ldbu = %#x, want 0x11", got)
+	}
+	if got := m.R[6]; got != 0x7788 {
+		t.Errorf("ldwu = %#x, want 0x7788", got)
+	}
+}
+
+func TestSignExtendingLoad(t *testing.T) {
+	m := run(t, `
+	.data
+v:	.long 0x80000000
+	.text
+main:	lda r1, v
+	ldl r2, 0(r1)
+	halt
+`)
+	if int64(m.R[2]) != -2147483648 {
+		t.Errorf("ldl of 0x80000000 = %d, want -2^31", int64(m.R[2]))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+	.data
+a:	.quad 0x4000000000000000   # 2.0
+b:	.quad 0x4008000000000000   # 3.0
+res:	.space 8
+	.text
+main:	lda   r1, a
+	lda   r2, b
+	ldt   f1, 0(r1)
+	ldt   f2, 0(r2)
+	addt  f1, f2, f3      # 5.0
+	mult  f1, f2, f4      # 6.0
+	divt  f2, f1, f5      # 1.5
+	sqrtt f4, f6          # sqrt(6)
+	subt  f3, f2, f7      # 2.0
+	cmpteq f7, f1, f8     # 1.0
+	lda   r3, res
+	stt   f3, 0(r3)
+	halt
+`)
+	if got := m.F[3]; got != 5.0 {
+		t.Errorf("addt = %g, want 5", got)
+	}
+	if got := m.F[5]; got != 1.5 {
+		t.Errorf("divt = %g, want 1.5", got)
+	}
+	if got := m.F[6]; math.Abs(got-math.Sqrt(6)) > 1e-15 {
+		t.Errorf("sqrtt = %g, want sqrt(6)", got)
+	}
+	if m.F[8] != 1.0 {
+		t.Errorf("cmpteq = %g, want 1", m.F[8])
+	}
+	res := m.Program().MustSymbol("res")
+	if got := math.Float64frombits(m.Mem.ReadUint(res, 8)); got != 5.0 {
+		t.Errorf("stt stored %g, want 5", got)
+	}
+}
+
+func TestIntFPConversion(t *testing.T) {
+	m := run(t, `
+main:	lda   r1, 7
+	itoft r1, f1        # raw bits
+	cvtqt f1, f2        # 7.0
+	addt  f2, f2, f3    # 14.0
+	cvttq f3, f4        # int 14 bits
+	ftoit f4, r2        # 14
+	halt
+`)
+	if m.F[2] != 7.0 {
+		t.Errorf("cvtqt = %g, want 7", m.F[2])
+	}
+	if m.R[2] != 14 {
+		t.Errorf("round trip = %d, want 14", m.R[2])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..100 with a loop.
+	m := run(t, `
+main:	lda  r1, 100
+	lda  r2, 0
+loop:	addq r2, r1, r2
+	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`)
+	if m.R[2] != 5050 {
+		t.Errorf("sum = %d, want 5050", m.R[2])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+main:	lda  r16, 21
+	lda  r5, double
+	jsr  r26, (r5)
+	addq r0, 1, r3
+	halt
+double:	addq r16, r16, r0
+	ret  (r26)
+`)
+	if m.R[3] != 43 {
+		t.Errorf("result = %d, want 43", m.R[3])
+	}
+}
+
+func TestStackConvention(t *testing.T) {
+	m := run(t, `
+main:	subq sp, 16, sp
+	lda  r1, 99
+	stq  r1, 0(sp)
+	ldq  r2, 0(sp)
+	addq sp, 16, sp
+	halt
+`)
+	if m.R[2] != 99 {
+		t.Errorf("stack round trip = %d, want 99", m.R[2])
+	}
+	if m.R[isa.RegSP.Index()] != StackBase {
+		t.Errorf("sp = %#x, want %#x", m.R[isa.RegSP.Index()], StackBase)
+	}
+}
+
+func TestBudgetStopsInfiniteLoop(t *testing.T) {
+	prog, err := asm.Assemble("t", "main:\tbr main\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	n, err := m.Run(1000, nil)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if n != 1000 {
+		t.Errorf("retired %d, want 1000", n)
+	}
+}
+
+func TestRunResumesAfterBudget(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+main:	lda  r1, 10
+loop:	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if _, err := m.Run(5, nil); !errors.Is(err, ErrBudget) {
+		t.Fatalf("first run err = %v", err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatalf("resume err = %v", err)
+	}
+	if m.R[1] != 0 {
+		t.Errorf("r1 = %d, want 0 after resume", m.R[1])
+	}
+	// lda + 10 iterations of (subq, bgt) = 21 instructions.
+	if m.Retired() != 21 {
+		t.Errorf("retired = %d, want 21", m.Retired())
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	prog, err := asm.Assemble("t", "main:\tlda r1, 1\n\tdivq r1, r31, r2\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if _, err := m.Run(100, nil); err == nil {
+		t.Error("divide by zero did not fault")
+	}
+}
+
+func TestBadIndirectJumpFaults(t *testing.T) {
+	prog, err := asm.Assemble("t", "main:\tlda r1, 3\n\tjmp (r1)\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if _, err := m.Run(100, nil); err == nil {
+		t.Error("jump to non-code address did not fault")
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+	.data
+v:	.quad 5
+	.text
+main:	lda  r1, v
+	ldq  r2, 0(r1)
+	addq r2, 1, r2
+	stq  r2, 0(r1)
+	beq  r2, main
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.Event
+	m := New(prog)
+	if _, err := m.Run(0, trace.ObserverFunc(func(ev *trace.Event) {
+		events = append(events, *ev)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5 (halt not counted)", len(events))
+	}
+	v := prog.MustSymbol("v")
+	ld := events[1]
+	if ld.Class != isa.ClassLoad || ld.MemAddr != v || ld.MemSize != 8 {
+		t.Errorf("load event wrong: %+v", ld)
+	}
+	st := events[3]
+	if st.Class != isa.ClassStore || st.MemAddr != v {
+		t.Errorf("store event wrong: %+v", st)
+	}
+	br := events[4]
+	if !br.Conditional || br.Taken {
+		t.Errorf("branch event wrong: %+v", br)
+	}
+	if br.Target != isa.PCForIndex(5) {
+		t.Errorf("not-taken target = %#x, want fall-through", br.Target)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.PC != isa.PCForIndex(i) {
+			t.Errorf("event %d has pc %#x", i, ev.PC)
+		}
+	}
+}
+
+func TestEventRegisterOperands(t *testing.T) {
+	prog, err := asm.Assemble("t", "main:\taddq r1, r2, r3\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got trace.Event
+	m := New(prog)
+	if _, err := m.Run(0, trace.ObserverFunc(func(ev *trace.Event) { got = *ev })); err != nil {
+		t.Fatal(err)
+	}
+	if got.NSrc != 2 || got.Src[0] != isa.IntReg(1) || got.Src[1] != isa.IntReg(2) {
+		t.Errorf("sources = %v x%d", got.Src, got.NSrc)
+	}
+	if !got.HasDst || got.Dst != isa.IntReg(3) {
+		t.Errorf("dst = %v (%v)", got.Dst, got.HasDst)
+	}
+}
+
+func TestTakenBranchTarget(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+main:	lda r1, 1
+	bne r1, skip
+	nop
+skip:	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branch trace.Event
+	m := New(prog)
+	if _, err := m.Run(0, trace.ObserverFunc(func(ev *trace.Event) {
+		if ev.Class == isa.ClassBranch {
+			branch = *ev
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !branch.Taken || branch.Target != isa.PCForIndex(3) {
+		t.Errorf("taken branch event wrong: %+v", branch)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+	.data
+v:	.quad 1
+	.text
+main:	lda  r1, v
+	ldq  r2, 0(r1)
+	addq r2, 41, r2
+	stq  r2, 0(r1)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	v := prog.MustSymbol("v")
+	if m.Mem.ReadUint(v, 8) != 42 {
+		t.Fatal("first run did not execute")
+	}
+	m.Reset()
+	if m.Mem.ReadUint(v, 8) != 1 {
+		t.Error("Reset did not restore data segment")
+	}
+	if m.Retired() != 0 {
+		t.Error("Reset did not clear retired count")
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem.ReadUint(v, 8) != 42 {
+		t.Error("second run after Reset wrong")
+	}
+}
+
+func TestCounterObserver(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+main:	lda  r1, 3
+loop:	subq r1, 1, r1
+	bgt  r1, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c trace.Counter
+	m := New(prog)
+	if _, err := m.Run(0, &c); err != nil {
+		t.Fatal(err)
+	}
+	// lda + 3x(subq, bgt)
+	if c.Total != 7 {
+		t.Errorf("total = %d, want 7", c.Total)
+	}
+	if c.ByClass[isa.ClassBranch] != 3 {
+		t.Errorf("branches = %d, want 3", c.ByClass[isa.ClassBranch])
+	}
+	if c.ByClass[isa.ClassIntArith] != 4 {
+		t.Errorf("arith = %d, want 4", c.ByClass[isa.ClassIntArith])
+	}
+}

@@ -1,0 +1,226 @@
+// Package mica is a from-scratch Go reproduction of "Comparing Benchmarks
+// Using Key Microarchitecture-Independent Characteristics" (Hoste &
+// Eeckhout, IISWC 2006).
+//
+// The package exposes the complete pipeline of the paper:
+//
+//   - a 122-benchmark workload registry spanning six suites (Table I),
+//     executed on a built-in Alpha-style ISA interpreter;
+//   - the 47 microarchitecture-independent characteristics of Table II,
+//     measured in one pass over the dynamic instruction stream;
+//   - a hardware-performance-counter characterization from
+//     cycle-approximate EV56 (in-order) and EV67 (out-of-order) machine
+//     models;
+//   - the distance/ROC analysis of the HPC-vs-inherent-behaviour pitfall
+//     (Figure 1, Table III, Figure 4);
+//   - correlation elimination and genetic-algorithm selection of key
+//     characteristics (Figure 5, Table IV); and
+//   - k-means/BIC clustering with kiviat rendering (Figure 6).
+//
+// Quick start:
+//
+//	res, err := mica.ProfileAll(mica.DefaultConfig())
+//	...
+//	an := mica.Analyze(res, mica.DefaultAnalysisConfig())
+//	fmt.Printf("distance correlation rho = %.2f\n", an.Rho)
+package mica
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mica/internal/kernels"
+	micachar "mica/internal/mica"
+	"mica/internal/suites"
+	"mica/internal/trace"
+	"mica/internal/uarch"
+	"mica/internal/vm"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the public names.
+type (
+	// Vector is the 47-dimensional microarchitecture-independent
+	// characteristic vector (Table II).
+	Vector = micachar.Vector
+	// HPCVector is the 13-dimensional hardware-performance-counter
+	// metric vector (Section III-B plus instruction mix).
+	HPCVector = uarch.HPCVector
+	// Benchmark is one Table I registry entry.
+	Benchmark = suites.Benchmark
+)
+
+// NumChars is the number of microarchitecture-independent characteristics.
+const NumChars = micachar.NumChars
+
+// NumHPCMetrics is the number of HPC metrics.
+const NumHPCMetrics = uarch.NumHPCMetrics
+
+// NumHPCCounterMetrics is the number of true counter metrics used for the
+// HPC distance space (the instruction-mix tail is excluded, as in the
+// paper's Section III-B characterization).
+const NumHPCCounterMetrics = uarch.NumHPCCounterMetrics
+
+// CharName returns the name of characteristic i (Table II order).
+func CharName(i int) string { return micachar.CharName(i) }
+
+// CharCategory returns the Table II category of characteristic i.
+func CharCategory(i int) string { return micachar.CharCategory(i) }
+
+// CharNames returns all 47 characteristic names.
+func CharNames() []string { return micachar.CharNames() }
+
+// HPCMetricName returns the name of HPC metric i.
+func HPCMetricName(i int) string { return uarch.HPCMetricName(i) }
+
+// Benchmarks returns the 122 benchmarks of Table I.
+func Benchmarks() []Benchmark { return suites.All() }
+
+// BenchmarksBySuite returns one suite's benchmarks.
+func BenchmarksBySuite(suite string) []Benchmark { return suites.BySuite(suite) }
+
+// BenchmarkByName resolves a canonical "suite/program/input" name.
+func BenchmarkByName(name string) (Benchmark, error) { return suites.ByName(name) }
+
+// SuiteNames lists the six suite names in Table I order.
+func SuiteNames() []string {
+	out := make([]string, len(suites.SuiteNames))
+	copy(out, suites.SuiteNames)
+	return out
+}
+
+// KernelNames lists the available workload kernels.
+func KernelNames() []string { return kernels.Names() }
+
+// Config controls benchmark profiling.
+type Config struct {
+	// InstBudget is the dynamic instruction count per benchmark
+	// (default 300k). The paper instruments complete executions of
+	// billions of instructions; the reproduction uses fixed-length
+	// traces of the same programs.
+	InstBudget uint64
+	// PPMOrder is the maximum PPM predictor order (default 8).
+	PPMOrder int
+	// TrackMemDeps makes the idealized ILP model honor store-to-load
+	// dependencies (default true; set via DefaultConfig).
+	TrackMemDeps bool
+	// Subset restricts measurement to selected characteristics (nil
+	// means all 47). Entire analyzers are skipped when none of their
+	// characteristics are selected — the measurement saving of the
+	// paper's key-characteristic methodology.
+	Subset []bool
+	// SkipHPC disables the machine models (useful when only the
+	// microarchitecture-independent vector is needed).
+	SkipHPC bool
+	// Workers bounds profiling parallelism in ProfileAll (default:
+	// GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each benchmark completes
+	// during ProfileAll.
+	Progress func(done, total int, name string)
+}
+
+// DefaultConfig returns the configuration used for the paper
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{
+		InstBudget:   300_000,
+		PPMOrder:     micachar.DefaultPPMOrder,
+		TrackMemDeps: true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.InstBudget == 0 {
+		c.InstBudget = 300_000
+	}
+	if c.PPMOrder == 0 {
+		c.PPMOrder = micachar.DefaultPPMOrder
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// ProfileResult is one benchmark's measurement in both workload spaces.
+type ProfileResult struct {
+	Benchmark Benchmark
+	// Chars is the microarchitecture-independent vector.
+	Chars Vector
+	// HPC is the machine-model counter vector (zero when SkipHPC).
+	HPC HPCVector
+	// Insts is the number of dynamic instructions profiled.
+	Insts uint64
+}
+
+// Profile measures one benchmark under cfg.
+func Profile(b Benchmark, cfg Config) (ProfileResult, error) {
+	cfg = cfg.withDefaults()
+	m, err := b.Instantiate()
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	prof := micachar.NewProfiler(micachar.Options{
+		TrackMemDeps: cfg.TrackMemDeps,
+		PPMOrder:     cfg.PPMOrder,
+		Subset:       cfg.Subset,
+	})
+	observers := trace.Multi{prof}
+	var hpc *uarch.HPCProfiler
+	if !cfg.SkipHPC {
+		hpc = uarch.NewHPCProfiler()
+		observers = append(observers, hpc)
+	}
+	n, err := m.Run(cfg.InstBudget, observers)
+	if err != nil && err != vm.ErrBudget {
+		return ProfileResult{}, fmt.Errorf("mica: running %s: %w", b.Name(), err)
+	}
+	res := ProfileResult{Benchmark: b, Chars: prof.Vector(), Insts: n}
+	if hpc != nil {
+		res.HPC = hpc.Vector()
+	}
+	return res, nil
+}
+
+// ProfileAll measures every benchmark in the registry, in parallel.
+// Results are returned in Table I order regardless of scheduling.
+func ProfileAll(cfg Config) ([]ProfileResult, error) {
+	return ProfileBenchmarks(Benchmarks(), cfg)
+}
+
+// ProfileBenchmarks measures the given benchmarks in parallel, returning
+// results in input order.
+func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
+	cfg = cfg.withDefaults()
+	results := make([]ProfileResult, len(bs))
+	errs := make([]error, len(bs))
+	var done int
+	var mu sync.Mutex
+
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range bs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Profile(bs[i], cfg)
+			if cfg.Progress != nil {
+				mu.Lock()
+				done++
+				cfg.Progress(done, len(bs), bs[i].Name())
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mica: profiling %s: %w", bs[i].Name(), err)
+		}
+	}
+	return results, nil
+}

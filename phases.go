@@ -1,0 +1,35 @@
+package mica
+
+import (
+	micachar "mica/internal/mica"
+	"mica/internal/phases"
+)
+
+// Phase-analysis re-exports: interval-based phase classification, the
+// extension the paper's related-work section connects to SimPoint-style
+// reduced simulation.
+type (
+	// PhaseConfig parameterizes AnalyzePhases.
+	PhaseConfig = phases.Config
+	// PhaseResult is a benchmark's phase decomposition.
+	PhaseResult = phases.Result
+	// PhaseInterval is one characterized trace interval.
+	PhaseInterval = phases.Interval
+	// PhaseRepresentative is one phase's weighted simulation point.
+	PhaseRepresentative = phases.Representative
+)
+
+// AnalyzePhases splits one benchmark's execution into fixed-length
+// intervals, characterizes each with the Table II metrics, clusters the
+// intervals into phases (k-means + BIC) and selects one weighted
+// representative interval per phase.
+func AnalyzePhases(b Benchmark, cfg PhaseConfig) (*PhaseResult, error) {
+	m, err := b.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Options.PPMOrder == 0 {
+		cfg.Options = micachar.Options{TrackMemDeps: true, PPMOrder: micachar.DefaultPPMOrder}
+	}
+	return phases.Analyze(m, cfg)
+}

@@ -1,0 +1,76 @@
+package mica
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzePhasesOnRegistryBenchmark(t *testing.T) {
+	b, err := BenchmarkByName("SPEC2000/twolf/ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzePhases(b, PhaseConfig{
+		IntervalLen:  5_000,
+		MaxIntervals: 20,
+		MaxK:         5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 20 {
+		t.Fatalf("got %d intervals", len(res.Intervals))
+	}
+	if res.K < 1 || res.K > 5 {
+		t.Errorf("K = %d out of range", res.K)
+	}
+	sum := 0.0
+	for _, rep := range res.Representatives {
+		sum += rep.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("representative weights sum to %g", sum)
+	}
+}
+
+func TestAnalyzePhasesDefaultsApplied(t *testing.T) {
+	b, err := BenchmarkByName("MiBench/sha/large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-valued config: defaults must kick in (including profiler
+	// options with memory-dependence tracking).
+	res, err := AnalyzePhases(b, PhaseConfig{MaxIntervals: 5, IntervalLen: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 5 {
+		t.Fatalf("got %d intervals", len(res.Intervals))
+	}
+	// sha's PPM accuracy must be measured (non-zero) under defaults.
+	if res.Intervals[0].Vec[43] == 0 {
+		t.Error("PPM characteristics not measured with default options")
+	}
+}
+
+func BenchmarkPhaseAnalysis(b *testing.B) {
+	bench, err := BenchmarkByName("SPEC2000/twolf/ref")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var k int
+	for i := 0; i < b.N; i++ {
+		res, err := AnalyzePhases(bench, PhaseConfig{
+			IntervalLen:  5_000,
+			MaxIntervals: 20,
+			MaxK:         6,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k = res.K
+	}
+	b.ReportMetric(float64(k), "phases")
+}

@@ -1,0 +1,30 @@
+package mica
+
+import (
+	"fmt"
+
+	"mica/internal/predict"
+)
+
+// PredictionEval summarizes a leave-one-out performance-prediction
+// experiment (extension, after the paper's companion PACT 2006 work):
+// each benchmark's machine-model IPC is predicted from its nearest
+// neighbours in a characteristic subspace.
+type PredictionEval = predict.Evaluation
+
+// PredictIPC runs leave-one-out k-nearest-neighbour prediction of the
+// given HPC metric (e.g. HPC metric index 0 = EV56 IPC) from the
+// selected characteristic columns of the normalized workload space (nil
+// = all 47). A high rank correlation means the (reduced) inherent
+// characterization still orders benchmarks by machine performance —
+// the end-to-end payoff of key-characteristic selection.
+func (s *Space) PredictIPC(cols []int, hpcMetric, k int) (PredictionEval, error) {
+	if hpcMetric < 0 || hpcMetric >= NumHPCMetrics {
+		return PredictionEval{}, fmt.Errorf("mica: HPC metric %d out of range", hpcMetric)
+	}
+	feats := s.NormChars
+	if cols != nil {
+		feats = feats.SelectColumns(cols)
+	}
+	return predict.LeaveOneOut(feats, s.HPC.Column(hpcMetric), k)
+}

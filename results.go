@@ -1,0 +1,69 @@
+package mica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// resultFile is the JSON on-disk form of a profiling run, so the
+// expensive measurement step can be cached between tool invocations.
+type resultFile struct {
+	InstBudget uint64       `json:"inst_budget"`
+	Results    []resultJSON `json:"results"`
+}
+
+type resultJSON struct {
+	Name  string    `json:"name"`
+	Chars []float64 `json:"chars"`
+	HPC   []float64 `json:"hpc"`
+	Insts uint64    `json:"insts"`
+}
+
+// SaveResults writes profiling results to a JSON file.
+func SaveResults(path string, budget uint64, results []ProfileResult) error {
+	rf := resultFile{InstBudget: budget}
+	for _, r := range results {
+		rf.Results = append(rf.Results, resultJSON{
+			Name:  r.Benchmark.Name(),
+			Chars: append([]float64(nil), r.Chars[:]...),
+			HPC:   append([]float64(nil), r.HPC[:]...),
+			Insts: r.Insts,
+		})
+	}
+	data, err := json.MarshalIndent(rf, "", " ")
+	if err != nil {
+		return fmt.Errorf("mica: encoding results: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadResults reads profiling results saved by SaveResults. Benchmarks
+// are re-resolved by name against the registry, so a stale file naming
+// unknown benchmarks fails loudly.
+func LoadResults(path string) ([]ProfileResult, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var rf resultFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, 0, fmt.Errorf("mica: decoding %s: %w", path, err)
+	}
+	out := make([]ProfileResult, 0, len(rf.Results))
+	for _, rj := range rf.Results {
+		b, err := BenchmarkByName(rj.Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(rj.Chars) != NumChars || len(rj.HPC) != NumHPCMetrics {
+			return nil, 0, fmt.Errorf("mica: %s has %d/%d metrics, want %d/%d",
+				rj.Name, len(rj.Chars), len(rj.HPC), NumChars, NumHPCMetrics)
+		}
+		r := ProfileResult{Benchmark: b, Insts: rj.Insts}
+		copy(r.Chars[:], rj.Chars)
+		copy(r.HPC[:], rj.HPC)
+		out = append(out, r)
+	}
+	return out, rf.InstBudget, nil
+}
