@@ -208,6 +208,60 @@ func BenchmarkProfileBenchmark(b *testing.B) {
 	b.ReportMetric(float64(cfg.InstBudget)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkProfilerHotPath measures the end-to-end profiling hot path —
+// the VM→observer→analyzer pipeline that cmd/mica-bench tracks in
+// BENCH_profile.json — in dynamic instructions per second for the three
+// standard configurations.
+func BenchmarkProfilerHotPath(b *testing.B) {
+	bench, err := BenchmarkByName("SPEC2000/gzip/program")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 200_000
+	run := func(b *testing.B, profile func() (uint64, error)) {
+		b.Helper()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			ran, err := profile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += ran
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	}
+	b.Run("raw-vm", func(b *testing.B) {
+		run(b, func() (uint64, error) {
+			m, err := bench.Instantiate()
+			if err != nil {
+				return 0, err
+			}
+			n, err := m.Run(budget, nil)
+			if err != nil && !errors.Is(err, vm.ErrBudget) {
+				return 0, err
+			}
+			return n, nil
+		})
+	})
+	b.Run("mica", func(b *testing.B) {
+		cfg := DefaultConfig()
+		cfg.InstBudget = budget
+		cfg.SkipHPC = true
+		run(b, func() (uint64, error) {
+			res, err := Profile(bench, cfg)
+			return res.Insts, err
+		})
+	})
+	b.Run("mica+hpc", func(b *testing.B) {
+		cfg := DefaultConfig()
+		cfg.InstBudget = budget
+		run(b, func() (uint64, error) {
+			res, err := Profile(bench, cfg)
+			return res.Insts, err
+		})
+	})
+}
+
 // BenchmarkVMInterpreter measures bare interpreter speed without
 // observers.
 func BenchmarkVMInterpreter(b *testing.B) {

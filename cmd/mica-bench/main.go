@@ -1,0 +1,224 @@
+// Command mica-bench measures end-to-end profiling throughput (MIPS,
+// millions of dynamic instructions per second) for three pipeline
+// configurations over a representative benchmark set:
+//
+//	raw-vm    bare interpretation, no observers
+//	mica      the 47-characteristic MICA profiler attached
+//	mica+hpc  MICA plus the EV56/EV67 machine-model HPC profilers
+//
+// It is the repo's tracked performance harness: every PR that touches the
+// hot path re-runs it and commits the result, so the perf trajectory of
+// the reproduction is measured rather than assumed.
+//
+// Usage:
+//
+//	mica-bench [-budget 2000000] [-runs 3] [-bench name,name,...] [-json BENCH_profile.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mica"
+	"mica/internal/report"
+	"mica/internal/vm"
+)
+
+// defaultSet spans the suites and kernel families so the harness sees
+// branchy, pointer-chasing, FP and streaming behaviour in one run.
+var defaultSet = []string{
+	"SPEC2000/gzip/program",   // lz77: hash chains, mixed loads/stores
+	"SPEC2000/crafty/ref",     // interp: branchy, hard to predict
+	"SPEC2000/mcf/ref",        // pointerchase: large data working set
+	"MiBench/sha/large",       // sha: ALU-dense, tight loops
+	"MiBench/FFT/fft-large",   // fft: floating point
+	"MediaBench/mpeg2/encode", // motionest: 2D locality
+}
+
+// History is the JSON document written by -json: one entry per recorded
+// run, so the committed BENCH_profile.json accumulates the repo's perf
+// trajectory PR over PR.
+type History struct {
+	History []Result `json:"history"`
+}
+
+// Result is one recorded measurement.
+type Result struct {
+	// Label names the measurement ("seed-baseline", "pr1", ...).
+	Label string `json:"label"`
+	// Timestamp is when the measurement ran (RFC 3339).
+	Timestamp string `json:"timestamp"`
+	// GoVersion and GOMAXPROCS describe the environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Budget is the dynamic instruction budget per benchmark per run.
+	Budget uint64 `json:"budget"`
+	// Runs is the number of repetitions; the best run is reported.
+	Runs int `json:"runs"`
+	// Benchmarks lists the measured benchmark names.
+	Benchmarks []string `json:"benchmarks"`
+	// Configs holds per-configuration aggregate throughput.
+	Configs []ConfigResult `json:"configs"`
+}
+
+// ConfigResult is one pipeline configuration's throughput.
+type ConfigResult struct {
+	Name string `json:"name"`
+	// MIPS is the aggregate throughput: total instructions across the
+	// benchmark set divided by total wall time, in millions per second.
+	MIPS float64 `json:"mips"`
+	// PerBench is the per-benchmark MIPS breakdown.
+	PerBench map[string]float64 `json:"per_bench"`
+}
+
+func main() {
+	var (
+		budget  = flag.Uint64("budget", 2_000_000, "dynamic instruction budget per benchmark")
+		runs    = flag.Int("runs", 3, "repetitions per configuration (best run reported)")
+		benches = flag.String("bench", "", "comma-separated benchmark names (default: representative set)")
+		jsonOut = flag.String("json", "", "append results to a JSON history file")
+		label   = flag.String("label", "dev", "label recorded with the measurement")
+	)
+	flag.Parse()
+	if err := run(*budget, *runs, *benches, *jsonOut, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "mica-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(budget uint64, runs int, benches, jsonOut, label string) error {
+	if runs < 1 {
+		runs = 1
+	}
+	names := defaultSet
+	if benches != "" {
+		names = strings.Split(benches, ",")
+	}
+	set := make([]mica.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := mica.BenchmarkByName(strings.TrimSpace(n))
+		if err != nil {
+			return err
+		}
+		set = append(set, b)
+	}
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget,
+		Runs:       runs,
+		Benchmarks: names,
+	}
+
+	configs := []struct {
+		name    string
+		measure func(b mica.Benchmark) (uint64, time.Duration, error)
+	}{
+		{"raw-vm", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			// Instantiate is inside the timed region, as it is for the
+			// profiler configs (Profile instantiates internally), so
+			// the three configurations compare apples-to-apples.
+			start := time.Now()
+			m, err := b.Instantiate()
+			if err != nil {
+				return 0, 0, err
+			}
+			n, err := m.Run(budget, nil)
+			if err != nil && err != vm.ErrBudget {
+				return 0, 0, err
+			}
+			return n, time.Since(start), nil
+		}},
+		{"mica", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			cfg := mica.DefaultConfig()
+			cfg.InstBudget = budget
+			cfg.SkipHPC = true
+			start := time.Now()
+			pr, err := mica.Profile(b, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return pr.Insts, time.Since(start), nil
+		}},
+		{"mica+hpc", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			cfg := mica.DefaultConfig()
+			cfg.InstBudget = budget
+			start := time.Now()
+			pr, err := mica.Profile(b, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return pr.Insts, time.Since(start), nil
+		}},
+	}
+
+	t := report.NewTable("config", "MIPS", "insts", "time")
+	for _, c := range configs {
+		best := ConfigResult{Name: c.name, PerBench: make(map[string]float64)}
+		var bestInsts uint64
+		var bestTime time.Duration
+		for r := 0; r < runs; r++ {
+			var totalInsts uint64
+			var totalTime time.Duration
+			perBench := make(map[string]float64)
+			for i, b := range set {
+				n, d, err := c.measure(b)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", c.name, names[i], err)
+				}
+				totalInsts += n
+				totalTime += d
+				perBench[names[i]] = mips(n, d)
+			}
+			if m := mips(totalInsts, totalTime); m > best.MIPS {
+				best.MIPS = m
+				best.PerBench = perBench
+				bestInsts, bestTime = totalInsts, totalTime
+			}
+		}
+		res.Configs = append(res.Configs, best)
+		t.AddRow(c.name, fmt.Sprintf("%.2f", best.MIPS), bestInsts,
+			bestTime.Round(time.Millisecond))
+	}
+	fmt.Print(t.String())
+
+	if jsonOut != "" {
+		var hist History
+		prev, err := os.ReadFile(jsonOut)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(prev, &hist); err != nil {
+				return fmt.Errorf("existing %s is not a history file: %w", jsonOut, err)
+			}
+		case !os.IsNotExist(err):
+			// Never clobber the tracked perf trajectory because of a
+			// transient read failure.
+			return err
+		}
+		hist.History = append(hist.History, res)
+		data, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended %q to %s (%d entries)\n", label, jsonOut, len(hist.History))
+	}
+	return nil
+}
+
+func mips(insts uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(insts) / d.Seconds() / 1e6
+}

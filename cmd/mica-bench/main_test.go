@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesHistory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(2000, 1, "MiBench/sha/large", out, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2000, 1, "MiBench/sha/large", out, "second"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(hist.History))
+	}
+	if hist.History[0].Label != "first" || hist.History[1].Label != "second" {
+		t.Fatalf("labels = %q, %q", hist.History[0].Label, hist.History[1].Label)
+	}
+	for _, res := range hist.History {
+		if len(res.Configs) != 3 {
+			t.Fatalf("%s: %d configs, want 3", res.Label, len(res.Configs))
+		}
+		for _, c := range res.Configs {
+			if c.MIPS <= 0 {
+				t.Errorf("%s/%s: MIPS = %v", res.Label, c.Name, c.MIPS)
+			}
+		}
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run(1000, 1, "no/such/bench", "", "x"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}

@@ -1,0 +1,3 @@
+module mica
+
+go 1.24

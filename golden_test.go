@@ -1,0 +1,125 @@
+package mica
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-vector test pins the profiler's output across hot-path
+// rewrites: the flat-hash analyzer state, decode-time instruction
+// metadata, the flat PPM tables and the VM µTLB are all pure
+// optimizations, so the 47-dimensional characteristic vectors and the
+// 13-dimensional HPC vectors must match the original map-based
+// implementation bit-for-bit (tolerance 1e-12 covers nothing more than
+// JSON round-tripping).
+//
+// Regenerate with: go test -run TestGoldenVectors -update-golden .
+// Only do so for changes that intentionally alter measured semantics.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_vectors.json")
+
+// goldenBudget is the per-benchmark dynamic instruction budget of the
+// golden run; large enough to exercise table growth in every analyzer.
+const goldenBudget = 100_000
+
+// goldenSet spans the kernel families: compression hash chains, an
+// interpreter loop, pointer chasing over a large heap, FFT floating
+// point, ALU-dense hashing, and 2D-local motion estimation.
+var goldenSet = []string{
+	"SPEC2000/gzip/program",
+	"SPEC2000/crafty/ref",
+	"SPEC2000/mcf/ref",
+	"MiBench/FFT/fft-large",
+	"MiBench/sha/large",
+	"MediaBench/mpeg2/encode",
+}
+
+type goldenEntry struct {
+	Name  string    `json:"name"`
+	Insts uint64    `json:"insts"`
+	Chars []float64 `json:"chars"`
+	HPC   []float64 `json:"hpc"`
+}
+
+func goldenProfile(t *testing.T, name string) goldenEntry {
+	t.Helper()
+	b, err := BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.InstBudget = goldenBudget
+	res, err := Profile(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenEntry{
+		Name:  name,
+		Insts: res.Insts,
+		Chars: append([]float64(nil), res.Chars[:]...),
+		HPC:   append([]float64(nil), res.HPC[:]...),
+	}
+}
+
+func TestGoldenVectors(t *testing.T) {
+	path := filepath.Join("testdata", "golden_vectors.json")
+
+	if *updateGolden {
+		var entries []goldenEntry
+		for _, name := range goldenSet {
+			entries = append(entries, goldenProfile(t, name))
+		}
+		data, err := json.MarshalIndent(entries, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(entries), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with -update-golden): %v", err)
+	}
+	var entries []goldenEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(goldenSet) {
+		t.Fatalf("golden file has %d entries, want %d", len(entries), len(goldenSet))
+	}
+
+	const tol = 1e-12
+	for _, want := range entries {
+		want := want
+		t.Run(want.Name, func(t *testing.T) {
+			t.Parallel()
+			got := goldenProfile(t, want.Name)
+			if got.Insts != want.Insts {
+				t.Errorf("insts = %d, want %d", got.Insts, want.Insts)
+			}
+			for i, w := range want.Chars {
+				if g := got.Chars[i]; math.Abs(g-w) > tol {
+					t.Errorf("char %d (%s) = %v, want %v (|diff| %g)",
+						i, CharName(i), g, w, math.Abs(g-w))
+				}
+			}
+			for i, w := range want.HPC {
+				if g := got.HPC[i]; math.Abs(g-w) > tol {
+					t.Errorf("hpc %d (%s) = %v, want %v (|diff| %g)",
+						i, HPCMetricName(i), g, w, math.Abs(g-w))
+				}
+			}
+		})
+	}
+}

@@ -93,6 +93,7 @@ func Assemble(name, source string) (*isa.Program, error) {
 	if len(prog.Insts) == 0 {
 		return nil, &Error{Source: name, Line: 1, Msg: "program has no instructions"}
 	}
+	prog.Finalize()
 	return prog, nil
 }
 

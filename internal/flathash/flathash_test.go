@@ -1,0 +1,164 @@
+package flathash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// keyGen produces keys with the distributions the analyzers see: dense
+// sequential runs (PCs, block numbers), clustered addresses, uniform
+// noise, and the zero key.
+func keyGen(rng *rand.Rand) func() uint64 {
+	base := rng.Uint64() >> 16
+	return func() uint64 {
+		switch rng.Intn(8) {
+		case 0:
+			return 0
+		case 1, 2, 3:
+			return base + uint64(rng.Intn(4096)) // dense run
+		case 4, 5:
+			return (base << 12) | uint64(rng.Intn(64)) // clustered
+		default:
+			return rng.Uint64()
+		}
+	}
+}
+
+func TestU64SetVsBuiltin(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gen := keyGen(rng)
+		s := NewU64Set(0)
+		ref := make(map[uint64]struct{})
+		for i := 0; i < 20000; i++ {
+			k := gen()
+			_, had := ref[k]
+			ref[k] = struct{}{}
+			if added := s.Add(k); added == had {
+				t.Fatalf("seed %d op %d: Add(%#x) = %v, want %v", seed, i, k, added, !had)
+			}
+			if i%37 == 0 {
+				probe := gen()
+				_, want := ref[probe]
+				if got := s.Contains(probe); got != want {
+					t.Fatalf("seed %d op %d: Contains(%#x) = %v, want %v", seed, i, probe, got, want)
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, s.Len(), len(ref))
+		}
+		for k := range ref {
+			if !s.Contains(k) {
+				t.Fatalf("seed %d: lost key %#x", seed, k)
+			}
+		}
+	}
+}
+
+func TestU64MapVsBuiltin(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gen := keyGen(rng)
+		m := NewU64Map(0)
+		ref := make(map[uint64]uint64)
+		for i := 0; i < 20000; i++ {
+			k := gen()
+			switch rng.Intn(3) {
+			case 0: // Put
+				v := rng.Uint64()
+				m.Put(k, v)
+				ref[k] = v
+			case 1: // Ref increment (the PPM/ILP usage pattern)
+				*m.Ref(k) += 3
+				ref[k] += 3
+			case 2: // Get
+				want, wantOK := ref[k]
+				got, ok := m.Get(k)
+				if ok != wantOK || got != want {
+					t.Fatalf("seed %d op %d: Get(%#x) = %v,%v want %v,%v",
+						seed, i, k, got, ok, want, wantOK)
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, m.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := m.Get(k); !ok || got != want {
+				t.Fatalf("seed %d: Get(%#x) = %v,%v want %v,true", seed, k, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestU64SetSequential pins behaviour on the fully sequential key stream
+// an instruction working-set analyzer produces: every key distinct and
+// adjacent, forcing repeated growth.
+func TestU64SetSequential(t *testing.T) {
+	s := NewU64Set(0)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) reported duplicate", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if s.Add(i) {
+			t.Fatalf("re-Add(%d) reported new", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+}
+
+// TestU64MapRefAcrossGrowth verifies the documented Ref contract: the
+// pointer stays valid for immediate updates even when the insertion that
+// produced it grew the table.
+func TestU64MapRefAcrossGrowth(t *testing.T) {
+	m := NewU64Map(0)
+	for i := uint64(1); i <= 10000; i++ {
+		p := m.Ref(i)
+		*p = i * 7
+	}
+	for i := uint64(1); i <= 10000; i++ {
+		if v, ok := m.Get(i); !ok || v != i*7 {
+			t.Fatalf("Get(%d) = %v,%v want %d,true", i, v, ok, i*7)
+		}
+	}
+}
+
+func TestCapFor(t *testing.T) {
+	for _, tc := range []struct{ hint, want int }{
+		{0, minCap}, {1, minCap}, {13, minCap}, {14, 32}, {1000, 2048},
+	} {
+		if got := capFor(tc.hint); got != tc.want {
+			t.Errorf("capFor(%d) = %d, want %d", tc.hint, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkU64SetAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.Run("flathash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewU64Set(0)
+			for _, k := range keys {
+				s.Add(k)
+			}
+		}
+	})
+	b.Run("builtin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := make(map[uint64]struct{})
+			for _, k := range keys {
+				s[k] = struct{}{}
+			}
+		}
+	})
+}

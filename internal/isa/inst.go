@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // CodeBase is the byte address of the first instruction. Instruction i
@@ -41,6 +42,79 @@ type Inst struct {
 	// Line is the 1-based source line the instruction came from, for
 	// diagnostics; 0 when built programmatically.
 	Line int
+	// Meta is the decode-time metadata, filled by Program.Finalize (the
+	// assembler and vm.New both call it). The interpreter and the
+	// per-retired-instruction event stream copy these fields instead of
+	// re-deriving them once per dynamic instruction.
+	Meta InstMeta
+}
+
+// InstMeta caches every per-static-instruction property the hot path
+// needs: operand registers, class, format and memory width. It is
+// derived entirely from the architectural fields by Decode.
+type InstMeta struct {
+	// Src and NSrc are the architectural source registers, as produced
+	// by SrcRegs.
+	Src  [3]Reg
+	NSrc uint8
+	// Dst and HasDst are the destination register, as produced by
+	// DstReg.
+	Dst    Reg
+	HasDst bool
+	// DepSrc and NDepSrc are the source registers that carry true
+	// dependencies: Src with the hardwired zero registers filtered out.
+	DepSrc  [3]Reg
+	NDepSrc uint8
+	// DepDst is the destination register when it carries a true
+	// dependency (HasDst with zero registers filtered), else RegInvalid
+	// with HasDepDst false.
+	DepDst    Reg
+	HasDepDst bool
+	// Class caches Op.Class(), Fmt caches Op.Format().
+	Class Class
+	Fmt   Format
+	// MemSize caches Op.MemSize(): access width in bytes, 0 for
+	// non-memory instructions.
+	MemSize uint8
+	// Conditional caches Op.IsConditional().
+	Conditional bool
+	// FPRegs caches Op.IsFPRegs().
+	FPRegs bool
+	// Load caches Op.IsLoad().
+	Load bool
+}
+
+// Decode fills in.Meta from the architectural fields. It is idempotent;
+// Program.Finalize applies it to every instruction.
+func (in *Inst) Decode() {
+	m := &in.Meta
+	m.Src = [3]Reg{}
+	srcs := in.SrcRegs(m.Src[:0])
+	m.NSrc = uint8(len(srcs))
+	if dst, ok := in.DstReg(); ok {
+		m.Dst, m.HasDst = dst, true
+	} else {
+		m.Dst, m.HasDst = RegInvalid, false
+	}
+	m.DepSrc = [3]Reg{}
+	m.NDepSrc = 0
+	for _, r := range srcs {
+		if !r.IsZero() {
+			m.DepSrc[m.NDepSrc] = r
+			m.NDepSrc++
+		}
+	}
+	if m.HasDst && !m.Dst.IsZero() {
+		m.DepDst, m.HasDepDst = m.Dst, true
+	} else {
+		m.DepDst, m.HasDepDst = RegInvalid, false
+	}
+	m.Class = in.Op.Class()
+	m.Fmt = in.Op.Format()
+	m.MemSize = in.Op.MemSize()
+	m.Conditional = in.Op.IsConditional()
+	m.FPRegs = in.Op.IsFPRegs()
+	m.Load = in.Op.IsLoad()
 }
 
 // SrcRegs appends the source registers of the instruction to buf and
@@ -151,12 +225,31 @@ type Program struct {
 	DataBase uint64
 	// Symbols maps labels (both code and data) to byte addresses.
 	Symbols map[string]uint64
+
+	// finalizeOnce guards Finalize: kernel programs are shared by every
+	// Machine instantiated from them, and profiling runs machines in
+	// parallel, so the metadata decode must happen exactly once.
+	finalizeOnce sync.Once
 }
 
 // DefaultDataBase is the default load address of the data segment, placed
 // well away from the code so instruction and data working sets do not
 // alias at page granularity.
 const DefaultDataBase uint64 = 0x0000_0000_1000_0000
+
+// Finalize decodes every instruction's metadata. The assembler calls it
+// on assembled programs and vm.New calls it again, so hand-built Program
+// literals in tests and generators are covered too. The decode runs
+// exactly once per Program (concurrent callers block until it is done):
+// kernel programs are shared across all machines instantiated from them,
+// including machines running in parallel profiling workers.
+func (p *Program) Finalize() {
+	p.finalizeOnce.Do(func() {
+		for i := range p.Insts {
+			p.Insts[i].Decode()
+		}
+	})
+}
 
 // Symbol returns the address of a label, or an error naming the program
 // and label if it is not defined.

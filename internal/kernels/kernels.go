@@ -12,6 +12,7 @@
 package kernels
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -132,12 +133,18 @@ func writeParams(m *vm.Machine, vals ...uint64) {
 	}
 }
 
-// writeQuads stores 64-bit values starting at a symbol.
+// writeQuads stores 64-bit values starting at a symbol. Values are
+// encoded into one buffer and stored with a single page-granular write;
+// large kernels (the megabyte pointer-chase rings) build their data
+// segments on every Instantiate, so this path is part of end-to-end
+// profiling throughput.
 func writeQuads(m *vm.Machine, sym string, vals []uint64) {
 	base := m.Program().MustSymbol(sym)
+	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
-		m.Mem.WriteUint(base+uint64(i*8), 8, v)
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
 	}
+	m.Mem.Write(base, buf)
 }
 
 // writeBytes stores raw bytes starting at a symbol.
@@ -148,9 +155,11 @@ func writeBytes(m *vm.Machine, sym string, data []byte) {
 // writeFloats stores float64 values starting at a symbol.
 func writeFloats(m *vm.Machine, sym string, vals []float64) {
 	base := m.Program().MustSymbol(sym)
+	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
-		m.Mem.WriteUint(base+uint64(i*8), 8, floatBits(v))
+		binary.LittleEndian.PutUint64(buf[i*8:], floatBits(v))
 	}
+	m.Mem.Write(base, buf)
 }
 
 func floatBits(v float64) uint64 { return math.Float64bits(v) }

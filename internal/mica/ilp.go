@@ -1,6 +1,7 @@
 package mica
 
 import (
+	"mica/internal/flathash"
 	"mica/internal/isa"
 	"mica/internal/trace"
 )
@@ -20,24 +21,49 @@ var DefaultILPWindows = []int{32, 64, 128, 256}
 // positions earlier has retired (making window room). Both register
 // dependencies and store-to-load memory dependencies are honored; the
 // latter can be disabled for ablation.
+//
+// All window configurations are simulated interleaved in one pass: state
+// that the configurations index the same way (per-register and per-block
+// completion cycles, the retirement ring) is stored as contiguous
+// per-window rows, so one instruction touches one cache line per
+// register/block instead of one per window, and store-to-load dependence
+// state costs a single flat-hash probe for all windows together.
 type ILPAnalyzer struct {
-	states []*ilpState
+	wins []int
 	// TrackMemDeps controls whether store-to-load dependencies through
 	// memory constrain issue (default true).
 	trackMemDeps bool
-}
 
-type ilpState struct {
-	win      int
-	regReady [isa.NumRegs]uint64
-	// ring holds completion cycles of the last win instructions.
-	ring    []uint64
-	pos     int
+	ns     int // number of window configurations
+	maxWin int
+
+	// regReady holds, for each register, the completion cycle of its
+	// latest producer in each window configuration: row r is
+	// regReady[r*ns : (r+1)*ns].
+	regReady []uint64
+	// ring holds the completion cycles of the last maxWin instructions,
+	// one ns-wide row per instruction slot; the entry for instruction
+	// k lives at row k%maxWin until overwritten maxWin retirements
+	// later, so every window size W <= maxWin can read instruction n-W.
+	// wpos is the write row for the current instruction and rpos[j] the
+	// read row for window j (both rolled forward each event, avoiding
+	// per-event modulo).
+	ring []uint64
+	wpos int
+	rpos []int
+	// n is the number of instructions retired; maxDone and ready are
+	// per-window completion frontiers and a per-event scratch row.
 	n       uint64
-	maxDone uint64
-	// memReady maps 8-byte-aligned addresses to the completion cycle of
-	// the last store covering them.
-	memReady map[uint64]uint64
+	maxDone []uint64
+	ready   []uint64
+
+	// memRows maps an 8-byte-aligned address to 1 + the base offset of
+	// its row in memVals; row r spans memVals[r : r+ns], entry j
+	// holding the completion cycle of the last store covering the
+	// block in window configuration j.
+	memRows *flathash.U64Map
+	memVals []uint64
+	zeroRow []uint64
 }
 
 // NewILPAnalyzer builds an analyzer for the given window sizes (nil means
@@ -47,95 +73,232 @@ func NewILPAnalyzer(windows []int, trackMemDeps bool) *ILPAnalyzer {
 	if windows == nil {
 		windows = DefaultILPWindows
 	}
-	a := &ILPAnalyzer{trackMemDeps: trackMemDeps}
+	a := &ILPAnalyzer{trackMemDeps: trackMemDeps, ns: len(windows)}
 	for _, w := range windows {
 		if w <= 0 {
 			panic("mica: ILP window size must be positive")
 		}
-		a.states = append(a.states, &ilpState{
-			win:      w,
-			ring:     make([]uint64, w),
-			memReady: make(map[uint64]uint64),
-		})
+		a.wins = append(a.wins, w)
+		if w > a.maxWin {
+			a.maxWin = w
+		}
 	}
+	a.regReady = make([]uint64, isa.NumRegs*a.ns)
+	a.ring = make([]uint64, a.maxWin*a.ns)
+	a.rpos = make([]int, a.ns)
+	for j, w := range a.wins {
+		// Row of instruction n-w once n >= w: starts at maxWin-w and
+		// rolls forward in lockstep with wpos.
+		a.rpos[j] = a.maxWin - w
+	}
+	a.maxDone = make([]uint64, a.ns)
+	a.ready = make([]uint64, a.ns)
+	a.memRows = flathash.NewU64Map(0)
+	a.zeroRow = make([]uint64, a.ns)
 	return a
 }
 
 // Observe implements trace.Observer.
 func (a *ILPAnalyzer) Observe(ev *trace.Event) {
-	for _, s := range a.states {
-		s.observe(ev, a.trackMemDeps)
+	if a.ns == 4 {
+		// The Table II configuration; fixed-width rows let the compiler
+		// drop bounds checks and keep the scratch row in registers.
+		a.observe4(ev)
+		return
 	}
-}
+	ns := a.ns
+	ready := a.ready
+	copy(ready, a.zeroRow)
 
-func (s *ilpState) observe(ev *trace.Event, memDeps bool) {
-	var ready uint64
-	for i := uint8(0); i < ev.NSrc; i++ {
-		r := ev.Src[i]
-		if r.IsZero() {
-			continue
-		}
-		if t := s.regReady[r]; t > ready {
-			ready = t
-		}
-	}
-	// Window constraint: the slot becomes free when the instruction W
-	// positions back completes.
-	if s.n >= uint64(s.win) {
-		if t := s.ring[s.pos]; t > ready {
-			ready = t
-		}
-	}
-	if memDeps && ev.MemSize > 0 {
-		blk := ev.MemAddr >> 3
-		if ev.Class == isa.ClassLoad {
-			if t := s.memReady[blk]; t > ready {
-				ready = t
+	// Register dependencies.
+	for i := uint8(0); i < ev.NDepSrc; i++ {
+		base := int(ev.DepSrc[i]) * ns
+		row := a.regReady[base : base+ns]
+		for j, t := range row {
+			if t > ready[j] {
+				ready[j] = t
 			}
 		}
 	}
-	done := ready + 1
-	if memDeps && ev.MemSize > 0 && ev.Class == isa.ClassStore {
-		s.memReady[ev.MemAddr>>3] = done
+
+	// Window constraint: the slot becomes free when the instruction W
+	// positions back completes.
+	for j, w := range a.wins {
+		if a.n >= uint64(w) {
+			if t := a.ring[a.rpos[j]*ns+j]; t > ready[j] {
+				ready[j] = t
+			}
+		}
+		a.rpos[j]++
+		if a.rpos[j] == a.maxWin {
+			a.rpos[j] = 0
+		}
 	}
-	if ev.HasDst && !ev.Dst.IsZero() {
-		s.regReady[ev.Dst] = done
+
+	// Store-to-load dependencies through memory.
+	var memRow []uint64
+	isLoad := false
+	if a.trackMemDeps && ev.MemSize > 0 {
+		blk := ev.MemAddr >> 3
+		if isLoad = ev.Class == isa.ClassLoad; isLoad {
+			// Loads only read dependence state: a block no store has
+			// touched needs no row (its ready cycles are all zero), and
+			// materializing one per loaded block would blow the table
+			// up to the data working set on read-heavy workloads.
+			if off, ok := a.memRows.Get(blk); ok {
+				memRow = a.memVals[off-1 : off-1+uint64(ns)]
+				for j := 0; j < ns; j++ {
+					if t := memRow[j]; t > ready[j] {
+						ready[j] = t
+					}
+				}
+			}
+		} else {
+			ref := a.memRows.Ref(blk)
+			if *ref == 0 {
+				*ref = uint64(len(a.memVals)) + 1
+				a.memVals = append(a.memVals, a.zeroRow...)
+			}
+			memRow = a.memVals[*ref-1 : *ref-1+uint64(ns)]
+		}
 	}
-	s.ring[s.pos] = done
-	s.pos++
-	if s.pos == s.win {
-		s.pos = 0
+
+	// Completion: unit latency on top of readiness, then publish to the
+	// ring, the destination register and (for stores) the memory row.
+	slot := a.ring[a.wpos*ns : a.wpos*ns+ns]
+	a.wpos++
+	if a.wpos == a.maxWin {
+		a.wpos = 0
 	}
-	if done > s.maxDone {
-		s.maxDone = done
+	var dstRow []uint64
+	if ev.HasDepDst {
+		base := int(ev.DepDst) * ns
+		dstRow = a.regReady[base : base+ns]
 	}
-	s.n++
+	for j, r := range ready {
+		done := r + 1
+		slot[j] = done
+		if dstRow != nil {
+			dstRow[j] = done
+		}
+		if memRow != nil && !isLoad {
+			memRow[j] = done
+		}
+		if done > a.maxDone[j] {
+			a.maxDone[j] = done
+		}
+	}
+	a.n++
+}
+
+// observe4 is Observe specialized for exactly four window
+// configurations, with the per-window row unrolled into locals.
+func (a *ILPAnalyzer) observe4(ev *trace.Event) {
+	var r0, r1, r2, r3 uint64
+
+	// Register dependencies.
+	for i := uint8(0); i < ev.NDepSrc; i++ {
+		base := int(ev.DepSrc[i]) * 4
+		row := a.regReady[base : base+4 : base+4]
+		r0 = max(r0, row[0])
+		r1 = max(r1, row[1])
+		r2 = max(r2, row[2])
+		r3 = max(r3, row[3])
+	}
+
+	// Window constraint: the slot becomes free when the instruction W
+	// positions back completes.
+	ring, rpos := a.ring, a.rpos
+	if a.n >= uint64(a.wins[0]) {
+		r0 = max(r0, ring[rpos[0]*4])
+	}
+	if a.n >= uint64(a.wins[1]) {
+		r1 = max(r1, ring[rpos[1]*4+1])
+	}
+	if a.n >= uint64(a.wins[2]) {
+		r2 = max(r2, ring[rpos[2]*4+2])
+	}
+	if a.n >= uint64(a.wins[3]) {
+		r3 = max(r3, ring[rpos[3]*4+3])
+	}
+	for j := 0; j < 4; j++ {
+		rpos[j]++
+		if rpos[j] == a.maxWin {
+			rpos[j] = 0
+		}
+	}
+
+	// Store-to-load dependencies through memory.
+	var memRow []uint64
+	isLoad := false
+	if a.trackMemDeps && ev.MemSize > 0 {
+		blk := ev.MemAddr >> 3
+		if isLoad = ev.Class == isa.ClassLoad; isLoad {
+			if off, ok := a.memRows.Get(blk); ok {
+				memRow = a.memVals[off-1 : off+3 : off+3]
+				r0 = max(r0, memRow[0])
+				r1 = max(r1, memRow[1])
+				r2 = max(r2, memRow[2])
+				r3 = max(r3, memRow[3])
+			}
+		} else {
+			ref := a.memRows.Ref(blk)
+			if *ref == 0 {
+				*ref = uint64(len(a.memVals)) + 1
+				a.memVals = append(a.memVals, a.zeroRow...)
+			}
+			memRow = a.memVals[*ref-1 : *ref+3 : *ref+3]
+		}
+	}
+
+	r0++
+	r1++
+	r2++
+	r3++
+
+	slot := a.ring[a.wpos*4 : a.wpos*4+4 : a.wpos*4+4]
+	slot[0], slot[1], slot[2], slot[3] = r0, r1, r2, r3
+	a.wpos++
+	if a.wpos == a.maxWin {
+		a.wpos = 0
+	}
+	if ev.HasDepDst {
+		base := int(ev.DepDst) * 4
+		row := a.regReady[base : base+4 : base+4]
+		row[0], row[1], row[2], row[3] = r0, r1, r2, r3
+	}
+	if memRow != nil && !isLoad {
+		memRow[0], memRow[1], memRow[2], memRow[3] = r0, r1, r2, r3
+	}
+	md := a.maxDone
+	md[0] = max(md[0], r0)
+	md[1] = max(md[1], r1)
+	md[2] = max(md[2], r2)
+	md[3] = max(md[3], r3)
+	a.n++
 }
 
 // IPC returns the achieved instructions-per-cycle for the i-th configured
 // window.
 func (a *ILPAnalyzer) IPC(i int) float64 {
-	s := a.states[i]
-	if s.maxDone == 0 {
+	if a.maxDone[i] == 0 {
 		return 0
 	}
-	return float64(s.n) / float64(s.maxDone)
+	return float64(a.n) / float64(a.maxDone[i])
 }
 
 // Windows returns the configured window sizes.
 func (a *ILPAnalyzer) Windows() []int {
-	out := make([]int, len(a.states))
-	for i, s := range a.states {
-		out[i] = s.win
-	}
+	out := make([]int, len(a.wins))
+	copy(out, a.wins)
 	return out
 }
 
 // Fill writes characteristics 7-10 into v; it requires the analyzer to be
 // configured with the four default windows.
 func (a *ILPAnalyzer) Fill(v *Vector) {
-	for i, s := range a.states {
-		switch s.win {
+	for i, w := range a.wins {
+		switch w {
 		case 32:
 			v[CharILP32] = a.IPC(i)
 		case 64:

@@ -31,6 +31,7 @@ func (s *evStream) alu(dst isa.Reg, srcs ...isa.Reg) trace.Event {
 	}
 	ev.NSrc = uint8(len(srcs))
 	ev.Dst, ev.HasDst = dst, true
+	ev.DeriveDeps()
 	return ev
 }
 
@@ -40,6 +41,7 @@ func (s *evStream) load(dst isa.Reg, base isa.Reg, addr uint64) trace.Event {
 	ev.NSrc = 1
 	ev.Dst, ev.HasDst = dst, true
 	ev.MemAddr, ev.MemSize = addr, 8
+	ev.DeriveDeps()
 	return ev
 }
 
@@ -48,6 +50,7 @@ func (s *evStream) store(val, base isa.Reg, addr uint64) trace.Event {
 	ev.Src[0], ev.Src[1] = base, val
 	ev.NSrc = 2
 	ev.MemAddr, ev.MemSize = addr, 8
+	ev.DeriveDeps()
 	return ev
 }
 

@@ -3,6 +3,7 @@ package mica
 import (
 	"fmt"
 
+	"mica/internal/flathash"
 	"mica/internal/trace"
 )
 
@@ -48,73 +49,143 @@ func (v PPMVariant) String() string {
 // to measure. The ablation bench sweeps this parameter.
 const DefaultPPMOrder = 8
 
-type ppmKey struct {
-	order uint8
-	pc    uint64 // 0 for shared ('g') tables
-	hist  uint64
-}
-
 // ppmPredictor is one PPM predictor instance.
+//
+// The model state is one flat open-addressed table per context order,
+// keyed by (pc << 32) | masked history — pc is 0 for shared ('g')
+// variants and the history mask is at most 32 bits, so the pair packs
+// into one uint64 key. The two direction counters of a context live
+// inline in the table value ([2]uint32 packed into a uint64), so scoring
+// a branch touches maxOrder+1 flat slots with no pointer chasing and no
+// allocation in steady state.
 type ppmPredictor struct {
 	variant  PPMVariant
 	maxOrder int
 
 	globalHist uint64
-	localHist  map[uint64]uint64 // pc -> history
+	localHist  *flathash.U64Map // pc -> history (PAg/PAs)
 
-	table map[ppmKey]*[2]uint32
+	// tables[k] maps an order-k context to its packed counters:
+	// not-taken count in the low 32 bits, taken count in the high 32.
+	tables []*flathash.U64Map
 
 	correct uint64
 	total   uint64
 
-	// scratch buffer of per-order count entries, reused across branches.
-	chain []*[2]uint32
+	// ctxCache is a direct-mapped cache of recently resolved slot
+	// chains, keyed by branch PC. A hit requires the same PC, the same
+	// maximum-order masked history (every order's table key is a
+	// function of it) and an unchanged table growth generation — under
+	// those conditions the cached pointers are exactly what the probes
+	// would return, so steady-state biased branches skip all maxOrder+1
+	// hash probes. genSum is monotonically nondecreasing, so equality
+	// means no table grew.
+	ctxCache  []ppmCtxEntry
+	ctxChains []*uint64 // arena backing the cache entries' chains
+	maxMask   uint64
+	// curGen caches genSum(): tables only grow inside the refill loop,
+	// so the sum is refreshed there and the per-branch hit check is one
+	// compare instead of maxOrder+1 pointer loads.
+	curGen uint64
+}
+
+// ppmCtxBits sizes the context cache (1<<ppmCtxBits entries).
+const ppmCtxBits = 8
+
+type ppmCtxEntry struct {
+	pc     uint64
+	hist   uint64 // masked to maxMask
+	genSum uint64
+	valid  bool
+	chain  []*uint64
 }
 
 func newPPMPredictor(variant PPMVariant, maxOrder int) *ppmPredictor {
 	if maxOrder < 0 || maxOrder > 32 {
 		panic("mica: PPM order out of range")
 	}
-	return &ppmPredictor{
+	p := &ppmPredictor{
 		variant:   variant,
 		maxOrder:  maxOrder,
-		localHist: make(map[uint64]uint64),
-		table:     make(map[ppmKey]*[2]uint32),
-		chain:     make([]*[2]uint32, maxOrder+1),
+		localHist: flathash.NewU64Map(0),
+		tables:    make([]*flathash.U64Map, maxOrder+1),
 	}
+	for k := range p.tables {
+		// An order-k table holds at most 2^k contexts per branch PC;
+		// seeding capacity with that (clamped) skips the first few
+		// rehash doublings of every trace.
+		hint := 1 << k
+		if hint > 4096 {
+			hint = 4096
+		}
+		p.tables[k] = flathash.NewU64Map(hint)
+	}
+	p.maxMask = 1<<uint(maxOrder) - 1
+	p.ctxCache = make([]ppmCtxEntry, 1<<ppmCtxBits)
+	p.ctxChains = make([]*uint64, (maxOrder+1)<<ppmCtxBits)
+	for i := range p.ctxCache {
+		p.ctxCache[i].chain = p.ctxChains[i*(maxOrder+1) : (i+1)*(maxOrder+1)]
+	}
+	return p
+}
+
+// genSum is the combined growth generation of all order tables.
+func (p *ppmPredictor) genSum() uint64 {
+	var s uint64
+	for _, t := range p.tables {
+		s += t.Gen()
+	}
+	return s
 }
 
 // observe predicts the branch at pc, scores the prediction against taken,
 // and updates the model.
 func (p *ppmPredictor) observe(pc uint64, taken bool) {
+	if pc >= 1<<32 {
+		// The packed (pc, history) table key reserves 32 bits for the
+		// PC; the VM's code segment (CodeBase + 4*index) cannot reach
+		// this for any representable program.
+		panic("mica: PPM branch PC exceeds 32 bits")
+	}
 	var hist uint64
+	var histSlot *uint64
 	perAddr := p.variant == PPMPAg || p.variant == PPMPAs
 	if perAddr {
-		hist = p.localHist[pc]
+		histSlot = p.localHist.Ref(pc)
+		hist = *histSlot
 	} else {
 		hist = p.globalHist
 	}
-	var tablePC uint64
+	var pcBits uint64
 	if p.variant == PPMGAs || p.variant == PPMPAs {
-		tablePC = pc
+		pcBits = pc << 32
 	}
 
-	// Walk orders from longest to shortest; remember each order's count
-	// cell (allocating on first touch) and predict from the longest
-	// context that has been seen before.
-	predicted := true // static default: predict taken
-	decided := false
-	for k := p.maxOrder; k >= 0; k-- {
-		key := ppmKey{order: uint8(k), pc: tablePC, hist: hist & (1<<uint(k) - 1)}
-		cell := p.table[key]
-		if cell == nil {
-			cell = new([2]uint32)
-			p.table[key] = cell
+	// Resolve each order's counter slot: from the context cache when
+	// this branch repeats its masked history and no table has grown, or
+	// by walking the order tables (inserting zero cells on first touch)
+	// and refreshing the cache.
+	mh := hist & p.maxMask
+	e := &p.ctxCache[pc&(1<<ppmCtxBits-1)]
+	chain := e.chain
+	if !e.valid || e.pc != pc || e.hist != mh || e.genSum != p.curGen {
+		for k := p.maxOrder; k >= 0; k-- {
+			chain[k] = p.tables[k].Ref(pcBits | mh&(1<<uint(k)-1))
 		}
-		p.chain[k] = cell
-		if !decided && cell[0]+cell[1] > 0 {
-			predicted = cell[1] >= cell[0]
-			decided = true
+		// genSum is taken after the probes: any growth they caused is
+		// included, and the pointers are valid as of now. Refs happen
+		// only here, so curGen stays correct between refills.
+		p.curGen = p.genSum()
+		e.pc, e.hist, e.genSum, e.valid = pc, mh, p.curGen, true
+	}
+
+	// Predict from the longest context that has been seen before.
+	predicted := true // static default: predict taken
+	for k := p.maxOrder; k >= 0; k-- {
+		if c := *chain[k]; c != 0 {
+			// taken count (high half) >= not-taken count (low half)
+			predicted = uint32(c>>32) >= uint32(c)
+			break
 		}
 	}
 
@@ -122,12 +193,20 @@ func (p *ppmPredictor) observe(pc uint64, taken bool) {
 	if predicted == taken {
 		p.correct++
 	}
-	outcome := 0
+	// The packed halves saturate instead of wrapping so a pathological
+	// 2^32-repetition context cannot carry into its neighbor count.
 	if taken {
-		outcome = 1
-	}
-	for k := 0; k <= p.maxOrder; k++ {
-		p.chain[k][outcome]++
+		for _, slot := range chain {
+			if *slot < 0xFFFFFFFF<<32 {
+				*slot += 1 << 32
+			}
+		}
+	} else {
+		for _, slot := range chain {
+			if uint32(*slot) != 0xFFFFFFFF {
+				*slot++
+			}
+		}
 	}
 
 	// Shift the outcome into the history.
@@ -136,7 +215,7 @@ func (p *ppmPredictor) observe(pc uint64, taken bool) {
 		bit = 1
 	}
 	if perAddr {
-		p.localHist[pc] = hist<<1 | bit
+		*histSlot = hist<<1 | bit
 	} else {
 		p.globalHist = hist<<1 | bit
 	}

@@ -1,0 +1,183 @@
+package mica
+
+import (
+	"testing"
+
+	"mica/internal/isa"
+)
+
+// refPPM is the original map-based PPM predictor the flat-table
+// implementation must reproduce exactly: per-(order, pc, history) count
+// cells, predict from the longest previously-seen context, update every
+// order, shift the outcome into the (global or per-address) history.
+type refPPM struct {
+	variant    PPMVariant
+	maxOrder   int
+	globalHist uint64
+	localHist  map[uint64]uint64
+	table      map[[3]uint64]*[2]uint32
+	correct    uint64
+	total      uint64
+}
+
+func newRefPPM(v PPMVariant, maxOrder int) *refPPM {
+	return &refPPM{
+		variant:   v,
+		maxOrder:  maxOrder,
+		localHist: make(map[uint64]uint64),
+		table:     make(map[[3]uint64]*[2]uint32),
+	}
+}
+
+func (p *refPPM) observe(pc uint64, taken bool) {
+	var hist uint64
+	perAddr := p.variant == PPMPAg || p.variant == PPMPAs
+	if perAddr {
+		hist = p.localHist[pc]
+	} else {
+		hist = p.globalHist
+	}
+	var tablePC uint64
+	if p.variant == PPMGAs || p.variant == PPMPAs {
+		tablePC = pc
+	}
+	predicted := true
+	decided := false
+	chain := make([]*[2]uint32, p.maxOrder+1)
+	for k := p.maxOrder; k >= 0; k-- {
+		key := [3]uint64{uint64(k), tablePC, hist & (1<<uint(k) - 1)}
+		cell := p.table[key]
+		if cell == nil {
+			cell = new([2]uint32)
+			p.table[key] = cell
+		}
+		chain[k] = cell
+		if !decided && cell[0]+cell[1] > 0 {
+			predicted = cell[1] >= cell[0]
+			decided = true
+		}
+	}
+	p.total++
+	if predicted == taken {
+		p.correct++
+	}
+	outcome := 0
+	if taken {
+		outcome = 1
+	}
+	for k := 0; k <= p.maxOrder; k++ {
+		chain[k][outcome]++
+	}
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	if perAddr {
+		p.localHist[pc] = hist<<1 | bit
+	} else {
+		p.globalHist = hist<<1 | bit
+	}
+}
+
+// TestPPMDifferentialAgainstReference drives the flat-table predictor and
+// the reference map implementation with identical branch streams mixing
+// biased loop branches (which exercise the context cache), patterned
+// branches and noise, and requires identical correct/total counts for
+// every variant and several orders.
+func TestPPMDifferentialAgainstReference(t *testing.T) {
+	for _, order := range []int{1, 4, 8} {
+		for v := PPMVariant(0); v < numPPMVariants; v++ {
+			v, order := v, order
+			t.Run(v.String(), func(t *testing.T) {
+				opt := newPPMPredictor(v, order)
+				ref := newRefPPM(v, order)
+				x := uint64(0xBEEF + uint64(order)*31 + uint64(v))
+				rnd := func() uint64 {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					return x
+				}
+				pcs := make([]uint64, 37)
+				for i := range pcs {
+					pcs[i] = isa.CodeBase + uint64(i)*4
+				}
+				for i := 0; i < 60_000; i++ {
+					pc := pcs[rnd()%uint64(len(pcs))]
+					var taken bool
+					switch pc % 3 {
+					case 0: // heavily biased
+						taken = rnd()%16 != 0
+					case 1: // short repeating pattern
+						taken = i%3 != 0
+					default: // noise
+						taken = rnd()%2 == 0
+					}
+					opt.observe(pc, taken)
+					ref.observe(pc, taken)
+				}
+				if opt.correct != ref.correct || opt.total != ref.total {
+					t.Fatalf("correct/total = %d/%d, reference %d/%d",
+						opt.correct, opt.total, ref.correct, ref.total)
+				}
+			})
+		}
+	}
+}
+
+// TestILPDifferentialSharedRows pins the interleaved multi-window ILP
+// simulation to an independent single-window run: simulating windows
+// {32, 64, 128, 256} together must give exactly the IPC of simulating
+// each window alone. This also pins the specialized observe4 path
+// (taken when ns == 4) against the generic Observe path (taken by the
+// single-window analyzers), so the two implementations cannot drift.
+func TestILPDifferentialSharedRows(t *testing.T) {
+	events := randomEventStream(4242, 30_000)
+	combined := NewILPAnalyzer(nil, true)
+	for i := range events {
+		combined.Observe(&events[i])
+	}
+	for i, w := range combined.Windows() {
+		single := NewILPAnalyzer([]int{w}, true)
+		for j := range events {
+			single.Observe(&events[j])
+		}
+		if got, want := combined.IPC(i), single.IPC(0); got != want {
+			t.Errorf("window %d: combined IPC %v, standalone %v", w, got, want)
+		}
+	}
+}
+
+// TestWorkingSetDifferential pins the cached flat-set working-set counts
+// to a builtin-map reference over a random event stream.
+func TestWorkingSetDifferential(t *testing.T) {
+	events := randomEventStream(99991, 50_000)
+	a := NewWorkingSetAnalyzer()
+	iBlocks := map[uint64]struct{}{}
+	iPages := map[uint64]struct{}{}
+	dBlocks := map[uint64]struct{}{}
+	dPages := map[uint64]struct{}{}
+	for i := range events {
+		ev := &events[i]
+		a.Observe(ev)
+		iBlocks[ev.PC>>wsBlockShift] = struct{}{}
+		iPages[ev.PC>>wsPageShift] = struct{}{}
+		if ev.MemSize > 0 {
+			first := ev.MemAddr >> wsBlockShift
+			last := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsBlockShift
+			for b := first; b <= last; b++ {
+				dBlocks[b] = struct{}{}
+			}
+			dPages[ev.MemAddr>>wsPageShift] = struct{}{}
+			dPages[(ev.MemAddr+uint64(ev.MemSize)-1)>>wsPageShift] = struct{}{}
+		}
+	}
+	if a.InstBlocks() != len(iBlocks) || a.InstPages() != len(iPages) {
+		t.Errorf("I-stream: got %d/%d blocks/pages, want %d/%d",
+			a.InstBlocks(), a.InstPages(), len(iBlocks), len(iPages))
+	}
+	if a.DataBlocks() != len(dBlocks) || a.DataPages() != len(dPages) {
+		t.Errorf("D-stream: got %d/%d blocks/pages, want %d/%d",
+			a.DataBlocks(), a.DataPages(), len(dBlocks), len(dPages))
+	}
+}

@@ -43,6 +43,7 @@ func randomEventStream(seed uint64, n int) []trace.Event {
 			ev.Src[0], ev.Src[1], ev.NSrc = isa.IntReg(next(30)), isa.IntReg(next(30)), 2
 			ev.Dst, ev.HasDst = isa.IntReg(next(30)), true
 		}
+		ev.DeriveDeps()
 		out = append(out, ev)
 		pc += isa.InstBytes
 	}

@@ -1,6 +1,8 @@
 package mica
 
 import (
+	"math/bits"
+
 	"mica/internal/isa"
 	"mica/internal/trace"
 )
@@ -30,7 +32,11 @@ type RegTrafficAnalyzer struct {
 	totalWrites  uint64
 	totalReads   uint64
 
-	distCounts []uint64 // per DepDistBuckets, non-cumulative counting below
+	// distCounts[b] counts distances in bucket b exactly: the buckets
+	// are (2^(b-1), 2^b], so b = bits.Len64(dist-1) — one increment per
+	// read, with the cumulative Table II view prefix-summed in
+	// DepDistCDF.
+	distCounts []uint64
 	distTotal  uint64
 }
 
@@ -48,26 +54,21 @@ func NewRegTrafficAnalyzer() *RegTrafficAnalyzer {
 // Observe implements trace.Observer.
 func (a *RegTrafficAnalyzer) Observe(ev *trace.Event) {
 	a.totalInsts++
-	for i := uint8(0); i < ev.NSrc; i++ {
-		r := ev.Src[i]
-		if r.IsZero() {
-			continue
-		}
-		a.totalSrcRegs++
+	a.totalSrcRegs += uint64(ev.NDepSrc)
+	for i := uint8(0); i < ev.NDepSrc; i++ {
+		r := ev.DepSrc[i]
 		if w := a.lastWrite[r]; w != noProducer {
 			a.totalReads++
 			dist := a.seq - w
 			a.distTotal++
-			for b, lim := range DepDistBuckets {
-				if dist <= lim {
-					a.distCounts[b]++
-				}
+			if b := bits.Len64(dist - 1); b < len(a.distCounts) {
+				a.distCounts[b]++
 			}
 		}
 	}
-	if ev.HasDst && !ev.Dst.IsZero() {
+	if ev.HasDepDst {
 		a.totalWrites++
-		a.lastWrite[ev.Dst] = a.seq
+		a.lastWrite[ev.DepDst] = a.seq
 	}
 	a.seq++
 }
@@ -97,8 +98,10 @@ func (a *RegTrafficAnalyzer) DepDistCDF() []float64 {
 	if a.distTotal == 0 {
 		return out
 	}
+	var cum uint64
 	for i, c := range a.distCounts {
-		out[i] = float64(c) / float64(a.distTotal)
+		cum += c
+		out[i] = float64(cum) / float64(a.distTotal)
 	}
 	return out
 }

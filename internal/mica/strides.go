@@ -1,6 +1,7 @@
 package mica
 
 import (
+	"mica/internal/flathash"
 	"mica/internal/isa"
 	"mica/internal/trace"
 )
@@ -9,8 +10,11 @@ import (
 // 24-43): P(stride = 0) and P(|stride| <= 8, 64, 512, 4096).
 var StrideBuckets = []uint64{0, 8, 64, 512, 4096}
 
-// strideDist accumulates the cumulative stride distribution for one
-// (local/global, load/store) combination.
+// strideDist accumulates the stride distribution for one (local/global,
+// load/store) combination. counts[i] is the number of strides falling in
+// bucket i exactly (stride == 0, (0,8], (8,64], (64,512], (512,4096]);
+// the cumulative view of Table II is produced by prefix-summing in cdf,
+// keeping the per-access hot path at one increment.
 type strideDist struct {
 	counts [5]uint64
 	total  uint64
@@ -18,10 +22,17 @@ type strideDist struct {
 
 func (d *strideDist) add(stride uint64) {
 	d.total++
-	for i, lim := range StrideBuckets {
-		if stride <= lim {
-			d.counts[i]++
-		}
+	switch {
+	case stride == 0:
+		d.counts[0]++
+	case stride <= 8:
+		d.counts[1]++
+	case stride <= 64:
+		d.counts[2]++
+	case stride <= 512:
+		d.counts[3]++
+	case stride <= 4096:
+		d.counts[4]++
 	}
 }
 
@@ -32,8 +43,10 @@ func (d *strideDist) cdf() [5]float64 {
 	if d.total == 0 {
 		return out
 	}
+	var cum uint64
 	for i, c := range d.counts {
-		out[i] = float64(c) / float64(d.total)
+		cum += c
+		out[i] = float64(cum) / float64(d.total)
 	}
 	return out
 }
@@ -51,7 +64,10 @@ type StrideAnalyzer struct {
 	lastGlobalStore uint64
 	haveGlobalStore bool
 
-	lastLocal map[uint64]uint64 // PC -> last address
+	// lastLocal maps a memory instruction's PC to its last address.
+	// Static memory PCs number in the hundreds, so the flat table stays
+	// small and cache-resident.
+	lastLocal *flathash.U64Map
 
 	localLoad   strideDist
 	globalLoad  strideDist
@@ -61,7 +77,7 @@ type StrideAnalyzer struct {
 
 // NewStrideAnalyzer returns a ready analyzer.
 func NewStrideAnalyzer() *StrideAnalyzer {
-	return &StrideAnalyzer{lastLocal: make(map[uint64]uint64)}
+	return &StrideAnalyzer{lastLocal: flathash.NewU64Map(0)}
 }
 
 func absDiff(a, b uint64) uint64 {
@@ -77,15 +93,20 @@ func (a *StrideAnalyzer) Observe(ev *trace.Event) {
 		return
 	}
 	addr := ev.MemAddr
-	if last, ok := a.lastLocal[ev.PC]; ok {
-		s := absDiff(addr, last)
+	// One probe resolves both the previous address and its update slot;
+	// a Len change distinguishes a first access (which defines no
+	// stride) from a revisit.
+	before := a.lastLocal.Len()
+	slot := a.lastLocal.Ref(ev.PC)
+	if a.lastLocal.Len() == before {
+		s := absDiff(addr, *slot)
 		if ev.Class == isa.ClassLoad {
 			a.localLoad.add(s)
 		} else {
 			a.localStore.add(s)
 		}
 	}
-	a.lastLocal[ev.PC] = addr
+	*slot = addr
 
 	if ev.Class == isa.ClassLoad {
 		if a.haveGlobalLoad {

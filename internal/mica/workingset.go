@@ -1,6 +1,9 @@
 package mica
 
-import "mica/internal/trace"
+import (
+	"mica/internal/flathash"
+	"mica/internal/trace"
+)
 
 // Working-set granularities from Table II (characteristics 20-23).
 const (
@@ -8,58 +11,91 @@ const (
 	wsPageShift  = 12 // 4KB pages
 )
 
+// wsNone is a last-seen tag no real block or page number can equal (it
+// would need shifted addresses of 2^64-1).
+const wsNone = ^uint64(0)
+
 // WorkingSetAnalyzer counts the number of unique 32-byte blocks and unique
 // 4KB pages touched by the instruction stream and by the data stream
 // (Table II characteristics 20-23).
+//
+// Uniqueness is tracked in flat open-addressed sets, fronted by
+// single-entry last-block/last-page caches: consecutive instructions
+// almost always share a 32B code block, and consecutive data accesses
+// usually share a block or at least a page, so the common case is one
+// compare instead of a hash probe.
 type WorkingSetAnalyzer struct {
-	dBlocks map[uint64]struct{}
-	dPages  map[uint64]struct{}
-	iBlocks map[uint64]struct{}
-	iPages  map[uint64]struct{}
+	lastIBlock uint64
+	lastIPage  uint64
+	lastDBlock uint64
+	lastDPage  uint64
+
+	dBlocks *flathash.U64Set
+	dPages  *flathash.U64Set
+	iBlocks *flathash.U64Set
+	iPages  *flathash.U64Set
 }
 
 // NewWorkingSetAnalyzer returns a ready analyzer.
 func NewWorkingSetAnalyzer() *WorkingSetAnalyzer {
 	return &WorkingSetAnalyzer{
-		dBlocks: make(map[uint64]struct{}),
-		dPages:  make(map[uint64]struct{}),
-		iBlocks: make(map[uint64]struct{}),
-		iPages:  make(map[uint64]struct{}),
+		lastIBlock: wsNone,
+		lastIPage:  wsNone,
+		lastDBlock: wsNone,
+		lastDPage:  wsNone,
+		dBlocks:    flathash.NewU64Set(0),
+		dPages:     flathash.NewU64Set(0),
+		iBlocks:    flathash.NewU64Set(0),
+		iPages:     flathash.NewU64Set(0),
 	}
 }
 
 // Observe implements trace.Observer.
 func (a *WorkingSetAnalyzer) Observe(ev *trace.Event) {
-	a.iBlocks[ev.PC>>wsBlockShift] = struct{}{}
-	a.iPages[ev.PC>>wsPageShift] = struct{}{}
+	if ib := ev.PC >> wsBlockShift; ib != a.lastIBlock {
+		a.lastIBlock = ib
+		a.iBlocks.Add(ib)
+		if ip := ev.PC >> wsPageShift; ip != a.lastIPage {
+			a.lastIPage = ip
+			a.iPages.Add(ip)
+		}
+	}
 	if ev.MemSize > 0 {
 		// A wide access that straddles a block boundary touches both
 		// blocks.
 		first := ev.MemAddr >> wsBlockShift
 		last := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsBlockShift
-		for b := first; b <= last; b++ {
-			a.dBlocks[b] = struct{}{}
+		if first != a.lastDBlock || first != last {
+			a.lastDBlock = last
+			for b := first; b <= last; b++ {
+				a.dBlocks.Add(b)
+			}
 		}
-		a.dPages[ev.MemAddr>>wsPageShift] = struct{}{}
-		if lp := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsPageShift; lp != ev.MemAddr>>wsPageShift {
-			a.dPages[lp] = struct{}{}
+		fp := ev.MemAddr >> wsPageShift
+		lp := (ev.MemAddr + uint64(ev.MemSize) - 1) >> wsPageShift
+		if fp != a.lastDPage || fp != lp {
+			a.lastDPage = lp
+			a.dPages.Add(fp)
+			if lp != fp {
+				a.dPages.Add(lp)
+			}
 		}
 	}
 }
 
 // DataBlocks returns the number of unique 32B blocks in the data stream.
-func (a *WorkingSetAnalyzer) DataBlocks() int { return len(a.dBlocks) }
+func (a *WorkingSetAnalyzer) DataBlocks() int { return a.dBlocks.Len() }
 
 // DataPages returns the number of unique 4KB pages in the data stream.
-func (a *WorkingSetAnalyzer) DataPages() int { return len(a.dPages) }
+func (a *WorkingSetAnalyzer) DataPages() int { return a.dPages.Len() }
 
 // InstBlocks returns the number of unique 32B blocks in the instruction
 // stream.
-func (a *WorkingSetAnalyzer) InstBlocks() int { return len(a.iBlocks) }
+func (a *WorkingSetAnalyzer) InstBlocks() int { return a.iBlocks.Len() }
 
 // InstPages returns the number of unique 4KB pages in the instruction
 // stream.
-func (a *WorkingSetAnalyzer) InstPages() int { return len(a.iPages) }
+func (a *WorkingSetAnalyzer) InstPages() int { return a.iPages.Len() }
 
 // Fill writes characteristics 20-23 into v.
 func (a *WorkingSetAnalyzer) Fill(v *Vector) {

@@ -2,6 +2,7 @@ package suites
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"mica/internal/kernels"
@@ -115,4 +116,48 @@ func TestAllReturnsCopy(t *testing.T) {
 	if All()[0].Program == "mutated" {
 		t.Error("All exposes internal registry storage")
 	}
+}
+
+func TestBySuiteReturnsCopy(t *testing.T) {
+	a := BySuite(SPEC)
+	if len(a) == 0 {
+		t.Fatal("no SPEC benchmarks")
+	}
+	a[0].Program = "mutated"
+	if BySuite(SPEC)[0].Program == "mutated" {
+		t.Error("BySuite exposes internal registry storage")
+	}
+}
+
+// TestConcurrentInstantiateSharedKernel instantiates and runs benchmarks
+// that share one kernel program from many goroutines at once, as
+// ProfileBenchmarks' worker pool does. Program.Finalize must be safe
+// under this concurrency (run with -race in CI).
+func TestConcurrentInstantiateSharedKernel(t *testing.T) {
+	// Both entries are backed by the smithwaterman kernel.
+	names := []string{"BioInfoMark/ce/ce", "BioInfoMark/hmmer/search-artemia"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, name := range names {
+				b, err := ByName(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m, err := b.Instantiate()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.Run(2_000, nil); !errors.Is(err, vm.ErrBudget) {
+					t.Errorf("%s stopped early: %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

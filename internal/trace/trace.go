@@ -29,6 +29,15 @@ type Event struct {
 	Dst    isa.Reg
 	HasDst bool
 
+	// DepSrc/NDepSrc and DepDst/HasDepDst are the dependence-carrying
+	// views of the operands: the same registers with the hardwired
+	// zeros filtered out at decode time, so dependence-tracking
+	// observers skip the per-instruction filtering.
+	DepSrc    [3]isa.Reg
+	NDepSrc   uint8
+	DepDst    isa.Reg
+	HasDepDst bool
+
 	// MemAddr and MemSize describe the memory access of loads and
 	// stores; MemSize is 0 otherwise.
 	MemAddr uint64
@@ -41,6 +50,25 @@ type Event struct {
 	Taken       bool
 	Conditional bool
 	Target      uint64
+}
+
+// DeriveDeps fills the dependence-carrying operand view (DepSrc, NDepSrc,
+// DepDst, HasDepDst) from the architectural fields. The VM copies both
+// views from decode-time metadata; this helper is for event producers
+// that build events by hand (generators, tests).
+func (ev *Event) DeriveDeps() {
+	ev.NDepSrc = 0
+	for i := uint8(0); i < ev.NSrc; i++ {
+		if r := ev.Src[i]; !r.IsZero() {
+			ev.DepSrc[ev.NDepSrc] = r
+			ev.NDepSrc++
+		}
+	}
+	if ev.HasDst && !ev.Dst.IsZero() {
+		ev.DepDst, ev.HasDepDst = ev.Dst, true
+	} else {
+		ev.DepDst, ev.HasDepDst = isa.RegInvalid, false
+	}
 }
 
 // Observer consumes the dynamic instruction stream.

@@ -4,7 +4,11 @@
 // whose hardware performance counters the paper reads.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"mica/internal/flathash"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -19,25 +23,66 @@ type Config struct {
 	Assoc int
 }
 
+// line is one cache line. A line is valid iff lru != 0: the clock is
+// pre-incremented before any stamp, so a real stamp is never zero, and
+// zero-filled lines read as invalid with the most-preferred victim age.
 type line struct {
-	tag   uint64
-	valid bool
-	lru   uint64
+	tag uint64
+	lru uint64
 }
 
 // Cache is a set-associative cache with true-LRU replacement. It models
 // hit/miss behavior only (no dirty-writeback timing), which is what the
 // miss-rate counters need.
+//
+// A last-line shortcut makes back-to-back accesses to one block (the
+// overwhelmingly common case for I-streams and fully-associative TLBs)
+// cost one compare: if the previous access touched the same block, that
+// line is necessarily still resident with maximal LRU age, so the lookup
+// can update it directly without scanning the set.
 type Cache struct {
-	cfg       Config
-	sets      [][]line
+	cfg Config
+	// lines holds all sets flattened: set s spans
+	// lines[s*Assoc : (s+1)*Assoc].
+	lines     []line
 	lineShift uint
 	setMask   uint64
+	tagShift  uint
 	clock     uint64
 
-	accesses uint64
-	misses   uint64
+	lastBlk  uint64
+	lastLine *line
+
+	// tagIndex, for fully-associative caches (TLBs), maps a resident
+	// block number to its slot+1 in the single set, replacing the
+	// O(assoc) hit scan with one hash probe. Entries for evicted blocks
+	// go stale rather than being deleted; a stale entry is detected by
+	// re-checking the slot's tag. Alongside it, lruPrev/lruNext keep the
+	// set's slots in an exact LRU list (head = MRU, tail = LRU), so the
+	// victim on a miss is the tail — no O(assoc) stamp scan. Both
+	// structures reproduce the stamp-based reference behavior
+	// bit-for-bit: hits and misses are decided identically, and the
+	// eviction order equals the minimum-stamp/first-index rule because
+	// slots start in index order and move to the head on every touch.
+	tagIndex *flathash.U64Map
+	lruPrev  []int32
+	lruNext  []int32
+	lruHead  int32
+	lruTail  int32
+
+	// The access count IS the LRU clock: both advance exactly once per
+	// Access, so only the clock is stored (this also keeps the Access
+	// fast path within the inlining budget).
+	misses uint64
 }
+
+// tagIndexMinAssoc is the associativity at which a hash index in front
+// of the hit scan pays for itself; below it the scan is a few compares.
+const tagIndexMinAssoc = 8
+
+// noBlock is the last-block tag for "nothing cached"; unreachable for
+// real block numbers (it would need byte addresses beyond 2^64).
+const noBlock = ^uint64(0)
 
 // New builds a cache. It panics on malformed configurations (these are
 // compile-time machine descriptions, not user input).
@@ -53,15 +98,16 @@ func New(cfg Config) *Cache {
 	if nSets&(nSets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, nSets))
 	}
-	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1)}
+	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1), lastBlk: noBlock}
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.lineShift++
 	}
-	c.sets = make([][]line, nSets)
-	backing := make([]line, nSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	c.tagShift = uint(popcount(c.setMask))
+	if nSets == 1 && cfg.Assoc >= tagIndexMinAssoc {
+		c.tagIndex = flathash.NewU64Map(2 * cfg.Assoc)
+		c.initLRUList()
 	}
+	c.lines = make([]line, nSets*cfg.Assoc)
 	return c
 }
 
@@ -71,16 +117,58 @@ func (c *Cache) Config() Config { return c.cfg }
 // Access looks up addr, updating LRU state and filling the line on a
 // miss. It returns true on a hit.
 func (c *Cache) Access(addr uint64) bool {
-	c.clock++
-	c.accesses++
 	blk := addr >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	tag := blk >> uint(popcount(c.setMask))
+	if blk == c.lastBlk {
+		// The immediately preceding access touched this block, so its
+		// line is necessarily still resident and already the most
+		// recently used: nothing has to move. The LRU stamp is synced
+		// lazily in accessSlow (stamps are only ever read there), which
+		// keeps this path small enough to inline into the models'
+		// Observe loops.
+		c.clock++
+		return true
+	}
+	return c.accessSlow(blk)
+}
+
+// accessSlow is the full set lookup for accesses that miss the last-line
+// shortcut.
+func (c *Cache) accessSlow(blk uint64) bool {
+	if c.lastLine != nil {
+		// Stamp the departing line with its last touch (the current
+		// clock): equivalent to stamping on every fast-path hit.
+		c.lastLine.lru = c.clock
+	}
+	c.clock++
+	base := int(blk&c.setMask) * c.cfg.Assoc
+	set := c.lines[base : base+c.cfg.Assoc]
+	tag := blk >> c.tagShift
+
+	if c.tagIndex != nil {
+		// Hash-indexed hit path: one probe instead of an O(assoc) scan.
+		if s, ok := c.tagIndex.Get(blk); ok {
+			if ln := &set[s-1]; ln.lru != 0 && ln.tag == tag {
+				ln.lru = c.clock
+				c.lruTouch(int32(s - 1))
+				c.lastBlk, c.lastLine = blk, ln
+				return true
+			}
+			// Stale entry: blk was evicted since it was indexed.
+		}
+		victim := c.lruTail
+		c.misses++
+		set[victim] = line{tag: tag, lru: c.clock}
+		c.lruTouch(victim)
+		c.tagIndex.Put(blk, uint64(victim)+1)
+		c.lastBlk, c.lastLine = blk, &set[victim]
+		return false
+	}
 
 	victim := 0
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].tag == tag && set[i].lru != 0 {
 			set[i].lru = c.clock
+			c.lastBlk, c.lastLine = blk, &set[i]
 			return true
 		}
 		// Invalid lines have lru 0 and are preferred victims.
@@ -89,8 +177,48 @@ func (c *Cache) Access(addr uint64) bool {
 		}
 	}
 	c.misses++
-	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	set[victim] = line{tag: tag, lru: c.clock}
+	c.lastBlk, c.lastLine = blk, &set[victim]
 	return false
+}
+
+// initLRUList links the single set's slots so that untouched slots are
+// evicted in index order, matching the stamp scan's first-lowest-index
+// tie-break: tail = slot 0, head = the highest slot.
+func (c *Cache) initLRUList() {
+	n := c.cfg.Assoc
+	c.lruPrev = make([]int32, n)
+	c.lruNext = make([]int32, n)
+	for i := 0; i < n; i++ {
+		// Head-to-tail order is n-1, n-2, ..., 1, 0.
+		c.lruPrev[i] = int32(i + 1)
+		c.lruNext[i] = int32(i - 1)
+	}
+	c.lruPrev[n-1] = -1
+	c.lruNext[0] = -1
+	c.lruHead = int32(n - 1)
+	c.lruTail = 0
+}
+
+// lruTouch moves slot i to the MRU head of the list. prev links point
+// toward the head, next links toward the tail.
+func (c *Cache) lruTouch(i int32) {
+	if i == c.lruHead {
+		return
+	}
+	// Unlink; i != head, so prev[i] is a real slot.
+	p, nx := c.lruPrev[i], c.lruNext[i]
+	c.lruNext[p] = nx
+	if nx >= 0 {
+		c.lruPrev[nx] = p
+	} else {
+		c.lruTail = p // i was the tail
+	}
+	// Relink at head.
+	c.lruPrev[i] = -1
+	c.lruNext[i] = c.lruHead
+	c.lruPrev[c.lruHead] = i
+	c.lruHead = i
 }
 
 func popcount(x uint64) int {
@@ -102,27 +230,30 @@ func popcount(x uint64) int {
 }
 
 // Accesses returns the number of lookups performed.
-func (c *Cache) Accesses() uint64 { return c.accesses }
+func (c *Cache) Accesses() uint64 { return c.clock }
 
 // Misses returns the number of misses.
 func (c *Cache) Misses() uint64 { return c.misses }
 
 // MissRate returns misses per access, 0 when idle.
 func (c *Cache) MissRate() float64 {
-	if c.accesses == 0 {
+	if c.clock == 0 {
 		return 0
 	}
-	return float64(c.misses) / float64(c.accesses)
+	return float64(c.misses) / float64(c.clock)
 }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
-	c.clock, c.accesses, c.misses = 0, 0, 0
+	c.clock, c.misses = 0, 0
+	c.lastBlk, c.lastLine = noBlock, nil
+	if c.tagIndex != nil {
+		c.tagIndex = flathash.NewU64Map(2 * c.cfg.Assoc)
+		c.initLRUList()
+	}
 }
 
 // NewTLB builds a TLB as a fully-associative page-granularity cache with

@@ -162,3 +162,106 @@ func TestHitImpliesSubsequentHit(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// refCache is the straightforward stamp-scan LRU model the optimized
+// Cache must reproduce bit-for-bit: per-access clock, hit scan over the
+// set, victim = minimum-stamp line with lowest-index tie-break.
+type refCache struct {
+	tags      []uint64
+	valid     []bool
+	stamp     []uint64
+	assoc     int
+	lineShift uint
+	setMask   uint64
+	tagShift  uint
+	clock     uint64
+	misses    uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	r := &refCache{
+		tags:    make([]uint64, nSets*cfg.Assoc),
+		valid:   make([]bool, nSets*cfg.Assoc),
+		stamp:   make([]uint64, nSets*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		setMask: uint64(nSets - 1),
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		r.lineShift++
+	}
+	for m := r.setMask; m != 0; m &= m - 1 {
+		r.tagShift++
+	}
+	return r
+}
+
+func (r *refCache) access(addr uint64) bool {
+	r.clock++
+	blk := addr >> r.lineShift
+	base := int(blk&r.setMask) * r.assoc
+	tag := blk >> r.tagShift
+	victim := base
+	for i := base; i < base+r.assoc; i++ {
+		if r.valid[i] && r.tags[i] == tag {
+			r.stamp[i] = r.clock
+			return true
+		}
+		if r.stamp[i] < r.stamp[victim] {
+			victim = i
+		}
+	}
+	r.misses++
+	r.tags[victim], r.valid[victim], r.stamp[victim] = tag, true, r.clock
+	return false
+}
+
+// TestDifferentialAgainstReference drives the optimized cache and the
+// reference model with identical pseudo-random access streams (sequential
+// runs, strided sweeps, hot-set reuse, uniform noise) across every
+// organization the machine models use, including the fully-associative
+// TLB shapes that take the tag-index/LRU-list path.
+func TestDifferentialAgainstReference(t *testing.T) {
+	configs := []Config{
+		{Name: "dm", SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+		{Name: "2way", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2},
+		{Name: "3way", SizeBytes: 96 << 10, LineBytes: 64, Assoc: 3},
+		{Name: "tlb64", SizeBytes: 64 * 8192, LineBytes: 8192, Assoc: 64},
+		{Name: "tlb128", SizeBytes: 128 * 8192, LineBytes: 8192, Assoc: 128},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			c := New(cfg)
+			r := newRefCache(cfg)
+			x := uint64(0x1234567 + cfg.SizeBytes)
+			rnd := func() uint64 {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return x
+			}
+			addr := uint64(0)
+			for i := 0; i < 300_000; i++ {
+				switch rnd() % 8 {
+				case 0: // jump to a new region
+					addr = rnd() % (1 << 26)
+				case 1: // strided sweep step
+					addr += uint64(cfg.LineBytes) * (1 + rnd()%4)
+				case 2: // hot-set reuse
+					addr = (rnd() % 16) * uint64(cfg.LineBytes)
+				default: // sequential bytes (same-line runs)
+					addr += 1 + rnd()%16
+				}
+				got, want := c.Access(addr), r.access(addr)
+				if got != want {
+					t.Fatalf("access %d (addr %#x): hit=%v, reference %v", i, addr, got, want)
+				}
+			}
+			if c.Accesses() != r.clock || c.Misses() != r.misses {
+				t.Fatalf("counters: got %d/%d, reference %d/%d",
+					c.Accesses(), c.Misses(), r.clock, r.misses)
+			}
+		})
+	}
+}

@@ -9,7 +9,6 @@
 package uarch
 
 import (
-	"mica/internal/isa"
 	"mica/internal/trace"
 	"mica/internal/uarch/bpred"
 	"mica/internal/uarch/cache"
@@ -111,7 +110,7 @@ func (m *EV56) Observe(ev *trace.Event) {
 		}
 	}
 
-	if ev.Class == isa.ClassBranch && ev.Conditional {
+	if ev.Conditional {
 		m.branches++
 		pred := m.bp.Predict(ev.PC, ev.Taken)
 		if pred != ev.Taken {

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"mica/internal/flathash"
 	"mica/internal/isa"
 	"mica/internal/trace"
 	"mica/internal/uarch/bpred"
@@ -62,7 +63,7 @@ type EV67 struct {
 	bp   bpred.Predictor
 
 	regReady [isa.NumRegs]uint64
-	memReady map[uint64]uint64
+	memReady *flathash.U64Map
 	ring     []uint64
 	pos      int
 	n        uint64
@@ -81,7 +82,7 @@ func NewEV67(cfg EV67Config) *EV67 {
 		l2:       cache.New(cfg.L2),
 		dtlb:     cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.PageBytes),
 		bp:       bpred.NewTournament(),
-		memReady: make(map[uint64]uint64),
+		memReady: flathash.NewU64Map(0),
 		ring:     make([]uint64, cfg.WindowSize),
 	}
 }
@@ -107,12 +108,8 @@ func (m *EV67) Observe(ev *trace.Event) {
 	}
 
 	// Register dependencies.
-	for i := uint8(0); i < ev.NSrc; i++ {
-		r := ev.Src[i]
-		if r.IsZero() {
-			continue
-		}
-		if t := m.regReady[r]; t > dispatch {
+	for i := uint8(0); i < ev.NDepSrc; i++ {
+		if t := m.regReady[ev.DepSrc[i]]; t > dispatch {
 			dispatch = t
 		}
 	}
@@ -125,7 +122,7 @@ func (m *EV67) Observe(ev *trace.Event) {
 			lat += uint64(m.cfg.TLBMissCycles)
 		}
 		if ev.Class == isa.ClassLoad {
-			if blkReady := m.memReady[ev.MemAddr>>3]; blkReady > dispatch {
+			if blkReady, _ := m.memReady.Get(ev.MemAddr >> 3); blkReady > dispatch {
 				dispatch = blkReady // store-to-load forwarding delay
 			}
 			switch {
@@ -151,7 +148,7 @@ func (m *EV67) Observe(ev *trace.Event) {
 
 	done := dispatch + lat
 
-	if ev.Class == isa.ClassBranch && ev.Conditional {
+	if ev.Conditional {
 		pred := m.bp.Predict(ev.PC, ev.Taken)
 		if pred != ev.Taken {
 			// Fetch restarts after the branch resolves plus the
@@ -162,10 +159,10 @@ func (m *EV67) Observe(ev *trace.Event) {
 	}
 
 	if ev.MemSize > 0 && ev.Class == isa.ClassStore {
-		m.memReady[ev.MemAddr>>3] = done
+		m.memReady.Put(ev.MemAddr>>3, done)
 	}
-	if ev.HasDst && !ev.Dst.IsZero() {
-		m.regReady[ev.Dst] = done
+	if ev.HasDepDst {
+		m.regReady[ev.DepDst] = done
 	}
 	m.ring[m.pos] = done
 	m.pos++

@@ -17,6 +17,7 @@ func aluEvent(seq uint64, dst isa.Reg, srcs ...isa.Reg) trace.Event {
 	}
 	ev.NSrc = uint8(len(srcs))
 	ev.Dst, ev.HasDst = dst, true
+	ev.DeriveDeps()
 	return ev
 }
 
@@ -53,6 +54,7 @@ func TestEV67MulLatencySlowsSerialChain(t *testing.T) {
 			ev := trace.Event{Seq: i, PC: isa.CodeBase + (i%64)*4, Op: op, Class: class}
 			ev.Src[0], ev.NSrc = isa.IntReg(1), 1
 			ev.Dst, ev.HasDst = isa.IntReg(1), true
+			ev.DeriveDeps()
 			m.Observe(&ev)
 		}
 		return m.IPC()
@@ -79,6 +81,7 @@ func TestEV67MispredictStallsFetch(t *testing.T) {
 			ev := trace.Event{Seq: i, PC: isa.CodeBase, Op: isa.OpBne,
 				Class: isa.ClassBranch, Conditional: true, Taken: taken}
 			ev.Src[0], ev.NSrc = isa.IntReg(2), 1
+			ev.DeriveDeps()
 			m.Observe(&ev)
 			alu := aluEvent(i, isa.IntReg(int(i%4)))
 			m.Observe(&alu)
@@ -102,6 +105,7 @@ func TestEV67LoadMissLatencyOverlaps(t *testing.T) {
 		ev.Src[0], ev.NSrc = isa.IntReg(2), 1
 		ev.Dst, ev.HasDst = isa.IntReg(int(3+i%20)), true
 		ev.MemAddr, ev.MemSize = 0x100000+i*4096, 8
+		ev.DeriveDeps()
 		m.Observe(&ev)
 	}
 	serialBound := 1.0 / float64(m.cfg.MemLatencyCycles)
@@ -119,12 +123,14 @@ func TestEV67StoreToLoadForwardingDelays(t *testing.T) {
 		st := trace.Event{Seq: seq, PC: isa.CodeBase, Op: isa.OpStQ, Class: isa.ClassStore,
 			MemAddr: 0x2000, MemSize: 8}
 		st.Src[0], st.Src[1], st.NSrc = isa.IntReg(1), isa.IntReg(2), 2
+		st.DeriveDeps()
 		m.Observe(&st)
 		seq++
 		ld := trace.Event{Seq: seq, PC: isa.CodeBase + 4, Op: isa.OpLdQ, Class: isa.ClassLoad,
 			MemAddr: 0x2000, MemSize: 8}
 		ld.Src[0], ld.NSrc = isa.IntReg(1), 1
 		ld.Dst, ld.HasDst = isa.IntReg(2), true
+		ld.DeriveDeps()
 		m.Observe(&ld)
 		seq++
 	}

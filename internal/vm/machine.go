@@ -37,8 +37,11 @@ type Machine struct {
 const StackBase uint64 = 0x0000_0000_7fff_f000
 
 // New creates a Machine for prog with the data segment loaded and the
-// stack pointer initialized.
+// stack pointer initialized. The program's decode-time metadata is
+// finalized here so that hand-built Program literals behave exactly like
+// assembler output.
 func New(prog *isa.Program) *Machine {
+	prog.Finalize()
 	m := &Machine{prog: prog, Mem: NewMemory()}
 	m.Reset()
 	return m
@@ -129,19 +132,30 @@ func (m *Machine) Run(budget uint64, obs trace.Observer) (uint64, error) {
 			return n, nil
 		}
 		next := m.pc + 1
+		meta := &in.Meta
 
-		ev = trace.Event{
-			Seq:   m.retired + n,
-			PC:    isa.PCForIndex(m.pc),
-			Op:    in.Op,
-			Class: in.Op.Class(),
+		if obs != nil {
+			ev = trace.Event{
+				Seq:       m.retired + n,
+				PC:        isa.PCForIndex(m.pc),
+				Op:        in.Op,
+				Class:     meta.Class,
+				Src:       meta.Src,
+				NSrc:      meta.NSrc,
+				Dst:       meta.Dst,
+				HasDst:    meta.HasDst,
+				DepSrc:    meta.DepSrc,
+				NDepSrc:   meta.NDepSrc,
+				DepDst:    meta.DepDst,
+				HasDepDst: meta.HasDepDst,
+			}
 		}
 
-		switch in.Op.Format() {
+		switch meta.Fmt {
 		case isa.FmtOperate:
 			var b uint64
 			var fb float64
-			if in.Op.IsFPRegs() {
+			if meta.FPRegs {
 				fb = m.F[in.Rb.Index()]
 			} else if in.HasImm {
 				b = uint64(in.Imm)
@@ -158,10 +172,10 @@ func (m *Machine) Run(budget uint64, obs trace.Observer) (uint64, error) {
 
 		case isa.FmtMem:
 			addr := m.R[in.Rb.Index()] + uint64(in.Imm)
-			size := int(in.Op.MemSize())
+			size := int(meta.MemSize)
 			ev.MemAddr = addr
-			ev.MemSize = uint8(size)
-			if in.Op.IsLoad() {
+			ev.MemSize = meta.MemSize
+			if meta.Load {
 				m.load(in, addr, size)
 			} else {
 				m.store(in, addr, size)
@@ -176,7 +190,7 @@ func (m *Machine) Run(budget uint64, obs trace.Observer) (uint64, error) {
 
 		case isa.FmtBranch:
 			taken := true
-			if in.Op.IsConditional() {
+			if meta.Conditional {
 				taken = m.evalCond(in)
 				ev.Conditional = true
 			} else if in.Op == isa.OpBr || in.Op == isa.OpBsr {
@@ -212,14 +226,6 @@ func (m *Machine) Run(budget uint64, obs trace.Observer) (uint64, error) {
 		}
 
 		if obs != nil {
-			ev.Src = [3]isa.Reg{}
-			srcs := in.SrcRegs(ev.Src[:0])
-			ev.NSrc = uint8(len(srcs))
-			if dst, ok := in.DstReg(); ok {
-				ev.Dst, ev.HasDst = dst, true
-			} else {
-				ev.Dst, ev.HasDst = isa.RegInvalid, false
-			}
 			obs.Observe(&ev)
 		}
 
@@ -250,7 +256,7 @@ func boolToU64(b bool) uint64 {
 }
 
 func (m *Machine) operate(in *isa.Inst, b uint64, fb float64) error {
-	if in.Op.IsFPRegs() {
+	if in.Meta.FPRegs {
 		fa := m.F[in.Ra.Index()]
 		var v float64
 		switch in.Op {
@@ -385,7 +391,7 @@ func (m *Machine) store(in *isa.Inst, addr uint64, size int) {
 }
 
 func (m *Machine) evalCond(in *isa.Inst) bool {
-	if in.Op.IsFPRegs() {
+	if in.Meta.FPRegs {
 		fa := m.F[in.Ra.Index()]
 		switch in.Op {
 		case isa.OpFBeq:

@@ -5,7 +5,11 @@
 // binaries.
 package vm
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"mica/internal/flathash"
+)
 
 // pageBits is log2 of the VM memory page size.
 const pageBits = 12
@@ -15,21 +19,39 @@ const PageSize = 1 << pageBits
 
 const pageMask = PageSize - 1
 
+// noPage is the µTLB tag for "no page cached"; no valid page number can
+// reach it (it would need a 76-bit address space).
+const noPage = ^uint64(0)
+
 // Memory is a sparse, demand-allocated paged memory. Reads of unmapped
 // pages return zeroes without allocating; writes allocate pages. All
 // multi-byte accesses are little-endian and may straddle page boundaries.
+//
+// Page lookup is two-level: a single-entry page cache (µTLB) catches the
+// sequential-access common case with one compare, and behind it a flat
+// open-addressed table maps page numbers to slots in a page arena —
+// no built-in map traffic anywhere on the access path.
 type Memory struct {
-	pages map[uint64]*[PageSize]byte
+	// lastPN/lastPage cache the most recently resolved mapped page.
+	lastPN   uint64
+	lastPage *[PageSize]byte
+
+	// pageIndex maps a page number to 1 + its index in pages.
+	pageIndex *flathash.U64Map
+	pages     []*[PageSize]byte
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	return &Memory{lastPN: noPage, pageIndex: flathash.NewU64Map(0)}
 }
 
 // Reset drops all mapped pages.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint64]*[PageSize]byte)
+	m.lastPN, m.lastPage = noPage, nil
+	m.pageIndex = flathash.NewU64Map(0)
+	clear(m.pages) // release the page memory, not just the slots
+	m.pages = m.pages[:0]
 }
 
 // MappedPages returns the number of pages currently allocated.
@@ -37,11 +59,25 @@ func (m *Memory) MappedPages() int { return len(m.pages) }
 
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
 	pn := addr >> pageBits
-	p := m.pages[pn]
-	if p == nil && alloc {
-		p = new([PageSize]byte)
-		m.pages[pn] = p
+	if pn == m.lastPN {
+		return m.lastPage
 	}
+	return m.pageSlow(pn, alloc)
+}
+
+func (m *Memory) pageSlow(pn uint64, alloc bool) *[PageSize]byte {
+	if off, ok := m.pageIndex.Get(pn); ok {
+		p := m.pages[off-1]
+		m.lastPN, m.lastPage = pn, p
+		return p
+	}
+	if !alloc {
+		return nil
+	}
+	p := new([PageSize]byte)
+	m.pages = append(m.pages, p)
+	m.pageIndex.Put(pn, uint64(len(m.pages)))
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 

@@ -191,7 +191,10 @@ func ProfileAll(cfg Config) ([]ProfileResult, error) {
 }
 
 // ProfileBenchmarks measures the given benchmarks in parallel, returning
-// results in input order.
+// results in input order. Parallelism is a fixed pool of cfg.Workers
+// goroutines pulling from a work queue, so the number of live VMs (and
+// their memories and analyzer tables) is genuinely bounded by Workers —
+// not merely rate-limited after all goroutines have been spawned.
 func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	cfg = cfg.withDefaults()
 	results := make([]ProfileResult, len(bs))
@@ -199,23 +202,31 @@ func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	var done int
 	var mu sync.Mutex
 
-	sem := make(chan struct{}, cfg.Workers)
-	var wg sync.WaitGroup
-	for i := range bs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Profile(bs[i], cfg)
-			if cfg.Progress != nil {
-				mu.Lock()
-				done++
-				cfg.Progress(done, len(bs), bs[i].Name())
-				mu.Unlock()
-			}
-		}(i)
+	workers := cfg.Workers
+	if workers > len(bs) {
+		workers = len(bs)
 	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Profile(bs[i], cfg)
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, len(bs), bs[i].Name())
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range bs {
+		work <- i
+	}
+	close(work)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

@@ -294,3 +294,24 @@ func TestSpaceDistancesConsistent(t *testing.T) {
 		t.Errorf("rho of full subset = %g", rho)
 	}
 }
+
+// TestRegistryAccessorsReturnCopies pins the aliasing contract of the
+// public registry accessors: callers mutating returned slices must not be
+// able to corrupt the Table I registry.
+func TestRegistryAccessorsReturnCopies(t *testing.T) {
+	b := Benchmarks()
+	b[0].Program = "mutated"
+	if Benchmarks()[0].Program == "mutated" {
+		t.Error("Benchmarks exposes registry storage")
+	}
+	s := BenchmarksBySuite("SPEC2000")
+	s[0].Program = "mutated"
+	if BenchmarksBySuite("SPEC2000")[0].Program == "mutated" {
+		t.Error("BenchmarksBySuite exposes registry storage")
+	}
+	n := SuiteNames()
+	n[0] = "mutated"
+	if SuiteNames()[0] == "mutated" {
+		t.Error("SuiteNames exposes registry storage")
+	}
+}
