@@ -31,6 +31,7 @@ import (
 	"mica/internal/featsel"
 	"mica/internal/ga"
 	micachar "mica/internal/mica"
+	"mica/internal/phases"
 	"mica/internal/stats"
 	"mica/internal/trace"
 	"mica/internal/uarch"
@@ -258,6 +259,46 @@ func BenchmarkProfilerHotPath(b *testing.B) {
 		run(b, func() (uint64, error) {
 			res, err := Profile(bench, cfg)
 			return res.Insts, err
+		})
+	})
+}
+
+// BenchmarkPhaseHotPath measures phase-analysis throughput
+// (phase-profiled MIPS) for the two configurations cmd/mica-bench
+// tracks in BENCH_phases.json: the naive reference path that allocates
+// a fresh profiler per interval, and the streaming path that pools one
+// profiler across all intervals (Reset in place).
+func BenchmarkPhaseHotPath(b *testing.B) {
+	bench, err := BenchmarkByName("SPEC2000/gzip/program")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := phases.Config{IntervalLen: 1_000, MaxIntervals: 200, MaxK: 4, Seed: 2006}
+	run := func(b *testing.B, analyze func(m *vm.Machine) (*phases.Result, error)) {
+		b.Helper()
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			m, err := bench.Instantiate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := analyze(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += res.TotalInsts()
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	}
+	b.Run("naive", func(b *testing.B) {
+		run(b, func(m *vm.Machine) (*phases.Result, error) {
+			return phases.AnalyzeUnpooled(m, pcfg)
+		})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		prof := micachar.NewProfiler(pcfg.Options)
+		run(b, func(m *vm.Machine) (*phases.Result, error) {
+			return phases.AnalyzeWith(m, prof, pcfg)
 		})
 	})
 }

@@ -6,6 +6,15 @@
 //	mica      the 47-characteristic MICA profiler attached
 //	mica+hpc  MICA plus the EV56/EV67 machine-model HPC profilers
 //
+// With -phases it instead measures the phase-analysis pipeline
+// (interval-profiled MIPS, budget/interval intervals per benchmark) in
+// two configurations measured in the same run:
+//
+//	phases-naive   a fresh profiler allocated per interval (the
+//	               pre-streaming reference path)
+//	phases-pooled  one profiler pooled across all intervals and
+//	               benchmarks, Reset between intervals
+//
 // It is the repo's tracked performance harness: every PR that touches the
 // hot path re-runs it and commits the result, so the perf trajectory of
 // the reproduction is measured rather than assumed.
@@ -13,6 +22,7 @@
 // Usage:
 //
 //	mica-bench [-budget 2000000] [-runs 3] [-bench name,name,...] [-json BENCH_profile.json]
+//	mica-bench -phases [-interval 1000] [-json BENCH_phases.json]
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 	"time"
 
 	"mica"
+	micachar "mica/internal/mica"
+	"mica/internal/phases"
 	"mica/internal/report"
 	"mica/internal/vm"
 )
@@ -58,6 +70,9 @@ type Result struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Budget is the dynamic instruction budget per benchmark per run.
 	Budget uint64 `json:"budget"`
+	// Interval is the phase interval length in instructions; present
+	// only for -phases measurements.
+	Interval uint64 `json:"interval,omitempty"`
 	// Runs is the number of repetitions; the best run is reported.
 	Runs int `json:"runs"`
 	// Benchmarks lists the measured benchmark names.
@@ -78,20 +93,22 @@ type ConfigResult struct {
 
 func main() {
 	var (
-		budget  = flag.Uint64("budget", 2_000_000, "dynamic instruction budget per benchmark")
-		runs    = flag.Int("runs", 3, "repetitions per configuration (best run reported)")
-		benches = flag.String("bench", "", "comma-separated benchmark names (default: representative set)")
-		jsonOut = flag.String("json", "", "append results to a JSON history file")
-		label   = flag.String("label", "dev", "label recorded with the measurement")
+		budget   = flag.Uint64("budget", 2_000_000, "dynamic instruction budget per benchmark")
+		runs     = flag.Int("runs", 3, "repetitions per configuration (best run reported)")
+		benches  = flag.String("bench", "", "comma-separated benchmark names (default: representative set)")
+		jsonOut  = flag.String("json", "", "append results to a JSON history file")
+		label    = flag.String("label", "dev", "label recorded with the measurement")
+		phaseRun = flag.Bool("phases", false, "measure the phase-analysis pipeline (naive vs pooled) instead of the profiler configs")
+		interval = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases)")
 	)
 	flag.Parse()
-	if err := run(*budget, *runs, *benches, *jsonOut, *label); err != nil {
+	if err := run(*budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(budget uint64, runs int, benches, jsonOut, label string) error {
+func run(budget uint64, runs int, benches, jsonOut, label string, phaseRun bool, interval uint64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -118,46 +135,50 @@ func run(budget uint64, runs int, benches, jsonOut, label string) error {
 		Benchmarks: names,
 	}
 
-	configs := []struct {
-		name    string
-		measure func(b mica.Benchmark) (uint64, time.Duration, error)
-	}{
-		{"raw-vm", func(b mica.Benchmark) (uint64, time.Duration, error) {
-			// Instantiate is inside the timed region, as it is for the
-			// profiler configs (Profile instantiates internally), so
-			// the three configurations compare apples-to-apples.
-			start := time.Now()
-			m, err := b.Instantiate()
-			if err != nil {
-				return 0, 0, err
-			}
-			n, err := m.Run(budget, nil)
-			if err != nil && err != vm.ErrBudget {
-				return 0, 0, err
-			}
-			return n, time.Since(start), nil
-		}},
-		{"mica", func(b mica.Benchmark) (uint64, time.Duration, error) {
-			cfg := mica.DefaultConfig()
-			cfg.InstBudget = budget
-			cfg.SkipHPC = true
-			start := time.Now()
-			pr, err := mica.Profile(b, cfg)
-			if err != nil {
-				return 0, 0, err
-			}
-			return pr.Insts, time.Since(start), nil
-		}},
-		{"mica+hpc", func(b mica.Benchmark) (uint64, time.Duration, error) {
-			cfg := mica.DefaultConfig()
-			cfg.InstBudget = budget
-			start := time.Now()
-			pr, err := mica.Profile(b, cfg)
-			if err != nil {
-				return 0, 0, err
-			}
-			return pr.Insts, time.Since(start), nil
-		}},
+	var configs []benchConfig
+	if phaseRun {
+		if interval == 0 || interval > budget {
+			return fmt.Errorf("phase interval %d out of range for budget %d", interval, budget)
+		}
+		res.Interval = interval
+		pcfg := phases.Config{
+			IntervalLen:  interval,
+			MaxIntervals: int(budget / interval),
+			MaxK:         4,
+			Seed:         2006,
+		}
+		// The pooled configuration shares ONE profiler across every
+		// benchmark and repetition — exactly what an AnalyzePhasesAll
+		// worker does over its shard.
+		pooled := micachar.NewProfiler(pcfg.Options)
+		configs = []benchConfig{
+			{"phases-naive", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				m, err := b.Instantiate()
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := phases.AnalyzeUnpooled(m, pcfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.TotalInsts(), time.Since(start), nil
+			}},
+			{"phases-pooled", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				m, err := b.Instantiate()
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := phases.AnalyzeWith(m, pooled, pcfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.TotalInsts(), time.Since(start), nil
+			}},
+		}
+	} else {
+		configs = profilerConfigs(budget)
 	}
 
 	t := report.NewTable("config", "MIPS", "insts", "time")
@@ -214,6 +235,55 @@ func run(budget uint64, runs int, benches, jsonOut, label string) error {
 		fmt.Printf("appended %q to %s (%d entries)\n", label, jsonOut, len(hist.History))
 	}
 	return nil
+}
+
+// benchConfig is one measured pipeline configuration.
+type benchConfig struct {
+	name    string
+	measure func(b mica.Benchmark) (uint64, time.Duration, error)
+}
+
+// profilerConfigs are the three tracked profiler pipeline
+// configurations of BENCH_profile.json.
+func profilerConfigs(budget uint64) []benchConfig {
+	return []benchConfig{
+		{"raw-vm", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			// Instantiate is inside the timed region, as it is for the
+			// profiler configs (Profile instantiates internally), so
+			// the three configurations compare apples-to-apples.
+			start := time.Now()
+			m, err := b.Instantiate()
+			if err != nil {
+				return 0, 0, err
+			}
+			n, err := m.Run(budget, nil)
+			if err != nil && err != vm.ErrBudget {
+				return 0, 0, err
+			}
+			return n, time.Since(start), nil
+		}},
+		{"mica", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			cfg := mica.DefaultConfig()
+			cfg.InstBudget = budget
+			cfg.SkipHPC = true
+			start := time.Now()
+			pr, err := mica.Profile(b, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return pr.Insts, time.Since(start), nil
+		}},
+		{"mica+hpc", func(b mica.Benchmark) (uint64, time.Duration, error) {
+			cfg := mica.DefaultConfig()
+			cfg.InstBudget = budget
+			start := time.Now()
+			pr, err := mica.Profile(b, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return pr.Insts, time.Since(start), nil
+		}},
+	}
 }
 
 func mips(insts uint64, d time.Duration) float64 {

@@ -9,10 +9,10 @@ import (
 
 func TestRunWritesHistory(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(2000, 1, "MiBench/sha/large", out, "first"); err != nil {
+	if err := run(2000, 1, "MiBench/sha/large", out, "first", false, 1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2000, 1, "MiBench/sha/large", out, "second"); err != nil {
+	if err := run(2000, 1, "MiBench/sha/large", out, "second", false, 1000); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -41,8 +41,47 @@ func TestRunWritesHistory(t *testing.T) {
 	}
 }
 
+func TestRunPhasesWritesHistory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "phases.json")
+	if err := run(10_000, 1, "MiBench/sha/large", out, "phase-smoke", true, 500); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	res := hist.History[0]
+	if len(res.Configs) != 2 {
+		t.Fatalf("%d configs, want phases-naive + phases-pooled", len(res.Configs))
+	}
+	for i, want := range []string{"phases-naive", "phases-pooled"} {
+		if res.Configs[i].Name != want {
+			t.Errorf("config %d is %q, want %q", i, res.Configs[i].Name, want)
+		}
+		if res.Configs[i].MIPS <= 0 {
+			t.Errorf("%s: MIPS = %v", want, res.Configs[i].MIPS)
+		}
+	}
+}
+
+func TestRunPhasesRejectsBadInterval(t *testing.T) {
+	if err := run(1000, 1, "MiBench/sha/large", "", "x", true, 0); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+	if err := run(1000, 1, "MiBench/sha/large", "", "x", true, 2000); err == nil {
+		t.Fatal("interval beyond budget accepted")
+	}
+}
+
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run(1000, 1, "no/such/bench", "", "x"); err == nil {
+	if err := run(1000, 1, "no/such/bench", "", "x", false, 1000); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
 }

@@ -1,0 +1,115 @@
+// Command mica-phases runs interval-based phase analysis — the
+// SimPoint-style extension of the paper's Table II characterization —
+// over one benchmark or the whole registry.
+//
+// For a single benchmark it prints the phase timeline, the weighted
+// representative simulation points and the reconstruction error of the
+// weighted vector against the full interval aggregate. With -all it
+// runs the sharded registry-wide pipeline (one pooled profiler per
+// worker) and prints one summary row per benchmark in Table I order.
+//
+// Usage:
+//
+//	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
+//	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mica"
+	"mica/internal/report"
+)
+
+func main() {
+	var (
+		benchName    = flag.String("bench", "", "benchmark to analyze (suite/program/input)")
+		all          = flag.Bool("all", false, "analyze all 122 benchmarks with the sharded pipeline")
+		intervalLen  = flag.Uint64("interval", 10_000, "interval length in dynamic instructions")
+		maxIntervals = flag.Int("intervals", 100, "maximum number of intervals per benchmark")
+		maxK         = flag.Int("maxk", 10, "maximum K for the BIC phase sweep")
+		seed         = flag.Int64("seed", 2006, "k-means seed")
+		workers      = flag.Int("workers", 0, "pipeline workers for -all (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	cfg := mica.PhaseConfig{
+		IntervalLen:  *intervalLen,
+		MaxIntervals: *maxIntervals,
+		MaxK:         *maxK,
+		Seed:         *seed,
+	}
+	if err := run(*benchName, *all, cfg, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "mica-phases:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName string, all bool, cfg mica.PhaseConfig, workers int) error {
+	switch {
+	case all:
+		pcfg := mica.PhasePipelineConfig{
+			Phase:   cfg,
+			Workers: workers,
+			Progress: func(done, total int, name string) {
+				fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
+			},
+		}
+		results, err := mica.AnalyzePhasesAll(pcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		t := report.NewTable("benchmark", "intervals", "insts", "phases", "top weight", "recon err")
+		for _, r := range results {
+			res := r.Result
+			top := 0.0
+			if len(res.Representatives) > 0 {
+				top = res.Representatives[0].Weight
+			}
+			t.AddRow(r.Benchmark.Name(), len(res.Intervals), res.TotalInsts(), res.K,
+				fmt.Sprintf("%.3f", top), fmt.Sprintf("%.4f", res.ReconstructionError()))
+		}
+		fmt.Print(t.String())
+		return nil
+
+	case benchName != "":
+		b, err := mica.BenchmarkByName(benchName)
+		if err != nil {
+			return err
+		}
+		res, err := mica.AnalyzePhases(b, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d intervals of %d instructions -> %d phases\n\n",
+			b.Name(), len(res.Intervals), cfg.IntervalLen, res.K)
+
+		fmt.Println("phase timeline (one symbol per interval):")
+		for _, p := range res.Assign {
+			fmt.Printf("%c", 'A'+p%26)
+		}
+		fmt.Println()
+
+		fmt.Println("\nrepresentative simulation points:")
+		t := report.NewTable("phase", "interval", "instructions", "weight", "loads", "branches", "ILP-256")
+		for _, rep := range res.Representatives {
+			iv := res.Intervals[rep.Interval]
+			t.AddRow(fmt.Sprintf("%c", 'A'+rep.Phase%26), rep.Interval,
+				fmt.Sprintf("%d..%d", iv.Start, iv.Start+iv.Insts),
+				fmt.Sprintf("%.3f", rep.Weight),
+				fmt.Sprintf("%.3f", res.Vectors.At(rep.Interval, 0)),
+				fmt.Sprintf("%.3f", res.Vectors.At(rep.Interval, 2)),
+				fmt.Sprintf("%.2f", res.Vectors.At(rep.Interval, 9)))
+		}
+		fmt.Print(t.String())
+
+		fmt.Printf("\nweighted-vector reconstruction error: %.4f mean abs per characteristic\n",
+			res.ReconstructionError())
+		return nil
+
+	default:
+		return fmt.Errorf("pass -bench <name> or -all")
+	}
+}

@@ -47,15 +47,18 @@ func main() {
 	fmt.Println("\nrepresentative simulation points:")
 	for _, rep := range res.Representatives {
 		iv := res.Intervals[rep.Interval]
+		v := res.Vector(rep.Interval)
 		fmt.Printf("  phase %c: interval %2d (instructions %7d..%7d), weight %.2f, "+
 			"loads %.2f, branches %.2f, ILP256 %.2f\n",
 			'A'+rep.Phase, rep.Interval, iv.Start, iv.Start+iv.Insts, rep.Weight,
-			iv.Vec[0], iv.Vec[2], iv.Vec[9])
+			v[0], v[2], v[9])
 	}
 
 	// Sanity: the weighted reconstruction approximates the full trace.
 	approx := res.WeightedVector()
 	fmt.Printf("\nweighted whole-program estimate: %.3f loads, %.3f branches, %.3f arith\n",
 		approx[0], approx[2], approx[3])
+	fmt.Printf("reconstruction error vs the full interval aggregate: %.4f mean abs/characteristic\n",
+		res.ReconstructionError())
 	fmt.Println("simulating only the representatives covers the program's behaviour at a fraction of the cost")
 }

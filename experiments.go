@@ -19,6 +19,9 @@ import (
 // counts are preserved as documentation; the profiled trace lengths of
 // this run are shown alongside.
 func RenderTableI(results []ProfileResult) string {
+	if len(results) == 0 {
+		return "Table I: benchmarks, inputs and dynamic instruction counts\n(no benchmarks)\n"
+	}
 	t := report.NewTable("suite", "program", "input", "paper I-cnt (M)", "profiled insts")
 	for _, r := range results {
 		b := r.Benchmark
@@ -31,6 +34,9 @@ func RenderTableI(results []ProfileResult) string {
 // characteristics, annotated with the observed range across the profiled
 // benchmarks.
 func RenderTableII(results []ProfileResult) string {
+	if len(results) == 0 {
+		return "Table II: microarchitecture-independent characteristics\n(no benchmarks)\n"
+	}
 	t := report.NewTable("#", "category", "characteristic", "min", "mean", "max")
 	n := len(results)
 	for c := 0; c < NumChars; c++ {

@@ -1,0 +1,50 @@
+package mica
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mica/internal/cluster"
+)
+
+// TestRenderTablesEmptyResults pins the empty-registry behaviour: the
+// table renderers must degrade to a "(no benchmarks)" placeholder
+// instead of panicking on results[0] / col[0].
+func TestRenderTablesEmptyResults(t *testing.T) {
+	for name, render := range map[string]func([]ProfileResult) string{
+		"TableI":  RenderTableI,
+		"TableII": RenderTableII,
+	} {
+		for _, results := range [][]ProfileResult{nil, {}} {
+			out := render(results)
+			if !strings.Contains(out, "(no benchmarks)") {
+				t.Errorf("%s on empty results: missing placeholder in %q", name, out)
+			}
+		}
+	}
+}
+
+// TestClusterGroupsStableOrder pins the documented ordering: largest
+// cluster first, and equal-size clusters in ascending cluster-id order.
+// The sizes below (1,3,1,3) are a witness for the old non-adjacent swap
+// sort, which emitted cluster 2 before cluster 0.
+func TestClusterGroupsStableOrder(t *testing.T) {
+	s := &Space{Names: []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"}}
+	sel := ClusterSelection{Best: cluster.Result{
+		K:      4,
+		Assign: []int{1, 1, 1, 3, 3, 3, 0, 2},
+	}}
+	want := [][]string{
+		{"b0", "b1", "b2"}, // cluster 1, size 3
+		{"b3", "b4", "b5"}, // cluster 3, size 3 (tie: higher id after)
+		{"b6"},             // cluster 0, size 1 (tie: lowest id first)
+		{"b7"},             // cluster 2, size 1
+	}
+	for trial := 0; trial < 3; trial++ {
+		got := s.ClusterGroups(sel)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: groups = %v, want %v", trial, got, want)
+		}
+	}
+}

@@ -28,6 +28,13 @@ const (
 	maxLoadDen = 16
 )
 
+// clearShrinkCap is the capacity above which Clear reallocates at the
+// previous occupancy instead of zeroing in place: a pooled table left
+// huge by one outlier trace would otherwise charge a full-capacity
+// memset to every later Clear, while a fresh occupancy-sized table
+// costs one allocation and adapts back down immediately.
+const clearShrinkCap = 1 << 15
+
 // capFor returns the power-of-two capacity for an expected element count.
 func capFor(hint int) int {
 	c := minCap
@@ -102,6 +109,21 @@ func (s *U64Set) addSlow(k uint64) bool {
 		}
 		i = (i + 1) & mask
 	}
+}
+
+// Clear removes every key in place, keeping the allocated table (or,
+// past clearShrinkCap, reallocating it sized to the previous
+// occupancy). A cleared set behaves exactly like a fresh one, minus the
+// allocation — the mechanism pooled analyzers use to recycle their
+// tables between trace intervals and across benchmarks.
+func (s *U64Set) Clear() {
+	if len(s.keys) > clearShrinkCap {
+		s.init(capFor(s.Len()))
+	} else {
+		clear(s.keys)
+	}
+	s.n = 0
+	s.hasZero = false
 }
 
 // Contains reports whether k is in the set.
@@ -180,6 +202,25 @@ func (m *U64Map) Len() int {
 // the table rehashes. While Gen is unchanged, pointers obtained from Ref
 // remain valid (inserts that do not grow never move existing slots).
 func (m *U64Map) Gen() uint64 { return m.gen }
+
+// Clear removes every entry in place, keeping the allocated tables
+// (or, past clearShrinkCap, reallocating them sized to the previous
+// occupancy). The values array is zeroed too: Ref relies on untouched
+// slots reading as zero, exactly as in a fresh map. Clear counts as a
+// rehash for Gen — pointers previously obtained from Ref must not be
+// used afterwards.
+func (m *U64Map) Clear() {
+	if len(m.keys) > clearShrinkCap {
+		m.init(capFor(m.Len()))
+	} else {
+		clear(m.keys)
+		clear(m.vals)
+	}
+	m.n = 0
+	m.hasZero = false
+	m.zeroVal = 0
+	m.gen++
+}
 
 // Get returns the value for k and whether it is present.
 func (m *U64Map) Get(k uint64) (uint64, bool) {

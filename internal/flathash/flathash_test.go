@@ -129,6 +129,130 @@ func TestU64MapRefAcrossGrowth(t *testing.T) {
 	}
 }
 
+// TestU64SetClear verifies a cleared set is indistinguishable from a
+// fresh one over randomized workloads, including re-adding the same keys
+// (pooled analyzers clear and refill the same tables every interval).
+func TestU64SetClear(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gen := keyGen(rng)
+		s := NewU64Set(0)
+		for round := 0; round < 3; round++ {
+			ref := make(map[uint64]struct{})
+			for i := 0; i < 5000; i++ {
+				k := gen()
+				_, had := ref[k]
+				ref[k] = struct{}{}
+				if added := s.Add(k); added == had {
+					t.Fatalf("seed %d round %d: Add(%#x) = %v, want %v", seed, round, k, added, !had)
+				}
+			}
+			if s.Len() != len(ref) {
+				t.Fatalf("seed %d round %d: Len = %d, want %d", seed, round, s.Len(), len(ref))
+			}
+			s.Clear()
+			if s.Len() != 0 {
+				t.Fatalf("seed %d round %d: Len = %d after Clear", seed, round, s.Len())
+			}
+			for k := range ref {
+				if s.Contains(k) {
+					t.Fatalf("seed %d round %d: key %#x survived Clear", seed, round, k)
+				}
+			}
+		}
+	}
+}
+
+// TestU64MapClear verifies a cleared map behaves exactly like a fresh
+// one: no keys, all values read as zero (Ref's insert-zero contract),
+// and the growth generation advances so cached Ref pointers are known
+// stale.
+func TestU64MapClear(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gen := keyGen(rng)
+		m := NewU64Map(0)
+		for round := 0; round < 3; round++ {
+			gen0 := m.Gen()
+			ref := make(map[uint64]uint64)
+			for i := 0; i < 5000; i++ {
+				k := gen()
+				*m.Ref(k) += 3
+				ref[k] += 3
+			}
+			for k, want := range ref {
+				if got, ok := m.Get(k); !ok || got != want {
+					t.Fatalf("seed %d round %d: Get(%#x) = %v,%v want %v,true", seed, round, k, got, ok, want)
+				}
+			}
+			m.Clear()
+			if m.Len() != 0 {
+				t.Fatalf("seed %d round %d: Len = %d after Clear", seed, round, m.Len())
+			}
+			if m.Gen() <= gen0 {
+				t.Fatalf("seed %d round %d: Gen did not advance across Clear", seed, round)
+			}
+			for k := range ref {
+				if v, ok := m.Get(k); ok || v != 0 {
+					t.Fatalf("seed %d round %d: Get(%#x) = %v,%v after Clear", seed, round, k, v, ok)
+				}
+			}
+			// Refilled slots must start from zero even where the old
+			// round left values behind.
+			for k := range ref {
+				if *m.Ref(k) != 0 {
+					t.Fatalf("seed %d round %d: Ref(%#x) nonzero after Clear", seed, round, k)
+				}
+				break
+			}
+			m.Clear()
+		}
+	}
+}
+
+// TestClearShrinksOversizedTables pins the pooled-reuse guard: one
+// outlier trace that grows a table past clearShrinkCap must not charge
+// a full-capacity memset to every later interval's Clear — the table is
+// reallocated at the previous occupancy instead.
+func TestClearShrinksOversizedTables(t *testing.T) {
+	s := NewU64Set(0)
+	for i := uint64(1); i <= clearShrinkCap; i++ {
+		s.Add(i)
+	}
+	if len(s.keys) <= clearShrinkCap {
+		t.Fatalf("test premise broken: capacity %d not past threshold", len(s.keys))
+	}
+	for i := 0; i < 3; i++ {
+		s.Clear()
+	}
+	if len(s.keys) > minCap {
+		t.Errorf("empty-set capacity %d after Clear, want shrink to %d", len(s.keys), minCap)
+	}
+	if s.Len() != 0 || s.Contains(5) {
+		t.Error("shrunken set not empty")
+	}
+	if !s.Add(5) || !s.Contains(5) {
+		t.Error("shrunken set unusable")
+	}
+
+	m := NewU64Map(0)
+	for i := uint64(1); i <= clearShrinkCap; i++ {
+		m.Put(i, i)
+	}
+	if len(m.keys) <= clearShrinkCap {
+		t.Fatalf("test premise broken: map capacity %d not past threshold", len(m.keys))
+	}
+	for i := 0; i < 3; i++ {
+		m.Clear()
+	}
+	if len(m.keys) > minCap {
+		t.Errorf("empty-map capacity %d after Clear, want shrink to %d", len(m.keys), minCap)
+	}
+	if *m.Ref(7) != 0 {
+		t.Error("shrunken map slot not zero")
+	}
+}
+
 func TestCapFor(t *testing.T) {
 	for _, tc := range []struct{ hint, want int }{
 		{0, minCap}, {1, minCap}, {13, minCap}, {14, 32}, {1000, 2048},

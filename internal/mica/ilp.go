@@ -98,6 +98,24 @@ func NewILPAnalyzer(windows []int, trackMemDeps bool) *ILPAnalyzer {
 	return a
 }
 
+// Reset returns the analyzer to its initial state, keeping all
+// allocations: the per-register and ring completion tables are zeroed in
+// place, the store-to-load dependence table is cleared, and its row
+// arena is truncated for refilling.
+func (a *ILPAnalyzer) Reset() {
+	clear(a.regReady)
+	clear(a.ring)
+	a.wpos = 0
+	for j, w := range a.wins {
+		a.rpos[j] = a.maxWin - w
+	}
+	a.n = 0
+	clear(a.maxDone)
+	clear(a.ready)
+	a.memRows.Clear()
+	a.memVals = a.memVals[:0]
+}
+
 // Observe implements trace.Observer.
 func (a *ILPAnalyzer) Observe(ev *trace.Event) {
 	if a.ns == 4 {

@@ -16,6 +16,9 @@ type MixAnalyzer struct {
 // NewMixAnalyzer returns a ready MixAnalyzer.
 func NewMixAnalyzer() *MixAnalyzer { return &MixAnalyzer{} }
 
+// Reset returns the analyzer to its initial state.
+func (a *MixAnalyzer) Reset() { *a = MixAnalyzer{} }
+
 // Observe implements trace.Observer.
 func (a *MixAnalyzer) Observe(ev *trace.Event) {
 	a.counts[ev.Class]++

@@ -129,6 +129,24 @@ func newPPMPredictor(variant PPMVariant, maxOrder int) *ppmPredictor {
 	return p
 }
 
+// reset returns the predictor to its initial state. Order tables and
+// the local history are cleared in place (keeping their grown
+// capacity), the context cache is invalidated wholesale, and curGen is
+// re-derived from the post-clear generations so the cache hit check
+// stays sound.
+func (p *ppmPredictor) reset() {
+	p.globalHist = 0
+	p.localHist.Clear()
+	for _, t := range p.tables {
+		t.Clear()
+	}
+	p.correct, p.total = 0, 0
+	for i := range p.ctxCache {
+		p.ctxCache[i].valid = false
+	}
+	p.curGen = p.genSum()
+}
+
 // genSum is the combined growth generation of all order tables.
 func (p *ppmPredictor) genSum() uint64 {
 	var s uint64
@@ -259,6 +277,14 @@ func NewPPMAnalyzerVariants(maxOrder int, variants []PPMVariant) *PPMAnalyzer {
 		}
 	}
 	return a
+}
+
+// Reset returns every configured predictor to its initial state,
+// keeping the grown table capacity.
+func (a *PPMAnalyzer) Reset() {
+	for _, p := range a.active {
+		p.reset()
+	}
 }
 
 // Observe implements trace.Observer.

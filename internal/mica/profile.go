@@ -7,9 +7,12 @@ type Options struct {
 	// ILPWindows are the idealized window sizes; nil means the Table II
 	// defaults {32, 64, 128, 256}.
 	ILPWindows []int
-	// TrackMemDeps makes the ILP model honor store-to-load dependencies
-	// through memory.
-	TrackMemDeps bool
+	// NoMemDeps makes the ILP model ignore store-to-load dependencies
+	// through memory. The field is inverted so that the zero Options
+	// value is the documented default (dependencies honored): callers
+	// that set only some fields can no longer silently lose memory
+	// dependence tracking.
+	NoMemDeps bool
 	// PPMOrder is the maximum PPM context order; 0 means
 	// DefaultPPMOrder.
 	PPMOrder int
@@ -23,9 +26,10 @@ type Options struct {
 }
 
 // DefaultOptions returns the configuration used throughout the paper
-// reproduction.
+// reproduction. It is identical to the zero Options value: memory
+// dependencies tracked, default PPM order, all 47 characteristics.
 func DefaultOptions() Options {
-	return Options{TrackMemDeps: true, PPMOrder: DefaultPPMOrder}
+	return Options{PPMOrder: DefaultPPMOrder}
 }
 
 // Profiler measures the 47 Table II characteristics in a single pass over
@@ -74,7 +78,7 @@ func NewProfiler(opts Options) *Profiler {
 				}
 			}
 		}
-		p.ilp = NewILPAnalyzer(windows, opts.TrackMemDeps)
+		p.ilp = NewILPAnalyzer(windows, !opts.NoMemDeps)
 	}
 	if rangeActive(opts.Subset, CharAvgInputOperands, CharDepDistLE64) {
 		p.reg = NewRegTrafficAnalyzer()
@@ -120,6 +124,34 @@ func (p *Profiler) Observe(ev *trace.Event) {
 	}
 	if p.ppm != nil {
 		p.ppm.Observe(ev)
+	}
+}
+
+// Reset returns the profiler to its initial state so it can be reused
+// for another trace: all analyzer tables are cleared in place, keeping
+// their allocations. A reset profiler produces bit-identical results to
+// a freshly constructed one with the same Options — the property that
+// lets phase analysis stream thousands of intervals through one
+// profiler and lets registry-wide pipelines pool analyzer state across
+// benchmarks instead of rebuilding it per trace.
+func (p *Profiler) Reset() {
+	if p.mix != nil {
+		p.mix.Reset()
+	}
+	if p.ilp != nil {
+		p.ilp.Reset()
+	}
+	if p.reg != nil {
+		p.reg.Reset()
+	}
+	if p.ws != nil {
+		p.ws.Reset()
+	}
+	if p.strides != nil {
+		p.strides.Reset()
+	}
+	if p.ppm != nil {
+		p.ppm.Reset()
 	}
 }
 

@@ -51,6 +51,19 @@ func NewRegTrafficAnalyzer() *RegTrafficAnalyzer {
 	return a
 }
 
+// Reset returns the analyzer to its initial state, keeping its
+// allocations.
+func (a *RegTrafficAnalyzer) Reset() {
+	for i := range a.lastWrite {
+		a.lastWrite[i] = noProducer
+	}
+	a.seq = 0
+	a.totalInsts, a.totalSrcRegs = 0, 0
+	a.totalWrites, a.totalReads = 0, 0
+	clear(a.distCounts)
+	a.distTotal = 0
+}
+
 // Observe implements trace.Observer.
 func (a *RegTrafficAnalyzer) Observe(ev *trace.Event) {
 	a.totalInsts++

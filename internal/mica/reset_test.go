@@ -1,0 +1,126 @@
+package mica
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mica/internal/isa"
+	"mica/internal/trace"
+)
+
+// feed delivers a prebuilt event stream to a profiler.
+func feed(p *Profiler, events []trace.Event) {
+	for i := range events {
+		p.Observe(&events[i])
+	}
+}
+
+// TestPropertyResetEquivalentToFresh is the Reset lifecycle contract:
+// profiling stream A, resetting, then profiling stream B must produce a
+// vector bit-identical to a freshly constructed profiler measuring
+// stream B. This is the property that makes pooled phase analysis
+// (one profiler reused across all intervals of a trace, and across
+// benchmarks in registry-wide pipelines) exact rather than approximate.
+func TestPropertyResetEquivalentToFresh(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		warm := randomEventStream(seedA, 2500)
+		probe := randomEventStream(seedB, 2500)
+
+		pooled := NewProfiler(DefaultOptions())
+		feed(pooled, warm)
+		pooled.Reset()
+		feed(pooled, probe)
+
+		fresh := NewProfiler(DefaultOptions())
+		feed(fresh, probe)
+
+		if pooled.Vector() != fresh.Vector() {
+			t.Logf("seedA=%d seedB=%d: pooled vector diverges from fresh", seedA, seedB)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResetRepeatedReuse pins multi-round reuse: N profile/reset rounds
+// over distinct streams each match a fresh profiler on that stream, so
+// no state leaks accumulate across rounds (the table-capacity growth a
+// pooled profiler keeps must never change results).
+func TestResetRepeatedReuse(t *testing.T) {
+	pooled := NewProfiler(DefaultOptions())
+	for round := uint64(0); round < 6; round++ {
+		stream := randomEventStream(1000+round, 3000)
+		pooled.Reset()
+		feed(pooled, stream)
+
+		fresh := NewProfiler(DefaultOptions())
+		feed(fresh, stream)
+		if pooled.Vector() != fresh.Vector() {
+			t.Fatalf("round %d: pooled vector diverges from fresh", round)
+		}
+	}
+}
+
+// TestResetWithSubset verifies Reset composes with Options.Subset: the
+// skipped analyzers stay skipped and the measured ones still match a
+// fresh subset profiler after reuse.
+func TestResetWithSubset(t *testing.T) {
+	subset := make([]bool, NumChars)
+	for _, c := range []int{CharPctLoads, CharILP128, CharDWSPages, CharPPMPAs, CharLocalLoadStride0} {
+		subset[c] = true
+	}
+	opts := DefaultOptions()
+	opts.Subset = subset
+
+	pooled := NewProfiler(opts)
+	feed(pooled, randomEventStream(7, 2000))
+	pooled.Reset()
+	probe := randomEventStream(8, 2000)
+	feed(pooled, probe)
+
+	fresh := NewProfiler(opts)
+	feed(fresh, probe)
+	if pooled.Vector() != fresh.Vector() {
+		t.Fatal("subset profiler diverges from fresh after Reset")
+	}
+}
+
+// TestZeroOptionsMatchesDefault pins the inverted NoMemDeps field: the
+// zero Options value must measure exactly what DefaultOptions measures,
+// and NoMemDeps must actually change the ILP result on a stream with
+// store-to-load dependencies.
+func TestZeroOptionsMatchesDefault(t *testing.T) {
+	stream := randomEventStream(42, 4000)
+	zero := NewProfiler(Options{})
+	def := NewProfiler(DefaultOptions())
+	feed(zero, stream)
+	feed(def, stream)
+	if zero.Vector() != def.Vector() {
+		t.Error("zero Options diverges from DefaultOptions")
+	}
+
+	// A store/load ping-pong on one address: the store-to-load chain is
+	// the only dependence, so disabling tracking must raise the ILP.
+	deps := make([]trace.Event, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		st := trace.Event{Op: isa.OpStQ, Class: isa.ClassStore, MemAddr: 0x2000, MemSize: 8}
+		st.Src[0], st.Src[1], st.NSrc = isa.IntReg(1), isa.IntReg(2), 2
+		st.DeriveDeps()
+		ld := trace.Event{Op: isa.OpLdQ, Class: isa.ClassLoad, MemAddr: 0x2000, MemSize: 8}
+		ld.Src[0], ld.NSrc = isa.IntReg(3), 1
+		ld.Dst, ld.HasDst = isa.IntReg(4+i%8), true
+		ld.DeriveDeps()
+		deps = append(deps, st, ld)
+	}
+	opts := DefaultOptions()
+	opts.NoMemDeps = true
+	nodeps, tracked := NewProfiler(opts), NewProfiler(DefaultOptions())
+	feed(nodeps, deps)
+	feed(tracked, deps)
+	if nodeps.Vector()[CharILP256] <= tracked.Vector()[CharILP256] {
+		t.Error("NoMemDeps had no effect on a stream with store-to-load dependencies")
+	}
+}

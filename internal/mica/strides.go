@@ -80,6 +80,18 @@ func NewStrideAnalyzer() *StrideAnalyzer {
 	return &StrideAnalyzer{lastLocal: flathash.NewU64Map(0)}
 }
 
+// Reset returns the analyzer to its initial state, clearing the
+// per-PC last-address table in place.
+func (a *StrideAnalyzer) Reset() {
+	a.lastGlobalLoad, a.haveGlobalLoad = 0, false
+	a.lastGlobalStore, a.haveGlobalStore = 0, false
+	a.lastLocal.Clear()
+	a.localLoad = strideDist{}
+	a.globalLoad = strideDist{}
+	a.localStore = strideDist{}
+	a.globalStore = strideDist{}
+}
+
 func absDiff(a, b uint64) uint64 {
 	if a > b {
 		return a - b

@@ -50,6 +50,18 @@ func NewWorkingSetAnalyzer() *WorkingSetAnalyzer {
 	}
 }
 
+// Reset returns the analyzer to its initial state. The uniqueness sets
+// are cleared in place, so an analyzer recycled across trace intervals
+// keeps its table capacity instead of regrowing it from scratch.
+func (a *WorkingSetAnalyzer) Reset() {
+	a.lastIBlock, a.lastIPage = wsNone, wsNone
+	a.lastDBlock, a.lastDPage = wsNone, wsNone
+	a.dBlocks.Clear()
+	a.dPages.Clear()
+	a.iBlocks.Clear()
+	a.iPages.Clear()
+}
+
 // Observe implements trace.Observer.
 func (a *WorkingSetAnalyzer) Observe(ev *trace.Event) {
 	if ib := ev.PC >> wsBlockShift; ib != a.lastIBlock {

@@ -7,6 +7,13 @@
 // into phases with k-means + BIC, and one representative interval is
 // selected per phase with a weight proportional to the phase's share of
 // execution — the recipe for reduced-trace simulation.
+//
+// The analysis is streaming and bounded-memory: intervals are
+// characterized as the VM runs by ONE profiler that is Reset between
+// intervals (analyzer tables cleared in place, never reallocated), and
+// interval vectors land in one flat row-major matrix. MaxIntervals can
+// be 10k+ at paper-scale budgets; memory grows only with the number of
+// intervals actually produced, never with the trace length.
 package phases
 
 import (
@@ -24,13 +31,16 @@ type Config struct {
 	// IntervalLen is the interval length in dynamic instructions
 	// (default 10k).
 	IntervalLen uint64
-	// MaxIntervals bounds the trace length (default 100 intervals).
+	// MaxIntervals bounds the trace length (default 100 intervals;
+	// paper-scale runs use 10k+).
 	MaxIntervals int
 	// MaxK bounds the BIC sweep (default 10).
 	MaxK int
 	// Seed drives k-means.
 	Seed int64
-	// Options configures the per-interval profiler.
+	// Options configures the interval profiler. The zero value measures
+	// all 47 characteristics with memory dependencies tracked at the
+	// default PPM order.
 	Options mica.Options
 }
 
@@ -47,7 +57,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Interval is one characterized trace slice.
+// Interval is one characterized trace slice. Its characteristic vector
+// lives in the Result's flat Vectors matrix (row Index).
 type Interval struct {
 	// Index is the interval's position in the trace.
 	Index int
@@ -56,8 +67,6 @@ type Interval struct {
 	Start uint64
 	// Insts is the interval length (the last interval may be short).
 	Insts uint64
-	// Vec is the interval's characteristic vector.
-	Vec mica.Vector
 }
 
 // Representative is one phase's chosen simulation point.
@@ -67,13 +76,21 @@ type Representative struct {
 	// Interval is the index of the interval closest to the phase
 	// centroid.
 	Interval int
-	// Weight is the fraction of intervals belonging to the phase.
+	// Weight is the phase's share of dynamic instructions. Weighting by
+	// instructions rather than by interval count keeps a short trailing
+	// interval from counting like a full one, so WeightedVector matches
+	// what a reduced simulation replaying each representative for its
+	// phase's instruction share would reconstruct.
 	Weight float64
 }
 
 // Result is the outcome of phase analysis for one benchmark.
 type Result struct {
 	Intervals []Interval
+	// Vectors holds the interval characteristic vectors as the rows of
+	// one flat matrix, in interval order: row i is interval i's Table II
+	// vector.
+	Vectors *stats.Matrix
 	// Assign maps each interval to its phase.
 	Assign []int
 	// K is the BIC-selected number of phases.
@@ -83,20 +100,70 @@ type Result struct {
 	Representatives []Representative
 }
 
-// Analyze runs phase analysis over a machine's execution: up to
-// MaxIntervals intervals of IntervalLen instructions each. The machine
-// should be freshly instantiated.
+// Vector returns interval i's characteristic vector.
+func (r *Result) Vector(i int) mica.Vector {
+	var v mica.Vector
+	copy(v[:], r.Vectors.Row(i))
+	return v
+}
+
+// TotalInsts returns the number of dynamic instructions across all
+// intervals — the profiled trace length.
+func (r *Result) TotalInsts() uint64 {
+	var n uint64
+	for _, iv := range r.Intervals {
+		n += iv.Insts
+	}
+	return n
+}
+
+// Analyze runs streaming phase analysis over a machine's execution: up
+// to MaxIntervals intervals of IntervalLen instructions each,
+// characterized by one profiler reused across all intervals. The
+// machine should be freshly instantiated.
 func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	return AnalyzeWith(m, mica.NewProfiler(cfg.Options), cfg)
+}
+
+// AnalyzeWith is Analyze with a caller-supplied profiler, which must
+// have been built from cfg.Options. The profiler is Reset before every
+// interval, so a pooled profiler arrives clean no matter what trace it
+// measured last — the mechanism registry-wide pipelines use to share
+// one profiler's tables across many benchmarks.
+func AnalyzeWith(m *vm.Machine, prof *mica.Profiler, cfg Config) (*Result, error) {
+	return analyze(m, cfg.withDefaults(), func() *mica.Profiler {
+		prof.Reset()
+		return prof
+	})
+}
+
+// AnalyzeUnpooled is the pre-streaming reference implementation: a
+// fresh profiler is allocated for every interval. It produces
+// bit-identical results to Analyze/AnalyzeWith and is retained as the
+// differential-testing oracle and as the baseline configuration of the
+// tracked phase benchmark (BENCH_phases.json).
+func AnalyzeUnpooled(m *vm.Machine, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	return analyze(m, cfg, func() *mica.Profiler {
+		return mica.NewProfiler(cfg.Options)
+	})
+}
+
+// analyze streams intervals off the machine, drawing the profiler for
+// each interval from nextProfiler (a pooled reset or a fresh
+// allocation), then clusters them.
+func analyze(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
 	res := &Result{}
+	var vecs []float64
 	var start uint64
 	for i := 0; i < cfg.MaxIntervals; i++ {
-		prof := mica.NewProfiler(cfg.Options)
+		prof := nextProfiler()
 		n, err := m.Run(cfg.IntervalLen, prof)
 		if n > 0 {
-			res.Intervals = append(res.Intervals, Interval{
-				Index: i, Start: start, Insts: n, Vec: prof.Vector(),
-			})
+			v := prof.Vector()
+			vecs = append(vecs, v[:]...)
+			res.Intervals = append(res.Intervals, Interval{Index: i, Start: start, Insts: n})
 			start += n
 		}
 		if err == nil {
@@ -106,47 +173,52 @@ func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("phases: interval %d: %w", i, err)
 		}
 	}
+	return finish(res, vecs, cfg)
+}
+
+// finish wraps the streamed vectors into the flat matrix, clusters the
+// intervals into phases and selects weighted representatives.
+func finish(res *Result, vecs []float64, cfg Config) (*Result, error) {
 	if len(res.Intervals) == 0 {
 		return nil, fmt.Errorf("phases: program produced no instructions")
 	}
+	res.Vectors = &stats.Matrix{Rows: len(res.Intervals), Cols: mica.NumChars, Data: vecs}
 
 	// Cluster intervals in the normalized characteristic space.
-	mtx := stats.NewMatrix(len(res.Intervals), mica.NumChars)
-	for i, iv := range res.Intervals {
-		copy(mtx.Row(i), iv.Vec[:])
-	}
-	norm := stats.ZScoreNormalize(mtx)
+	norm := stats.ZScoreNormalize(res.Vectors)
 	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
 	res.Assign = sel.Best.Assign
 	res.K = sel.Best.K
 
 	// Pick the interval closest to each centroid as the phase
-	// representative (the SimPoint selection rule).
-	counts := make([]int, res.K)
+	// representative (the SimPoint selection rule), weighted by the
+	// phase's share of dynamic instructions.
+	instsIn := make([]uint64, res.K)
 	bestIdx := make([]int, res.K)
 	bestDist := make([]float64, res.K)
 	for c := range bestDist {
 		bestDist[c] = -1
 	}
+	totalInsts := res.TotalInsts()
 	for i, c := range res.Assign {
-		counts[c]++
+		instsIn[c] += res.Intervals[i].Insts
 		d := stats.Euclidean(norm.Row(i), sel.Best.Centroids.Row(c))
 		if bestDist[c] < 0 || d < bestDist[c] {
 			bestDist[c], bestIdx[c] = d, i
 		}
 	}
-	total := float64(len(res.Intervals))
 	for c := 0; c < res.K; c++ {
-		if counts[c] == 0 {
+		if instsIn[c] == 0 {
 			continue
 		}
 		res.Representatives = append(res.Representatives, Representative{
 			Phase:    c,
 			Interval: bestIdx[c],
-			Weight:   float64(counts[c]) / total,
+			Weight:   float64(instsIn[c]) / float64(totalInsts),
 		})
 	}
-	// Order by descending weight (insertion sort; K is small).
+	// Order by descending weight (insertion sort; K is small). Ties keep
+	// ascending phase id: only strictly heavier representatives move up.
 	reps := res.Representatives
 	for i := 1; i < len(reps); i++ {
 		for j := i; j > 0 && reps[j].Weight > reps[j-1].Weight; j-- {
@@ -162,12 +234,49 @@ func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
 func (r *Result) WeightedVector() mica.Vector {
 	var out mica.Vector
 	for _, rep := range r.Representatives {
-		v := r.Intervals[rep.Interval].Vec
+		v := r.Vectors.Row(rep.Interval)
 		for c := range out {
 			out[c] += rep.Weight * v[c]
 		}
 	}
 	return out
+}
+
+// FullVector is the instruction-weighted mean of all interval vectors:
+// the whole-trace estimate the weighted representatives try to
+// reconstruct. (For per-instruction metrics — mix fractions,
+// probabilities — this is the exact full-trace value; set-valued
+// working-set counts are averaged the same way, as SimPoint does.)
+func (r *Result) FullVector() mica.Vector {
+	var out mica.Vector
+	total := r.TotalInsts()
+	if total == 0 {
+		return out
+	}
+	for i, iv := range r.Intervals {
+		w := float64(iv.Insts) / float64(total)
+		row := r.Vectors.Row(i)
+		for c := range out {
+			out[c] += w * row[c]
+		}
+	}
+	return out
+}
+
+// ReconstructionError is the mean absolute per-characteristic
+// difference between WeightedVector and FullVector — how much is lost
+// by simulating only the representatives.
+func (r *Result) ReconstructionError() float64 {
+	w, f := r.WeightedVector(), r.FullVector()
+	sum := 0.0
+	for c := range w {
+		d := w[c] - f[c]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(w))
 }
 
 // PhaseOf returns the phase of interval i.

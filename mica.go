@@ -102,9 +102,12 @@ type Config struct {
 	InstBudget uint64
 	// PPMOrder is the maximum PPM predictor order (default 8).
 	PPMOrder int
-	// TrackMemDeps makes the idealized ILP model honor store-to-load
-	// dependencies (default true; set via DefaultConfig).
-	TrackMemDeps bool
+	// NoMemDeps makes the idealized ILP model ignore store-to-load
+	// dependencies through memory. The field is inverted so that the
+	// zero Config value matches the documented default (dependencies
+	// honored): Profile(b, Config{InstBudget: n}) measures exactly what
+	// Profile(b, DefaultConfig()) does at that budget.
+	NoMemDeps bool
 	// Subset restricts measurement to selected characteristics (nil
 	// means all 47). Entire analyzers are skipped when none of their
 	// characteristics are selected — the measurement saving of the
@@ -125,9 +128,8 @@ type Config struct {
 // reproduction experiments.
 func DefaultConfig() Config {
 	return Config{
-		InstBudget:   300_000,
-		PPMOrder:     micachar.DefaultPPMOrder,
-		TrackMemDeps: true,
+		InstBudget: 300_000,
+		PPMOrder:   micachar.DefaultPPMOrder,
 	}
 }
 
@@ -163,9 +165,9 @@ func Profile(b Benchmark, cfg Config) (ProfileResult, error) {
 		return ProfileResult{}, err
 	}
 	prof := micachar.NewProfiler(micachar.Options{
-		TrackMemDeps: cfg.TrackMemDeps,
-		PPMOrder:     cfg.PPMOrder,
-		Subset:       cfg.Subset,
+		NoMemDeps: cfg.NoMemDeps,
+		PPMOrder:  cfg.PPMOrder,
+		Subset:    cfg.Subset,
 	})
 	observers := trace.Multi{prof}
 	var hpc *uarch.HPCProfiler
@@ -190,11 +192,38 @@ func ProfileAll(cfg Config) ([]ProfileResult, error) {
 	return ProfileBenchmarks(Benchmarks(), cfg)
 }
 
+// workerPool runs fn(worker, i) for every i in [0, n) on a fixed pool
+// of goroutines pulling from a shared work queue, so the number of live
+// per-worker states (VMs, memories, analyzer tables) is genuinely
+// bounded by workers — not merely rate-limited after all goroutines
+// have been spawned. The worker id lets callers pool expensive state
+// (e.g. a profiler's analyzer tables) across the items one worker
+// processes.
+func workerPool(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range work {
+				fn(worker, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
 // ProfileBenchmarks measures the given benchmarks in parallel, returning
 // results in input order. Parallelism is a fixed pool of cfg.Workers
-// goroutines pulling from a work queue, so the number of live VMs (and
-// their memories and analyzer tables) is genuinely bounded by Workers —
-// not merely rate-limited after all goroutines have been spawned.
+// goroutines pulling from a work queue.
 func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	cfg = cfg.withDefaults()
 	results := make([]ProfileResult, len(bs))
@@ -202,32 +231,15 @@ func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	var done int
 	var mu sync.Mutex
 
-	workers := cfg.Workers
-	if workers > len(bs) {
-		workers = len(bs)
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i], errs[i] = Profile(bs[i], cfg)
-				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, len(bs), bs[i].Name())
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range bs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	workerPool(len(bs), cfg.Workers, func(_, i int) {
+		results[i], errs[i] = Profile(bs[i], cfg)
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(bs), bs[i].Name())
+			mu.Unlock()
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mica: profiling %s: %w", bs[i].Name(), err)

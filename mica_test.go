@@ -315,3 +315,32 @@ func TestRegistryAccessorsReturnCopies(t *testing.T) {
 		t.Error("SuiteNames exposes registry storage")
 	}
 }
+
+// TestZeroConfigMatchesDefaultConfig pins the Config zero-value
+// contract: Profile(b, Config{}) must measure exactly what
+// Profile(b, DefaultConfig()) measures. Before the NoMemDeps inversion,
+// a zero Config silently disabled store-to-load dependence tracking and
+// produced different ILP characteristics.
+func TestZeroConfigMatchesDefaultConfig(t *testing.T) {
+	b, err := BenchmarkByName("MiBench/qsort/large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Profile(b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Profile(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Insts != def.Insts {
+		t.Fatalf("instruction counts diverge: %d vs %d", zero.Insts, def.Insts)
+	}
+	if zero.Chars != def.Chars {
+		t.Error("zero Config characteristic vector diverges from DefaultConfig")
+	}
+	if zero.HPC != def.HPC {
+		t.Error("zero Config HPC vector diverges from DefaultConfig")
+	}
+}

@@ -1,6 +1,10 @@
 package mica
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
 )
@@ -20,16 +24,88 @@ type (
 )
 
 // AnalyzePhases splits one benchmark's execution into fixed-length
-// intervals, characterizes each with the Table II metrics, clusters the
-// intervals into phases (k-means + BIC) and selects one weighted
+// intervals, characterizes each with the Table II metrics as the VM
+// runs (streaming: one profiler reused across all intervals), clusters
+// the intervals into phases (k-means + BIC) and selects one weighted
 // representative interval per phase.
 func AnalyzePhases(b Benchmark, cfg PhaseConfig) (*PhaseResult, error) {
 	m, err := b.Instantiate()
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Options.PPMOrder == 0 {
-		cfg.Options = micachar.Options{TrackMemDeps: true, PPMOrder: micachar.DefaultPPMOrder}
-	}
+	// Only zero fields default: the zero Options value already means
+	// "all 47 characteristics, memory dependencies tracked, default PPM
+	// order", so a caller's Subset, NoMemDeps or explicit PPMOrder is
+	// honored rather than clobbered.
 	return phases.Analyze(m, cfg)
+}
+
+// PhasePipelineConfig parameterizes the registry-wide phase pipeline.
+type PhasePipelineConfig struct {
+	// Phase is the per-benchmark phase-analysis configuration.
+	Phase PhaseConfig
+	// Workers bounds pipeline parallelism (default: GOMAXPROCS). Each
+	// worker owns one profiler whose analyzer tables are pooled across
+	// every benchmark that worker processes.
+	Workers int
+	// Progress, when non-nil, is called after each benchmark completes.
+	Progress func(done, total int, name string)
+}
+
+// BenchmarkPhases is one benchmark's phase decomposition in a
+// registry-wide pipeline run.
+type BenchmarkPhases struct {
+	Benchmark Benchmark
+	Result    *PhaseResult
+}
+
+// AnalyzePhasesAll runs phase analysis over every benchmark in the
+// registry, sharded over a fixed worker pool, with results in Table I
+// order. Each worker pools one profiler across all the benchmarks it
+// processes (Reset between intervals and between benchmarks), so
+// analyzer tables are built once per worker rather than once per
+// interval; results are bit-identical to analyzing each benchmark in
+// isolation.
+func AnalyzePhasesAll(cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
+	return AnalyzePhasesBenchmarks(Benchmarks(), cfg)
+}
+
+// AnalyzePhasesBenchmarks is AnalyzePhasesAll over an explicit
+// benchmark list, returning results in input order.
+func AnalyzePhasesBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]BenchmarkPhases, len(bs))
+	errs := make([]error, len(bs))
+	profs := make([]*micachar.Profiler, workers)
+	var done int
+	var mu sync.Mutex
+
+	workerPool(len(bs), workers, func(worker, i int) {
+		m, err := bs[i].Instantiate()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if profs[worker] == nil {
+			profs[worker] = micachar.NewProfiler(cfg.Phase.Options)
+		}
+		res, err := phases.AnalyzeWith(m, profs[worker], cfg.Phase)
+		results[i] = BenchmarkPhases{Benchmark: bs[i], Result: res}
+		errs[i] = err
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(bs), bs[i].Name())
+			mu.Unlock()
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mica: phase analysis of %s: %w", bs[i].Name(), err)
+		}
+	}
+	return results, nil
 }

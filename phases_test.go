@@ -2,7 +2,11 @@ package mica
 
 import (
 	"math"
+	"reflect"
+	"strings"
 	"testing"
+
+	"mica/internal/phases"
 )
 
 func TestAnalyzePhasesOnRegistryBenchmark(t *testing.T) {
@@ -49,8 +53,175 @@ func TestAnalyzePhasesDefaultsApplied(t *testing.T) {
 		t.Fatalf("got %d intervals", len(res.Intervals))
 	}
 	// sha's PPM accuracy must be measured (non-zero) under defaults.
-	if res.Intervals[0].Vec[43] == 0 {
+	if res.Vectors.At(0, 43) == 0 {
 		t.Error("PPM characteristics not measured with default options")
+	}
+}
+
+// TestAnalyzePhasesHonorsOptions is the regression test for the option
+// clobbering bug: AnalyzePhases used to replace the caller's entire
+// Options struct whenever PPMOrder was zero, silently discarding Subset
+// (and a disabled mem-deps setting). A subset restricted to the
+// instruction mix must keep every non-mix characteristic at zero.
+func TestAnalyzePhasesHonorsOptions(t *testing.T) {
+	b, err := BenchmarkByName("MiBench/sha/large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := make([]bool, NumChars)
+	for c := 0; c < 6; c++ { // instruction mix only
+		subset[c] = true
+	}
+	cfg := PhaseConfig{MaxIntervals: 4, IntervalLen: 2_000}
+	cfg.Options.Subset = subset
+	res, err := AnalyzePhases(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Intervals {
+		for c := 6; c < NumChars; c++ {
+			if res.Vectors.At(i, c) != 0 {
+				t.Fatalf("interval %d: %s measured despite mix-only subset (Options clobbered)",
+					i, CharName(c))
+			}
+		}
+		if res.Vectors.At(i, 0) == 0 && res.Vectors.At(i, 3) == 0 {
+			t.Fatalf("interval %d: selected mix characteristics not measured", i)
+		}
+	}
+
+}
+
+// TestAnalyzePhasesAllRegistryPaperScale is the acceptance test for the
+// registry-wide pipeline: the full 122-benchmark registry at >= 1000
+// intervals per benchmark under the fixed worker pool, with results in
+// Table I order and bit-identical to the unpooled per-interval-profiler
+// reference path on sampled benchmarks.
+func TestAnalyzePhasesAllRegistryPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale registry sweep skipped in -short mode")
+	}
+	pcfg := PhaseConfig{IntervalLen: 400, MaxIntervals: 1000, MaxK: 3, Seed: 2006}
+	cfg := PhasePipelineConfig{Phase: pcfg, Workers: 4}
+	results, err := AnalyzePhasesAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Benchmarks()
+	if len(results) != len(all) {
+		t.Fatalf("got %d results, want %d", len(results), len(all))
+	}
+	full := 0
+	for i, r := range results {
+		if r.Benchmark.Name() != all[i].Name() {
+			t.Fatalf("result %d is %s, want Table I order (%s)", i, r.Benchmark.Name(), all[i].Name())
+		}
+		if len(r.Result.Intervals) == 0 {
+			t.Fatalf("%s: no intervals", r.Benchmark.Name())
+		}
+		if len(r.Result.Intervals) == pcfg.MaxIntervals {
+			full++
+		}
+	}
+	if full < len(all)*9/10 {
+		t.Errorf("only %d/%d benchmarks reached %d intervals", full, len(all), pcfg.MaxIntervals)
+	}
+
+	// Differential check against the unpooled reference on a sample
+	// spanning suites and kernel families.
+	for _, name := range []string{
+		"SPEC2000/gzip/program", "MediaBench/mpeg2/encode", "BioInfoMark/blast/protein",
+	} {
+		var got *PhaseResult
+		for _, r := range results {
+			if r.Benchmark.Name() == name {
+				got = r.Result
+				break
+			}
+		}
+		if got == nil {
+			t.Fatalf("%s missing from registry results", name)
+		}
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := b.Instantiate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := phases.AnalyzeUnpooled(m, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pipeline result diverges from unpooled reference", name)
+		}
+	}
+}
+
+// TestAnalyzePhasesBenchmarksOrder covers the pipeline at small scale:
+// input order preserved and per-benchmark results equal to the
+// single-benchmark entry point.
+func TestAnalyzePhasesBenchmarksOrder(t *testing.T) {
+	names := []string{"MiBench/sha/large", "SPEC2000/gzip/program", "CommBench/drr/drr"}
+	bs := make([]Benchmark, len(names))
+	for i, n := range names {
+		b, err := BenchmarkByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs[i] = b
+	}
+	pcfg := PhaseConfig{IntervalLen: 1_000, MaxIntervals: 12, MaxK: 3, Seed: 9}
+	var seen []string
+	results, err := AnalyzePhasesBenchmarks(bs, PhasePipelineConfig{
+		Phase:   pcfg,
+		Workers: 2,
+		Progress: func(done, total int, name string) {
+			seen = append(seen, name)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(bs) || len(seen) != len(bs) {
+		t.Fatalf("got %d results, %d progress calls", len(results), len(seen))
+	}
+	for i, r := range results {
+		if r.Benchmark.Name() != names[i] {
+			t.Errorf("result %d is %s, want %s", i, r.Benchmark.Name(), names[i])
+		}
+		single, err := AnalyzePhases(bs[i], pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Result, single) {
+			t.Errorf("%s: pipeline result diverges from AnalyzePhases", names[i])
+		}
+	}
+}
+
+// TestAnalyzePhasesBenchmarksReportsErrors pins the pipeline's error
+// aggregation: an instantiation failure anywhere in the batch surfaces
+// as an error naming the broken benchmark, and a broken entry does not
+// take down its worker's remaining shard silently.
+func TestAnalyzePhasesBenchmarksReportsErrors(t *testing.T) {
+	good, err := BenchmarkByName("MiBench/sha/large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := good
+	broken.Kernel = "no-such-kernel"
+	_, err = AnalyzePhasesBenchmarks([]Benchmark{good, broken}, PhasePipelineConfig{
+		Phase:   PhaseConfig{IntervalLen: 500, MaxIntervals: 3, MaxK: 2, Seed: 1},
+		Workers: 1,
+	})
+	if err == nil {
+		t.Fatal("broken benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-kernel") && !strings.Contains(err.Error(), good.Name()) {
+		t.Errorf("error does not identify the failure: %v", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package mica
 
 import (
 	"fmt"
+	"sort"
 
 	"mica/internal/cluster"
 	"mica/internal/featsel"
@@ -189,22 +190,19 @@ func (s *Space) HierarchicalCluster(cols []int, linkage cluster.Linkage) *Dendro
 	return cluster.Hierarchical(m, linkage)
 }
 
-// ClusterGroups converts a clustering into benchmark-name groups indexed
-// by cluster id, ordered by descending size.
+// ClusterGroups converts a clustering into benchmark-name groups,
+// ordered largest first. The ordering is stable: equal-size clusters
+// keep ascending cluster-id order, so repeated runs over the same
+// clustering always render groups identically.
 func (s *Space) ClusterGroups(sel ClusterSelection) [][]string {
 	k := sel.Best.K
 	groups := make([][]string, k)
 	for i, c := range sel.Best.Assign {
 		groups[c] = append(groups[c], s.Names[i])
 	}
-	// Order groups by size (stable), largest first.
-	for i := 0; i < k; i++ {
-		for j := i + 1; j < k; j++ {
-			if len(groups[j]) > len(groups[i]) {
-				groups[i], groups[j] = groups[j], groups[i]
-			}
-		}
-	}
+	sort.SliceStable(groups, func(a, b int) bool {
+		return len(groups[a]) > len(groups[b])
+	})
 	return groups
 }
 
