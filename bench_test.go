@@ -303,6 +303,33 @@ func BenchmarkPhaseHotPath(b *testing.B) {
 	})
 }
 
+// BenchmarkClusterSweep measures the SelectK BIC sweep — the
+// clustering back half of phase analysis that cmd/mica-bench -cluster
+// tracks in BENCH_phases.json — on a synthetic overlapping-blob matrix
+// shaped like a z-scored interval space. Reported in million
+// row-assignments per second (rows x maxK / wall time).
+func BenchmarkClusterSweep(b *testing.B) {
+	const rows, centers, maxK = 20_000, 12, 6
+	m := cluster.SyntheticPhaseBlobs(rows, centers, 2006)
+	run := func(b *testing.B, sweep func() cluster.Selection) {
+		b.Helper()
+		var sel cluster.Selection
+		for i := 0; i < b.N; i++ {
+			sel = sweep()
+		}
+		b.ReportMetric(float64(rows*maxK)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		b.ReportMetric(float64(sel.Best.K), "K")
+	}
+	b.Run("naive", func(b *testing.B) {
+		run(b, func() cluster.Selection { return cluster.SelectKNaive(m, maxK, 0.9, 2006) })
+	})
+	b.Run("parallel-minibatch", func(b *testing.B) {
+		run(b, func() cluster.Selection {
+			return cluster.SelectKOpt(m, maxK, 0.9, 2006, cluster.SweepOptions{Engine: cluster.EngineMiniBatch})
+		})
+	})
+}
+
 // BenchmarkVMInterpreter measures bare interpreter speed without
 // observers.
 func BenchmarkVMInterpreter(b *testing.B) {

@@ -15,6 +15,19 @@
 //	phases-pooled  one profiler pooled across all intervals and
 //	               benchmarks, Reset between intervals
 //
+// With -cluster it measures the BIC k-sweep (cluster.SelectK) on a
+// synthetic phase-interval matrix (-rows x 47, Gaussian blobs) in two
+// configurations, reporting million row-assignments per second
+// (rows x maxK / wall time):
+//
+//	selectk-naive               the serial exact Lloyd reference sweep
+//	selectk-parallel-minibatch  the parallel sweep with the minibatch
+//	                            engine and per-worker scratch reuse
+//
+// The minibatch config also records its worst-case SSE excess over the
+// exact sweep across all swept k, so the recorded speedup carries its
+// quality bound with it.
+//
 // It is the repo's tracked performance harness: every PR that touches the
 // hot path re-runs it and commits the result, so the perf trajectory of
 // the reproduction is measured rather than assumed.
@@ -23,6 +36,7 @@
 //
 //	mica-bench [-budget 2000000] [-runs 3] [-bench name,name,...] [-json BENCH_profile.json]
 //	mica-bench -phases [-interval 1000] [-json BENCH_phases.json]
+//	mica-bench -cluster [-rows 100000] [-maxk 10] [-json BENCH_phases.json]
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"time"
 
 	"mica"
+	"mica/internal/cluster"
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
 	"mica/internal/report"
@@ -68,11 +83,16 @@ type Result struct {
 	// GoVersion and GOMAXPROCS describe the environment.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	// Budget is the dynamic instruction budget per benchmark per run.
-	Budget uint64 `json:"budget"`
+	// Budget is the dynamic instruction budget per benchmark per run;
+	// absent for -cluster measurements, which run no instructions.
+	Budget uint64 `json:"budget,omitempty"`
 	// Interval is the phase interval length in instructions; present
 	// only for -phases measurements.
 	Interval uint64 `json:"interval,omitempty"`
+	// Rows and MaxK describe the synthetic matrix and sweep width;
+	// present only for -cluster measurements.
+	Rows int `json:"rows,omitempty"`
+	MaxK int `json:"max_k,omitempty"`
 	// Runs is the number of repetitions; the best run is reported.
 	Runs int `json:"runs"`
 	// Benchmarks lists the measured benchmark names.
@@ -86,23 +106,47 @@ type ConfigResult struct {
 	Name string `json:"name"`
 	// MIPS is the aggregate throughput: total instructions across the
 	// benchmark set divided by total wall time, in millions per second.
+	// For -cluster measurements the same field carries million
+	// row-assignments per second, marked by Unit.
 	MIPS float64 `json:"mips"`
+	// Unit names the throughput unit when it is not plain MIPS
+	// ("Mrows/s" for -cluster entries), so history readers never
+	// compare incomparable quantities silently.
+	Unit string `json:"unit,omitempty"`
 	// PerBench is the per-benchmark MIPS breakdown.
 	PerBench map[string]float64 `json:"per_bench"`
 }
 
 func main() {
 	var (
-		budget   = flag.Uint64("budget", 2_000_000, "dynamic instruction budget per benchmark")
-		runs     = flag.Int("runs", 3, "repetitions per configuration (best run reported)")
-		benches  = flag.String("bench", "", "comma-separated benchmark names (default: representative set)")
-		jsonOut  = flag.String("json", "", "append results to a JSON history file")
-		label    = flag.String("label", "dev", "label recorded with the measurement")
-		phaseRun = flag.Bool("phases", false, "measure the phase-analysis pipeline (naive vs pooled) instead of the profiler configs")
-		interval = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases)")
+		budget     = flag.Uint64("budget", 2_000_000, "dynamic instruction budget per benchmark")
+		runs       = flag.Int("runs", 3, "repetitions per configuration (best run reported)")
+		benches    = flag.String("bench", "", "comma-separated benchmark names (default: representative set)")
+		jsonOut    = flag.String("json", "", "append results to a JSON history file")
+		label      = flag.String("label", "dev", "label recorded with the measurement")
+		phaseRun   = flag.Bool("phases", false, "measure the phase-analysis pipeline (naive vs pooled) instead of the profiler configs")
+		interval   = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases)")
+		clusterRun = flag.Bool("cluster", false, "measure the SelectK BIC sweep (naive vs parallel-minibatch) instead of the profiler configs")
+		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
+		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster)")
+		seed       = flag.Int64("seed", 2006, "synthetic data and k-means seed (with -cluster)")
 	)
 	flag.Parse()
-	if err := run(*budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval); err != nil {
+	var err error
+	if *clusterRun {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "phases", "bench", "budget", "interval":
+				err = fmt.Errorf("-%s does not apply to -cluster (use -rows/-maxk/-seed)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runCluster(*rows, *maxK, *runs, *jsonOut, *label, *seed)
+		}
+	} else {
+		err = run(*budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-bench:", err)
 		os.Exit(1)
 	}
@@ -211,30 +255,129 @@ func run(budget uint64, runs int, benches, jsonOut, label string, phaseRun bool,
 	}
 	fmt.Print(t.String())
 
-	if jsonOut != "" {
-		var hist History
-		prev, err := os.ReadFile(jsonOut)
-		switch {
-		case err == nil:
-			if err := json.Unmarshal(prev, &hist); err != nil {
-				return fmt.Errorf("existing %s is not a history file: %w", jsonOut, err)
-			}
-		case !os.IsNotExist(err):
-			// Never clobber the tracked perf trajectory because of a
-			// transient read failure.
-			return err
-		}
-		hist.History = append(hist.History, res)
-		data, err := json.MarshalIndent(hist, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended %q to %s (%d entries)\n", label, jsonOut, len(hist.History))
+	return appendHistory(jsonOut, res)
+}
+
+// appendHistory appends one measurement to the JSON history file (a
+// no-op when no file is configured).
+func appendHistory(jsonOut string, res Result) error {
+	if jsonOut == "" {
+		return nil
 	}
+	var hist History
+	prev, err := os.ReadFile(jsonOut)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(prev, &hist); err != nil {
+			return fmt.Errorf("existing %s is not a history file: %w", jsonOut, err)
+		}
+	case !os.IsNotExist(err):
+		// Never clobber the tracked perf trajectory because of a
+		// transient read failure.
+		return err
+	}
+	hist.History = append(hist.History, res)
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended %q to %s (%d entries)\n", res.Label, jsonOut, len(hist.History))
 	return nil
+}
+
+// runCluster measures the SelectK BIC sweep: the serial exact
+// reference (SelectKNaive) against the parallel minibatch sweep, on
+// the same synthetic matrix with the same seed. Throughput is million
+// row-assignments per second (rows x maxK / wall time).
+func runCluster(rows, maxK, runs int, jsonOut, label string, seed int64) error {
+	if runs < 1 {
+		runs = 1
+	}
+	if rows < 1 || maxK < 1 {
+		return fmt.Errorf("cluster sweep needs positive -rows and -maxk (got %d, %d)", rows, maxK)
+	}
+	// The fixture lives in internal/cluster (SyntheticPhaseBlobs) so the
+	// tracked harness and BenchmarkClusterSweep measure the same recipe.
+	const centers = 12
+	m := cluster.SyntheticPhaseBlobs(rows, centers, seed)
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       runs,
+		Rows:       rows,
+		MaxK:       maxK,
+		Benchmarks: []string{fmt.Sprintf("synthetic-blobs-%dx47-c%d", rows, centers)},
+	}
+
+	measure := func(sweep func() cluster.Selection) (cluster.Selection, time.Duration) {
+		var sel cluster.Selection
+		best := time.Duration(0)
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			s := sweep()
+			if d := time.Since(start); best == 0 || d < best {
+				best, sel = d, s
+			}
+		}
+		return sel, best
+	}
+
+	naiveSel, naiveT := measure(func() cluster.Selection {
+		return cluster.SelectKNaive(m, maxK, 0.9, seed)
+	})
+	miniSel, miniT := measure(func() cluster.Selection {
+		return cluster.SelectKOpt(m, maxK, 0.9, seed, cluster.SweepOptions{Engine: cluster.EngineMiniBatch})
+	})
+
+	// Worst-case minibatch SSE excess over exact Lloyd across the sweep
+	// (k=1 SSE is seeding-independent, so the comparison starts there
+	// too). An exact SSE of 0 (fully separable data) gets a tiny
+	// denominator instead of being skipped: a minibatch regression at
+	// that k then records as an enormous excess rather than as perfect
+	// quality.
+	sseExcess := 0.0
+	for i := range naiveSel.SSEs {
+		den := naiveSel.SSEs[i]
+		if den <= 0 {
+			den = 1e-12
+		}
+		if ex := miniSel.SSEs[i]/den - 1; ex > sseExcess {
+			sseExcess = ex
+		}
+	}
+	speedup := naiveT.Seconds() / miniT.Seconds()
+
+	mrs := func(d time.Duration) float64 {
+		return float64(rows) * float64(maxK) / d.Seconds() / 1e6
+	}
+	res.Configs = []ConfigResult{
+		{Name: "selectk-naive", MIPS: mrs(naiveT), Unit: "Mrows/s", PerBench: map[string]float64{
+			"seconds":    naiveT.Seconds(),
+			"selected_k": float64(naiveSel.Best.K),
+		}},
+		{Name: "selectk-parallel-minibatch", MIPS: mrs(miniT), Unit: "Mrows/s", PerBench: map[string]float64{
+			"seconds":          miniT.Seconds(),
+			"selected_k":       float64(miniSel.Best.K),
+			"speedup_vs_naive": speedup,
+			"sse_excess_max":   sseExcess,
+		}},
+	}
+
+	t := report.NewTable("config", "Mrows/s", "time", "K", "notes")
+	t.AddRow("selectk-naive", fmt.Sprintf("%.2f", mrs(naiveT)),
+		naiveT.Round(time.Millisecond), naiveSel.Best.K, "")
+	t.AddRow("selectk-parallel-minibatch", fmt.Sprintf("%.2f", mrs(miniT)),
+		miniT.Round(time.Millisecond), miniSel.Best.K,
+		fmt.Sprintf("%.2fx faster, SSE +%.2f%% max", speedup, sseExcess*100))
+	fmt.Print(t.String())
+
+	return appendHistory(jsonOut, res)
 }
 
 // benchConfig is one measured pipeline configuration.

@@ -85,3 +85,58 @@ func TestRunUnknownBenchmark(t *testing.T) {
 		t.Fatal("expected error for unknown benchmark")
 	}
 }
+
+// TestRunClusterWritesHistory smoke-tests the -cluster mode at a small
+// matrix size: both sweep configs recorded, with the minibatch config
+// carrying its speedup and SSE-excess annotations.
+func TestRunClusterWritesHistory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cluster.json")
+	if err := runCluster(9000, 4, 1, out, "cluster-smoke", 2006); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	res := hist.History[0]
+	if res.Rows != 9000 || res.MaxK != 4 {
+		t.Errorf("recorded rows/maxk = %d/%d", res.Rows, res.MaxK)
+	}
+	if len(res.Configs) != 2 {
+		t.Fatalf("%d configs, want selectk-naive + selectk-parallel-minibatch", len(res.Configs))
+	}
+	for i, want := range []string{"selectk-naive", "selectk-parallel-minibatch"} {
+		if res.Configs[i].Name != want {
+			t.Errorf("config %d is %q, want %q", i, res.Configs[i].Name, want)
+		}
+		if res.Configs[i].MIPS <= 0 {
+			t.Errorf("%s: throughput = %v", want, res.Configs[i].MIPS)
+		}
+		if res.Configs[i].PerBench["selected_k"] < 1 {
+			t.Errorf("%s: selected_k missing", want)
+		}
+	}
+	mini := res.Configs[1].PerBench
+	if _, ok := mini["speedup_vs_naive"]; !ok {
+		t.Error("minibatch config missing speedup_vs_naive")
+	}
+	if _, ok := mini["sse_excess_max"]; !ok {
+		t.Error("minibatch config missing sse_excess_max")
+	}
+}
+
+func TestRunClusterRejectsBadShape(t *testing.T) {
+	if err := runCluster(0, 4, 1, "", "x", 1); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if err := runCluster(100, 0, 1, "", "x", 1); err == nil {
+		t.Fatal("maxk=0 accepted")
+	}
+}

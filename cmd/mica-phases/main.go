@@ -1,23 +1,32 @@
 // Command mica-phases runs interval-based phase analysis — the
 // SimPoint-style extension of the paper's Table II characterization —
-// over one benchmark or the whole registry.
+// over one benchmark, the whole registry, or a joint cross-benchmark
+// phase space.
 //
 // For a single benchmark it prints the phase timeline, the weighted
 // representative simulation points and the reconstruction error of the
 // weighted vector against the full interval aggregate. With -all it
 // runs the sharded registry-wide pipeline (one pooled profiler per
 // worker) and prints one summary row per benchmark in Table I order.
+// With -joint it characterizes every selected benchmark, clusters ALL
+// intervals once into a shared phase vocabulary, and prints each
+// benchmark's occupancy of the shared phases plus the cross-benchmark
+// representative intervals. With -cache the expensive profiling +
+// clustering step is persisted to a JSON file and skipped entirely on
+// reruns with the same configuration.
 //
 // Usage:
 //
 //	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
-//	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006]
+//	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
+//	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mica"
 	"mica/internal/report"
@@ -25,13 +34,15 @@ import (
 
 func main() {
 	var (
-		benchName    = flag.String("bench", "", "benchmark to analyze (suite/program/input)")
+		benchName    = flag.String("bench", "", "benchmark to analyze (suite/program/input); with -joint, a comma-separated list")
 		all          = flag.Bool("all", false, "analyze all 122 benchmarks with the sharded pipeline")
+		joint        = flag.Bool("joint", false, "cluster the selected benchmarks' intervals jointly into one shared phase vocabulary")
+		cache        = flag.String("cache", "", "JSON phase cache: load results from this file when configuration matches, write them otherwise")
 		intervalLen  = flag.Uint64("interval", 10_000, "interval length in dynamic instructions")
 		maxIntervals = flag.Int("intervals", 100, "maximum number of intervals per benchmark")
 		maxK         = flag.Int("maxk", 10, "maximum K for the BIC phase sweep")
 		seed         = flag.Int64("seed", 2006, "k-means seed")
-		workers      = flag.Int("workers", 0, "pipeline workers for -all (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "pipeline workers for -all/-joint (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	cfg := mica.PhaseConfig{
@@ -40,27 +51,45 @@ func main() {
 		MaxK:         *maxK,
 		Seed:         *seed,
 	}
-	if err := run(*benchName, *all, cfg, *workers); err != nil {
+	if err := run(*benchName, *all, *joint, *cache, cfg, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, all bool, cfg mica.PhaseConfig, workers int) error {
+func run(benchName string, all, joint bool, cache string, cfg mica.PhaseConfig, workers int) error {
+	pcfg := mica.PhasePipelineConfig{
+		Phase:   cfg,
+		Workers: workers,
+		Progress: func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
+		},
+	}
 	switch {
-	case all:
-		pcfg := mica.PhasePipelineConfig{
-			Phase:   cfg,
-			Workers: workers,
-			Progress: func(done, total int, name string) {
-				fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
-			},
+	case joint:
+		bs, err := selectBenchmarks(benchName)
+		if err != nil {
+			return err
 		}
-		results, err := mica.AnalyzePhasesAll(pcfg)
+		j, hit, err := analyzeJoint(cache, bs, pcfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr)
+		if hit {
+			fmt.Printf("loaded joint phase results from %s (profiling skipped)\n\n", cache)
+		}
+		return renderJoint(j)
+
+	case all:
+		results, hit, err := analyzeAll(cache, pcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		if hit {
+			fmt.Printf("loaded phase results from %s (profiling skipped)\n\n", cache)
+		}
 		t := report.NewTable("benchmark", "intervals", "insts", "phases", "top weight", "recon err")
 		for _, r := range results {
 			res := r.Result
@@ -79,9 +108,15 @@ func run(benchName string, all bool, cfg mica.PhaseConfig, workers int) error {
 		if err != nil {
 			return err
 		}
-		res, err := mica.AnalyzePhases(b, cfg)
+		res, hit, err := analyzeSingle(cache, b, pcfg)
 		if err != nil {
 			return err
+		}
+		if cache != "" && !hit {
+			fmt.Fprintln(os.Stderr) // terminate the \r progress line
+		}
+		if hit {
+			fmt.Printf("loaded phase results from %s (profiling skipped)\n\n", cache)
 		}
 		fmt.Printf("%s: %d intervals of %d instructions -> %d phases\n\n",
 			b.Name(), len(res.Intervals), cfg.IntervalLen, res.K)
@@ -96,7 +131,7 @@ func run(benchName string, all bool, cfg mica.PhaseConfig, workers int) error {
 		t := report.NewTable("phase", "interval", "instructions", "weight", "loads", "branches", "ILP-256")
 		for _, rep := range res.Representatives {
 			iv := res.Intervals[rep.Interval]
-			t.AddRow(fmt.Sprintf("%c", 'A'+rep.Phase%26), rep.Interval,
+			t.AddRow(phaseLabel(rep.Phase), rep.Interval,
 				fmt.Sprintf("%d..%d", iv.Start, iv.Start+iv.Insts),
 				fmt.Sprintf("%.3f", rep.Weight),
 				fmt.Sprintf("%.3f", res.Vectors.At(rep.Interval, 0)),
@@ -110,6 +145,100 @@ func run(benchName string, all bool, cfg mica.PhaseConfig, workers int) error {
 		return nil
 
 	default:
-		return fmt.Errorf("pass -bench <name> or -all")
+		return fmt.Errorf("pass -bench <name>, -all or -joint")
 	}
+}
+
+// phaseLabel names phase p: A..Z, then A26..Z26, A52.. so labels stay
+// unique however large the BIC sweep's K is. The timeline keeps the
+// bare one-rune cycle (one symbol per interval is its whole point).
+func phaseLabel(p int) string {
+	if p < 26 {
+		return fmt.Sprintf("%c", 'A'+p)
+	}
+	return fmt.Sprintf("%c%d", 'A'+p%26, p-p%26)
+}
+
+// selectBenchmarks resolves a comma-separated -bench list, or the whole
+// registry when the list is empty.
+func selectBenchmarks(benchName string) ([]mica.Benchmark, error) {
+	if benchName == "" {
+		return mica.Benchmarks(), nil
+	}
+	var bs []mica.Benchmark
+	for _, n := range strings.Split(benchName, ",") {
+		b, err := mica.BenchmarkByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		bs = append(bs, b)
+	}
+	return bs, nil
+}
+
+// analyzeJoint runs the joint pipeline, through the cache when one is
+// configured.
+func analyzeJoint(cache string, bs []mica.Benchmark, pcfg mica.PhasePipelineConfig) (*mica.PhaseJointResult, bool, error) {
+	if cache != "" {
+		return mica.AnalyzePhasesJointCached(cache, bs, pcfg)
+	}
+	j, err := mica.AnalyzePhasesJoint(bs, pcfg)
+	return j, false, err
+}
+
+// analyzeSingle runs one benchmark's phase analysis, through the cache
+// (as a one-benchmark pipeline) when one is configured.
+func analyzeSingle(cache string, b mica.Benchmark, pcfg mica.PhasePipelineConfig) (*mica.PhaseResult, bool, error) {
+	if cache != "" {
+		results, hit, err := mica.AnalyzePhasesCached(cache, []mica.Benchmark{b}, pcfg)
+		if err != nil {
+			return nil, false, err
+		}
+		return results[0].Result, hit, nil
+	}
+	res, err := mica.AnalyzePhases(b, pcfg.Phase)
+	return res, false, err
+}
+
+// analyzeAll runs the registry pipeline, through the cache when one is
+// configured.
+func analyzeAll(cache string, pcfg mica.PhasePipelineConfig) ([]mica.BenchmarkPhases, bool, error) {
+	if cache != "" {
+		return mica.AnalyzePhasesCached(cache, mica.Benchmarks(), pcfg)
+	}
+	results, err := mica.AnalyzePhasesAll(pcfg)
+	return results, false, err
+}
+
+// renderJoint prints the shared vocabulary: size, per-benchmark
+// occupancy of every shared phase, and the cross-benchmark
+// representatives.
+func renderJoint(j *mica.PhaseJointResult) error {
+	fmt.Printf("joint phase space: %d benchmarks, %d intervals, %d insts -> %d shared phases\n\n",
+		len(j.Benchmarks), len(j.Rows), j.TotalInsts(), j.K)
+
+	header := []string{"benchmark"}
+	for c := 0; c < j.K; c++ {
+		header = append(header, phaseLabel(c))
+	}
+	t := report.NewTable(header...)
+	for b, name := range j.Benchmarks {
+		row := []any{name}
+		for c := 0; c < j.K; c++ {
+			row = append(row, fmt.Sprintf("%.3f", j.PhaseShare(b, c)))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println("per-benchmark occupancy of the shared phases (instruction shares):")
+	fmt.Print(t.String())
+
+	fmt.Println("\ncross-benchmark representative intervals:")
+	rt := report.NewTable("phase", "weight", "benchmark", "interval")
+	for _, rep := range j.Representatives {
+		rt.AddRow(phaseLabel(rep.Phase),
+			fmt.Sprintf("%.3f", rep.Weight),
+			j.Benchmarks[rep.Bench], rep.Interval)
+	}
+	fmt.Print(rt.String())
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunSingleBenchmark(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}
-	out, err := capture(t, func() error { return run("SPEC2000/twolf/ref", false, cfg, 0) })
+	out, err := capture(t, func() error { return run("SPEC2000/twolf/ref", false, false, "", cfg, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,82 @@ func TestRunSubsetPipeline(t *testing.T) {
 	// The -all path over a registry subset is covered by the library
 	// tests; here exercise the pipeline rendering through a tiny -all
 	// run would profile 122 benchmarks, so only validate flag errors.
-	if _, err := capture(t, func() error { return run("", false, mica.PhaseConfig{}, 0) }); err == nil {
+	if _, err := capture(t, func() error { return run("", false, false, "", mica.PhaseConfig{}, 0) }); err == nil {
 		t.Error("missing mode accepted")
 	}
-	if _, err := capture(t, func() error { return run("no/such/bench", false, mica.PhaseConfig{}, 0) }); err == nil {
+	if _, err := capture(t, func() error { return run("no/such/bench", false, false, "", mica.PhaseConfig{}, 0) }); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("MiBench/sha/large,no/such/bench", false, true, "", mica.PhaseConfig{}, 0)
+	}); err == nil {
+		t.Error("unknown benchmark in joint list accepted")
+	}
+}
+
+// TestRunJointSubset exercises the -joint mode over an explicit
+// benchmark list: the shared vocabulary report must name every
+// benchmark, print an occupancy row per benchmark and list
+// cross-benchmark representatives.
+func TestRunJointSubset(t *testing.T) {
+	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
+	names := "MiBench/sha/large, SPEC2000/gzip/program"
+	out, err := capture(t, func() error { return run(names, false, true, "", cfg, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"joint phase space: 2 benchmarks, 16 intervals",
+		"per-benchmark occupancy of the shared phases",
+		"cross-benchmark representative intervals",
+		"MiBench/sha/large",
+		"SPEC2000/gzip/program",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("joint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSingleBenchmarkCache: -cache works in the default
+// single-benchmark mode too (a one-benchmark pipeline under the hood),
+// and the rerun reports the hit.
+func TestRunSingleBenchmarkCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "single.json")
+	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 6, MaxK: 3, Seed: 1}
+	first, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, cfg, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(first, "profiling skipped") {
+		t.Fatal("first run claimed a cache hit")
+	}
+	second, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, cfg, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "profiling skipped") {
+		t.Errorf("second run did not hit the cache:\n%s", second)
+	}
+	if !strings.HasSuffix(second, first) {
+		t.Error("cached report differs from computed report")
+	}
+}
+
+// TestRunJointCache pins the cache contract at the CLI level: the
+// second invocation with the same configuration reports the cache hit.
+func TestRunJointCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "joint.json")
+	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 2, Seed: 3}
+	if _, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, cfg, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, cfg, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "profiling skipped") {
+		t.Errorf("second run did not hit the cache:\n%s", out)
 	}
 }
 
@@ -66,7 +138,7 @@ func TestRunAllRegistry(t *testing.T) {
 		t.Skip("analyzes all 122 benchmarks")
 	}
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 3, Seed: 1}
-	out, err := capture(t, func() error { return run("", true, cfg, 4) })
+	out, err := capture(t, func() error { return run("", true, false, "", cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,5 +149,31 @@ func TestRunAllRegistry(t *testing.T) {
 	}
 	if lines := strings.Count(out, "\n"); lines < 122 {
 		t.Errorf("registry table too short: %d lines", lines)
+	}
+}
+
+// TestRunAllRegistryCached runs the registry pipeline through the
+// cache twice; the rerun must hit it and produce the same table.
+func TestRunAllRegistryCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes all 122 benchmarks")
+	}
+	cache := filepath.Join(t.TempDir(), "phases.json")
+	cfg := mica.PhaseConfig{IntervalLen: 500, MaxIntervals: 3, MaxK: 2, Seed: 1}
+	first, err := capture(t, func() error { return run("", true, false, cache, cfg, 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := capture(t, func() error { return run("", true, false, cache, cfg, 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "profiling skipped") {
+		t.Error("registry rerun did not hit the cache")
+	}
+	// The table itself (everything after the cache banner) must match.
+	tail := second[strings.Index(second, "benchmark"):]
+	if !strings.HasSuffix(first, tail) {
+		t.Error("cached registry table differs from computed table")
 	}
 }

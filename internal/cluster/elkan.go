@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math"
+
+	"mica/internal/stats"
+)
+
+// KMeansElkan is KMeans accelerated with Elkan's triangle-inequality
+// bounds: identical k-means++ seeding and Lloyd-style centroid
+// updates, but per-point upper/lower distance bounds let most
+// point-center distance computations be skipped once clusters
+// stabilize. The algorithm is exact — every skipped computation is
+// provably unable to change the point's nearest centroid — so it is a
+// drop-in Result-compatible replacement for KMeans on matrices where
+// the O(n·k·d) assignment pass dominates.
+func KMeansElkan(m *stats.Matrix, k int, seed int64) Result {
+	sc := newScratch()
+	return ownAssign(kmeansRun(m, k, seed, EngineElkan, SweepOptions{}.withDefaults(), sc))
+}
+
+// elkanFrom runs Elkan-accelerated Lloyd iterations from the given
+// seeded centroids. Bounds live in true (not squared) distance space,
+// which the triangle inequality requires. The returned Result's Assign
+// aliases sc.assign and is made consistent with the final centroids by
+// a closing assignAll pass (which also rules out any floating-point
+// tie resolving differently from the shared nearest scan).
+func elkanFrom(m, cents *stats.Matrix, sc *scratch) Result {
+	n, d := m.Rows, m.Cols
+	k := cents.Rows
+	assign := ints(&sc.assign, n)
+	counts := ints(&sc.counts, k)
+	upper := floats(&sc.upper, n)
+	lower := floats(&sc.lower, n*k)
+	ccDist := floats(&sc.ccDist, k*k)
+	ccHalf := floats(&sc.ccHalf, k)
+	drift := floats(&sc.drift, k)
+	prev := floats(&sc.prev, k*d)
+
+	// Initial pass: exact distances to every center seed the bounds.
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			dd := math.Sqrt(sqDist(row, cents.Row(c)))
+			lower[i*k+c] = dd
+			if dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		assign[i] = best
+		upper[i] = bestD
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		// Center-center distances and each center's half-distance to its
+		// nearest neighbor: a point whose upper bound is below its
+		// center's half-distance cannot move anywhere.
+		for a := 0; a < k; a++ {
+			ccHalf[a] = math.Inf(1)
+			for b := 0; b < k; b++ {
+				if a == b {
+					ccDist[a*k+b] = 0
+					continue
+				}
+				dd := math.Sqrt(sqDist(cents.Row(a), cents.Row(b)))
+				ccDist[a*k+b] = dd
+				if h := dd / 2; h < ccHalf[a] {
+					ccHalf[a] = h
+				}
+			}
+		}
+
+		changed := false
+		for i := 0; i < n; i++ {
+			a := assign[i]
+			u := upper[i]
+			if u <= ccHalf[a] {
+				continue
+			}
+			row := m.Row(i)
+			tight := false
+			for c := 0; c < k; c++ {
+				if c == a {
+					continue
+				}
+				// Candidate c can only win if it beats both the lower
+				// bound and half the distance between the two centers.
+				bound := lower[i*k+c]
+				if h := ccDist[a*k+c] / 2; h > bound {
+					bound = h
+				}
+				if u <= bound {
+					continue
+				}
+				if !tight {
+					u = math.Sqrt(sqDist(row, cents.Row(a)))
+					upper[i] = u
+					lower[i*k+a] = u
+					tight = true
+					if u <= bound {
+						continue
+					}
+				}
+				dc := math.Sqrt(sqDist(row, cents.Row(c)))
+				lower[i*k+c] = dc
+				if dc < u {
+					a, u = c, dc
+					assign[i] = c
+					upper[i] = dc
+					changed = true
+				}
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+
+		copy(prev, cents.Data)
+		updateCentroids(m, cents, assign, counts)
+		// Bound maintenance: each center's movement loosens every upper
+		// bound attached to it and tightens every lower bound toward it.
+		// An empty-cluster re-seed is just a large movement here, so the
+		// bounds stay valid through it.
+		for c := 0; c < k; c++ {
+			drift[c] = math.Sqrt(sqDist(prev[c*d:(c+1)*d], cents.Row(c)))
+		}
+		for i := 0; i < n; i++ {
+			upper[i] += drift[assign[i]]
+			li := lower[i*k : (i+1)*k]
+			for c := 0; c < k; c++ {
+				if drift[c] != 0 {
+					if li[c] -= drift[c]; li[c] < 0 {
+						li[c] = 0
+					}
+				}
+			}
+		}
+	}
+
+	sse := assignAll(m, cents, assign, counts)
+	return Result{K: k, Assign: assign, Centroids: cents, SSE: sse}
+}

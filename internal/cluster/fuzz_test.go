@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mica/internal/stats"
+)
+
+// FuzzBIC drives BIC with random matrices and clusterings derived
+// deterministically from the fuzz inputs, checking its numeric
+// contract: no NaN, never +Inf, -Inf exactly when the clustering has
+// at least as many clusters as rows, and strictly decreasing when an
+// empty cluster is added (the parameter penalty grows and the variance
+// estimate loosens while the log-likelihood cannot improve).
+//
+// The seed corpus runs as an ordinary test in CI (`go test` executes
+// fuzz seeds without -fuzz); `go test -fuzz=FuzzBIC ./internal/cluster`
+// explores further.
+func FuzzBIC(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(3), uint8(2))
+	f.Add(int64(2006), uint8(64), uint8(8), uint8(10))
+	f.Add(int64(-7), uint8(2), uint8(1), uint8(2))
+	f.Add(int64(0), uint8(5), uint8(4), uint8(5))
+	f.Add(int64(99), uint8(33), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, dRaw, kRaw uint8) {
+		n := 1 + int(nRaw)%64
+		d := 1 + int(dRaw)%8
+		k := 1 + int(kRaw)%12
+		rng := rand.New(rand.NewSource(seed))
+		m := stats.NewMatrix(n, d)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * float64(1+int(dRaw)%5)
+		}
+
+		res := KMeans(m, k, seed)
+		score := BIC(m, res)
+		if math.IsNaN(score) {
+			t.Fatalf("BIC is NaN for n=%d d=%d k=%d", n, d, res.K)
+		}
+		if math.IsInf(score, 1) {
+			t.Fatalf("BIC is +Inf for n=%d d=%d k=%d", n, d, res.K)
+		}
+		if n <= res.K {
+			if !math.IsInf(score, -1) {
+				t.Fatalf("BIC finite (%g) with n=%d <= k=%d", score, n, res.K)
+			}
+			return
+		}
+		if math.IsInf(score, -1) {
+			t.Fatalf("BIC -Inf with n=%d > k=%d", n, res.K)
+		}
+
+		// Monotonicity under model inflation: the same partition
+		// presented as k+1 clusters (one empty) must score strictly
+		// lower — the penalty term grows with k and the per-point
+		// variance estimate only loosens.
+		if n > res.K+1 {
+			inflated := Result{
+				K:         res.K + 1,
+				Assign:    res.Assign,
+				Centroids: stats.NewMatrix(res.K+1, d),
+				SSE:       res.SSE,
+			}
+			worse := BIC(m, inflated)
+			if !(worse < score) {
+				t.Fatalf("BIC did not decrease under empty-cluster inflation: %g -> %g (n=%d d=%d k=%d)",
+					score, worse, n, d, res.K)
+			}
+		}
+	})
+}
+
+// FuzzBICStatsConsistency checks that the sufficient-statistics path
+// the sweep uses (bicStats) agrees exactly with the public
+// Result-based BIC.
+func FuzzBICStatsConsistency(f *testing.F) {
+	f.Add(int64(3), uint8(20), uint8(3), uint8(4))
+	f.Add(int64(11), uint8(50), uint8(6), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, dRaw, kRaw uint8) {
+		n := 2 + int(nRaw)%48
+		d := 1 + int(dRaw)%6
+		k := 1 + int(kRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		m := stats.NewMatrix(n, d)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()*10 - 5
+		}
+		res := KMeans(m, k, seed)
+		counts := make([]int, res.K)
+		for _, c := range res.Assign {
+			counts[c]++
+		}
+		a, b := BIC(m, res), bicStats(n, d, res.K, res.SSE, counts)
+		if a != b && !(math.IsInf(a, -1) && math.IsInf(b, -1)) {
+			t.Fatalf("BIC %g != bicStats %g", a, b)
+		}
+	})
+}

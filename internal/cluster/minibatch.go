@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"mica/internal/stats"
+)
+
+const (
+	// defaultBatchSize is the minibatch sample size per iteration.
+	defaultBatchSize = 1024
+	// defaultMiniBatchRows is the row count at which EngineAuto switches
+	// from exact Lloyd to minibatch inside a sweep.
+	defaultMiniBatchRows = 8192
+	// polishIters caps the full-data Lloyd refinement rounds run after
+	// the minibatch phase: they pin down centroid means, repair any
+	// cluster the sampling left empty, and leave the assignment
+	// consistent with the centroids. Polish stops early once the
+	// assignment is stable, so it usually costs 2-4 passes — minibatch
+	// centers start near a Lloyd fixed point.
+	polishIters = 10
+	// miniBatchIters caps the sampled-update iterations per attempt;
+	// quality past this point comes from the full-data polish, which
+	// converges from near-fixed-point centers in a few passes.
+	miniBatchIters = 50
+	// miniBatchMinIters is the floor before drift-based early exit.
+	miniBatchMinIters = 10
+	// miniBatchRestarts is the number of independent seeding + minibatch
+	// attempts per run; the attempt with the lowest sample SSE is
+	// polished. Restarts are nearly free next to a single full-data
+	// pass and squeeze out most of the local-optimum variance that
+	// separates one sampled run from exact Lloyd — with several
+	// attempts, the polished winner usually matches or beats a single
+	// exact run's basin.
+	miniBatchRestarts = 3
+)
+
+// MiniBatchKMeans clusters the rows of m with sampled minibatch k-means
+// (Sculley, WWW 2010): k-means++ seeding on a sample, then per-center
+// streaming-mean updates from random batches until the centers stop
+// drifting, then a short full-data polish. It trades a bounded SSE gap
+// (a few percent versus exact Lloyd) for touching only a fraction of
+// the rows per iteration — the enabling engine for BIC sweeps over
+// 100k+-interval phase matrices. Deterministic for a given seed.
+//
+// Small inputs (where a full Lloyd pass is already cheap, or where k
+// approaches n and sampling would starve clusters) fall back to the
+// exact engine, so edge-case behavior matches KMeans.
+func MiniBatchKMeans(m *stats.Matrix, k int, seed int64) Result {
+	sc := newScratch()
+	return ownAssign(kmeansRun(m, k, seed, EngineMiniBatch, SweepOptions{}.withDefaults(), sc))
+}
+
+// miniBatchRun is the engine body; rng is already seeded and sc
+// provides the reusable buffers. Assign in the returned Result aliases
+// sc.assign.
+func miniBatchRun(m *stats.Matrix, k int, rng *rand.Rand, opt SweepOptions, sc *scratch) Result {
+	n, d := m.Rows, m.Cols
+	batch := opt.BatchSize
+	if n <= 4*batch || 8*k >= n {
+		// Exact fallback: the batch would cover most of the data anyway,
+		// or clusters are small enough that sampling could starve them.
+		return lloydFrom(m, seedPlusPlus(m, k, rng, sc), sc)
+	}
+
+	// One shared random sample serves k-means++ seeding (full-data
+	// seeding costs k passes over all n rows, exactly the cost
+	// minibatch exists to avoid) and restart scoring.
+	sampleN := 2 * batch
+	if sampleN < 8*k {
+		sampleN = 8 * k
+	}
+	if sampleN > n {
+		sampleN = n
+	}
+	sampleData := floats(&sc.sample, sampleN*d)
+	scale := 0.0
+	for j := 0; j < sampleN; j++ {
+		row := m.Row(rng.Intn(n))
+		copy(sampleData[j*d:(j+1)*d], row)
+		for _, v := range row {
+			scale += v * v
+		}
+	}
+	sample := &stats.Matrix{Rows: sampleN, Cols: d, Data: sampleData}
+	// Drift tolerance scales with the data's mean squared row norm, so
+	// convergence detection behaves the same for normalized and raw
+	// characteristic spaces.
+	tol := 1e-6 * (1 + scale/float64(sampleN)) * float64(k)
+
+	upd := ints(&sc.upd, k)
+	idx := ints(&sc.batch, batch)
+	prev := floats(&sc.prev, k*d)
+
+	var cents *stats.Matrix
+	bestScore := 0.0
+	for attempt := 0; attempt < miniBatchRestarts; attempt++ {
+		try := seedPlusPlus(sample, k, rng, sc)
+		for c := range upd {
+			upd[c] = 0
+		}
+		for iter := 0; iter < miniBatchIters; iter++ {
+			copy(prev, try.Data)
+			for j := range idx {
+				idx[j] = rng.Intn(n)
+			}
+			for _, i := range idx {
+				row := m.Row(i)
+				c, _ := nearest(row, try)
+				upd[c]++
+				eta := 1 / float64(upd[c])
+				crow := try.Row(c)
+				for j := 0; j < d; j++ {
+					crow[j] += eta * (row[j] - crow[j])
+				}
+			}
+			drift := 0.0
+			for c := 0; c < k; c++ {
+				drift += sqDist(prev[c*d:(c+1)*d], try.Row(c))
+			}
+			if drift <= tol && iter+1 >= miniBatchMinIters {
+				break
+			}
+		}
+		// Score the attempt on the sample (a full-data pass would cost
+		// what the restarts are meant to stay below).
+		score := 0.0
+		for i := 0; i < sampleN; i++ {
+			_, dd := nearest(sample.Row(i), try)
+			score += dd
+		}
+		if cents == nil || score < bestScore {
+			cents, bestScore = try, score
+		}
+	}
+
+	// Full-data polish of the winning attempt: Lloyd rounds until the
+	// assignment stabilizes (or the cap), repairing empty clusters,
+	// settling centroid means, and ending with an assignment consistent
+	// with the centroids.
+	assign := ints(&sc.assign, n)
+	counts := ints(&sc.counts, k)
+	var sse, prevSSE float64
+	for p := 0; ; p++ {
+		sse = assignAll(m, cents, assign, counts)
+		if p >= polishIters || (p > 0 && sse >= prevSSE) {
+			break
+		}
+		prevSSE = sse
+		updateCentroids(m, cents, assign, counts)
+	}
+	return Result{K: k, Assign: assign, Centroids: cents, SSE: sse}
+}

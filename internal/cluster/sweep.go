@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"math"
+
+	"mica/internal/pool"
+	"mica/internal/stats"
+)
+
+// Engine selects the k-means engine a sweep runs per k.
+type Engine int
+
+const (
+	// EngineAuto uses exact Lloyd below SweepOptions.MiniBatchRows rows
+	// and minibatch at or above it — exact where exact is cheap,
+	// sampled where full passes dominate.
+	EngineAuto Engine = iota
+	// EngineLloyd forces the exact reference engine.
+	EngineLloyd
+	// EngineElkan forces exact Lloyd with Elkan's triangle-inequality
+	// acceleration.
+	EngineElkan
+	// EngineMiniBatch forces sampled minibatch updates (with the
+	// documented exact fallback on tiny inputs).
+	EngineMiniBatch
+)
+
+// SweepOptions parameterize SelectKOpt.
+type SweepOptions struct {
+	// Engine picks the per-k clustering engine (default EngineAuto).
+	Engine Engine
+	// Workers bounds sweep parallelism over the fixed worker pool
+	// (0 = GOMAXPROCS). Each worker owns one scratch buffer reused
+	// across every k it processes.
+	Workers int
+	// MiniBatchRows is the row threshold at which EngineAuto switches
+	// to minibatch (default 8192).
+	MiniBatchRows int
+	// BatchSize is the minibatch sample size per iteration (default
+	// 1024).
+	BatchSize int
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.MiniBatchRows <= 0 {
+		o.MiniBatchRows = defaultMiniBatchRows
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = defaultBatchSize
+	}
+	return o
+}
+
+// Selection holds the outcome of BIC-based K selection.
+type Selection struct {
+	// Best is the clustering at the chosen K.
+	Best Result
+	// Scores maps K (1-based index position K-1) to its BIC score.
+	Scores []float64
+	// SSEs maps K (same indexing) to that clustering's final SSE —
+	// the quantity engine-quality comparisons (exact vs minibatch) are
+	// made on.
+	SSEs []float64
+	// MaxScore is the maximum BIC over the swept K values.
+	MaxScore float64
+}
+
+// SelectK sweeps K in [1, maxK], scores each clustering with BIC, and
+// returns the smallest K whose score reaches frac (the paper uses 0.9)
+// of the way from the lowest to the highest score across the sweep —
+// the SimPoint "90% of max BIC" rule, which operates on the score range
+// so it is well defined for negative log-likelihood-based scores.
+//
+// The sweep runs in parallel over the fixed worker pool with the
+// default engine policy (exact Lloyd for small matrices, minibatch
+// above the row threshold); SelectKOpt exposes the knobs.
+func SelectK(m *stats.Matrix, maxK int, frac float64, seed int64) Selection {
+	return SelectKOpt(m, maxK, frac, seed, SweepOptions{})
+}
+
+// SelectKOpt is SelectK with explicit engine, parallelism and
+// minibatch options. Results are deterministic in (m, maxK, frac,
+// seed, Engine, MiniBatchRows, BatchSize): per-k runs use independent
+// seeds derived from seed (see the package comment), so neither the
+// worker count nor scheduling order can change any outcome.
+func SelectKOpt(m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOptions) Selection {
+	opt = opt.withDefaults()
+	if maxK > m.Rows {
+		maxK = m.Rows
+	}
+	if maxK < 1 {
+		return Selection{MaxScore: math.Inf(-1)}
+	}
+
+	// Per-k sufficient statistics: centroids (O(k·d)), SSE and cluster
+	// occupancy. The O(n) assignment stays in per-worker scratch and is
+	// re-derived below for the single chosen k.
+	type runStats struct {
+		k      int
+		cents  *stats.Matrix
+		sse    float64
+		counts []int
+	}
+	runs := make([]runStats, maxK)
+	scores := make([]float64, maxK)
+	sses := make([]float64, maxK)
+
+	// Clamp once and hand pool.Run the clamped count, so the scratch
+	// slice and the pool's worker-id range share one invariant.
+	workers := opt.Workers
+	if workers <= 0 || workers > maxK {
+		workers = maxK
+	}
+	scratches := make([]*scratch, workers)
+	pool.Run(maxK, workers, func(worker, i int) {
+		if scratches[worker] == nil {
+			scratches[worker] = newScratch()
+		}
+		sc := scratches[worker]
+		k := i + 1
+		res := kmeansRun(m, k, deriveSeed(seed, k), opt.Engine, opt, sc)
+		runs[i] = runStats{
+			k:      res.K,
+			cents:  res.Centroids,
+			sse:    res.SSE,
+			counts: append([]int(nil), sc.counts[:res.K]...),
+		}
+		scores[i] = bicStats(m.Rows, m.Cols, res.K, res.SSE, runs[i].counts)
+		sses[i] = res.SSE
+	})
+
+	best, worst := math.Inf(-1), math.Inf(1)
+	for _, s := range scores {
+		if s > best {
+			best = s
+		}
+		if s < worst {
+			worst = s
+		}
+	}
+	cut := worst + frac*(best-worst)
+	chosen := maxK - 1
+	for i := range scores {
+		if scores[i] >= cut {
+			chosen = i
+			break
+		}
+	}
+
+	// Materialize the chosen clustering: one assignment pass over its
+	// stored centroids, bit-identical to the engine's own final pass
+	// (both are assignAll with the shared tie-breaking scan).
+	r := runs[chosen]
+	assign := make([]int, m.Rows)
+	counts := make([]int, r.k)
+	assignAll(m, r.cents, assign, counts)
+	return Selection{
+		Best:     Result{K: r.k, Assign: assign, Centroids: r.cents, SSE: r.sse},
+		Scores:   scores,
+		SSEs:     sses,
+		MaxScore: best,
+	}
+}
+
+// SelectKNaive is the pre-scaling reference sweep: one fresh, serial,
+// exact Lloyd run per k with no scratch reuse and no parallelism. It
+// uses the same derived per-k seeds as SelectKOpt, so SelectKOpt with
+// EngineLloyd is bit-identical to it — the differential contract the
+// parallel sweep is tested against, and the baseline configuration of
+// the tracked cluster benchmark (mica-bench -cluster).
+func SelectKNaive(m *stats.Matrix, maxK int, frac float64, seed int64) Selection {
+	if maxK > m.Rows {
+		maxK = m.Rows
+	}
+	if maxK < 1 {
+		return Selection{MaxScore: math.Inf(-1)}
+	}
+	results := make([]Result, maxK)
+	scores := make([]float64, maxK)
+	sses := make([]float64, maxK)
+	best, worst := math.Inf(-1), math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		results[k-1] = KMeans(m, k, deriveSeed(seed, k))
+		scores[k-1] = BIC(m, results[k-1])
+		sses[k-1] = results[k-1].SSE
+		if scores[k-1] > best {
+			best = scores[k-1]
+		}
+		if scores[k-1] < worst {
+			worst = scores[k-1]
+		}
+	}
+	cut := worst + frac*(best-worst)
+	for k := 1; k <= maxK; k++ {
+		if scores[k-1] >= cut {
+			return Selection{Best: results[k-1], Scores: scores, SSEs: sses, MaxScore: best}
+		}
+	}
+	return Selection{Best: results[maxK-1], Scores: scores, SSEs: sses, MaxScore: best}
+}

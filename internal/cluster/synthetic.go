@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"mica/internal/stats"
+)
+
+// SyntheticBlobs builds a deterministic rows x d Gaussian-blob matrix:
+// `centers` cluster centers with per-coordinate std ctrStd, and points
+// scattered around a uniformly chosen center with per-coordinate std
+// noise. It is the shared fixture of the engine-quality tests and the
+// tracked cluster benchmarks, kept in one place so test and harness
+// always measure the same data recipe.
+func SyntheticBlobs(rows, d, centers int, ctrStd, noise float64, seed int64) *stats.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	ctr := stats.NewMatrix(centers, d)
+	for c := 0; c < centers; c++ {
+		row := ctr.Row(c)
+		for j := range row {
+			row[j] = rng.NormFloat64() * ctrStd
+		}
+	}
+	m := stats.NewMatrix(rows, d)
+	for i := 0; i < rows; i++ {
+		src := ctr.Row(rng.Intn(centers))
+		row := m.Row(i)
+		for j := range row {
+			row[j] = src[j] + rng.NormFloat64()*noise
+		}
+	}
+	return m
+}
+
+// SyntheticPhaseBlobs is SyntheticBlobs shaped like a z-score
+// normalized 47-characteristic phase-interval space: cluster spread
+// smaller than within-cluster noise, so clusters overlap the way real
+// interval vectors do. (Well-separated blobs make Lloyd converge in a
+// handful of iterations and understate the exact sweep's cost on real
+// phase matrices, where it routinely runs to the iteration cap.)
+func SyntheticPhaseBlobs(rows, centers int, seed int64) *stats.Matrix {
+	return SyntheticBlobs(rows, 47, centers, 0.8, 1.5, seed)
+}

@@ -1,0 +1,218 @@
+package phases
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mica/internal/mica"
+)
+
+// characterizeKernel runs the streaming characterization (no
+// clustering) over one crafted kernel.
+func characterizeKernel(t *testing.T, name, src string, cfg Config) *Result {
+	t.Helper()
+	prof := mica.NewProfiler(cfg.Options)
+	res, err := CharacterizeWith(machineFor(t, name, src), prof, cfg)
+	if err != nil {
+		t.Fatalf("%s: characterize: %v", name, err)
+	}
+	return res
+}
+
+// TestCharacterizeMatchesAnalyze pins the characterize/cluster split:
+// CharacterizeWith must produce exactly the intervals and vectors of
+// the full analysis, with the clustering fields left empty.
+func TestCharacterizeMatchesAnalyze(t *testing.T) {
+	cfg := Config{IntervalLen: 2_000, MaxIntervals: 20, MaxK: 4, Seed: 7}
+	char := characterizeKernel(t, "twophase", twoPhaseProgram, cfg)
+	full, err := Analyze(machineFor(t, "twophase", twoPhaseProgram), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(char.Intervals, full.Intervals) {
+		t.Error("characterize intervals diverge from full analysis")
+	}
+	if !reflect.DeepEqual(char.Vectors.Data, full.Vectors.Data) {
+		t.Error("characterize vectors diverge from full analysis")
+	}
+	if char.Assign != nil || char.K != 0 || char.Representatives != nil {
+		t.Error("characterize populated clustering fields")
+	}
+}
+
+// TestAnalyzeJointSingleBenchmarkBitIdentical is the differential
+// contract: a joint analysis over exactly one benchmark must reproduce
+// the per-benchmark analysis bit for bit — assignment, K, and
+// representatives (with Row == Interval and Bench == 0).
+func TestAnalyzeJointSingleBenchmarkBitIdentical(t *testing.T) {
+	kernels := []struct{ name, src string }{
+		{"twophase", twoPhaseProgram},
+		{"strided", stridedProgram},
+		{"branchy", branchyProgram},
+	}
+	cfg := Config{IntervalLen: 2_000, MaxIntervals: 25, MaxK: 4, Seed: 7}
+	for _, k := range kernels {
+		want, err := Analyze(machineFor(t, k.name, k.src), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint, err := AnalyzeJoint([]BenchmarkIntervals{
+			{Name: k.name, Result: characterizeKernel(t, k.name, k.src, cfg)},
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joint.K != want.K || !reflect.DeepEqual(joint.Assign, want.Assign) {
+			t.Errorf("%s: joint assignment diverges (K %d vs %d)", k.name, joint.K, want.K)
+		}
+		if !reflect.DeepEqual(joint.Vectors.Data, want.Vectors.Data) {
+			t.Errorf("%s: joint matrix diverges", k.name)
+		}
+		if len(joint.Representatives) != len(want.Representatives) {
+			t.Fatalf("%s: %d joint representatives vs %d", k.name,
+				len(joint.Representatives), len(want.Representatives))
+		}
+		for i, jr := range joint.Representatives {
+			wr := want.Representatives[i]
+			if jr.Phase != wr.Phase || jr.Interval != wr.Interval || jr.Weight != wr.Weight ||
+				jr.Row != wr.Interval || jr.Bench != 0 {
+				t.Errorf("%s: representative %d = %+v, want %+v", k.name, i, jr, wr)
+			}
+		}
+	}
+}
+
+// TestAnalyzeJointProvenanceAndOccupancy checks the multi-benchmark
+// invariants: rows concatenate in input order with correct provenance,
+// occupancy rows sum to 1, and every representative's provenance
+// agrees with its row.
+func TestAnalyzeJointProvenanceAndOccupancy(t *testing.T) {
+	cfg := Config{IntervalLen: 2_000, MaxIntervals: 15, MaxK: 5, Seed: 3}
+	inputs := []BenchmarkIntervals{
+		{Name: "twophase", Result: characterizeKernel(t, "twophase", twoPhaseProgram, cfg)},
+		{Name: "strided", Result: characterizeKernel(t, "strided", stridedProgram, cfg)},
+		{Name: "branchy", Result: characterizeKernel(t, "branchy", branchyProgram, cfg)},
+	}
+	joint, err := AnalyzeJoint(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRows := 0
+	for _, in := range inputs {
+		wantRows += len(in.Result.Intervals)
+	}
+	if len(joint.Rows) != wantRows || joint.Vectors.Rows != wantRows ||
+		len(joint.Assign) != wantRows || len(joint.RowInsts) != wantRows {
+		t.Fatalf("joint shapes: rows=%d vectors=%d assign=%d insts=%d want %d",
+			len(joint.Rows), joint.Vectors.Rows, len(joint.Assign), len(joint.RowInsts), wantRows)
+	}
+
+	// Provenance: row r of the joint matrix is bench b's interval i,
+	// vector and instruction count included.
+	r := 0
+	for b, in := range inputs {
+		for i := range in.Result.Intervals {
+			ref := joint.Rows[r]
+			if ref.Bench != b || ref.Interval != i {
+				t.Fatalf("row %d provenance = %+v, want bench %d interval %d", r, ref, b, i)
+			}
+			if !reflect.DeepEqual(joint.Vectors.Row(r), in.Result.Vectors.Row(i)) {
+				t.Fatalf("row %d vector diverges from %s interval %d", r, in.Name, i)
+			}
+			if joint.RowInsts[r] != in.Result.Intervals[i].Insts {
+				t.Fatalf("row %d insts diverge", r)
+			}
+			r++
+		}
+	}
+
+	// Occupancy: one row per benchmark, each summing to 1.
+	if joint.Occupancy.Rows != len(inputs) || joint.Occupancy.Cols != joint.K {
+		t.Fatalf("occupancy is %dx%d, want %dx%d",
+			joint.Occupancy.Rows, joint.Occupancy.Cols, len(inputs), joint.K)
+	}
+	for b := range inputs {
+		sum := 0.0
+		for c := 0; c < joint.K; c++ {
+			share := joint.PhaseShare(b, c)
+			if share < 0 || share > 1+1e-12 {
+				t.Errorf("occupancy[%d][%d] = %g out of range", b, c, share)
+			}
+			sum += share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("benchmark %d occupancy sums to %g", b, sum)
+		}
+	}
+
+	// Representatives: weights sum to 1, provenance consistent, sorted
+	// by descending weight.
+	sum := 0.0
+	for i, rep := range joint.Representatives {
+		if joint.Rows[rep.Row] != (RowRef{Bench: rep.Bench, Interval: rep.Interval}) {
+			t.Errorf("representative %d provenance inconsistent: %+v vs %+v",
+				i, rep, joint.Rows[rep.Row])
+		}
+		if joint.Assign[rep.Row] != rep.Phase {
+			t.Errorf("representative %d not a member of its phase", i)
+		}
+		if i > 0 && rep.Weight > joint.Representatives[i-1].Weight {
+			t.Errorf("representatives not sorted by weight")
+		}
+		sum += rep.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("representative weights sum to %g", sum)
+	}
+
+	// The compute-vs-memory contrast that separates phases within one
+	// benchmark must survive jointly: twophase's two behaviors may not
+	// collapse into one shared phase.
+	if joint.K < 2 {
+		t.Errorf("joint K = %d for three behaviorally distinct kernels", joint.K)
+	}
+}
+
+// TestAnalyzeJointSharedVocabulary pins the point of the joint space:
+// the SAME phase id is assigned to behaviorally identical intervals
+// from different benchmarks. Two copies of the same kernel must have
+// identical occupancy rows.
+func TestAnalyzeJointSharedVocabulary(t *testing.T) {
+	cfg := Config{IntervalLen: 2_000, MaxIntervals: 12, MaxK: 4, Seed: 5}
+	a := characterizeKernel(t, "copyA", twoPhaseProgram, cfg)
+	b := characterizeKernel(t, "copyB", twoPhaseProgram, cfg)
+	joint, err := AnalyzeJoint([]BenchmarkIntervals{
+		{Name: "copyA", Result: a}, {Name: "copyB", Result: b},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(a.Intervals)
+	for i := range b.Intervals {
+		if joint.Assign[i] != joint.Assign[nA+i] {
+			t.Fatalf("interval %d: identical traces assigned phases %d and %d",
+				i, joint.Assign[i], joint.Assign[nA+i])
+		}
+	}
+	for c := 0; c < joint.K; c++ {
+		if math.Abs(joint.PhaseShare(0, c)-joint.PhaseShare(1, c)) > 1e-12 {
+			t.Fatalf("identical benchmarks have different occupancy of phase %d", c)
+		}
+	}
+}
+
+// TestAnalyzeJointRejectsBadInput: zero benchmarks and benchmarks
+// without characterized intervals fail loudly.
+func TestAnalyzeJointRejectsBadInput(t *testing.T) {
+	if _, err := AnalyzeJoint(nil, Config{}); err == nil {
+		t.Error("zero benchmarks accepted")
+	}
+	if _, err := AnalyzeJoint([]BenchmarkIntervals{{Name: "x", Result: &Result{}}}, Config{}); err == nil {
+		t.Error("uncharacterized benchmark accepted")
+	}
+	if _, err := AnalyzeJoint([]BenchmarkIntervals{{Name: "x", Result: nil}}, Config{}); err == nil {
+		t.Error("nil result accepted")
+	}
+}

@@ -44,7 +44,11 @@ type Config struct {
 	Options mica.Options
 }
 
-func (c Config) withDefaults() Config {
+func (c Config) withDefaults() Config { return c.WithDefaults() }
+
+// WithDefaults returns c with zero fields replaced by the documented
+// defaults — the normalized form persisted phase caches are keyed on.
+func (c Config) WithDefaults() Config {
 	if c.IntervalLen == 0 {
 		c.IntervalLen = 10_000
 	}
@@ -150,10 +154,34 @@ func AnalyzeUnpooled(m *vm.Machine, cfg Config) (*Result, error) {
 	})
 }
 
+// CharacterizeWith is AnalyzeWith without the clustering step: it
+// streams intervals through the (Reset) caller-supplied profiler and
+// returns a Result whose Intervals and Vectors are filled but whose
+// Assign/K/Representatives are empty. Joint cross-benchmark pipelines
+// use it to characterize each benchmark before clustering ALL
+// intervals at once (AnalyzeJoint).
+func CharacterizeWith(m *vm.Machine, prof *mica.Profiler, cfg Config) (*Result, error) {
+	return characterize(m, cfg.withDefaults(), func() *mica.Profiler {
+		prof.Reset()
+		return prof
+	})
+}
+
 // analyze streams intervals off the machine, drawing the profiler for
 // each interval from nextProfiler (a pooled reset or a fresh
 // allocation), then clusters them.
 func analyze(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
+	res, err := characterize(m, cfg, nextProfiler)
+	if err != nil {
+		return nil, err
+	}
+	res.cluster(cfg)
+	return res, nil
+}
+
+// characterize streams intervals off the machine into a Result's flat
+// vector matrix, leaving the clustering fields empty.
+func characterize(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
 	res := &Result{}
 	var vecs []float64
 	var start uint64
@@ -173,17 +201,16 @@ func analyze(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Re
 			return nil, fmt.Errorf("phases: interval %d: %w", i, err)
 		}
 	}
-	return finish(res, vecs, cfg)
-}
-
-// finish wraps the streamed vectors into the flat matrix, clusters the
-// intervals into phases and selects weighted representatives.
-func finish(res *Result, vecs []float64, cfg Config) (*Result, error) {
 	if len(res.Intervals) == 0 {
 		return nil, fmt.Errorf("phases: program produced no instructions")
 	}
 	res.Vectors = &stats.Matrix{Rows: len(res.Intervals), Cols: mica.NumChars, Data: vecs}
+	return res, nil
+}
 
+// cluster groups the characterized intervals into phases and selects
+// weighted representatives.
+func (res *Result) cluster(cfg Config) {
 	// Cluster intervals in the normalized characteristic space.
 	norm := stats.ZScoreNormalize(res.Vectors)
 	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
@@ -217,15 +244,19 @@ func finish(res *Result, vecs []float64, cfg Config) (*Result, error) {
 			Weight:   float64(instsIn[c]) / float64(totalInsts),
 		})
 	}
-	// Order by descending weight (insertion sort; K is small). Ties keep
-	// ascending phase id: only strictly heavier representatives move up.
-	reps := res.Representatives
+	sortRepsByWeight(res.Representatives, func(r Representative) float64 { return r.Weight })
+}
+
+// sortRepsByWeight orders representatives by descending weight
+// (insertion sort; K is small). Ties keep ascending phase id: only
+// strictly heavier representatives move up. Shared by the
+// per-benchmark and joint paths so their orderings coincide exactly.
+func sortRepsByWeight[R any](reps []R, weight func(R) float64) {
 	for i := 1; i < len(reps); i++ {
-		for j := i; j > 0 && reps[j].Weight > reps[j-1].Weight; j-- {
+		for j := i; j > 0 && weight(reps[j]) > weight(reps[j-1]); j-- {
 			reps[j], reps[j-1] = reps[j-1], reps[j]
 		}
 	}
-	return res, nil
 }
 
 // WeightedVector reconstructs a whole-program characteristic estimate

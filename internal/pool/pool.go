@@ -1,0 +1,53 @@
+// Package pool provides the fixed worker pool shared by the repo's
+// parallel pipelines: registry-wide profiling (ProfileBenchmarks),
+// sharded phase analysis (AnalyzePhasesBenchmarks) and the clustering
+// k-sweep (cluster.SelectK). Work items are pulled from one shared
+// queue by a bounded set of goroutines, so the number of live
+// per-worker states (VMs, memories, analyzer tables, k-means scratch
+// buffers) is genuinely bounded by the worker count — not merely
+// rate-limited after all goroutines have been spawned.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run executes fn(worker, i) for every i in [0, n) on a fixed pool of
+// goroutines pulling from a shared work queue. workers <= 0 means
+// GOMAXPROCS; the pool never exceeds n. The worker id (in [0,
+// workers)) lets callers pool expensive state — a profiler's analyzer
+// tables, a k-means scratch buffer — across the items one worker
+// processes. Run returns after every item has completed.
+func Run(n, workers int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Degenerate pool: run inline, keeping call order and avoiding
+		// goroutine overhead for serial configurations.
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range work {
+				fn(worker, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

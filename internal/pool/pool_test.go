@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		seen := make([]int32, n)
+		Run(n, workers, func(_, i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunBoundsLiveWorkers(t *testing.T) {
+	const n, workers = 40, 4
+	var live, peak int32
+	var mu sync.Mutex
+	Run(n, workers, func(_, i int) {
+		cur := atomic.AddInt32(&live, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		atomic.AddInt32(&live, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent items with %d workers", peak, workers)
+	}
+}
+
+func TestRunWorkerIDsInRange(t *testing.T) {
+	const n, workers = 30, 3
+	var bad int32
+	Run(n, workers, func(worker, _ int) {
+		if worker < 0 || worker >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker id", bad)
+	}
+}
+
+func TestRunSerialInOrder(t *testing.T) {
+	var order []int
+	Run(5, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial run used worker %d", worker)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	Run(0, 4, func(_, _ int) { t.Fatal("fn called with n=0") })
+}

@@ -32,6 +32,7 @@ import (
 
 	"mica/internal/kernels"
 	micachar "mica/internal/mica"
+	"mica/internal/pool"
 	"mica/internal/suites"
 	"mica/internal/trace"
 	"mica/internal/uarch"
@@ -192,38 +193,9 @@ func ProfileAll(cfg Config) ([]ProfileResult, error) {
 	return ProfileBenchmarks(Benchmarks(), cfg)
 }
 
-// workerPool runs fn(worker, i) for every i in [0, n) on a fixed pool
-// of goroutines pulling from a shared work queue, so the number of live
-// per-worker states (VMs, memories, analyzer tables) is genuinely
-// bounded by workers — not merely rate-limited after all goroutines
-// have been spawned. The worker id lets callers pool expensive state
-// (e.g. a profiler's analyzer tables) across the items one worker
-// processes.
-func workerPool(n, workers int, fn func(worker, i int)) {
-	if workers > n {
-		workers = n
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range work {
-				fn(worker, i)
-			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-}
-
 // ProfileBenchmarks measures the given benchmarks in parallel, returning
 // results in input order. Parallelism is a fixed pool of cfg.Workers
-// goroutines pulling from a work queue.
+// goroutines pulling from a work queue (internal/pool).
 func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	cfg = cfg.withDefaults()
 	results := make([]ProfileResult, len(bs))
@@ -231,7 +203,7 @@ func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	var done int
 	var mu sync.Mutex
 
-	workerPool(len(bs), cfg.Workers, func(_, i int) {
+	pool.Run(len(bs), cfg.Workers, func(_, i int) {
 		results[i], errs[i] = Profile(bs[i], cfg)
 		if cfg.Progress != nil {
 			mu.Lock()

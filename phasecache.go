@@ -1,0 +1,434 @@
+package mica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"mica/internal/stats"
+)
+
+// PhaseCacheVersion is the on-disk format version of phase-result
+// caches written by SavePhases/SaveJointPhases. Loaders accept files
+// with unknown extra fields (forward-compatible additions) but refuse
+// a different version stamp.
+const PhaseCacheVersion = 1
+
+// phaseCacheFile is the JSON on-disk form of a phase-analysis run —
+// the expensive profiling + clustering step cached between tool
+// invocations, mirroring SaveResults for profiling runs.
+type phaseCacheFile struct {
+	Version int             `json:"version"`
+	Config  phaseConfigJSON `json:"config"`
+	// Results holds per-benchmark phase decompositions (SavePhases).
+	Results []phaseResultJSON `json:"results,omitempty"`
+	// Joint holds a shared cross-benchmark vocabulary (SaveJointPhases).
+	Joint *phaseJointJSON `json:"joint,omitempty"`
+}
+
+// phaseConfigJSON is the normalized analysis configuration a cache was
+// produced under; a cache only satisfies a request with an identical
+// configuration.
+type phaseConfigJSON struct {
+	IntervalLen  uint64 `json:"interval_len"`
+	MaxIntervals int    `json:"max_intervals"`
+	MaxK         int    `json:"max_k"`
+	Seed         int64  `json:"seed"`
+	PPMOrder     int    `json:"ppm_order,omitempty"`
+	NoMemDeps    bool   `json:"no_mem_deps,omitempty"`
+	Subset       []bool `json:"subset,omitempty"`
+}
+
+func phaseConfigToJSON(cfg PhaseConfig) phaseConfigJSON {
+	cfg = cfg.WithDefaults()
+	subset := cfg.Options.Subset
+	if len(subset) == 0 {
+		// A non-nil empty subset means "all characteristics", same as
+		// nil; normalize so the round-trip through json omitempty (which
+		// drops the empty slice) still compares equal.
+		subset = nil
+	}
+	return phaseConfigJSON{
+		IntervalLen:  cfg.IntervalLen,
+		MaxIntervals: cfg.MaxIntervals,
+		MaxK:         cfg.MaxK,
+		Seed:         cfg.Seed,
+		PPMOrder:     cfg.Options.PPMOrder,
+		NoMemDeps:    cfg.Options.NoMemDeps,
+		Subset:       subset,
+	}
+}
+
+func phaseConfigFromJSON(cj phaseConfigJSON) PhaseConfig {
+	cfg := PhaseConfig{
+		IntervalLen:  cj.IntervalLen,
+		MaxIntervals: cj.MaxIntervals,
+		MaxK:         cj.MaxK,
+		Seed:         cj.Seed,
+	}
+	cfg.Options.PPMOrder = cj.PPMOrder
+	cfg.Options.NoMemDeps = cj.NoMemDeps
+	cfg.Options.Subset = cj.Subset
+	return cfg
+}
+
+type phaseIntervalJSON struct {
+	Index int    `json:"index"`
+	Start uint64 `json:"start"`
+	Insts uint64 `json:"insts"`
+}
+
+type phaseRepJSON struct {
+	Phase    int     `json:"phase"`
+	Interval int     `json:"interval"`
+	Weight   float64 `json:"weight"`
+}
+
+type phaseResultJSON struct {
+	Name      string              `json:"name"`
+	Intervals []phaseIntervalJSON `json:"intervals"`
+	// Vectors is the flat row-major interval-characteristic matrix
+	// (len(Intervals) rows of NumChars columns).
+	Vectors         []float64      `json:"vectors"`
+	Assign          []int          `json:"assign"`
+	K               int            `json:"k"`
+	Representatives []phaseRepJSON `json:"representatives"`
+}
+
+type phaseJointRepJSON struct {
+	Phase    int     `json:"phase"`
+	Row      int     `json:"row"`
+	Bench    int     `json:"bench"`
+	Interval int     `json:"interval"`
+	Weight   float64 `json:"weight"`
+}
+
+type phaseJointJSON struct {
+	Benchmarks []string            `json:"benchmarks"`
+	Rows       []PhaseRowRef       `json:"rows"`
+	RowInsts   []uint64            `json:"row_insts"`
+	Vectors    []float64           `json:"vectors"`
+	Assign     []int               `json:"assign"`
+	K          int                 `json:"k"`
+	Reps       []phaseJointRepJSON `json:"representatives"`
+	// Occupancy is flat row-major (len(Benchmarks) x K).
+	Occupancy []float64 `json:"occupancy"`
+}
+
+// SavePhases writes per-benchmark phase-analysis results to a JSON
+// cache file, keyed by the (normalized) configuration that produced
+// them. Mirrors SaveResults.
+func SavePhases(path string, cfg PhaseConfig, results []BenchmarkPhases) error {
+	pf := phaseCacheFile{Version: PhaseCacheVersion, Config: phaseConfigToJSON(cfg)}
+	for _, r := range results {
+		res := r.Result
+		rj := phaseResultJSON{
+			Name:    r.Benchmark.Name(),
+			Vectors: append([]float64(nil), res.Vectors.Data...),
+			Assign:  append([]int(nil), res.Assign...),
+			K:       res.K,
+		}
+		for _, iv := range res.Intervals {
+			rj.Intervals = append(rj.Intervals, phaseIntervalJSON(iv))
+		}
+		for _, rep := range res.Representatives {
+			rj.Representatives = append(rj.Representatives, phaseRepJSON(rep))
+		}
+		pf.Results = append(pf.Results, rj)
+	}
+	return writePhaseCache(path, pf)
+}
+
+// LoadPhases reads a cache written by SavePhases. Benchmarks are
+// re-resolved by name against the registry, so a stale file naming
+// unknown benchmarks fails loudly; unknown JSON fields are tolerated,
+// a different version stamp is not.
+func LoadPhases(path string) ([]BenchmarkPhases, PhaseConfig, error) {
+	pf, err := readPhaseCache(path)
+	if err != nil {
+		return nil, PhaseConfig{}, err
+	}
+	if len(pf.Results) == 0 {
+		// A joint-only (or empty) cache is not a per-benchmark cache;
+		// failing here keeps AnalyzePhasesCached from overwriting it.
+		return nil, PhaseConfig{}, fmt.Errorf("mica: %s has no per-benchmark phase results", path)
+	}
+	out := make([]BenchmarkPhases, 0, len(pf.Results))
+	for _, rj := range pf.Results {
+		b, err := BenchmarkByName(rj.Name)
+		if err != nil {
+			return nil, PhaseConfig{}, err
+		}
+		res, err := phaseResultFromJSON(rj)
+		if err != nil {
+			return nil, PhaseConfig{}, fmt.Errorf("mica: %s: %s: %w", path, rj.Name, err)
+		}
+		out = append(out, BenchmarkPhases{Benchmark: b, Result: res})
+	}
+	return out, phaseConfigFromJSON(pf.Config), nil
+}
+
+func phaseResultFromJSON(rj phaseResultJSON) (*PhaseResult, error) {
+	n := len(rj.Intervals)
+	if n == 0 {
+		return nil, fmt.Errorf("no intervals")
+	}
+	if len(rj.Vectors) != n*NumChars {
+		return nil, fmt.Errorf("%d vector values for %d intervals (want %d)",
+			len(rj.Vectors), n, n*NumChars)
+	}
+	if len(rj.Assign) != n {
+		return nil, fmt.Errorf("%d assignments for %d intervals", len(rj.Assign), n)
+	}
+	res := &PhaseResult{
+		Vectors: &stats.Matrix{Rows: n, Cols: NumChars, Data: rj.Vectors},
+		Assign:  rj.Assign,
+		K:       rj.K,
+	}
+	for _, iv := range rj.Intervals {
+		res.Intervals = append(res.Intervals, PhaseInterval(iv))
+	}
+	for _, rep := range rj.Representatives {
+		if rep.Interval < 0 || rep.Interval >= n || rep.Phase < 0 || rep.Phase >= rj.K {
+			return nil, fmt.Errorf("representative %+v out of range", rep)
+		}
+		res.Representatives = append(res.Representatives, PhaseRepresentative(rep))
+	}
+	for _, c := range res.Assign {
+		if c < 0 || c >= res.K {
+			return nil, fmt.Errorf("assignment %d out of range for K=%d", c, res.K)
+		}
+	}
+	return res, nil
+}
+
+// SaveJointPhases writes a shared cross-benchmark phase vocabulary to
+// a JSON cache file.
+func SaveJointPhases(path string, cfg PhaseConfig, j *PhaseJointResult) error {
+	jj := &phaseJointJSON{
+		Benchmarks: j.Benchmarks,
+		Rows:       j.Rows,
+		RowInsts:   j.RowInsts,
+		Vectors:    append([]float64(nil), j.Vectors.Data...),
+		Assign:     j.Assign,
+		K:          j.K,
+		Occupancy:  append([]float64(nil), j.Occupancy.Data...),
+	}
+	for _, rep := range j.Representatives {
+		jj.Reps = append(jj.Reps, phaseJointRepJSON(rep))
+	}
+	return writePhaseCache(path, phaseCacheFile{
+		Version: PhaseCacheVersion,
+		Config:  phaseConfigToJSON(cfg),
+		Joint:   jj,
+	})
+}
+
+// LoadJointPhases reads a cache written by SaveJointPhases.
+func LoadJointPhases(path string) (*PhaseJointResult, PhaseConfig, error) {
+	pf, err := readPhaseCache(path)
+	if err != nil {
+		return nil, PhaseConfig{}, err
+	}
+	jj := pf.Joint
+	if jj == nil {
+		return nil, PhaseConfig{}, fmt.Errorf("mica: %s has no joint phase results", path)
+	}
+	n := len(jj.Rows)
+	if len(jj.Vectors) != n*NumChars || len(jj.Assign) != n || len(jj.RowInsts) != n {
+		return nil, PhaseConfig{}, fmt.Errorf("mica: %s: joint matrix shape mismatch", path)
+	}
+	if len(jj.Occupancy) != len(jj.Benchmarks)*jj.K {
+		return nil, PhaseConfig{}, fmt.Errorf("mica: %s: occupancy shape mismatch", path)
+	}
+	for _, ref := range jj.Rows {
+		if ref.Bench < 0 || ref.Bench >= len(jj.Benchmarks) {
+			return nil, PhaseConfig{}, fmt.Errorf("mica: %s: row provenance out of range", path)
+		}
+	}
+	for _, c := range jj.Assign {
+		if c < 0 || c >= jj.K {
+			return nil, PhaseConfig{}, fmt.Errorf("mica: %s: joint assignment %d out of range for K=%d", path, c, jj.K)
+		}
+	}
+	for _, rep := range jj.Reps {
+		if rep.Row < 0 || rep.Row >= n || rep.Bench < 0 || rep.Bench >= len(jj.Benchmarks) ||
+			rep.Phase < 0 || rep.Phase >= jj.K {
+			return nil, PhaseConfig{}, fmt.Errorf("mica: %s: joint representative %+v out of range", path, rep)
+		}
+	}
+	j := &PhaseJointResult{
+		Benchmarks: jj.Benchmarks,
+		Rows:       jj.Rows,
+		RowInsts:   jj.RowInsts,
+		Vectors:    &stats.Matrix{Rows: n, Cols: NumChars, Data: jj.Vectors},
+		Assign:     jj.Assign,
+		K:          jj.K,
+		Occupancy:  &stats.Matrix{Rows: len(jj.Benchmarks), Cols: jj.K, Data: jj.Occupancy},
+	}
+	for _, rep := range jj.Reps {
+		j.Representatives = append(j.Representatives, PhaseJointRepresentative(rep))
+	}
+	return j, phaseConfigFromJSON(pf.Config), nil
+}
+
+func writePhaseCache(path string, pf phaseCacheFile) error {
+	data, err := json.MarshalIndent(pf, "", " ")
+	if err != nil {
+		return fmt.Errorf("mica: encoding phase cache: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readPhaseCache(path string) (phaseCacheFile, error) {
+	var pf phaseCacheFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return pf, err
+	}
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return pf, fmt.Errorf("mica: decoding %s: %w", path, err)
+	}
+	if pf.Version != PhaseCacheVersion {
+		return pf, fmt.Errorf("mica: %s: phase cache version %d, want %d", path, pf.Version, PhaseCacheVersion)
+	}
+	return pf, nil
+}
+
+// configsMatch reports whether a loaded cache configuration satisfies
+// a request.
+func configsMatch(gotCfg, wantCfg PhaseConfig) bool {
+	return reflect.DeepEqual(phaseConfigToJSON(gotCfg), phaseConfigToJSON(wantCfg))
+}
+
+// namesMatch reports whether a loaded benchmark list is exactly the
+// requested one, in order.
+func namesMatch(gotNames []string, bs []Benchmark) bool {
+	if len(gotNames) != len(bs) {
+		return false
+	}
+	for i, b := range bs {
+		if gotNames[i] != b.Name() {
+			return false
+		}
+	}
+	return true
+}
+
+// loadableCacheError filters a LoadPhases/LoadJointPhases error down
+// to the cases a cached pipeline may recover from by recomputing: a
+// missing file. A file that exists but cannot be parsed, carries a
+// different version stamp, or fails validation is surfaced instead of
+// being silently recomputed over — overwriting it could destroy a
+// cache that is merely newer or hand-maintained.
+func loadableCacheError(path string, err error) error {
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return fmt.Errorf("mica: %s exists but is not a usable phase cache (delete it or pass another path): %w", path, err)
+}
+
+// AnalyzePhasesCached is AnalyzePhasesBenchmarks behind a JSON cache:
+// if path holds results under the same (normalized) configuration for
+// every requested benchmark — the whole file or any subset of it, so a
+// registry-wide cache also serves later single-benchmark drill-downs —
+// they are returned without instantiating a single VM or profiler.
+// Otherwise the pipeline runs and its results replace path. A file
+// that exists but cannot be loaded is an error, never silently
+// overwritten. The boolean reports whether the cache was hit.
+func AnalyzePhasesCached(path string, bs []Benchmark, cfg PhasePipelineConfig) ([]BenchmarkPhases, bool, error) {
+	var cachedNames []string
+	cached, gotCfg, err := LoadPhases(path)
+	if err != nil {
+		if lerr := loadableCacheError(path, err); lerr != nil {
+			return nil, false, lerr
+		}
+	} else {
+		for _, r := range cached {
+			cachedNames = append(cachedNames, r.Benchmark.Name())
+		}
+		if configsMatch(gotCfg, cfg.Phase) {
+			byName := make(map[string]*PhaseResult, len(cached))
+			for _, r := range cached {
+				byName[r.Benchmark.Name()] = r.Result
+			}
+			hit := make([]BenchmarkPhases, 0, len(bs))
+			for _, b := range bs {
+				res, ok := byName[b.Name()]
+				if !ok {
+					hit = nil
+					break
+				}
+				hit = append(hit, BenchmarkPhases{Benchmark: b, Result: res})
+			}
+			if hit != nil {
+				return hit, true, nil
+			}
+		}
+	}
+	results, err := AnalyzePhasesBenchmarks(bs, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	// Never replace a broader cache with a narrower run: a mismatched
+	// drill-down (subset of the cached benchmarks under a different
+	// configuration) computes fresh results but leaves the expensive
+	// cache on disk untouched.
+	if coversCache(bs, cachedNames) {
+		if err := SavePhases(path, cfg.Phase, results); err != nil {
+			return nil, false, err
+		}
+	}
+	return results, false, nil
+}
+
+// coversCache reports whether the requested benchmark set includes
+// every benchmark the existing cache holds — the condition under which
+// overwriting the cache cannot lose results.
+func coversCache(bs []Benchmark, cachedNames []string) bool {
+	if len(cachedNames) == 0 {
+		return true
+	}
+	requested := make(map[string]bool, len(bs))
+	for _, b := range bs {
+		requested[b.Name()] = true
+	}
+	for _, n := range cachedNames {
+		if !requested[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// AnalyzePhasesJointCached is AnalyzePhasesJoint behind a JSON cache,
+// with the same contract as AnalyzePhasesCached — except that a joint
+// vocabulary depends on every member benchmark, so only an exact
+// benchmark-list match (not a subset) is a hit.
+func AnalyzePhasesJointCached(path string, bs []Benchmark, cfg PhasePipelineConfig) (*PhaseJointResult, bool, error) {
+	cached, gotCfg, err := LoadJointPhases(path)
+	if err != nil {
+		if lerr := loadableCacheError(path, err); lerr != nil {
+			return nil, false, lerr
+		}
+	} else if configsMatch(gotCfg, cfg.Phase) && namesMatch(cached.Benchmarks, bs) {
+		return cached, true, nil
+	}
+	j, err := AnalyzePhasesJoint(bs, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	// Same no-loss rule as AnalyzePhasesCached: a narrower mismatched
+	// request never overwrites a broader joint cache.
+	var cachedNames []string
+	if cached != nil {
+		cachedNames = cached.Benchmarks
+	}
+	if coversCache(bs, cachedNames) {
+		if err := SaveJointPhases(path, cfg.Phase, j); err != nil {
+			return nil, false, err
+		}
+	}
+	return j, false, nil
+}

@@ -1,0 +1,413 @@
+package mica
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func cacheBenchmarks(t *testing.T, names ...string) []Benchmark {
+	t.Helper()
+	bs := make([]Benchmark, len(names))
+	for i, n := range names {
+		b, err := BenchmarkByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs[i] = b
+	}
+	return bs
+}
+
+var cacheTestConfig = PhaseConfig{IntervalLen: 1_000, MaxIntervals: 6, MaxK: 3, Seed: 2006}
+
+// TestSavePhasesRoundTrip: Save then Load must reproduce every field of
+// every result bit for bit, plus the normalized configuration.
+func TestSavePhasesRoundTrip(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "SPEC2000/gzip/program")
+	results, err := AnalyzePhasesBenchmarks(bs, PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "phases.json")
+	if err := SavePhases(path, cacheTestConfig, results); err != nil {
+		t.Fatal(err)
+	}
+	loaded, cfg, err := LoadPhases(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(phaseConfigToJSON(cfg), phaseConfigToJSON(cacheTestConfig)) {
+		t.Errorf("config round-trip: %+v vs %+v", cfg, cacheTestConfig)
+	}
+	if len(loaded) != len(results) {
+		t.Fatalf("loaded %d results, want %d", len(loaded), len(results))
+	}
+	for i := range results {
+		if loaded[i].Benchmark.Name() != results[i].Benchmark.Name() {
+			t.Errorf("result %d is %s, want %s", i, loaded[i].Benchmark.Name(), results[i].Benchmark.Name())
+		}
+		if !reflect.DeepEqual(loaded[i].Result, results[i].Result) {
+			t.Errorf("%s: loaded result diverges from saved", results[i].Benchmark.Name())
+		}
+	}
+}
+
+// TestSaveJointPhasesRoundTrip: the joint cache must round-trip the
+// provenance rows, per-row instruction counts, matrix, assignment,
+// representatives and occupancy exactly.
+func TestSaveJointPhasesRoundTrip(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "SPEC2000/gzip/program")
+	j, err := AnalyzePhasesJoint(bs, PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "joint.json")
+	if err := SaveJointPhases(path, cacheTestConfig, j); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadJointPhases(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, j) {
+		t.Error("joint result did not survive the round-trip")
+	}
+}
+
+// TestLoadPhasesGolden pins the on-disk format: the committed golden
+// file (which includes unknown fields at several levels — the
+// forward-compatibility contract) must load and carry the expected
+// shape.
+func TestLoadPhasesGolden(t *testing.T) {
+	results, cfg, err := LoadPhases(filepath.Join("testdata", "phases_cache_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IntervalLen != 1_000 || cfg.MaxIntervals != 6 || cfg.MaxK != 3 || cfg.Seed != 2006 {
+		t.Errorf("golden config = %+v", cfg)
+	}
+	if len(results) != 2 {
+		t.Fatalf("golden has %d results, want 2", len(results))
+	}
+	for i, want := range []string{"MiBench/sha/large", "SPEC2000/gzip/program"} {
+		r := results[i]
+		if r.Benchmark.Name() != want {
+			t.Errorf("result %d is %s, want %s", i, r.Benchmark.Name(), want)
+		}
+		if len(r.Result.Intervals) != 6 || r.Result.TotalInsts() != 6_000 {
+			t.Errorf("%s: %d intervals, %d insts", want, len(r.Result.Intervals), r.Result.TotalInsts())
+		}
+		if r.Result.K < 1 || r.Result.K > 3 || len(r.Result.Representatives) == 0 {
+			t.Errorf("%s: K=%d reps=%d", want, r.Result.K, len(r.Result.Representatives))
+		}
+		if r.Result.Vectors.Rows != 6 || r.Result.Vectors.Cols != NumChars {
+			t.Errorf("%s: vector matrix %dx%d", want, r.Result.Vectors.Rows, r.Result.Vectors.Cols)
+		}
+	}
+}
+
+// TestLoadJointPhasesGolden pins the joint on-disk format.
+func TestLoadJointPhasesGolden(t *testing.T) {
+	j, cfg, err := LoadJointPhases(filepath.Join("testdata", "phases_joint_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 2006 {
+		t.Errorf("golden joint config = %+v", cfg)
+	}
+	if len(j.Benchmarks) != 2 || len(j.Rows) != 12 || j.K < 1 {
+		t.Errorf("golden joint shape: %d benchmarks, %d rows, K=%d", len(j.Benchmarks), len(j.Rows), j.K)
+	}
+	if j.Occupancy.Rows != 2 || j.Occupancy.Cols != j.K {
+		t.Errorf("golden joint occupancy %dx%d", j.Occupancy.Rows, j.Occupancy.Cols)
+	}
+}
+
+// TestLoadPhasesRejectsWrongVersion: a version stamp other than the
+// current one must fail loudly, not silently misparse.
+func TestLoadPhasesRejectsWrongVersion(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "phases_cache_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["version"] = PhaseCacheVersion + 1
+	bad, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadPhases(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version accepted (err = %v)", err)
+	}
+}
+
+// TestLoadPhasesRejectsCorruptShapes: truncated vectors, out-of-range
+// assignments and unknown benchmark names must all fail.
+func TestLoadPhasesRejectsCorruptShapes(t *testing.T) {
+	corrupt := func(t *testing.T, mutate func(doc map[string]any)) error {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join("testdata", "phases_cache_golden.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		mutate(doc)
+		bad, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "corrupt.json")
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = LoadPhases(path)
+		return err
+	}
+	result0 := func(doc map[string]any) map[string]any {
+		return doc["results"].([]any)[0].(map[string]any)
+	}
+	if err := corrupt(t, func(doc map[string]any) {
+		r := result0(doc)
+		r["vectors"] = r["vectors"].([]any)[:5]
+	}); err == nil {
+		t.Error("truncated vectors accepted")
+	}
+	if err := corrupt(t, func(doc map[string]any) {
+		result0(doc)["assign"] = []any{99, 0, 0, 0, 0, 0}
+	}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if err := corrupt(t, func(doc map[string]any) {
+		result0(doc)["name"] = "no/such/benchmark"
+	}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestAnalyzePhasesCachedSkipsProfiling is the cache-hit regression
+// test: the first call profiles every benchmark (observed via the
+// pipeline progress counter), the second call must return identical
+// results with ZERO profiling work.
+func TestAnalyzePhasesCachedSkipsProfiling(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr")
+	path := filepath.Join(t.TempDir(), "cache.json")
+	profiled := 0
+	pcfg := PhasePipelineConfig{
+		Phase:    cacheTestConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { profiled++ },
+	}
+
+	first, hit, err := AnalyzePhasesCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first call reported a cache hit")
+	}
+	if profiled != len(bs) {
+		t.Fatalf("first call profiled %d benchmarks, want %d", profiled, len(bs))
+	}
+
+	profiled = 0
+	second, hit, err := AnalyzePhasesCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second call missed the cache")
+	}
+	if profiled != 0 {
+		t.Fatalf("cache hit still profiled %d benchmarks", profiled)
+	}
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Errorf("%s: cached result diverges", first[i].Benchmark.Name())
+		}
+	}
+}
+
+// TestAnalyzePhasesCachedServesSubset: a cache holding more benchmarks
+// than requested serves the subset (in request order) without
+// profiling — a registry-wide cache also answers single-benchmark
+// drill-downs instead of being overwritten by them.
+func TestAnalyzePhasesCachedServesSubset(t *testing.T) {
+	all := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr", "SPEC2000/gzip/program")
+	path := filepath.Join(t.TempDir(), "cache.json")
+	profiled := 0
+	pcfg := PhasePipelineConfig{
+		Phase:    cacheTestConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { profiled++ },
+	}
+	full, _, err := AnalyzePhasesCached(path, all, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiled = 0
+	sub, hit, err := AnalyzePhasesCached(path, cacheBenchmarks(t, "SPEC2000/gzip/program", "MiBench/sha/large"), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || profiled != 0 {
+		t.Fatalf("subset request missed the cache (hit=%v, profiled=%d)", hit, profiled)
+	}
+	if len(sub) != 2 || sub[0].Benchmark.Name() != "SPEC2000/gzip/program" ||
+		sub[1].Benchmark.Name() != "MiBench/sha/large" {
+		t.Fatalf("subset results in wrong order: %v", sub)
+	}
+	if !reflect.DeepEqual(sub[0].Result, full[2].Result) || !reflect.DeepEqual(sub[1].Result, full[0].Result) {
+		t.Error("subset results diverge from the cached full run")
+	}
+
+	// The full cache must still be intact afterwards.
+	if again, hit, err := AnalyzePhasesCached(path, all, pcfg); err != nil || !hit || len(again) != 3 {
+		t.Fatalf("full cache was disturbed by the subset read (hit=%v, err=%v)", hit, err)
+	}
+}
+
+// TestAnalyzePhasesCachedMismatchKeepsBroaderCache: a drill-down into
+// a subset of the cached benchmarks under a DIFFERENT configuration
+// computes fresh results but must not replace the broader cache on
+// disk.
+func TestAnalyzePhasesCachedMismatchKeepsBroaderCache(t *testing.T) {
+	all := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr", "SPEC2000/gzip/program")
+	path := filepath.Join(t.TempDir(), "cache.json")
+	pcfg := PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1}
+	if _, _, err := AnalyzePhasesCached(path, all, pcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	drill := pcfg
+	drill.Phase.IntervalLen = 500 // different config: cannot be served from the cache
+	res, hit, err := AnalyzePhasesCached(path, cacheBenchmarks(t, "MiBench/sha/large"), drill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || len(res) != 1 {
+		t.Fatalf("drill-down: hit=%v len=%d", hit, len(res))
+	}
+
+	// The broad cache must still answer the original request.
+	again, hit, err := AnalyzePhasesCached(path, all, pcfg)
+	if err != nil || !hit || len(again) != 3 {
+		t.Fatalf("broad cache was clobbered by the drill-down (hit=%v, err=%v, len=%d)", hit, err, len(again))
+	}
+
+	// A same-or-broader mismatched request still refreshes the cache.
+	if _, hit, err := AnalyzePhasesCached(path, all, drill); err != nil || hit {
+		t.Fatalf("full-set recompute failed (hit=%v, err=%v)", hit, err)
+	}
+	if _, cfg, err := LoadPhases(path); err != nil || cfg.IntervalLen != 500 {
+		t.Errorf("full-set recompute did not refresh the cache (cfg=%+v, err=%v)", cfg, err)
+	}
+}
+
+// TestAnalyzePhasesCachedRefusesCorruptFile: an existing file that is
+// not a usable cache (here: a wrong version stamp) must surface as an
+// error rather than being silently recomputed over.
+func TestAnalyzePhasesCachedRefusesCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte(`{"version": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	_, _, err := AnalyzePhasesCached(path, bs, PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "not a usable phase cache") {
+		t.Fatalf("corrupt cache was not refused (err=%v)", err)
+	}
+	if data, rerr := os.ReadFile(path); rerr != nil || !strings.Contains(string(data), "999") {
+		t.Error("corrupt cache file was overwritten")
+	}
+	// Same contract for the joint pipeline.
+	if _, _, err := AnalyzePhasesJointCached(path, bs, PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1}); err == nil {
+		t.Error("joint pipeline recomputed over a corrupt cache")
+	}
+}
+
+// TestAnalyzePhasesCachedEmptySubsetOptions: a non-nil empty
+// Options.Subset means "all characteristics" and must hit a cache
+// saved with a nil subset (json omitempty drops the empty slice).
+func TestAnalyzePhasesCachedEmptySubsetOptions(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	path := filepath.Join(t.TempDir(), "cache.json")
+	pcfg := PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1}
+	if _, _, err := AnalyzePhasesCached(path, bs, pcfg); err != nil {
+		t.Fatal(err)
+	}
+	withEmpty := pcfg
+	withEmpty.Phase.Options.Subset = []bool{}
+	if _, hit, err := AnalyzePhasesCached(path, bs, withEmpty); err != nil || !hit {
+		t.Errorf("empty (all-characteristics) subset missed the cache (hit=%v, err=%v)", hit, err)
+	}
+}
+
+// TestAnalyzePhasesCachedInvalidation: a different configuration or
+// benchmark set must miss the cache and recompute.
+func TestAnalyzePhasesCachedInvalidation(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	path := filepath.Join(t.TempDir(), "cache.json")
+	pcfg := PhasePipelineConfig{Phase: cacheTestConfig, Workers: 1}
+	if _, _, err := AnalyzePhasesCached(path, bs, pcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different seed: miss.
+	changed := pcfg
+	changed.Phase.Seed++
+	if _, hit, err := AnalyzePhasesCached(path, bs, changed); err != nil || hit {
+		t.Errorf("changed seed hit the cache (err=%v)", err)
+	}
+	// Different benchmark set: miss (the file now holds the changed-seed
+	// run, so reuse the original config with a different set).
+	other := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr")
+	if _, hit, err := AnalyzePhasesCached(path, other, changed); err != nil || hit {
+		t.Errorf("changed benchmark set hit the cache (err=%v)", err)
+	}
+}
+
+// TestAnalyzePhasesJointCachedSkipsProfiling mirrors the cache-hit
+// regression for the joint pipeline.
+func TestAnalyzePhasesJointCachedSkipsProfiling(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "SPEC2000/gzip/program")
+	path := filepath.Join(t.TempDir(), "joint.json")
+	profiled := 0
+	pcfg := PhasePipelineConfig{
+		Phase:    cacheTestConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { profiled++ },
+	}
+	first, hit, err := AnalyzePhasesJointCached(path, bs, pcfg)
+	if err != nil || hit {
+		t.Fatalf("first joint call: hit=%v err=%v", hit, err)
+	}
+	if profiled != len(bs) {
+		t.Fatalf("first joint call profiled %d, want %d", profiled, len(bs))
+	}
+	profiled = 0
+	second, hit, err := AnalyzePhasesJointCached(path, bs, pcfg)
+	if err != nil || !hit {
+		t.Fatalf("second joint call: hit=%v err=%v", hit, err)
+	}
+	if profiled != 0 {
+		t.Fatalf("joint cache hit still profiled %d benchmarks", profiled)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached joint result diverges from computed")
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
+	"mica/internal/pool"
+	"mica/internal/vm"
 )
 
 // Phase-analysis re-exports: interval-based phase classification, the
@@ -21,6 +23,14 @@ type (
 	PhaseInterval = phases.Interval
 	// PhaseRepresentative is one phase's weighted simulation point.
 	PhaseRepresentative = phases.Representative
+	// PhaseJointResult is a shared cross-benchmark phase vocabulary:
+	// many benchmarks' intervals clustered once in one space.
+	PhaseJointResult = phases.JointResult
+	// PhaseRowRef is the provenance of one joint-matrix row.
+	PhaseRowRef = phases.RowRef
+	// PhaseJointRepresentative is one shared phase's weighted
+	// cross-benchmark simulation point.
+	PhaseJointRepresentative = phases.JointRepresentative
 )
 
 // AnalyzePhases splits one benchmark's execution into fixed-length
@@ -73,17 +83,37 @@ func AnalyzePhasesAll(cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
 // AnalyzePhasesBenchmarks is AnalyzePhasesAll over an explicit
 // benchmark list, returning results in input order.
 func AnalyzePhasesBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
+	results := make([]BenchmarkPhases, len(bs))
+	err := phasePipeline(bs, cfg, "phase analysis", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := phases.AnalyzeWith(m, prof, cfg.Phase)
+		results[i] = BenchmarkPhases{Benchmark: bs[i], Result: res}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// phasePipeline is the shared sharded front half of every phase
+// pipeline: it instantiates each benchmark on a fixed worker pool, one
+// pooled profiler per worker (built once, Reset between intervals and
+// benchmarks by the callee), calls analyze for each, and joins errors
+// with the failing benchmark's name. Both the per-benchmark and joint
+// pipelines run through it, so pooling/progress fixes land in one
+// place.
+func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
+	analyze func(m *vm.Machine, prof *micachar.Profiler, i int) error) error {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]BenchmarkPhases, len(bs))
 	errs := make([]error, len(bs))
 	profs := make([]*micachar.Profiler, workers)
 	var done int
 	var mu sync.Mutex
 
-	workerPool(len(bs), workers, func(worker, i int) {
+	pool.Run(len(bs), workers, func(worker, i int) {
 		m, err := bs[i].Instantiate()
 		if err != nil {
 			errs[i] = err
@@ -92,9 +122,7 @@ func AnalyzePhasesBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]Benchma
 		if profs[worker] == nil {
 			profs[worker] = micachar.NewProfiler(cfg.Phase.Options)
 		}
-		res, err := phases.AnalyzeWith(m, profs[worker], cfg.Phase)
-		results[i] = BenchmarkPhases{Benchmark: bs[i], Result: res}
-		errs[i] = err
+		errs[i] = analyze(m, profs[worker], i)
 		if cfg.Progress != nil {
 			mu.Lock()
 			done++
@@ -104,8 +132,40 @@ func AnalyzePhasesBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]Benchma
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mica: phase analysis of %s: %w", bs[i].Name(), err)
+			return fmt.Errorf("mica: %s of %s: %w", what, bs[i].Name(), err)
 		}
 	}
-	return results, nil
+	return nil
+}
+
+// AnalyzePhasesJoint builds a shared cross-benchmark phase vocabulary:
+// every benchmark's intervals are characterized by the sharded pooled
+// pipeline (one profiler per worker, Reset between intervals and
+// benchmarks — no per-benchmark clustering), then ALL intervals are
+// concatenated into one provenance-indexed matrix and clustered once.
+// The result reports per-benchmark occupancy of the shared phases and
+// cross-benchmark representative intervals. On a single benchmark it
+// is bit-identical to AnalyzePhases.
+func AnalyzePhasesJoint(bs []Benchmark, cfg PhasePipelineConfig) (*PhaseJointResult, error) {
+	named, err := characterizeBenchmarks(bs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return phases.AnalyzeJoint(named, cfg.Phase)
+}
+
+// characterizeBenchmarks is the profiling front half of the joint
+// pipeline: interval characterization for every benchmark, sharded
+// over the fixed worker pool, clustering skipped.
+func characterizeBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]phases.BenchmarkIntervals, error) {
+	named := make([]phases.BenchmarkIntervals, len(bs))
+	err := phasePipeline(bs, cfg, "characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
+		named[i] = phases.BenchmarkIntervals{Name: bs[i].Name(), Result: res}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return named, nil
 }
