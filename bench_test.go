@@ -686,3 +686,40 @@ func newSingleModel(ooo bool) singleModel {
 	m := uarch.NewEV56(uarch.DefaultEV56Config())
 	return singleModel{obs: m, ipc: m.IPC}
 }
+
+// BenchmarkReducedPipeline measures phase-aware reduced profiling —
+// the two configurations cmd/mica-bench -reduced tracks in
+// BENCH_phases.json: the exact matched-grid full characterization
+// (full 47-dim + HPC on every interval) and the two-pass reduced
+// pipeline (sampled key-characteristic cheap pass, clustering, full
+// characterization only on per-phase measured intervals). The metric
+// is effective MIPS: trace instructions per second of wall time.
+func BenchmarkReducedPipeline(b *testing.B) {
+	bench, err := BenchmarkByName("SPEC2000/gzip/program")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ReducedConfig{Phase: PhaseConfig{IntervalLen: 2_500, MaxIntervals: 80, MaxK: 6, Seed: 2006}}
+	b.Run("full-grid", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			ex, err := ProfileExact(bench, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += ex.TotalInsts()
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	})
+	b.Run("reduced", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			rr, err := AnalyzeReduced(bench, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += rr.TotalInsts()
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	})
+}

@@ -15,6 +15,22 @@
 //	phases-pooled  one profiler pooled across all intervals and
 //	               benchmarks, Reset between intervals
 //
+// With -reduced it measures phase-aware reduced profiling against
+// exact full profiling on the same interval grid, in two
+// configurations measured in the same run:
+//
+//	phases-full-grid  the exact matched-grid profile: full 47-dim +
+//	                  EV56/EV67 HPC characterization on EVERY interval
+//	phases-reduced    the two-pass reduced pipeline: sampled
+//	                  key-characteristic cheap pass, clustering, and
+//	                  full characterization only on per-phase measured
+//	                  intervals
+//
+// The reduced config also records its effective speedup over the full
+// grid and the worst per-metric relative error of its extrapolated
+// whole-run vectors, so the recorded speedup carries its quality bound
+// with it.
+//
 // With -cluster it measures the BIC k-sweep (cluster.SelectK) on a
 // synthetic phase-interval matrix (-rows x 47, Gaussian blobs) in two
 // configurations, reporting million row-assignments per second
@@ -89,8 +105,8 @@ type Result struct {
 	// Interval is the phase interval length in instructions; present
 	// only for -phases measurements.
 	Interval uint64 `json:"interval,omitempty"`
-	// Rows and MaxK describe the synthetic matrix and sweep width;
-	// present only for -cluster measurements.
+	// Rows and MaxK describe the synthetic matrix and sweep width
+	// (-cluster) or the BIC sweep width (-reduced).
 	Rows int `json:"rows,omitempty"`
 	MaxK int `json:"max_k,omitempty"`
 	// Runs is the number of repetitions; the best run is reported.
@@ -125,25 +141,37 @@ func main() {
 		jsonOut    = flag.String("json", "", "append results to a JSON history file")
 		label      = flag.String("label", "dev", "label recorded with the measurement")
 		phaseRun   = flag.Bool("phases", false, "measure the phase-analysis pipeline (naive vs pooled) instead of the profiler configs")
-		interval   = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases)")
+		interval   = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases or -reduced)")
+		reducedRun = flag.Bool("reduced", false, "measure phase-aware reduced profiling vs exact full profiling on the same interval grid")
 		clusterRun = flag.Bool("cluster", false, "measure the SelectK BIC sweep (naive vs parallel-minibatch) instead of the profiler configs")
 		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
-		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster)")
-		seed       = flag.Int64("seed", 2006, "synthetic data and k-means seed (with -cluster)")
+		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster or -reduced)")
+		seed       = flag.Int64("seed", 2006, "synthetic data and k-means seed (with -cluster or -reduced)")
 	)
 	flag.Parse()
 	var err error
-	if *clusterRun {
+	switch {
+	case *clusterRun:
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "phases", "bench", "budget", "interval":
+			case "phases", "reduced", "bench", "budget", "interval":
 				err = fmt.Errorf("-%s does not apply to -cluster (use -rows/-maxk/-seed)", f.Name)
 			}
 		})
 		if err == nil {
 			err = runCluster(*rows, *maxK, *runs, *jsonOut, *label, *seed)
 		}
-	} else {
+	case *reducedRun:
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "phases", "rows":
+				err = fmt.Errorf("-%s does not apply to -reduced (use -budget/-interval/-maxk/-seed)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runReduced(*budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
+		}
+	default:
 		err = run(*budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval)
 	}
 	if err != nil {
@@ -156,17 +184,9 @@ func run(budget uint64, runs int, benches, jsonOut, label string, phaseRun bool,
 	if runs < 1 {
 		runs = 1
 	}
-	names := defaultSet
-	if benches != "" {
-		names = strings.Split(benches, ",")
-	}
-	set := make([]mica.Benchmark, 0, len(names))
-	for _, n := range names {
-		b, err := mica.BenchmarkByName(strings.TrimSpace(n))
-		if err != nil {
-			return err
-		}
-		set = append(set, b)
+	names, set, err := resolveBenchmarks(benches)
+	if err != nil {
+		return err
 	}
 
 	res := Result{
@@ -378,6 +398,115 @@ func runCluster(rows, maxK, runs int, jsonOut, label string, seed int64) error {
 	fmt.Print(t.String())
 
 	return appendHistory(jsonOut, res)
+}
+
+// runReduced measures phase-aware reduced profiling: the exact
+// matched-grid full characterization (every interval paying the full
+// 47-dim + HPC models) against the two-pass reduced pipeline, on the
+// same benchmarks, grid and seed. Both are reported as effective MIPS
+// (trace instructions per second of wall time); the reduced entry also
+// records its speedup and the worst per-metric relative error of its
+// extrapolations — the tracked evidence that the speedup does not cost
+// accuracy.
+func runReduced(budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
+	if runs < 1 {
+		runs = 1
+	}
+	if interval == 0 || interval > budget {
+		return fmt.Errorf("reduced interval %d out of range for budget %d", interval, budget)
+	}
+	names, set, err := resolveBenchmarks(benches)
+	if err != nil {
+		return err
+	}
+	cfg := mica.ReducedConfig{Phase: mica.PhaseConfig{
+		IntervalLen:  interval,
+		MaxIntervals: int(budget / interval),
+		MaxK:         maxK,
+		Seed:         seed,
+	}}
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget,
+		Interval:   interval,
+		MaxK:       maxK,
+		Runs:       runs,
+		Benchmarks: names,
+	}
+
+	full := ConfigResult{Name: "phases-full-grid", PerBench: make(map[string]float64)}
+	red := ConfigResult{Name: "phases-reduced", PerBench: make(map[string]float64)}
+	var fullTime, redTime time.Duration
+	var totalInsts uint64
+	maxErr := 0.0
+	for i, b := range set {
+		var ex *phases.ExactProfile
+		var rr *mica.ReducedResult
+		var bestFull, bestRed time.Duration
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			e, err := mica.ProfileExact(b, cfg)
+			if err != nil {
+				return fmt.Errorf("full grid on %s: %w", names[i], err)
+			}
+			if d := time.Since(start); bestFull == 0 || d < bestFull {
+				bestFull, ex = d, e
+			}
+			start = time.Now()
+			rd, err := mica.AnalyzeReduced(b, cfg)
+			if err != nil {
+				return fmt.Errorf("reduced on %s: %w", names[i], err)
+			}
+			if d := time.Since(start); bestRed == 0 || d < bestRed {
+				bestRed, rr = d, rd
+			}
+		}
+		insts := ex.TotalInsts()
+		totalInsts += insts
+		fullTime += bestFull
+		redTime += bestRed
+		full.PerBench[names[i]] = mips(insts, bestFull)
+		red.PerBench[names[i]] = mips(insts, bestRed)
+		if e := rr.MaxRelativeError(ex); e > maxErr {
+			maxErr = e
+		}
+	}
+	full.MIPS = mips(totalInsts, fullTime)
+	red.MIPS = mips(totalInsts, redTime)
+	speedup := fullTime.Seconds() / redTime.Seconds()
+	red.PerBench["speedup_vs_full"] = speedup
+	red.PerBench["max_rel_err"] = maxErr
+	res.Configs = []ConfigResult{full, red}
+
+	t := report.NewTable("config", "MIPS", "time", "notes")
+	t.AddRow("phases-full-grid", fmt.Sprintf("%.2f", full.MIPS), fullTime.Round(time.Millisecond), "")
+	t.AddRow("phases-reduced", fmt.Sprintf("%.2f", red.MIPS), redTime.Round(time.Millisecond),
+		fmt.Sprintf("%.2fx faster, max rel err %.2f%%", speedup, maxErr*100))
+	fmt.Print(t.String())
+
+	return appendHistory(jsonOut, res)
+}
+
+// resolveBenchmarks turns a comma-separated -bench list (or the
+// default representative set) into registry benchmarks.
+func resolveBenchmarks(benches string) ([]string, []mica.Benchmark, error) {
+	names := defaultSet
+	if benches != "" {
+		names = strings.Split(benches, ",")
+	}
+	set := make([]mica.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := mica.BenchmarkByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, nil, err
+		}
+		set = append(set, b)
+	}
+	return names, set, nil
 }
 
 // benchConfig is one measured pipeline configuration.

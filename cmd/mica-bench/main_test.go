@@ -140,3 +140,41 @@ func TestRunClusterRejectsBadShape(t *testing.T) {
 		t.Fatal("maxk=0 accepted")
 	}
 }
+
+func TestRunReducedWritesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := runReduced(40_000, 2_000, 4, 1, "MiBench/sha/large", path, "test", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	rec := hist.History[0]
+	if len(rec.Configs) != 2 || rec.Configs[0].Name != "phases-full-grid" || rec.Configs[1].Name != "phases-reduced" {
+		t.Fatalf("configs = %+v", rec.Configs)
+	}
+	red := rec.Configs[1]
+	if red.PerBench["speedup_vs_full"] <= 0 {
+		t.Error("reduced entry missing speedup_vs_full")
+	}
+	if _, ok := red.PerBench["max_rel_err"]; !ok {
+		t.Error("reduced entry missing max_rel_err")
+	}
+	if rec.Interval != 2_000 || rec.MaxK != 4 {
+		t.Errorf("recorded interval/maxk = %d/%d", rec.Interval, rec.MaxK)
+	}
+}
+
+func TestRunReducedRejectsBadInterval(t *testing.T) {
+	if err := runReduced(1_000, 50_000, 4, 1, "MiBench/sha/large", "", "test", 1); err == nil {
+		t.Fatal("interval > budget must be rejected")
+	}
+}

@@ -71,13 +71,17 @@ func run(budget uint64, resultsPath string, maxK int, seed int64, kiviat bool, s
 	}
 	sel := s.Cluster(cols, maxK, seed)
 	fmt.Printf("clustering space: %s\n", label)
-	fmt.Printf("BIC-selected K = %d (max score %.1f)\n\n", sel.Best.K, sel.MaxScore)
 
 	idxOf := map[string]int{}
 	for i, n := range s.Names {
 		idxOf[n] = i
 	}
+	// Report the populated group count: ClusterGroups drops cluster ids
+	// k-means left unassigned, and the header must agree with the
+	// groups printed below it.
 	groups := s.ClusterGroups(sel)
+	fmt.Printf("BIC-selected K = %d (max score %.1f), %d populated clusters\n\n",
+		sel.Best.K, sel.MaxScore, len(groups))
 	for gi, g := range groups {
 		fmt.Printf("cluster %d (%d benchmarks):\n", gi+1, len(g))
 		for _, name := range g {

@@ -1,7 +1,7 @@
 // Command mica-phases runs interval-based phase analysis — the
 // SimPoint-style extension of the paper's Table II characterization —
 // over one benchmark, the whole registry, or a joint cross-benchmark
-// phase space.
+// phase space, and drives phase-aware reduced profiling on top of it.
 //
 // For a single benchmark it prints the phase timeline, the weighted
 // representative simulation points and the reconstruction error of the
@@ -15,11 +15,22 @@
 // clustering step is persisted to a JSON file and skipped entirely on
 // reruns with the same configuration.
 //
+// With -reduced the tool runs two-pass reduced profiling instead: a
+// cheap sampled pass measuring only the paper's 8 GA-selected key
+// characteristics positions every interval in the phase space, and a
+// replay pass pays the full 47-characteristic + EV56/EV67 HPC
+// characterization only on a few intervals per phase, extrapolating
+// the whole-run vectors. Combined with -joint, the shared vocabulary's
+// intervals are measured once for the entire benchmark set. Combined
+// with -cache, a rerun skips both passes, and a cached vocabulary
+// alone (same cheap configuration) still skips the cheap pass.
+//
 // Usage:
 //
 //	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
 //	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
 //	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
+//	mica-phases -reduced [-bench name | -all | -joint] [-sample 0.2] [-reps 3] [-cache reduced.json]
 package main
 
 import (
@@ -37,12 +48,16 @@ func main() {
 		benchName    = flag.String("bench", "", "benchmark to analyze (suite/program/input); with -joint, a comma-separated list")
 		all          = flag.Bool("all", false, "analyze all 122 benchmarks with the sharded pipeline")
 		joint        = flag.Bool("joint", false, "cluster the selected benchmarks' intervals jointly into one shared phase vocabulary")
+		reduced      = flag.Bool("reduced", false, "two-pass reduced profiling: cheap key-characteristic pass positions intervals, full 47-dim + HPC characterization paid only on per-phase measured intervals")
 		cache        = flag.String("cache", "", "JSON phase cache: load results from this file when configuration matches, write them otherwise")
 		intervalLen  = flag.Uint64("interval", 10_000, "interval length in dynamic instructions")
 		maxIntervals = flag.Int("intervals", 100, "maximum number of intervals per benchmark")
 		maxK         = flag.Int("maxk", 10, "maximum K for the BIC phase sweep")
 		seed         = flag.Int64("seed", 2006, "k-means seed")
 		workers      = flag.Int("workers", 0, "pipeline workers for -all/-joint (0 = GOMAXPROCS)")
+		sampleFrac   = flag.Float64("sample", 0, "cheap-pass sample fraction per interval with -reduced (0 = default 0.2)")
+		repsPerPhase = flag.Int("reps", 0, "measured intervals per phase with -reduced (0 = default 3)")
+		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models on the reduced replay pass")
 	)
 	flag.Parse()
 	cfg := mica.PhaseConfig{
@@ -51,7 +66,19 @@ func main() {
 		MaxK:         *maxK,
 		Seed:         *seed,
 	}
-	if err := run(*benchName, *all, *joint, *cache, cfg, *workers); err != nil {
+	var err error
+	if *reduced {
+		rcfg := mica.ReducedConfig{
+			Phase:        cfg,
+			SampleFrac:   *sampleFrac,
+			RepsPerPhase: *repsPerPhase,
+			SkipHPC:      *skipHPC,
+		}
+		err = runReduced(*benchName, *all, *joint, *cache, rcfg, *workers)
+	} else {
+		err = run(*benchName, *all, *joint, *cache, cfg, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
 		os.Exit(1)
 	}
@@ -59,11 +86,9 @@ func main() {
 
 func run(benchName string, all, joint bool, cache string, cfg mica.PhaseConfig, workers int) error {
 	pcfg := mica.PhasePipelineConfig{
-		Phase:   cfg,
-		Workers: workers,
-		Progress: func(done, total int, name string) {
-			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
-		},
+		Phase:    cfg,
+		Workers:  workers,
+		Progress: progressLine,
 	}
 	switch {
 	case joint:
@@ -149,6 +174,136 @@ func run(benchName string, all, joint bool, cache string, cfg mica.PhaseConfig, 
 	}
 }
 
+func progressLine(done, total int, name string) {
+	fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
+}
+
+// runReduced drives the two-pass reduced pipelines.
+func runReduced(benchName string, all, joint bool, cache string, rcfg mica.ReducedConfig, workers int) error {
+	pcfg := mica.ReducedPipelineConfig{
+		Reduced:  rcfg,
+		Workers:  workers,
+		Progress: progressLine,
+	}
+	switch {
+	case joint:
+		bs, err := selectBenchmarks(benchName)
+		if err != nil {
+			return err
+		}
+		jr, hit, err := analyzeReducedJoint(cache, bs, pcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		if hit {
+			fmt.Printf("loaded joint vocabulary from %s (cheap pass skipped)\n\n", cache)
+		}
+		return renderReducedJoint(jr)
+
+	case all, benchName != "":
+		bs := mica.Benchmarks()
+		if !all {
+			var err error
+			if bs, err = selectBenchmarks(benchName); err != nil {
+				return err
+			}
+		}
+		results, hit, err := analyzeReduced(cache, bs, pcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		if hit != mica.ReducedMiss {
+			fmt.Printf("%s from %s\n\n", hit, cache)
+		}
+		if len(results) == 1 {
+			return renderReducedSingle(results[0])
+		}
+		t := report.NewTable("benchmark", "intervals", "phases", "measured", "full insts", "skipped insts")
+		for _, r := range results {
+			res := r.Result
+			t.AddRow(r.Benchmark.Name(), len(res.Phases.Intervals), res.Phases.K,
+				len(res.Measured), res.MeasuredInsts, res.SkippedInsts)
+		}
+		fmt.Print(t.String())
+		return nil
+
+	default:
+		return fmt.Errorf("pass -bench <name>, -all or -joint")
+	}
+}
+
+// renderReducedSingle prints one benchmark's reduced profile: the
+// measurement plan, the extrapolated whole-run vectors and the cost
+// accounting.
+func renderReducedSingle(r mica.BenchmarkReduced) error {
+	res := r.Result
+	ph := res.Phases
+	fmt.Printf("%s: %d intervals -> %d phases, %d intervals measured in full\n\n",
+		r.Benchmark.Name(), len(ph.Intervals), ph.K, len(res.Measured))
+
+	fmt.Println("measured intervals (full 47-dim + HPC characterization):")
+	t := report.NewTable("phase", "interval", "insts", "loads", "ILP-256", "IPC EV56")
+	for _, mi := range res.Measured {
+		ipc := "-"
+		if res.HasHPC {
+			ipc = fmt.Sprintf("%.3f", mi.HPC[0])
+		}
+		t.AddRow(phaseLabel(mi.Phase), mi.Interval, mi.Insts,
+			fmt.Sprintf("%.3f", mi.Chars[0]), fmt.Sprintf("%.2f", mi.Chars[9]), ipc)
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nextrapolated whole-run profile (phase-weighted):")
+	et := report.NewTable("metric", "value")
+	et.AddRow("pct loads", fmt.Sprintf("%.4f", res.Chars[0]))
+	et.AddRow("pct branches", fmt.Sprintf("%.4f", res.Chars[2]))
+	et.AddRow("ILP-256", fmt.Sprintf("%.2f", res.Chars[9]))
+	if res.HasHPC {
+		et.AddRow("IPC EV56", fmt.Sprintf("%.3f", res.HPC[0]))
+		et.AddRow("IPC EV67", fmt.Sprintf("%.3f", res.HPC[1]))
+	}
+	fmt.Print(et.String())
+
+	total := res.TotalInsts()
+	fmt.Printf("\ncost: cheap pass observed %d insts (%.0f%%), replay measured %d (%.1f%%), fast-forwarded %d\n",
+		res.SampledInsts, 100*float64(res.SampledInsts)/float64(total),
+		res.MeasuredInsts, 100*float64(res.MeasuredInsts)/float64(total),
+		res.SkippedInsts)
+	return nil
+}
+
+// renderReducedJoint prints a joint reduction: the shared measurement
+// plan and every benchmark's extrapolated vectors.
+func renderReducedJoint(jr *mica.PhaseJointReduced) error {
+	j := jr.Joint
+	fmt.Printf("joint reduced profile: %d benchmarks, %d shared phases, %d intervals measured in full\n\n",
+		len(j.Benchmarks), j.K, len(jr.Measured))
+
+	fmt.Println("shared measured intervals:")
+	t := report.NewTable("phase", "benchmark", "interval", "insts")
+	for _, mi := range jr.Measured {
+		t.AddRow(phaseLabel(mi.Phase), j.Benchmarks[mi.Bench], mi.Interval, mi.Insts)
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nper-benchmark extrapolations (from the shared measurements):")
+	et := report.NewTable("benchmark", "pct loads", "ILP-256", "IPC EV56")
+	for bi, name := range j.Benchmarks {
+		ipc := "-"
+		if jr.HasHPC {
+			ipc = fmt.Sprintf("%.3f", jr.HPC[bi][0])
+		}
+		et.AddRow(name, fmt.Sprintf("%.4f", jr.Chars[bi][0]), fmt.Sprintf("%.2f", jr.Chars[bi][9]), ipc)
+	}
+	fmt.Print(et.String())
+
+	fmt.Printf("\ncost: replay measured %d insts, fast-forwarded %d across the whole set\n",
+		jr.MeasuredInsts, jr.SkippedInsts)
+	return nil
+}
+
 // phaseLabel names phase p: A..Z, then A26..Z26, A52.. so labels stay
 // unique however large the BIC sweep's K is. The timeline keeps the
 // bare one-rune cycle (one symbol per interval is its whole point).
@@ -208,6 +363,26 @@ func analyzeAll(cache string, pcfg mica.PhasePipelineConfig) ([]mica.BenchmarkPh
 	}
 	results, err := mica.AnalyzePhasesAll(pcfg)
 	return results, false, err
+}
+
+// analyzeReduced runs the reduced pipeline, through the cache when one
+// is configured.
+func analyzeReduced(cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) ([]mica.BenchmarkReduced, mica.ReducedCacheHit, error) {
+	if cache != "" {
+		return mica.AnalyzeReducedCached(cache, bs, pcfg)
+	}
+	results, err := mica.AnalyzeReducedBenchmarks(bs, pcfg)
+	return results, mica.ReducedMiss, err
+}
+
+// analyzeReducedJoint runs the joint reduced pipeline, through the
+// vocabulary cache when one is configured.
+func analyzeReducedJoint(cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) (*mica.PhaseJointReduced, bool, error) {
+	if cache != "" {
+		return mica.AnalyzeReducedJointCached(cache, bs, pcfg)
+	}
+	jr, err := mica.AnalyzeReducedJoint(bs, pcfg)
+	return jr, false, err
 }
 
 // renderJoint prints the shared vocabulary: size, per-benchmark

@@ -177,3 +177,74 @@ func TestRunAllRegistryCached(t *testing.T) {
 		t.Error("cached registry table differs from computed table")
 	}
 }
+
+func TestRunReducedSingleBenchmark(t *testing.T) {
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	out, err := capture(t, func() error { return runReduced("SPEC2000/twolf/ref", false, false, "", rcfg, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"intervals measured in full", "extrapolated whole-run profile", "cost: cheap pass observed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reduced output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReducedSubsetPipeline(t *testing.T) {
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	out, err := capture(t, func() error {
+		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, false, "", rcfg, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MiBench/sha/large", "SPEC2000/gzip/program", "skipped insts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reduced pipeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReducedJointWithCache(t *testing.T) {
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	cache := filepath.Join(t.TempDir(), "joint.json")
+	out, err := capture(t, func() error {
+		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "joint reduced profile: 2 benchmarks") {
+		t.Errorf("joint reduced output wrong:\n%s", out)
+	}
+	// Second run must reuse the cached vocabulary.
+	out, err = capture(t, func() error {
+		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cheap pass skipped") {
+		t.Errorf("joint rerun did not hit the vocabulary cache:\n%s", out)
+	}
+}
+
+func TestRunReducedCacheHitLine(t *testing.T) {
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	cache := filepath.Join(t.TempDir(), "reduced.json")
+	if _, err := capture(t, func() error {
+		return runReduced("MiBench/sha/large", false, false, cache, rcfg, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return runReduced("MiBench/sha/large", false, false, cache, rcfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "full hit from") {
+		t.Errorf("reduced rerun did not report the cache hit:\n%s", out)
+	}
+}

@@ -275,8 +275,11 @@ func (a *Analysis) RenderTableIV() string {
 func (a *Analysis) RenderFigure6(withKiviats bool) string {
 	var b strings.Builder
 	groups := a.Space.ClusterGroups(a.Clusters)
+	// Count the populated groups, not Best.K: ClusterGroups drops
+	// cluster ids k-means left unassigned, and the header must agree
+	// with the groups actually rendered.
 	fmt.Fprintf(&b, "Figure 6: %d clusters over %d benchmarks in the %d-D key space (paper: 15 clusters)\n\n",
-		a.Clusters.Best.K, a.Space.Len(), len(a.GA.Selected))
+		len(groups), a.Space.Len(), len(a.GA.Selected))
 	for gi, g := range groups {
 		fmt.Fprintf(&b, "cluster %d (%d benchmarks):\n", gi+1, len(g))
 		for _, name := range g {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mica/internal/cluster"
+	"mica/internal/stats"
 )
 
 // TestRenderTablesEmptyResults pins the empty-registry behaviour: the
@@ -46,5 +47,83 @@ func TestClusterGroupsStableOrder(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d: groups = %v, want %v", trial, got, want)
 		}
+	}
+}
+
+// TestClusterGroupsDropsEmptyClusters: when k-means leaves a cluster id
+// unassigned, ClusterGroups must omit it instead of emitting an empty
+// group, and renderers numbering the groups stay contiguous.
+func TestClusterGroupsDropsEmptyClusters(t *testing.T) {
+	s := &Space{Names: []string{"b0", "b1", "b2"}}
+	sel := ClusterSelection{Best: cluster.Result{
+		K:      4,
+		Assign: []int{2, 0, 2}, // ids 1 and 3 never used
+	}}
+	want := [][]string{
+		{"b0", "b2"}, // cluster 2, size 2
+		{"b1"},       // cluster 0, size 1
+	}
+	got := s.ClusterGroups(sel)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v (empty clusters dropped)", got, want)
+	}
+}
+
+// TestRenderFigure6SkipsEmptyClusters pins the rendered numbering: with
+// an unassigned cluster id, Figure 6 must show contiguous group numbers
+// and never a "(0 benchmarks)" line.
+func TestRenderFigure6SkipsEmptyClusters(t *testing.T) {
+	a := &Analysis{
+		Space: &Space{Names: []string{"b0", "b1", "b2"}},
+		Clusters: ClusterSelection{Best: cluster.Result{
+			K:      3,
+			Assign: []int{0, 2, 0}, // id 1 unassigned
+		}},
+	}
+	a.GA.Selected = []int{0, 9}
+	out := a.RenderFigure6(false)
+	if strings.Contains(out, "(0 benchmarks)") {
+		t.Errorf("Figure 6 renders an empty cluster:\n%s", out)
+	}
+	// The header counts the populated groups, agreeing with the body.
+	if !strings.Contains(out, "Figure 6: 2 clusters") {
+		t.Errorf("Figure 6 header disagrees with the rendered groups:\n%s", out)
+	}
+	for _, want := range []string{"cluster 1 (2 benchmarks):", "cluster 2 (1 benchmarks):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 6 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cluster 3") {
+		t.Errorf("Figure 6 numbering is not contiguous:\n%s", out)
+	}
+}
+
+// TestKiviatNilColsMeansAll pins the nil-means-all-47 convention shared
+// by every Space API taking a characteristic subset: Kiviat(i, nil)
+// must render all 47 axes, not zero.
+func TestKiviatNilColsMeansAll(t *testing.T) {
+	s := &Space{
+		Names:     []string{"b0", "b1"},
+		NormChars: stats.NewMatrix(2, NumChars),
+	}
+	for c := 0; c < NumChars; c++ {
+		s.NormChars.Set(0, c, float64(c))
+		s.NormChars.Set(1, c, -float64(c))
+	}
+	d, err := s.Kiviat(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Labels); got != NumChars {
+		t.Fatalf("Kiviat(0, nil) has %d axes, want all %d", got, NumChars)
+	}
+	// An explicit subset still selects exactly those columns.
+	d, err = s.Kiviat(1, []int{0, 9, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Labels); got != 3 {
+		t.Fatalf("explicit subset has %d axes, want 3", got)
 	}
 }

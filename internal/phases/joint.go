@@ -179,15 +179,21 @@ func (j *JointResult) clusterJoint(cfg Config) {
 	sortRepsByWeight(j.Representatives, func(r JointRepresentative) float64 { return r.Weight })
 
 	// Per-benchmark occupancy: each benchmark's instruction share per
-	// shared phase.
+	// shared phase. Instruction counts are accumulated as integers and
+	// divided once, so a single-benchmark occupancy row is bit-identical
+	// to the per-benchmark representative weights (the joint-reduction
+	// differential relies on this).
 	j.Occupancy = stats.NewMatrix(len(j.Benchmarks), j.K)
 	perBench := make([]uint64, len(j.Benchmarks))
+	inPhase := stats.NewMatrix(len(j.Benchmarks), j.K)
 	for i, ref := range j.Rows {
 		perBench[ref.Bench] += j.RowInsts[i]
-	}
-	for i, ref := range j.Rows {
 		c := j.Assign[i]
-		j.Occupancy.Set(ref.Bench, c,
-			j.Occupancy.At(ref.Bench, c)+float64(j.RowInsts[i])/float64(perBench[ref.Bench]))
+		inPhase.Set(ref.Bench, c, inPhase.At(ref.Bench, c)+float64(j.RowInsts[i]))
+	}
+	for b := range j.Benchmarks {
+		for c := 0; c < j.K; c++ {
+			j.Occupancy.Set(b, c, inPhase.At(b, c)/float64(perBench[b]))
+		}
 	}
 }

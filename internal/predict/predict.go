@@ -51,15 +51,26 @@ func (p *KNN) Predict(query []float64, exclude int) float64 {
 	type cand struct {
 		dist float64
 		val  float64
+		row  int
 	}
 	cands := make([]cand, 0, p.feats.Rows)
 	for i := 0; i < p.feats.Rows; i++ {
 		if i == exclude {
 			continue
 		}
-		cands = append(cands, cand{stats.Euclidean(query, p.feats.Row(i)), p.target[i]})
+		cands = append(cands, cand{stats.Euclidean(query, p.feats.Row(i)), p.target[i], i})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	// Ties on distance (duplicate benchmarks, symmetric synthetic rows)
+	// are broken by training-row index: sort.Slice alone leaves the
+	// order of equal keys up to the sorting algorithm, which would make
+	// the selected neighbourhood — and hence the prediction — an
+	// artifact of the sort rather than of the data.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].row < cands[b].row
+	})
 	k := p.k
 	if k > len(cands) {
 		k = len(cands)

@@ -101,3 +101,76 @@ func TestKLargerThanTrainingSet(t *testing.T) {
 		t.Error("prediction NaN with k > n")
 	}
 }
+
+// TestPredictTieBreakByRowIndex is the determinism regression for tied
+// distances: with duplicated training rows (equidistant neighbours),
+// the neighbourhood must be filled in ascending training-row order, so
+// the prediction is a property of the data, not of the sort algorithm's
+// handling of equal keys.
+func TestPredictTieBreakByRowIndex(t *testing.T) {
+	feats := stats.FromRows([][]float64{
+		{0, 0, 0}, // row 0: the query point, target 1
+		{0, 0, 0}, // row 1: duplicate, target 5
+		{0, 0, 0}, // row 2: duplicate, target 9
+		{9, 9, 9}, // row 3: far away
+	})
+	target := []float64{1, 5, 9, 100}
+	p, err := NewKNN(feats, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := []float64{0, 0, 0}
+	// k=1 over three zero-distance candidates: the lowest row index
+	// wins the single slot.
+	if got := p.Predict(query, -1); got != 1 {
+		t.Errorf("k=1 tied prediction = %g, want row 0's target 1", got)
+	}
+	// Excluding row 0 promotes row 1, never row 2.
+	if got := p.Predict(query, 0); got != 5 {
+		t.Errorf("k=1 tied prediction excluding row 0 = %g, want row 1's target 5", got)
+	}
+	// k=2 must take rows 0 and 1 (equal weights at distance 0): the
+	// mean of their targets, not any pair involving row 2.
+	p2, err := NewKNN(feats, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Predict(query, -1); math.Abs(got-3) > 1e-9 {
+		t.Errorf("k=2 tied prediction = %g, want (1+5)/2 = 3", got)
+	}
+	// And the choice is stable across repeated calls.
+	for trial := 0; trial < 10; trial++ {
+		if got := p2.Predict(query, -1); math.Abs(got-3) > 1e-9 {
+			t.Fatalf("trial %d: tied prediction drifted to %g", trial, got)
+		}
+	}
+}
+
+// TestLeaveOneOutDuplicateRows: leave-one-out over a training set with
+// duplicated benchmarks must be reproducible call to call.
+func TestLeaveOneOutDuplicateRows(t *testing.T) {
+	feats, target := syntheticSpace(20, 7)
+	rows := make([][]float64, 0, 40)
+	dup := make([]float64, 0, 40)
+	for i := 0; i < feats.Rows; i++ {
+		rows = append(rows, feats.Row(i), feats.Row(i))
+		dup = append(dup, target[i], target[i]+0.1)
+	}
+	m := stats.FromRows(rows)
+	first, err := LeaveOneOut(m, dup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, err := LeaveOneOut(m, dup, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Predictions {
+			if first.Predictions[i] != again.Predictions[i] {
+				t.Fatalf("trial %d: prediction %d drifted from %g to %g",
+					trial, i, first.Predictions[i], again.Predictions[i])
+			}
+		}
+	}
+}

@@ -122,8 +122,20 @@ func Curve(hpcDist, indepDist []float64, hpcFrac float64) []Point {
 	}
 	hpcThresh := hpcFrac * stats.Max(hpcDist)
 
+	// Sweep each distinct distance once: between two consecutive
+	// distinct distances the classification is constant, so a repeated
+	// distance would re-emit the same point — every duplicate in
+	// indepDist used to add a redundant Classify pass and a duplicate
+	// curve point.
 	thresholds := append([]float64{-1}, indepDist...)
 	sort.Float64s(thresholds)
+	uniq := thresholds[:1]
+	for _, th := range thresholds[1:] {
+		if th != uniq[len(uniq)-1] {
+			uniq = append(uniq, th)
+		}
+	}
+	thresholds = uniq
 	points := make([]Point, 0, len(thresholds))
 	for _, th := range thresholds {
 		q := Classify(hpcDist, indepDist, hpcThresh, th)

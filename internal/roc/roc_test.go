@@ -2,6 +2,7 @@ package roc
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -114,5 +115,74 @@ func TestQuadrantsString(t *testing.T) {
 	s := q.String()
 	if s == "" {
 		t.Error("empty string")
+	}
+}
+
+// naiveCurve is the pre-deduplication reference implementation: one
+// classification pass per entry of indepDist, duplicates included. The
+// regression below pins that removing duplicate thresholds changes
+// neither the curve's shape nor its area.
+func naiveCurve(hpcDist, indepDist []float64, hpcFrac float64) []Point {
+	hpcThresh := hpcFrac * max(hpcDist)
+	thresholds := append([]float64{-1}, indepDist...)
+	sort.Float64s(thresholds)
+	points := make([]Point, 0, len(thresholds))
+	for _, th := range thresholds {
+		q := Classify(hpcDist, indepDist, hpcThresh, th)
+		points = append(points, Point{Threshold: th, Sensitivity: q.Sensitivity(), OneMinusSpec: 1 - q.Specificity()})
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].OneMinusSpec != points[j].OneMinusSpec {
+			return points[i].OneMinusSpec < points[j].OneMinusSpec
+		}
+		return points[i].Sensitivity < points[j].Sensitivity
+	})
+	return points
+}
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TestCurveDeduplicatesRepeatedDistances: repeated indep distances
+// (duplicate benchmarks, symmetric tuples) must not emit duplicate
+// curve points, and deduplication must leave the AUC untouched.
+func TestCurveDeduplicatesRepeatedDistances(t *testing.T) {
+	hpc := []float64{1, 8, 3, 9, 2, 8, 3, 9, 5, 5}
+	indep := []float64{2, 7, 2, 9, 2, 7, 4, 9, 4, 6}
+
+	curve := Curve(hpc, indep, 0.2)
+	reference := naiveCurve(hpc, indep, 0.2)
+
+	// AUC unchanged: the duplicate points the old sweep emitted were
+	// zero-width trapezoids.
+	if got, want := AUC(curve), AUC(reference); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AUC changed by deduplication: %g vs %g", got, want)
+	}
+
+	// One point per distinct threshold: 5 distinct distances
+	// (2, 4, 6, 7, 9) plus the -1 sentinel.
+	if len(curve) != 6 {
+		t.Errorf("curve has %d points, want 6 (5 distinct distances + sentinel)", len(curve))
+	}
+
+	// Points strictly ordered: sorted ascending and pairwise distinct —
+	// each threshold step flips at least one tuple in one direction, so
+	// no two points may coincide.
+	for i := 1; i < len(curve); i++ {
+		a, b := curve[i-1], curve[i]
+		if a.OneMinusSpec > b.OneMinusSpec {
+			t.Errorf("points %d,%d out of order on 1-specificity: %g > %g", i-1, i, a.OneMinusSpec, b.OneMinusSpec)
+		}
+		if a.OneMinusSpec == b.OneMinusSpec && a.Sensitivity >= b.Sensitivity {
+			t.Errorf("points %d,%d not strictly ordered: (%g,%g) then (%g,%g)",
+				i-1, i, a.OneMinusSpec, a.Sensitivity, b.OneMinusSpec, b.Sensitivity)
+		}
 	}
 }

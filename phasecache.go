@@ -5,8 +5,14 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
+	"sync"
 
+	micachar "mica/internal/mica"
+	"mica/internal/phases"
+	"mica/internal/pool"
 	"mica/internal/stats"
+	"mica/internal/vm"
 )
 
 // PhaseCacheVersion is the on-disk format version of phase-result
@@ -21,10 +27,15 @@ const PhaseCacheVersion = 1
 type phaseCacheFile struct {
 	Version int             `json:"version"`
 	Config  phaseConfigJSON `json:"config"`
-	// Results holds per-benchmark phase decompositions (SavePhases).
+	// Results holds per-benchmark phase decompositions (SavePhases) —
+	// for a reduced cache, the cheap-pass vocabularies.
 	Results []phaseResultJSON `json:"results,omitempty"`
 	// Joint holds a shared cross-benchmark vocabulary (SaveJointPhases).
 	Joint *phaseJointJSON `json:"joint,omitempty"`
+	// ReducedConfig and Reduced hold the replay-side configuration and
+	// per-benchmark reduced-profiling outputs (SaveReduced).
+	ReducedConfig *reducedConfigJSON `json:"reduced_config,omitempty"`
+	Reduced       []phaseReducedJSON `json:"reduced,omitempty"`
 }
 
 // phaseConfigJSON is the normalized analysis configuration a cache was
@@ -38,6 +49,11 @@ type phaseConfigJSON struct {
 	PPMOrder     int    `json:"ppm_order,omitempty"`
 	NoMemDeps    bool   `json:"no_mem_deps,omitempty"`
 	Subset       []bool `json:"subset,omitempty"`
+	// SampleFrac stamps vocabularies characterized by the reduced
+	// pipeline's sampled cheap pass; absent (0) means every instruction
+	// was observed, so plain phase caches keep their old on-disk form
+	// and a sampled vocabulary can never be mistaken for an exact one.
+	SampleFrac float64 `json:"sample_frac,omitempty"`
 }
 
 func phaseConfigToJSON(cfg PhaseConfig) phaseConfigJSON {
@@ -206,6 +222,14 @@ func phaseResultFromJSON(rj phaseResultJSON) (*PhaseResult, error) {
 // SaveJointPhases writes a shared cross-benchmark phase vocabulary to
 // a JSON cache file.
 func SaveJointPhases(path string, cfg PhaseConfig, j *PhaseJointResult) error {
+	return saveJointPhasesWithConfig(path, phaseConfigToJSON(cfg), j)
+}
+
+// saveJointPhasesWithConfig is SaveJointPhases with a caller-stamped
+// configuration block — the reduced pipeline stamps its sample
+// fraction so a sampled joint vocabulary is never mistaken for an
+// exact one.
+func saveJointPhasesWithConfig(path string, cj phaseConfigJSON, j *PhaseJointResult) error {
 	jj := &phaseJointJSON{
 		Benchmarks: j.Benchmarks,
 		Rows:       j.Rows,
@@ -218,11 +242,7 @@ func SaveJointPhases(path string, cfg PhaseConfig, j *PhaseJointResult) error {
 	for _, rep := range j.Representatives {
 		jj.Reps = append(jj.Reps, phaseJointRepJSON(rep))
 	}
-	return writePhaseCache(path, phaseCacheFile{
-		Version: PhaseCacheVersion,
-		Config:  phaseConfigToJSON(cfg),
-		Joint:   jj,
-	})
+	return writePhaseCache(path, phaseCacheFile{Version: PhaseCacheVersion, Config: cj, Joint: jj})
 }
 
 // LoadJointPhases reads a cache written by SaveJointPhases.
@@ -431,4 +451,450 @@ func AnalyzePhasesJointCached(path string, bs []Benchmark, cfg PhasePipelineConf
 		}
 	}
 	return j, false, nil
+}
+
+// Reduced-profiling persistence. A reduced cache file holds the
+// cheap-pass vocabularies in Results (keyed by the cheap configuration
+// with its sample stamp), the replay-side configuration in
+// ReducedConfig, and the per-benchmark reduced outputs in Reduced —
+// so a rerun skips both passes, and a vocabulary-only match (same
+// cheap pass, different replay parameters) still skips the cheap pass.
+
+// reducedConfigJSON is the replay-side half of a reduced cache's key.
+type reducedConfigJSON struct {
+	RepsPerPhase  int    `json:"reps_per_phase"`
+	SkipHPC       bool   `json:"skip_hpc,omitempty"`
+	FullPPMOrder  int    `json:"full_ppm_order,omitempty"`
+	FullNoMemDeps bool   `json:"full_no_mem_deps,omitempty"`
+	FullSubset    []bool `json:"full_subset,omitempty"`
+}
+
+// reducedCheapConfigJSON is the cheap-pass half: the effective cheap
+// phase configuration stamped with the sample fraction (omitted when
+// every instruction is observed, matching plain phase caches).
+func reducedCheapConfigJSON(cfg ReducedConfig) phaseConfigJSON {
+	cfg = cfg.WithDefaults()
+	cj := phaseConfigToJSON(cfg.CheapConfig())
+	if cfg.SampleFrac != 1 {
+		cj.SampleFrac = cfg.SampleFrac
+	}
+	return cj
+}
+
+func reducedConfigToJSON(cfg ReducedConfig) reducedConfigJSON {
+	cfg = cfg.WithDefaults()
+	subset := cfg.FullOptions.Subset
+	if len(subset) == 0 {
+		subset = nil
+	}
+	return reducedConfigJSON{
+		RepsPerPhase:  cfg.RepsPerPhase,
+		SkipHPC:       cfg.SkipHPC,
+		FullPPMOrder:  cfg.FullOptions.PPMOrder,
+		FullNoMemDeps: cfg.FullOptions.NoMemDeps,
+		FullSubset:    subset,
+	}
+}
+
+// reducedConfigFromJSON reassembles a ReducedConfig from the two
+// halves of a cache key.
+func reducedConfigFromJSON(cj phaseConfigJSON, rj reducedConfigJSON) ReducedConfig {
+	phase := phaseConfigFromJSON(cj)
+	sample := cj.SampleFrac
+	if sample == 0 {
+		sample = 1
+	}
+	return ReducedConfig{
+		Phase:        phase,
+		Subset:       phase.Options.Subset,
+		SampleFrac:   sample,
+		RepsPerPhase: rj.RepsPerPhase,
+		SkipHPC:      rj.SkipHPC,
+		FullOptions: micachar.Options{
+			PPMOrder:  rj.FullPPMOrder,
+			NoMemDeps: rj.FullNoMemDeps,
+			Subset:    rj.FullSubset,
+		},
+	}
+}
+
+type phaseMeasuredJSON struct {
+	Interval int       `json:"interval"`
+	Phase    int       `json:"phase"`
+	Insts    uint64    `json:"insts"`
+	Chars    []float64 `json:"chars"`
+	HPC      []float64 `json:"hpc,omitempty"`
+}
+
+type phaseReducedJSON struct {
+	Name     string              `json:"name"`
+	Measured []phaseMeasuredJSON `json:"measured"`
+	Chars    []float64           `json:"chars"`
+	HPC      []float64           `json:"hpc,omitempty"`
+	Sampled  uint64              `json:"sampled_insts"`
+	Full     uint64              `json:"measured_insts"`
+	Skipped  uint64              `json:"skipped_insts"`
+}
+
+// SaveReduced writes per-benchmark reduced-profiling results — cheap
+// vocabularies and replay outputs — to a JSON cache file, keyed by the
+// normalized reduced configuration.
+func SaveReduced(path string, cfg ReducedConfig, results []BenchmarkReduced) error {
+	rcfg := cfg.WithDefaults()
+	rcj := reducedConfigToJSON(rcfg)
+	pf := phaseCacheFile{
+		Version:       PhaseCacheVersion,
+		Config:        reducedCheapConfigJSON(rcfg),
+		ReducedConfig: &rcj,
+	}
+	for _, r := range results {
+		res := r.Result
+		ph := res.Phases
+		rj := phaseResultJSON{
+			Name:    r.Benchmark.Name(),
+			Vectors: append([]float64(nil), ph.Vectors.Data...),
+			Assign:  append([]int(nil), ph.Assign...),
+			K:       ph.K,
+		}
+		for _, iv := range ph.Intervals {
+			rj.Intervals = append(rj.Intervals, phaseIntervalJSON(iv))
+		}
+		for _, rep := range ph.Representatives {
+			rj.Representatives = append(rj.Representatives, phaseRepJSON(rep))
+		}
+		pf.Results = append(pf.Results, rj)
+
+		red := phaseReducedJSON{
+			Name:    r.Benchmark.Name(),
+			Chars:   res.Chars[:],
+			Sampled: res.SampledInsts,
+			Full:    res.MeasuredInsts,
+			Skipped: res.SkippedInsts,
+		}
+		if res.HasHPC {
+			red.HPC = res.HPC[:]
+		}
+		for _, mi := range res.Measured {
+			mj := phaseMeasuredJSON{
+				Interval: mi.Interval, Phase: mi.Phase, Insts: mi.Insts,
+				Chars: mi.Chars[:],
+			}
+			if res.HasHPC {
+				mj.HPC = mi.HPC[:]
+			}
+			red.Measured = append(red.Measured, mj)
+		}
+		pf.Reduced = append(pf.Reduced, red)
+	}
+	return writePhaseCache(path, pf)
+}
+
+// LoadReduced reads a cache written by SaveReduced. Benchmarks are
+// re-resolved by name against the registry; shapes and index ranges
+// are validated like LoadPhases.
+func LoadReduced(path string) ([]BenchmarkReduced, ReducedConfig, error) {
+	pf, err := readPhaseCache(path)
+	if err != nil {
+		return nil, ReducedConfig{}, err
+	}
+	if pf.ReducedConfig == nil || len(pf.Reduced) == 0 {
+		return nil, ReducedConfig{}, fmt.Errorf("mica: %s has no reduced-profiling results", path)
+	}
+	cfg := reducedConfigFromJSON(pf.Config, *pf.ReducedConfig)
+	vocab := make(map[string]*PhaseResult, len(pf.Results))
+	for _, rj := range pf.Results {
+		res, err := phaseResultFromJSON(rj)
+		if err != nil {
+			return nil, ReducedConfig{}, fmt.Errorf("mica: %s: %s: %w", path, rj.Name, err)
+		}
+		vocab[rj.Name] = res
+	}
+	out := make([]BenchmarkReduced, 0, len(pf.Reduced))
+	for _, red := range pf.Reduced {
+		b, err := BenchmarkByName(red.Name)
+		if err != nil {
+			return nil, ReducedConfig{}, err
+		}
+		ph, ok := vocab[red.Name]
+		if !ok {
+			return nil, ReducedConfig{}, fmt.Errorf("mica: %s: reduced result for %s has no cheap vocabulary", path, red.Name)
+		}
+		res, err := reducedResultFromJSON(red, ph, !cfg.SkipHPC)
+		if err != nil {
+			return nil, ReducedConfig{}, fmt.Errorf("mica: %s: %s: %w", path, red.Name, err)
+		}
+		out = append(out, BenchmarkReduced{Benchmark: b, Result: res})
+	}
+	return out, cfg, nil
+}
+
+func reducedResultFromJSON(red phaseReducedJSON, ph *PhaseResult, hasHPC bool) (*ReducedResult, error) {
+	if len(red.Chars) != NumChars {
+		return nil, fmt.Errorf("extrapolated vector has %d entries, want %d", len(red.Chars), NumChars)
+	}
+	if hasHPC && len(red.HPC) != NumHPCMetrics {
+		return nil, fmt.Errorf("extrapolated HPC vector has %d entries, want %d", len(red.HPC), NumHPCMetrics)
+	}
+	res := &ReducedResult{
+		Phases:        ph,
+		HasHPC:        hasHPC,
+		SampledInsts:  red.Sampled,
+		MeasuredInsts: red.Full,
+		SkippedInsts:  red.Skipped,
+	}
+	copy(res.Chars[:], red.Chars)
+	copy(res.HPC[:], red.HPC)
+	if len(red.Measured) == 0 {
+		return nil, fmt.Errorf("no measured intervals")
+	}
+	for _, mj := range red.Measured {
+		if mj.Interval < 0 || mj.Interval >= len(ph.Intervals) || mj.Phase < 0 || mj.Phase >= ph.K {
+			return nil, fmt.Errorf("measured interval %+v out of range", mj)
+		}
+		if len(mj.Chars) != NumChars || (hasHPC && len(mj.HPC) != NumHPCMetrics) {
+			return nil, fmt.Errorf("measured interval %d has malformed vectors", mj.Interval)
+		}
+		mi := phases.MeasuredInterval{Interval: mj.Interval, Phase: mj.Phase, Insts: mj.Insts}
+		copy(mi.Chars[:], mj.Chars)
+		copy(mi.HPC[:], mj.HPC)
+		res.Measured = append(res.Measured, mi)
+	}
+	return res, nil
+}
+
+// ReducedCacheHit reports how much of a reduced request a cache
+// satisfied.
+type ReducedCacheHit int
+
+const (
+	// ReducedMiss: both passes ran.
+	ReducedMiss ReducedCacheHit = iota
+	// ReducedHitVocab: the cached cheap vocabulary was reused, only the
+	// replay pass ran.
+	ReducedHitVocab
+	// ReducedHitFull: everything came from the cache; no VM ran.
+	ReducedHitFull
+)
+
+func (h ReducedCacheHit) String() string {
+	switch h {
+	case ReducedHitVocab:
+		return "vocabulary hit"
+	case ReducedHitFull:
+		return "full hit"
+	default:
+		return "miss"
+	}
+}
+
+// AnalyzeReducedCached is AnalyzeReducedBenchmarks behind a JSON
+// cache. A full configuration match returns the cached results without
+// running a single VM instruction; a cheap-side match alone (same
+// interval grid, subset, sample fraction and clustering — a cached
+// phase vocabulary, whether written by a reduced run or by the plain
+// phase pipeline at SampleFrac 1) skips the cheap pass and runs only
+// the replay. As with AnalyzePhasesCached, a file that exists but
+// cannot be loaded is an error, and a narrower mismatched request
+// never overwrites a broader cache.
+func AnalyzeReducedCached(path string, bs []Benchmark, cfg ReducedPipelineConfig) ([]BenchmarkReduced, ReducedCacheHit, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	cfg.Reduced = rcfg
+	wantCheap := reducedCheapConfigJSON(rcfg)
+	wantReduced := reducedConfigToJSON(rcfg)
+
+	pf, err := readPhaseCache(path)
+	if err != nil {
+		if lerr := loadableCacheError(path, err); lerr != nil {
+			return nil, ReducedMiss, lerr
+		}
+		return analyzeReducedAndSave(path, bs, cfg, nil)
+	}
+	if pf.Joint != nil {
+		// A joint vocabulary is a different kind of cache; recomputing
+		// over it would silently destroy it (same refusal the plain
+		// per-benchmark path makes via LoadPhases).
+		return nil, ReducedMiss, fmt.Errorf("mica: %s is a joint phase cache, not a per-benchmark reduced cache (delete it or pass another path)", path)
+	}
+	if !reflect.DeepEqual(pf.Config, wantCheap) {
+		return analyzeReducedAndSave(path, bs, cfg, cacheNames(pf))
+	}
+
+	// Full hit: reduced outputs present under the same replay
+	// configuration, covering every requested benchmark.
+	if pf.ReducedConfig != nil && reflect.DeepEqual(*pf.ReducedConfig, wantReduced) {
+		cached, _, err := LoadReduced(path)
+		if err != nil {
+			return nil, ReducedMiss, loadableCacheError(path, err)
+		}
+		byName := make(map[string]*ReducedResult, len(cached))
+		for _, r := range cached {
+			byName[r.Benchmark.Name()] = r.Result
+		}
+		hit := make([]BenchmarkReduced, 0, len(bs))
+		for _, b := range bs {
+			res, ok := byName[b.Name()]
+			if !ok {
+				hit = nil
+				break
+			}
+			hit = append(hit, BenchmarkReduced{Benchmark: b, Result: res})
+		}
+		if hit != nil {
+			return hit, ReducedHitFull, nil
+		}
+	}
+
+	// Vocabulary hit: the cheap-pass results match; replay only.
+	if len(pf.Results) > 0 {
+		vocab := make(map[string]*PhaseResult, len(pf.Results))
+		for _, rj := range pf.Results {
+			res, verr := phaseResultFromJSON(rj)
+			if verr != nil {
+				return nil, ReducedMiss, fmt.Errorf("mica: %s: %s: %w", path, rj.Name, verr)
+			}
+			vocab[rj.Name] = res
+		}
+		covered := true
+		for _, b := range bs {
+			if _, ok := vocab[b.Name()]; !ok {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			results, err := replayFromVocabulary(bs, vocab, cfg)
+			if err != nil {
+				return nil, ReducedMiss, err
+			}
+			if coversCache(bs, cacheNames(pf)) {
+				if err := SaveReduced(path, rcfg, results); err != nil {
+					return nil, ReducedMiss, err
+				}
+			}
+			return results, ReducedHitVocab, nil
+		}
+	}
+	return analyzeReducedAndSave(path, bs, cfg, cacheNames(pf))
+}
+
+// replayFromVocabulary runs only the replay pass of the reduced
+// pipeline against cached cheap vocabularies, sharded over the fixed
+// worker pool with one pooled full-pass profiler per worker — the same
+// pooling and progress reporting a cache miss gets from
+// AnalyzeReducedBenchmarks.
+func replayFromVocabulary(bs []Benchmark, vocab map[string]*PhaseResult, cfg ReducedPipelineConfig) ([]BenchmarkReduced, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]BenchmarkReduced, len(bs))
+	errs := make([]error, len(bs))
+	profs := make([]*micachar.Profiler, workers)
+	var done int
+	var mu sync.Mutex
+
+	pool.Run(len(bs), workers, func(worker, i int) {
+		replay, err := bs[i].Instantiate()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if profs[worker] == nil {
+			profs[worker] = micachar.NewProfiler(rcfg.FullOptions)
+		}
+		var res *ReducedResult
+		res, errs[i] = phases.ReplayReduced(replay, profs[worker], vocab[bs[i].Name()], rcfg)
+		results[i] = BenchmarkReduced{Benchmark: bs[i], Result: res}
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(bs), bs[i].Name())
+			mu.Unlock()
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mica: reduced replay of %s: %w", bs[i].Name(), err)
+		}
+	}
+	return results, nil
+}
+
+// cacheNames lists every benchmark a cache file holds results for.
+func cacheNames(pf phaseCacheFile) []string {
+	var names []string
+	for _, rj := range pf.Results {
+		names = append(names, rj.Name)
+	}
+	return names
+}
+
+// analyzeReducedAndSave runs the full two-pass pipeline and persists
+// it, honoring the never-narrow-a-cache rule.
+func analyzeReducedAndSave(path string, bs []Benchmark, cfg ReducedPipelineConfig, cachedNames []string) ([]BenchmarkReduced, ReducedCacheHit, error) {
+	results, err := AnalyzeReducedBenchmarks(bs, cfg)
+	if err != nil {
+		return nil, ReducedMiss, err
+	}
+	if coversCache(bs, cachedNames) {
+		if err := SaveReduced(path, cfg.Reduced, results); err != nil {
+			return nil, ReducedMiss, err
+		}
+	}
+	return results, ReducedMiss, nil
+}
+
+// AnalyzeReducedJointCached is AnalyzeReducedJoint with the joint
+// vocabulary behind a JSON cache: when path holds a joint vocabulary
+// under the same cheap configuration (interval grid, subset, sample
+// fraction, clustering) for exactly the requested benchmarks, the
+// cheap characterization and clustering are skipped and only the
+// replay runs. The boolean reports whether the vocabulary was reused.
+func AnalyzeReducedJointCached(path string, bs []Benchmark, cfg ReducedPipelineConfig) (*PhaseJointReduced, bool, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	cfg.Reduced = rcfg
+	wantCheap := reducedCheapConfigJSON(rcfg)
+
+	machines := func(bi int) (*vm.Machine, error) { return bs[bi].Instantiate() }
+
+	pf, err := readPhaseCache(path)
+	switch {
+	case err != nil:
+		if lerr := loadableCacheError(path, err); lerr != nil {
+			return nil, false, lerr
+		}
+	case pf.Joint == nil:
+		// A per-benchmark cache is a different kind of file; recomputing
+		// over it would silently destroy it (same refusal the plain
+		// joint path makes via LoadJointPhases).
+		return nil, false, fmt.Errorf("mica: %s is a per-benchmark phase cache, not a joint cache (delete it or pass another path)", path)
+	case reflect.DeepEqual(pf.Config, wantCheap):
+		cached, _, err := LoadJointPhases(path)
+		if err != nil {
+			return nil, false, loadableCacheError(path, err)
+		}
+		if namesMatch(cached.Benchmarks, bs) {
+			jr, err := phases.ReplayJoint(cached, machines, rcfg)
+			if err != nil {
+				return nil, false, fmt.Errorf("mica: joint reduced replay: %w", err)
+			}
+			return jr, true, nil
+		}
+	}
+
+	jr, err := AnalyzeReducedJoint(bs, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	var cachedNames []string
+	if pf.Joint != nil {
+		cachedNames = pf.Joint.Benchmarks
+	}
+	if coversCache(bs, cachedNames) {
+		if err := saveJointPhasesWithConfig(path, wantCheap, jr.Joint); err != nil {
+			return nil, false, err
+		}
+	}
+	return jr, false, nil
 }

@@ -411,3 +411,369 @@ func TestAnalyzePhasesJointCachedSkipsProfiling(t *testing.T) {
 		t.Error("cached joint result diverges from computed")
 	}
 }
+
+var cacheReducedConfig = ReducedConfig{Phase: cacheTestConfig}
+
+// TestSaveReducedRoundTrip: Save then Load must reproduce the cheap
+// vocabulary, every measured interval, the extrapolated vectors and
+// the cost accounting bit for bit, plus both halves of the normalized
+// configuration.
+func TestSaveReducedRoundTrip(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "SPEC2000/gzip/program")
+	results, err := AnalyzeReducedBenchmarks(bs, ReducedPipelineConfig{Reduced: cacheReducedConfig, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "reduced.json")
+	if err := SaveReduced(path, cacheReducedConfig, results); err != nil {
+		t.Fatal(err)
+	}
+	loaded, cfg, err := LoadReduced(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reducedCheapConfigJSON(cfg), reducedCheapConfigJSON(cacheReducedConfig)) {
+		t.Errorf("cheap config round-trip: %+v", cfg)
+	}
+	if !reflect.DeepEqual(reducedConfigToJSON(cfg), reducedConfigToJSON(cacheReducedConfig)) {
+		t.Errorf("reduced config round-trip: %+v", cfg)
+	}
+	if len(loaded) != len(results) {
+		t.Fatalf("loaded %d results, want %d", len(loaded), len(results))
+	}
+	for i := range results {
+		if loaded[i].Benchmark.Name() != results[i].Benchmark.Name() {
+			t.Errorf("result %d is %s, want %s", i, loaded[i].Benchmark.Name(), results[i].Benchmark.Name())
+		}
+		if !reflect.DeepEqual(loaded[i].Result, results[i].Result) {
+			t.Errorf("%s: loaded reduced result diverges from saved", results[i].Benchmark.Name())
+		}
+	}
+}
+
+// TestAnalyzeReducedCachedHitLevels walks the three cache outcomes:
+// a miss runs both passes, a rerun under the same configuration is a
+// full hit with zero VM work, and a rerun with different replay-side
+// parameters reuses the vocabulary (cheap pass skipped, replay rerun).
+func TestAnalyzeReducedCachedHitLevels(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr")
+	path := filepath.Join(t.TempDir(), "reduced.json")
+	characterized := 0
+	pcfg := ReducedPipelineConfig{
+		Reduced:  cacheReducedConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { characterized++ },
+	}
+
+	first, hit, err := AnalyzeReducedCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedMiss {
+		t.Fatalf("first call reported %v, want miss", hit)
+	}
+	if characterized != len(bs) {
+		t.Fatalf("first call characterized %d benchmarks, want %d", characterized, len(bs))
+	}
+
+	characterized = 0
+	second, hit, err := AnalyzeReducedCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedHitFull {
+		t.Fatalf("second call reported %v, want full hit", hit)
+	}
+	if characterized != 0 {
+		t.Fatalf("full hit still characterized %d benchmarks", characterized)
+	}
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Errorf("%s: cached reduced result diverges", first[i].Benchmark.Name())
+		}
+	}
+
+	// Different replay-side parameters: the cheap vocabulary must be
+	// reused (cheap pass skipped), only the replay reruns. Proof that
+	// the vocabulary really is loaded rather than recomputed: perturb
+	// it on disk (swap two intervals' phase assignments) and require
+	// the perturbation to surface in the returned phases.
+	i0, i1 := perturbCachedAssign(t, path)
+	vcfg := pcfg
+	vcfg.Reduced.SkipHPC = true
+	third, hit, err := AnalyzeReducedCached(path, bs, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedHitVocab {
+		t.Fatalf("replay-side change reported %v, want vocabulary hit", hit)
+	}
+	gotAssign := third[0].Result.Phases.Assign
+	wantAssign := first[0].Result.Phases.Assign
+	if gotAssign[i0] != wantAssign[i1] || gotAssign[i1] != wantAssign[i0] {
+		t.Fatal("vocabulary hit did not serve the on-disk vocabulary; the cheap pass must have rerun")
+	}
+	for i := range first {
+		if third[i].Result.HasHPC {
+			t.Errorf("%s: SkipHPC replay still carries HPC", first[i].Benchmark.Name())
+		}
+	}
+
+	// The file now holds the SkipHPC run (with the perturbed
+	// vocabulary); the original configuration must again be a
+	// vocabulary hit (same cheap side), not a miss.
+	_, hit, err = AnalyzeReducedCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedHitVocab {
+		t.Fatalf("switching back reported %v, want a vocabulary hit", hit)
+	}
+}
+
+// perturbCachedAssign swaps the phase assignments of two intervals in
+// the first cached result of a phase-cache file, returning their
+// indices. The file stays valid; a pipeline that truly loads the
+// vocabulary will reproduce the swap, one that recomputes will not.
+func perturbCachedAssign(t *testing.T, path string) (int, int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf map[string]any
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatal(err)
+	}
+	results := pf["results"].([]any)
+	assign := results[0].(map[string]any)["assign"].([]any)
+	i0 := -1
+	i1 := -1
+	for i := 1; i < len(assign); i++ {
+		if assign[i] != assign[0] {
+			i0, i1 = 0, i
+			break
+		}
+	}
+	if i0 < 0 {
+		t.Fatal("cached vocabulary has a single phase; cannot perturb")
+	}
+	assign[i0], assign[i1] = assign[i1], assign[i0]
+	out, err := json.Marshal(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return i0, i1
+}
+
+// TestAnalyzeReducedCachedCheapMismatchRecomputes: a cheap-side change
+// (different sample fraction) invalidates the vocabulary entirely.
+func TestAnalyzeReducedCachedCheapMismatchRecomputes(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	path := filepath.Join(t.TempDir(), "reduced.json")
+	characterized := 0
+	pcfg := ReducedPipelineConfig{
+		Reduced:  cacheReducedConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { characterized++ },
+	}
+	if _, _, err := AnalyzeReducedCached(path, bs, pcfg); err != nil {
+		t.Fatal(err)
+	}
+	characterized = 0
+	scfg := pcfg
+	scfg.Reduced.SampleFrac = 0.5
+	_, hit, err := AnalyzeReducedCached(path, bs, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedMiss {
+		t.Fatalf("sample-fraction change reported %v, want miss", hit)
+	}
+	if characterized != len(bs) {
+		t.Fatalf("sample-fraction change characterized %d benchmarks, want %d", characterized, len(bs))
+	}
+}
+
+// TestAnalyzeReducedCachedFromPlainVocabulary: a cache written by the
+// PLAIN phase pipeline serves as the cheap vocabulary when the reduced
+// request matches it (same subset options, SampleFrac 1) — the
+// cache-hit-vocabulary-skips-the-cheap-pass contract.
+func TestAnalyzeReducedCachedFromPlainVocabulary(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	path := filepath.Join(t.TempDir(), "phases.json")
+
+	plainCfg := cacheTestConfig
+	plainCfg.Options.Subset = KeySubset()
+	characterized := 0
+	if _, _, err := AnalyzePhasesCached(path, bs, PhasePipelineConfig{
+		Phase:    plainCfg,
+		Workers:  1,
+		Progress: func(done, total int, name string) { characterized++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if characterized != 1 {
+		t.Fatalf("plain pipeline characterized %d benchmarks, want 1", characterized)
+	}
+
+	// Perturb the plain cache's assignment: the reduced run must serve
+	// the perturbed vocabulary, proving the cheap pass was skipped.
+	i0, i1 := perturbCachedAssign(t, path)
+	plain, _, err := LoadPhases(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := ReducedPipelineConfig{
+		Reduced: ReducedConfig{Phase: cacheTestConfig, SampleFrac: 1},
+		Workers: 1,
+	}
+	results, hit, err := AnalyzeReducedCached(path, bs, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedHitVocab {
+		t.Fatalf("plain vocabulary reported %v, want vocabulary hit", hit)
+	}
+	if len(results) != 1 || len(results[0].Result.Measured) == 0 {
+		t.Fatal("replay from plain vocabulary produced no measurements")
+	}
+	got := results[0].Result.Phases.Assign
+	if got[i0] != plain[0].Result.Assign[i0] || got[i1] != plain[0].Result.Assign[i1] {
+		t.Fatal("reduced run did not serve the on-disk plain vocabulary")
+	}
+	// The cheap pass, had it rerun, would have undone the swap.
+	if got[i0] == got[i1] {
+		t.Fatal("perturbation probe degenerate: swapped intervals share a phase")
+	}
+}
+
+// TestAnalyzeReducedJointCachedSkipsCheapPass: the joint vocabulary
+// cache must let a rerun skip characterization and clustering, running
+// only the replay, with identical extrapolations.
+func TestAnalyzeReducedJointCachedSkipsCheapPass(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr")
+	path := filepath.Join(t.TempDir(), "joint.json")
+	characterized := 0
+	pcfg := ReducedPipelineConfig{
+		Reduced:  cacheReducedConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { characterized++ },
+	}
+
+	first, hit, err := AnalyzeReducedJointCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first joint call reported a vocabulary hit")
+	}
+	if characterized != len(bs) {
+		t.Fatalf("first joint call characterized %d benchmarks, want %d", characterized, len(bs))
+	}
+
+	characterized = 0
+	second, hit, err := AnalyzeReducedJointCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second joint call missed the vocabulary cache")
+	}
+	if characterized != 0 {
+		t.Fatalf("joint vocabulary hit still characterized %d benchmarks", characterized)
+	}
+	for bi := range bs {
+		if first.Chars[bi] != second.Chars[bi] {
+			t.Errorf("%s: cached-vocabulary extrapolation diverges", bs[bi].Name())
+		}
+	}
+
+	// A plain joint cache under a different (unsampled) configuration
+	// must NOT serve a sampled request.
+	characterized = 0
+	j, err := AnalyzePhasesJoint(bs, PhasePipelineConfig{Phase: cacheReducedConfig.CheapConfig(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(t.TempDir(), "plain_joint.json")
+	if err := SaveJointPhases(plainPath, cacheReducedConfig.CheapConfig(), j); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err = AnalyzeReducedJointCached(plainPath, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("an unsampled joint vocabulary served a sampled cheap pass")
+	}
+}
+
+// TestReducedCachedRefusesWrongKind: pointing the per-benchmark
+// reduced pipeline at a joint cache (or the joint pipeline at a
+// per-benchmark cache) must error instead of silently destroying the
+// other kind's expensive results.
+func TestReducedCachedRefusesWrongKind(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	pcfg := ReducedPipelineConfig{Reduced: cacheReducedConfig, Workers: 1}
+
+	jointPath := filepath.Join(t.TempDir(), "joint.json")
+	if _, _, err := AnalyzeReducedJointCached(jointPath, bs, pcfg); err != nil {
+		t.Fatal(err)
+	}
+	jointBefore, err := os.ReadFile(jointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AnalyzeReducedCached(jointPath, bs, pcfg); err == nil ||
+		!strings.Contains(err.Error(), "joint phase cache") {
+		t.Fatalf("per-benchmark pipeline on a joint cache: err = %v, want kind refusal", err)
+	}
+	if after, _ := os.ReadFile(jointPath); !reflect.DeepEqual(jointBefore, after) {
+		t.Fatal("per-benchmark pipeline modified the joint cache")
+	}
+
+	benchPath := filepath.Join(t.TempDir(), "reduced.json")
+	if _, _, err := AnalyzeReducedCached(benchPath, bs, pcfg); err != nil {
+		t.Fatal(err)
+	}
+	benchBefore, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AnalyzeReducedJointCached(benchPath, bs, pcfg); err == nil ||
+		!strings.Contains(err.Error(), "per-benchmark phase cache") {
+		t.Fatalf("joint pipeline on a per-benchmark cache: err = %v, want kind refusal", err)
+	}
+	if after, _ := os.ReadFile(benchPath); !reflect.DeepEqual(benchBefore, after) {
+		t.Fatal("joint pipeline modified the per-benchmark cache")
+	}
+}
+
+// TestReducedVocabHitAccounting: a replay driven off a cached
+// vocabulary must reconstruct the cheap pass's observation count
+// instead of reporting zero.
+func TestReducedVocabHitAccounting(t *testing.T) {
+	bs := cacheBenchmarks(t, "MiBench/sha/large")
+	path := filepath.Join(t.TempDir(), "reduced.json")
+	pcfg := ReducedPipelineConfig{Reduced: cacheReducedConfig, Workers: 1}
+	first, _, err := AnalyzeReducedCached(path, bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := pcfg
+	vcfg.Reduced.RepsPerPhase = 2
+	second, hit, err := AnalyzeReducedCached(path, bs, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != ReducedHitVocab {
+		t.Fatalf("reps change reported %v, want vocabulary hit", hit)
+	}
+	if got, want := second[0].Result.SampledInsts, first[0].Result.SampledInsts; got != want {
+		t.Errorf("vocabulary-hit replay reports %d sampled insts, want %d", got, want)
+	}
+}

@@ -169,3 +169,187 @@ func characterizeBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]phases.B
 	}
 	return named, nil
 }
+
+// Reduced (phase-aware) profiling re-exports: the SimPoint-style
+// two-pass pipeline that pays the full 47-characteristic + EV56/EV67
+// characterization only on per-phase representative intervals.
+type (
+	// ReducedConfig parameterizes reduced profiling.
+	ReducedConfig = phases.ReducedConfig
+	// ReducedResult is one benchmark's reduced profile: the cheap-pass
+	// phase decomposition, the fully measured representatives, and the
+	// extrapolated whole-run vectors.
+	ReducedResult = phases.ReducedResult
+	// PhaseExactProfile is the matched-grid full profile the reduced
+	// extrapolation is evaluated (and the tracked speedup measured)
+	// against.
+	PhaseExactProfile = phases.ExactProfile
+	// PhaseJointReduced is a joint-vocabulary reduction: shared
+	// representatives measured once, every member benchmark
+	// extrapolated from them.
+	PhaseJointReduced = phases.JointReduced
+)
+
+// KeyCharacteristics returns the paper's 8 GA-selected key
+// characteristics (Table IV) — the default cheap-pass subset of the
+// reduced pipeline.
+func KeyCharacteristics() []int { return phases.KeyCharacteristics() }
+
+// KeySubset returns KeyCharacteristics as an Options.Subset mask.
+func KeySubset() []bool { return phases.KeySubset() }
+
+// AnalyzeReduced runs two-pass reduced profiling on one benchmark: a
+// cheap sampled pass measuring only cfg.Subset (default: the paper's 8
+// key characteristics) positions every interval in the phase space,
+// the intervals are clustered, and a replay pass pays the full
+// 47-characteristic + HPC measurement only on the per-phase
+// representative intervals, extrapolating whole-run vectors as
+// phase-weighted sums.
+func AnalyzeReduced(b Benchmark, cfg ReducedConfig) (*ReducedResult, error) {
+	cheap, err := b.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	replay, err := b.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := phases.AnalyzeReduced(cheap, replay, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mica: reduced profiling of %s: %w", b.Name(), err)
+	}
+	return rr, nil
+}
+
+// ProfileReduced is the reduced counterpart of Profile: it measures one
+// benchmark with the two-pass pipeline and returns the extrapolated
+// whole-run vectors as a ProfileResult, so the entire analysis stack
+// (NewSpace, Analyze, the figure renderers) runs unchanged on reduced
+// profiles.
+func ProfileReduced(b Benchmark, cfg ReducedConfig) (ProfileResult, error) {
+	rr, err := AnalyzeReduced(b, cfg)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	return ProfileResult{Benchmark: b, Chars: rr.Chars, HPC: rr.HPC, Insts: rr.TotalInsts()}, nil
+}
+
+// ProfileExact measures the exact matched-grid full profile of one
+// benchmark: the same interval grid as AnalyzeReduced, with the full
+// characterization paid on every interval. It is the differential
+// oracle reduced extrapolations are scored against and the cost
+// baseline of the tracked `mica-bench -reduced` speedup.
+func ProfileExact(b Benchmark, cfg ReducedConfig) (*PhaseExactProfile, error) {
+	m, err := b.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := phases.CharacterizeExact(m, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mica: exact grid profiling of %s: %w", b.Name(), err)
+	}
+	return ex, nil
+}
+
+// ReducedPipelineConfig parameterizes the registry-wide reduced
+// pipelines.
+type ReducedPipelineConfig struct {
+	// Reduced is the per-benchmark reduced-profiling configuration.
+	Reduced ReducedConfig
+	// Workers bounds pipeline parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each benchmark completes.
+	Progress func(done, total int, name string)
+}
+
+// BenchmarkReduced is one benchmark's reduced profile in a
+// registry-wide pipeline run.
+type BenchmarkReduced struct {
+	Benchmark Benchmark
+	Result    *ReducedResult
+}
+
+// AnalyzeReducedBenchmarks runs reduced profiling over a benchmark
+// list, sharded over the fixed worker pool. Each worker pools one
+// cheap-pass and one full-pass profiler across all the benchmarks it
+// processes (Reset between intervals and benchmarks), so analyzer
+// tables are built twice per worker rather than twice per benchmark.
+// Results are in input order.
+func AnalyzeReducedBenchmarks(bs []Benchmark, cfg ReducedPipelineConfig) ([]BenchmarkReduced, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]BenchmarkReduced, len(bs))
+	errs := make([]error, len(bs))
+	cheapProfs := make([]*micachar.Profiler, workers)
+	fullProfs := make([]*micachar.Profiler, workers)
+	var done int
+	var mu sync.Mutex
+
+	pool.Run(len(bs), workers, func(worker, i int) {
+		cheap, err := bs[i].Instantiate()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		replay, err := bs[i].Instantiate()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if cheapProfs[worker] == nil {
+			cheapProfs[worker] = micachar.NewProfiler(rcfg.CheapConfig().Options)
+			fullProfs[worker] = micachar.NewProfiler(rcfg.FullOptions)
+		}
+		var res *ReducedResult
+		res, errs[i] = phases.AnalyzeReducedWith(cheap, replay, cheapProfs[worker], fullProfs[worker], rcfg)
+		results[i] = BenchmarkReduced{Benchmark: bs[i], Result: res}
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(bs), bs[i].Name())
+			mu.Unlock()
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mica: reduced profiling of %s: %w", bs[i].Name(), err)
+		}
+	}
+	return results, nil
+}
+
+// AnalyzeReducedJoint runs joint-vocabulary-driven reduction: every
+// benchmark's intervals are characterized by the cheap sampled pass
+// (sharded, pooled), ALL intervals are clustered once into a shared
+// phase vocabulary, and only the shared representative intervals are
+// measured fully — each benchmark's whole-run vectors are extrapolated
+// from the shared measurements weighted by its occupancy row. This is
+// the cross-benchmark redundancy payoff: K full interval measurements
+// for the whole set instead of K per benchmark.
+func AnalyzeReducedJoint(bs []Benchmark, cfg ReducedPipelineConfig) (*PhaseJointReduced, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	named := make([]phases.BenchmarkIntervals, len(bs))
+	pcfg := PhasePipelineConfig{Phase: rcfg.CheapConfig(), Workers: cfg.Workers, Progress: cfg.Progress}
+	err := phasePipeline(bs, pcfg, "reduced characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := phases.CharacterizeReducedWith(m, prof, rcfg)
+		named[i] = phases.BenchmarkIntervals{Name: bs[i].Name(), Result: res}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	j, err := phases.AnalyzeJoint(named, rcfg.CheapConfig())
+	if err != nil {
+		return nil, err
+	}
+	jr, err := phases.ReplayJoint(j, func(bi int) (*vm.Machine, error) {
+		return bs[bi].Instantiate()
+	}, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("mica: joint reduced replay: %w", err)
+	}
+	return jr, nil
+}

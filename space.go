@@ -194,11 +194,20 @@ func (s *Space) HierarchicalCluster(cols []int, linkage cluster.Linkage) *Dendro
 // ordered largest first. The ordering is stable: equal-size clusters
 // keep ascending cluster-id order, so repeated runs over the same
 // clustering always render groups identically.
+// Empty clusters (ids k-means left unassigned) are dropped, so
+// renderers never show a "cluster N (0 benchmarks)" group and group
+// numbering is contiguous over the populated clusters.
 func (s *Space) ClusterGroups(sel ClusterSelection) [][]string {
 	k := sel.Best.K
-	groups := make([][]string, k)
+	byID := make([][]string, k)
 	for i, c := range sel.Best.Assign {
-		groups[c] = append(groups[c], s.Names[i])
+		byID[c] = append(byID[c], s.Names[i])
+	}
+	groups := make([][]string, 0, k)
+	for _, g := range byID {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
 	}
 	sort.SliceStable(groups, func(a, b int) bool {
 		return len(groups[a]) > len(groups[b])
@@ -207,11 +216,19 @@ func (s *Space) ClusterGroups(sel ClusterSelection) [][]string {
 }
 
 // Kiviat builds a kiviat diagram for one benchmark over the selected
-// characteristics (typically the 8 GA-selected ones), with axes scaled to
-// [0,1] by min-max normalization across the whole space, as in Figure 6.
+// characteristics (typically the 8 GA-selected ones; nil means all 47,
+// the same convention as ROCCurve, Cluster and HierarchicalCluster),
+// with axes scaled to [0,1] by min-max normalization across the whole
+// space, as in Figure 6.
 func (s *Space) Kiviat(benchIdx int, cols []int) (*KiviatDiagram, error) {
 	if benchIdx < 0 || benchIdx >= s.Len() {
 		return nil, fmt.Errorf("mica: benchmark index %d out of range", benchIdx)
+	}
+	if cols == nil {
+		cols = make([]int, NumChars)
+		for i := range cols {
+			cols[i] = i
+		}
 	}
 	sub := s.NormChars.SelectColumns(cols)
 	mm := stats.MinMaxNormalizeColumns(sub)
