@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -719,6 +720,48 @@ func BenchmarkReducedPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 			n += rr.TotalInsts()
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	})
+}
+
+// BenchmarkJointStorePipeline measures registry-scale joint phase
+// analysis — the configurations cmd/mica-bench -joint tracks in
+// BENCH_phases.json: the in-memory flat-matrix path against the
+// store-backed streaming path (characterize into float32 shards, then
+// cluster by streaming rows shard-by-shard). Effective MIPS: profiled
+// trace instructions per second of end-to-end wall time.
+func BenchmarkJointStorePipeline(b *testing.B) {
+	bs := make([]Benchmark, 0, 4)
+	for _, name := range []string{
+		"MiBench/sha/large", "CommBench/drr/drr", "SPEC2000/gzip/program", "MiBench/FFT/fft-large",
+	} {
+		bench, err := BenchmarkByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs = append(bs, bench)
+	}
+	pcfg := PhasePipelineConfig{Phase: PhaseConfig{IntervalLen: 1_000, MaxIntervals: 40, MaxK: 4, Seed: 2006}}
+	b.Run("inmemory", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			j, err := AnalyzePhasesJoint(bs, pcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += j.TotalInsts()
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+	})
+	b.Run("store", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			j, _, err := AnalyzePhasesJointStore(bs, pcfg, StoreOptions{Dir: filepath.Join(b.TempDir(), "store")})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += j.TotalInsts()
 		}
 		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
 	})

@@ -31,6 +31,22 @@
 // whole-run vectors, so the recorded speedup carries its quality bound
 // with it.
 //
+// With -joint it measures registry-scale joint phase analysis — every
+// selected benchmark's intervals clustered once into a shared
+// vocabulary — in three configurations measured in the same run:
+//
+//	joint-inmemory     the flat-matrix path: all interval vectors
+//	                   concatenated in memory (AnalyzePhasesJoint)
+//	joint-store        the out-of-core path: float32 shards written to
+//	                   an interval-vector store, clustering streams
+//	                   rows shard-by-shard (AnalyzePhasesJointStore)
+//	joint-store-quant8 the same with 8-bit quantized shards
+//
+// The store configs also record their store size on disk and whether
+// the resulting vocabulary (K + assignment) is identical to the
+// in-memory one, so the recorded throughput carries its fidelity with
+// it. -joint defaults to the whole 122-benchmark registry.
+//
 // With -cluster it measures the BIC k-sweep (cluster.SelectK) on a
 // synthetic phase-interval matrix (-rows x 47, Gaussian blobs) in two
 // configurations, reporting million row-assignments per second
@@ -53,6 +69,7 @@
 //	mica-bench [-budget 2000000] [-runs 3] [-bench name,name,...] [-json BENCH_profile.json]
 //	mica-bench -phases [-interval 1000] [-json BENCH_phases.json]
 //	mica-bench -cluster [-rows 100000] [-maxk 10] [-json BENCH_phases.json]
+//	mica-bench -joint [-budget 400000] [-interval 400] [-maxk 3] [-json BENCH_phases.json]
 package main
 
 import (
@@ -61,6 +78,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -143,6 +161,7 @@ func main() {
 		phaseRun   = flag.Bool("phases", false, "measure the phase-analysis pipeline (naive vs pooled) instead of the profiler configs")
 		interval   = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases or -reduced)")
 		reducedRun = flag.Bool("reduced", false, "measure phase-aware reduced profiling vs exact full profiling on the same interval grid")
+		jointRun   = flag.Bool("joint", false, "measure registry-scale joint phase analysis (in-memory vs store-backed vs quantized store)")
 		clusterRun = flag.Bool("cluster", false, "measure the SelectK BIC sweep (naive vs parallel-minibatch) instead of the profiler configs")
 		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
 		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster or -reduced)")
@@ -151,6 +170,16 @@ func main() {
 	flag.Parse()
 	var err error
 	switch {
+	case *jointRun:
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "phases", "reduced", "cluster", "rows":
+				err = fmt.Errorf("-%s does not apply to -joint (use -budget/-interval/-maxk/-seed/-bench)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runJoint(*budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
+		}
 	case *clusterRun:
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -489,6 +518,138 @@ func runReduced(budget, interval uint64, maxK, runs int, benches, jsonOut, label
 	fmt.Print(t.String())
 
 	return appendHistory(jsonOut, res)
+}
+
+// runJoint measures registry-scale joint phase analysis: the
+// in-memory flat-matrix path against the store-backed streaming path
+// (float32 and quant8 encodings), on the same benchmarks, grid and
+// seed. Throughput is effective MIPS (profiled trace instructions per
+// second of end-to-end wall time, characterization + clustering). The
+// store entries record their on-disk size and whether their
+// vocabulary (K + assignment) matches the in-memory one bit for bit,
+// so the recorded numbers carry their fidelity with them. -bench
+// defaults to the whole registry.
+func runJoint(budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
+	if runs < 1 {
+		runs = 1
+	}
+	if interval == 0 || interval > budget {
+		return fmt.Errorf("joint interval %d out of range for budget %d", interval, budget)
+	}
+	set := mica.Benchmarks()
+	names := []string{fmt.Sprintf("registry-%d", len(set))}
+	if benches != "" {
+		var err error
+		if names, set, err = resolveBenchmarks(benches); err != nil {
+			return err
+		}
+	}
+	pcfg := mica.PhasePipelineConfig{Phase: mica.PhaseConfig{
+		IntervalLen:  interval,
+		MaxIntervals: int(budget / interval),
+		MaxK:         maxK,
+		Seed:         seed,
+	}}
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget,
+		Interval:   interval,
+		MaxK:       maxK,
+		Runs:       runs,
+		Benchmarks: names,
+	}
+
+	// In-memory reference.
+	var ref *mica.PhaseJointResult
+	var refTime time.Duration
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		j, err := mica.AnalyzePhasesJoint(set, pcfg)
+		if err != nil {
+			return fmt.Errorf("joint in-memory: %w", err)
+		}
+		if d := time.Since(start); refTime == 0 || d < refTime {
+			refTime, ref = d, j
+		}
+	}
+	totalInsts := ref.TotalInsts()
+	inmem := ConfigResult{Name: "joint-inmemory", MIPS: mips(totalInsts, refTime), PerBench: map[string]float64{
+		"seconds":    refTime.Seconds(),
+		"rows":       float64(len(ref.Rows)),
+		"selected_k": float64(ref.K),
+	}}
+	res.Configs = []ConfigResult{inmem}
+
+	t := report.NewTable("config", "MIPS", "time", "K", "notes")
+	t.AddRow("joint-inmemory", fmt.Sprintf("%.2f", inmem.MIPS), refTime.Round(time.Millisecond), ref.K, "")
+
+	for _, sc := range []struct {
+		name     string
+		quantize bool
+	}{{"joint-store", false}, {"joint-store-quant8", true}} {
+		var best *mica.PhaseJointResult
+		var bestTime time.Duration
+		var storeBytes int64
+		for r := 0; r < runs; r++ {
+			dir, err := os.MkdirTemp("", "mica-joint-store-*")
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			j, _, err := mica.AnalyzePhasesJointStore(set, pcfg, mica.StoreOptions{Dir: dir, Quantize: sc.quantize})
+			if err != nil {
+				os.RemoveAll(dir)
+				return fmt.Errorf("%s: %w", sc.name, err)
+			}
+			if d := time.Since(start); bestTime == 0 || d < bestTime {
+				bestTime, best = d, j
+				storeBytes = dirSize(dir)
+			}
+			os.RemoveAll(dir)
+		}
+		identical := 0.0
+		if best.K == ref.K && slices.Equal(best.Assign, ref.Assign) {
+			identical = 1
+		}
+		cr := ConfigResult{Name: sc.name, MIPS: mips(totalInsts, bestTime), PerBench: map[string]float64{
+			"seconds":         bestTime.Seconds(),
+			"rows":            float64(len(best.Rows)),
+			"selected_k":      float64(best.K),
+			"store_bytes":     float64(storeBytes),
+			"vocab_identical": identical,
+		}}
+		res.Configs = append(res.Configs, cr)
+		note := fmt.Sprintf("%.2fx of in-memory, %.1f MB store", bestTime.Seconds()/refTime.Seconds(), float64(storeBytes)/1e6)
+		if identical == 1 {
+			note += ", vocab identical"
+		} else {
+			note += fmt.Sprintf(", vocab differs (K %d vs %d)", best.K, ref.K)
+		}
+		t.AddRow(sc.name, fmt.Sprintf("%.2f", cr.MIPS), bestTime.Round(time.Millisecond), best.K, note)
+	}
+	fmt.Print(t.String())
+
+	return appendHistory(jsonOut, res)
+}
+
+// dirSize sums the file sizes under dir (non-recursive: a store is a
+// flat directory).
+func dirSize(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil && fi.Mode().IsRegular() {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // resolveBenchmarks turns a comma-separated -bench list (or the

@@ -178,3 +178,47 @@ func TestRunReducedRejectsBadInterval(t *testing.T) {
 		t.Fatal("interval > budget must be rejected")
 	}
 }
+
+func TestRunJointWritesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := runJoint(8_000, 1_000, 3, 1, "MiBench/sha/large,CommBench/drr/drr", path, "test", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	rec := hist.History[0]
+	if len(rec.Configs) != 3 ||
+		rec.Configs[0].Name != "joint-inmemory" ||
+		rec.Configs[1].Name != "joint-store" ||
+		rec.Configs[2].Name != "joint-store-quant8" {
+		t.Fatalf("configs = %+v", rec.Configs)
+	}
+	store := rec.Configs[1]
+	if store.PerBench["store_bytes"] <= 0 {
+		t.Error("store entry missing store_bytes")
+	}
+	if _, ok := store.PerBench["vocab_identical"]; !ok {
+		t.Error("store entry missing vocab_identical")
+	}
+	if store.PerBench["vocab_identical"] != 1 {
+		t.Error("float32 store vocabulary diverged from in-memory on the smoke set")
+	}
+	if store.PerBench["rows"] != rec.Configs[0].PerBench["rows"] {
+		t.Error("store and in-memory row counts differ")
+	}
+}
+
+func TestRunJointRejectsBadInterval(t *testing.T) {
+	if err := runJoint(1_000, 50_000, 3, 1, "MiBench/sha/large", "", "test", 1); err == nil {
+		t.Fatal("interval > budget must be rejected")
+	}
+}

@@ -25,11 +25,21 @@
 // with -cache, a rerun skips both passes, and a cached vocabulary
 // alone (same cheap configuration) still skips the cheap pass.
 //
+// With -joint -store DIR the joint pipeline runs through the on-disk
+// interval-vector store instead of one in-memory matrix: every
+// benchmark's intervals are written as a columnar shard (float32, or
+// 8-bit quantized with -quant), and the clustering streams rows
+// shard-by-shard, so registry-scale joint spaces no longer need the
+// whole matrix in memory. With -incremental a rerun reuses every
+// shard whose benchmark and configuration are unchanged and
+// re-characterizes only the rest.
+//
 // Usage:
 //
 //	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
 //	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
 //	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
+//	mica-phases -joint -store phases.ivs [-quant] [-incremental]
 //	mica-phases -reduced [-bench name | -all | -joint] [-sample 0.2] [-reps 3] [-cache reduced.json]
 package main
 
@@ -50,6 +60,9 @@ func main() {
 		joint        = flag.Bool("joint", false, "cluster the selected benchmarks' intervals jointly into one shared phase vocabulary")
 		reduced      = flag.Bool("reduced", false, "two-pass reduced profiling: cheap key-characteristic pass positions intervals, full 47-dim + HPC characterization paid only on per-phase measured intervals")
 		cache        = flag.String("cache", "", "JSON phase cache: load results from this file when configuration matches, write them otherwise")
+		storeDir     = flag.String("store", "", "with -joint: run store-backed, streaming joint analysis through an interval-vector store at this directory")
+		quant        = flag.Bool("quant", false, "with -store: write 8-bit quantized shards instead of float32")
+		incremental  = flag.Bool("incremental", false, "with -store: reuse unchanged shards, re-characterizing only benchmarks whose configuration or membership changed")
 		intervalLen  = flag.Uint64("interval", 10_000, "interval length in dynamic instructions")
 		maxIntervals = flag.Int("intervals", 100, "maximum number of intervals per benchmark")
 		maxK         = flag.Int("maxk", 10, "maximum K for the BIC phase sweep")
@@ -66,8 +79,16 @@ func main() {
 		MaxK:         *maxK,
 		Seed:         *seed,
 	}
+	sopt := mica.StoreOptions{Dir: *storeDir, Quantize: *quant, Incremental: *incremental}
 	var err error
-	if *reduced {
+	switch {
+	case *storeDir != "" && *cache != "":
+		err = fmt.Errorf("-store and -cache are alternative persistence layers; pass one")
+	case *storeDir != "" && (!*joint || *reduced):
+		err = fmt.Errorf("-store drives the joint pipeline; combine it with -joint (without -reduced)")
+	case *storeDir == "" && (*quant || *incremental):
+		err = fmt.Errorf("-quant and -incremental only apply to -store runs")
+	case *reduced:
 		rcfg := mica.ReducedConfig{
 			Phase:        cfg,
 			SampleFrac:   *sampleFrac,
@@ -75,8 +96,8 @@ func main() {
 			SkipHPC:      *skipHPC,
 		}
 		err = runReduced(*benchName, *all, *joint, *cache, rcfg, *workers)
-	} else {
-		err = run(*benchName, *all, *joint, *cache, cfg, *workers)
+	default:
+		err = run(*benchName, *all, *joint, *cache, sopt, cfg, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
@@ -84,13 +105,27 @@ func main() {
 	}
 }
 
-func run(benchName string, all, joint bool, cache string, cfg mica.PhaseConfig, workers int) error {
+func run(benchName string, all, joint bool, cache string, sopt mica.StoreOptions, cfg mica.PhaseConfig, workers int) error {
 	pcfg := mica.PhasePipelineConfig{
 		Phase:    cfg,
 		Workers:  workers,
 		Progress: progressLine,
 	}
 	switch {
+	case joint && sopt.Dir != "":
+		bs, err := selectBenchmarks(benchName)
+		if err != nil {
+			return err
+		}
+		j, stats, err := mica.AnalyzePhasesJointStore(bs, pcfg, sopt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Printf("store %s: %d shards characterized, %d reused in place\n\n",
+			sopt.Dir, len(stats.Characterized), len(stats.Reused))
+		return renderJoint(j)
+
 	case joint:
 		bs, err := selectBenchmarks(benchName)
 		if err != nil {

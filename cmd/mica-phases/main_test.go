@@ -34,7 +34,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunSingleBenchmark(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}
-	out, err := capture(t, func() error { return run("SPEC2000/twolf/ref", false, false, "", cfg, 0) })
+	out, err := capture(t, func() error { return run("SPEC2000/twolf/ref", false, false, "", mica.StoreOptions{}, cfg, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,14 +54,16 @@ func TestRunSubsetPipeline(t *testing.T) {
 	// The -all path over a registry subset is covered by the library
 	// tests; here exercise the pipeline rendering through a tiny -all
 	// run would profile 122 benchmarks, so only validate flag errors.
-	if _, err := capture(t, func() error { return run("", false, false, "", mica.PhaseConfig{}, 0) }); err == nil {
+	if _, err := capture(t, func() error { return run("", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0) }); err == nil {
 		t.Error("missing mode accepted")
 	}
-	if _, err := capture(t, func() error { return run("no/such/bench", false, false, "", mica.PhaseConfig{}, 0) }); err == nil {
+	if _, err := capture(t, func() error {
+		return run("no/such/bench", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+	}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("MiBench/sha/large,no/such/bench", false, true, "", mica.PhaseConfig{}, 0)
+		return run("MiBench/sha/large,no/such/bench", false, true, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("unknown benchmark in joint list accepted")
 	}
@@ -74,7 +76,7 @@ func TestRunSubsetPipeline(t *testing.T) {
 func TestRunJointSubset(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
-	out, err := capture(t, func() error { return run(names, false, true, "", cfg, 2) })
+	out, err := capture(t, func() error { return run(names, false, true, "", mica.StoreOptions{}, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +99,14 @@ func TestRunJointSubset(t *testing.T) {
 func TestRunSingleBenchmarkCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "single.json")
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 6, MaxK: 3, Seed: 1}
-	first, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, cfg, 0) })
+	first, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(first, "profiling skipped") {
 		t.Fatal("first run claimed a cache hit")
 	}
-	second, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, cfg, 0) })
+	second, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,10 +123,10 @@ func TestRunSingleBenchmarkCache(t *testing.T) {
 func TestRunJointCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "joint.json")
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 2, Seed: 3}
-	if _, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, cfg, 1) }); err != nil {
+	if _, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1) }); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, cfg, 1) })
+	out, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestRunAllRegistry(t *testing.T) {
 		t.Skip("analyzes all 122 benchmarks")
 	}
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 3, Seed: 1}
-	out, err := capture(t, func() error { return run("", true, false, "", cfg, 4) })
+	out, err := capture(t, func() error { return run("", true, false, "", mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +162,11 @@ func TestRunAllRegistryCached(t *testing.T) {
 	}
 	cache := filepath.Join(t.TempDir(), "phases.json")
 	cfg := mica.PhaseConfig{IntervalLen: 500, MaxIntervals: 3, MaxK: 2, Seed: 1}
-	first, err := capture(t, func() error { return run("", true, false, cache, cfg, 4) })
+	first, err := capture(t, func() error { return run("", true, false, cache, mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := capture(t, func() error { return run("", true, false, cache, cfg, 4) })
+	second, err := capture(t, func() error { return run("", true, false, cache, mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,5 +248,40 @@ func TestRunReducedCacheHitLine(t *testing.T) {
 	}
 	if !strings.Contains(out, "full hit from") {
 		t.Errorf("reduced rerun did not report the cache hit:\n%s", out)
+	}
+}
+
+// TestRunJointStore exercises -joint -store end to end: the first run
+// characterizes every shard, the incremental rerun reuses them all,
+// and both render the same shared-vocabulary report.
+func TestRunJointStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
+	names := "MiBench/sha/large, SPEC2000/gzip/program"
+	sopt := mica.StoreOptions{Dir: dir, Incremental: true}
+	first, err := capture(t, func() error { return run(names, false, true, "", sopt, cfg, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"2 shards characterized, 0 reused",
+		"joint phase space: 2 benchmarks, 16 intervals",
+		"per-benchmark occupancy of the shared phases",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("store run output missing %q:\n%s", want, first)
+		}
+	}
+	second, err := capture(t, func() error { return run(names, false, true, "", sopt, cfg, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "0 shards characterized, 2 reused") {
+		t.Errorf("incremental rerun did not reuse shards:\n%s", second)
+	}
+	// The vocabulary report (everything after the store banner) matches.
+	tail := second[strings.Index(second, "joint phase space"):]
+	if !strings.HasSuffix(first, tail) {
+		t.Error("store-backed rerun renders a different vocabulary")
 	}
 }

@@ -4,6 +4,12 @@
 // and select weighted representative intervals — the SimPoint-style
 // recipe for simulating a small slice of a program instead of all of it.
 //
+// It then demonstrates the registry-scale counterpart: several
+// benchmarks characterized into an on-disk interval-vector store and
+// clustered into one SHARED phase vocabulary by streaming shards —
+// the out-of-core joint path — including the incremental rerun that
+// reuses every unchanged shard.
+//
 //	go run ./examples/phases [benchmark-name]
 package main
 
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"mica"
 )
@@ -61,4 +68,56 @@ func main() {
 	fmt.Printf("reconstruction error vs the full interval aggregate: %.4f mean abs/characteristic\n",
 		res.ReconstructionError())
 	fmt.Println("simulating only the representatives covers the program's behaviour at a fraction of the cost")
+
+	// Registry-scale joint analysis through the interval-vector store:
+	// each benchmark becomes one on-disk shard, and the clustering
+	// streams rows shard-by-shard instead of materializing the
+	// concatenated matrix — the path that scales to the full
+	// 122-benchmark registry at paper-scale interval counts.
+	fmt.Println("\n--- store-backed joint phase vocabulary ---")
+	set := []string{name, "MiBench/sha/large", "SPEC2000/gzip/program"}
+	var bs []mica.Benchmark
+	seen := map[string]bool{}
+	for _, n := range set {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		sb, err := mica.BenchmarkByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs = append(bs, sb)
+	}
+	dir, err := os.MkdirTemp("", "mica-ivstore-demo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	pcfg := mica.PhasePipelineConfig{Phase: mica.PhaseConfig{
+		IntervalLen: 10_000, MaxIntervals: 60, MaxK: 8, Seed: 2006,
+	}}
+	opt := mica.StoreOptions{Dir: filepath.Join(dir, "store"), Incremental: true}
+
+	joint, stats, err := mica.AnalyzePhasesJointStore(bs, pcfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d benchmarks -> %d shards on disk -> %d shared phases over %d intervals\n",
+		len(bs), len(stats.Characterized), joint.K, len(joint.Rows))
+	for b, bname := range joint.Benchmarks {
+		fmt.Printf("  %-28s occupancy:", bname)
+		for c := 0; c < joint.K; c++ {
+			fmt.Printf(" %c=%.2f", 'A'+c, joint.PhaseShare(b, c))
+		}
+		fmt.Println()
+	}
+
+	// An incremental rerun reuses every unchanged shard: no profiling.
+	_, stats, err = mica.AnalyzePhasesJointStore(bs, pcfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental rerun: %d re-characterized, %d shards reused in place\n",
+		len(stats.Characterized), len(stats.Reused))
 }

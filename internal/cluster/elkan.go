@@ -25,8 +25,8 @@ func KMeansElkan(m *stats.Matrix, k int, seed int64) Result {
 // aliases sc.assign and is made consistent with the final centroids by
 // a closing assignAll pass (which also rules out any floating-point
 // tie resolving differently from the shared nearest scan).
-func elkanFrom(m, cents *stats.Matrix, sc *scratch) Result {
-	n, d := m.Rows, m.Cols
+func elkanFrom(m Rows, cents *stats.Matrix, sc *scratch) Result {
+	n, d := m.Len(), m.Dim()
 	k := cents.Rows
 	assign := ints(&sc.assign, n)
 	counts := ints(&sc.counts, k)

@@ -86,9 +86,9 @@ func ownAssign(r Result) Result {
 
 // degenerate handles the k <= 0 / empty-matrix edge cases shared by
 // every engine.
-func degenerate(m *stats.Matrix, k int) (Result, bool) {
-	if k <= 0 || m.Rows == 0 {
-		return Result{K: k, Assign: make([]int, m.Rows), Centroids: stats.NewMatrix(0, m.Cols)}, true
+func degenerate(m Rows, k int) (Result, bool) {
+	if k <= 0 || m.Len() == 0 {
+		return Result{K: k, Assign: make([]int, m.Len()), Centroids: stats.NewMatrix(0, m.Dim())}, true
 	}
 	return Result{}, false
 }
@@ -99,18 +99,20 @@ func degenerate(m *stats.Matrix, k int) (Result, bool) {
 // O(n) working slices — the difference between 100k-row sweeps
 // thrashing the allocator and not.
 type scratch struct {
-	assign []int     // n: current assignment
-	counts []int     // k: cluster occupancy
-	minD   []float64 // n: k-means++ shortest-distance table
-	prev   []float64 // k*d: previous centroids (drift tracking)
-	batch  []int     // minibatch sample indices
-	upd    []int     // k: minibatch per-center update counts
-	sample []float64 // minibatch seeding sample rows
-	upper  []float64 // n: Elkan upper bounds
-	lower  []float64 // n*k: Elkan lower bounds
-	ccDist []float64 // k*k: Elkan center-center distances
-	ccHalf []float64 // k: Elkan half-distance to nearest other center
-	drift  []float64 // k: per-center movement
+	assign    []int     // n: current assignment
+	counts    []int     // k: cluster occupancy
+	minD      []float64 // n: k-means++ shortest-distance table
+	prev      []float64 // k*d: previous centroids (drift tracking)
+	batch     []int     // minibatch sample indices
+	upd       []int     // k: minibatch per-center update counts
+	sample    []float64 // minibatch seeding sample rows
+	sampleIdx []int     // minibatch seeding sample row indices
+	gat       []float64 // batch*d: gathered minibatch rows
+	upper     []float64 // n: Elkan upper bounds
+	lower     []float64 // n*k: Elkan lower bounds
+	ccDist    []float64 // k*k: Elkan center-center distances
+	ccHalf    []float64 // k: Elkan half-distance to nearest other center
+	drift     []float64 // k: per-center movement
 }
 
 func newScratch() *scratch { return &scratch{} }
@@ -160,12 +162,12 @@ func nearest(row []float64, cents *stats.Matrix) (int, float64) {
 // shared assignment routine, so an assignment re-derived from stored
 // centroids (Selection materialization) is bit-identical to the
 // engine's own final pass.
-func assignAll(m, cents *stats.Matrix, assign []int, counts []int) float64 {
+func assignAll(m Rows, cents *stats.Matrix, assign []int, counts []int) float64 {
 	for c := range counts {
 		counts[c] = 0
 	}
 	sse := 0.0
-	for i := 0; i < m.Rows; i++ {
+	for i := 0; i < m.Len(); i++ {
 		c, d := nearest(m.Row(i), cents)
 		assign[i] = c
 		counts[c]++
@@ -178,7 +180,7 @@ func assignAll(m, cents *stats.Matrix, assign []int, counts []int) float64 {
 // members under assign, re-seeding any empty cluster at the point
 // farthest from its current centroid (which also reassigns that
 // point).
-func updateCentroids(m, cents *stats.Matrix, assign, counts []int) {
+func updateCentroids(m Rows, cents *stats.Matrix, assign, counts []int) {
 	k, d := cents.Rows, cents.Cols
 	for c := 0; c < k; c++ {
 		counts[c] = 0
@@ -187,7 +189,7 @@ func updateCentroids(m, cents *stats.Matrix, assign, counts []int) {
 			row[j] = 0
 		}
 	}
-	for i := 0; i < m.Rows; i++ {
+	for i := 0; i < m.Len(); i++ {
 		c := assign[i]
 		counts[c]++
 		row, crow := m.Row(i), cents.Row(c)
@@ -219,7 +221,7 @@ func updateCentroids(m, cents *stats.Matrix, assign, counts []int) {
 		// Re-seed an empty cluster at the point farthest from its
 		// centroid.
 		far, farD := 0, -1.0
-		for i := 0; i < m.Rows; i++ {
+		for i := 0; i < m.Len(); i++ {
 			dist := sqDist(m.Row(i), cents.Row(assign[i]))
 			if dist > farD {
 				far, farD = i, dist
@@ -234,8 +236,8 @@ func updateCentroids(m, cents *stats.Matrix, assign, counts []int) {
 // returned Result's Assign aliases sc.assign and is consistent with
 // the returned centroids: Assign is exactly assignAll(cents) and SSE
 // and sc.counts are computed from that assignment.
-func lloydFrom(m, cents *stats.Matrix, sc *scratch) Result {
-	n := m.Rows
+func lloydFrom(m Rows, cents *stats.Matrix, sc *scratch) Result {
+	n := m.Len()
 	k := cents.Rows
 	assign := ints(&sc.assign, n)
 	counts := ints(&sc.counts, k)
@@ -281,8 +283,8 @@ func lloydFrom(m, cents *stats.Matrix, sc *scratch) Result {
 
 // seedPlusPlus picks k initial centroids with the k-means++ rule,
 // reusing sc.minD for the shortest-distance table.
-func seedPlusPlus(m *stats.Matrix, k int, rng *rand.Rand, sc *scratch) *stats.Matrix {
-	n, d := m.Rows, m.Cols
+func seedPlusPlus(m Rows, k int, rng *rand.Rand, sc *scratch) *stats.Matrix {
+	n, d := m.Len(), m.Dim()
 	cents := stats.NewMatrix(k, d)
 	first := rng.Intn(n)
 	copy(cents.Row(0), m.Row(first))
@@ -324,15 +326,15 @@ func seedPlusPlus(m *stats.Matrix, k int, rng *rand.Rand, sc *scratch) *stats.Ma
 // Result's Assign aliases sc.assign; callers that retain it across
 // runs must copy (ownAssign). sc.counts holds the per-cluster
 // occupancy of the returned assignment.
-func kmeansRun(m *stats.Matrix, k int, seed int64, eng Engine, opt SweepOptions, sc *scratch) Result {
+func kmeansRun(m Rows, k int, seed int64, eng Engine, opt SweepOptions, sc *scratch) Result {
 	if deg, ok := degenerate(m, k); ok {
 		return deg
 	}
-	if k > m.Rows {
-		k = m.Rows
+	if k > m.Len() {
+		k = m.Len()
 	}
 	if eng == EngineAuto {
-		if m.Rows >= opt.MiniBatchRows {
+		if m.Len() >= opt.MiniBatchRows {
 			eng = EngineMiniBatch
 		} else {
 			eng = EngineLloyd

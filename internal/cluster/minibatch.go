@@ -54,8 +54,17 @@ func MiniBatchKMeans(m *stats.Matrix, k int, seed int64) Result {
 // miniBatchRun is the engine body; rng is already seeded and sc
 // provides the reusable buffers. Assign in the returned Result aliases
 // sc.assign.
-func miniBatchRun(m *stats.Matrix, k int, rng *rand.Rand, opt SweepOptions, sc *scratch) Result {
-	n, d := m.Rows, m.Cols
+//
+// Random row access goes through gather: indices for the seeding
+// sample and for every minibatch are drawn first, the rows are copied
+// into a scratch matrix in one batched read, and the update loop runs
+// over the copies in draw order. For an in-memory matrix this is just
+// a copy; for a sharded store source it turns 1024 random row reads
+// into one visit per touched shard — without changing a single
+// floating-point operation or rng draw, so results stay bit-identical
+// to the pre-gather engine.
+func miniBatchRun(m Rows, k int, rng *rand.Rand, opt SweepOptions, sc *scratch) Result {
+	n, d := m.Len(), m.Dim()
 	batch := opt.BatchSize
 	if n <= 4*batch || 8*k >= n {
 		// Exact fallback: the batch would cover most of the data anyway,
@@ -73,16 +82,17 @@ func miniBatchRun(m *stats.Matrix, k int, rng *rand.Rand, opt SweepOptions, sc *
 	if sampleN > n {
 		sampleN = n
 	}
-	sampleData := floats(&sc.sample, sampleN*d)
-	scale := 0.0
-	for j := 0; j < sampleN; j++ {
-		row := m.Row(rng.Intn(n))
-		copy(sampleData[j*d:(j+1)*d], row)
-		for _, v := range row {
-			scale += v * v
-		}
+	sampleIdx := ints(&sc.sampleIdx, sampleN)
+	for j := range sampleIdx {
+		sampleIdx[j] = rng.Intn(n)
 	}
+	sampleData := floats(&sc.sample, sampleN*d)
 	sample := &stats.Matrix{Rows: sampleN, Cols: d, Data: sampleData}
+	gather(m, sampleIdx, sample)
+	scale := 0.0
+	for _, v := range sampleData {
+		scale += v * v
+	}
 	// Drift tolerance scales with the data's mean squared row norm, so
 	// convergence detection behaves the same for normalized and raw
 	// characteristic spaces.
@@ -91,6 +101,7 @@ func miniBatchRun(m *stats.Matrix, k int, rng *rand.Rand, opt SweepOptions, sc *
 	upd := ints(&sc.upd, k)
 	idx := ints(&sc.batch, batch)
 	prev := floats(&sc.prev, k*d)
+	batchRows := &stats.Matrix{Rows: batch, Cols: d, Data: floats(&sc.gat, batch*d)}
 
 	var cents *stats.Matrix
 	bestScore := 0.0
@@ -104,8 +115,9 @@ func miniBatchRun(m *stats.Matrix, k int, rng *rand.Rand, opt SweepOptions, sc *
 			for j := range idx {
 				idx[j] = rng.Intn(n)
 			}
-			for _, i := range idx {
-				row := m.Row(i)
+			gather(m, idx, batchRows)
+			for j := range idx {
+				row := batchRows.Row(j)
 				c, _ := nearest(row, try)
 				upd[c]++
 				eta := 1 / float64(upd[c])

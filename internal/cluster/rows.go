@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+
+	"mica/internal/stats"
+)
+
+// Rows is the row-access abstraction the clustering engines run on. A
+// *stats.Matrix satisfies it directly; out-of-core sources (the
+// interval-vector store's shard reader) satisfy it by decoding one
+// shard at a time, which is what lets a registry-scale sweep run in
+// O(shard + k·d) memory instead of materializing a flat matrix.
+//
+// The slice returned by Row is only guaranteed valid until the next
+// Row or Gather call on the same source: buffering sources (a
+// normalized view, a shard cache) reuse their storage. Every engine
+// honors this by holding at most one live row at a time.
+type Rows interface {
+	// Len returns the number of rows.
+	Len() int
+	// Dim returns the number of columns.
+	Dim() int
+	// Row returns row i, valid until the next Row/Gather call.
+	Row(i int) []float64
+}
+
+// Gatherer is an optional Rows refinement for sources where random
+// row access is expensive (a sharded on-disk store): Gather copies the
+// rows named by idx into dst (dst row j = source row idx[j]),
+// reordering its *reads* for locality while preserving the caller's
+// row order. The minibatch engine gathers each random batch up front
+// so a store-backed batch touches every needed shard once instead of
+// once per row.
+type Gatherer interface {
+	Gather(idx []int, dst *stats.Matrix)
+}
+
+// gather copies the rows named by idx into dst, using the source's
+// Gather when it has one and a plain row loop otherwise. dst must be
+// len(idx) x src.Dim().
+func gather(src Rows, idx []int, dst *stats.Matrix) {
+	if g, ok := src.(Gatherer); ok {
+		g.Gather(idx, dst)
+		return
+	}
+	for j, i := range idx {
+		copy(dst.Row(j), src.Row(i))
+	}
+}
+
+// normalizedRows is a z-score view over a row source: Row(i) returns
+// (x - mean) / std per column, 0 where std is 0 — the same expression
+// stats.ZScoreNormalize materializes, applied lazily, so a clustering
+// over Normalized(src, mean, std) is bit-identical to one over the
+// materialized normalized matrix.
+type normalizedRows struct {
+	src       Rows
+	mean, std []float64
+	buf       []float64
+	gbuf      *stats.Matrix // scratch for Gather forwarding
+}
+
+// Normalized wraps src in a lazy z-score view with the given
+// per-column statistics (len(mean) == len(std) == src.Dim()). Rows
+// returned by the view live in a reused buffer.
+func Normalized(src Rows, mean, std []float64) Rows {
+	return &normalizedRows{src: src, mean: mean, std: std, buf: make([]float64, src.Dim())}
+}
+
+func (n *normalizedRows) Len() int { return n.src.Len() }
+func (n *normalizedRows) Dim() int { return n.src.Dim() }
+
+func (n *normalizedRows) Row(i int) []float64 {
+	n.normalizeInto(n.buf, n.src.Row(i))
+	return n.buf
+}
+
+func (n *normalizedRows) normalizeInto(dst, raw []float64) {
+	for j, v := range raw {
+		if n.std[j] == 0 {
+			dst[j] = 0
+		} else {
+			dst[j] = (v - n.mean[j]) / n.std[j]
+		}
+	}
+}
+
+// Gather forwards to the underlying source's locality-aware gather
+// (falling back to the row loop) and normalizes dst in place, so a
+// normalized view never costs the wrapped store its batched access
+// pattern.
+func (n *normalizedRows) Gather(idx []int, dst *stats.Matrix) {
+	gather(n.src, idx, dst)
+	for j := range idx {
+		row := dst.Row(j)
+		n.normalizeInto(row, row)
+	}
+}
+
+// ColumnStats computes the per-column mean and population standard
+// deviation of a row source in one streaming pass per statistic,
+// accumulating each column's sum in row order — exactly the order
+// stats.Mean/stats.Std use — so Normalized(src, ColumnStats(src)) is
+// bit-identical to stats.ZScoreNormalize on the materialized matrix.
+func ColumnStats(src Rows) (mean, std []float64) {
+	n, d := src.Len(), src.Dim()
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	if n == 0 {
+		return mean, std
+	}
+	for i := 0; i < n; i++ {
+		row := src.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := src.Row(i)
+		for j, v := range row {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+	}
+	return mean, std
+}

@@ -84,9 +84,25 @@ func SelectK(m *stats.Matrix, maxK int, frac float64, seed int64) Selection {
 // seeds derived from seed (see the package comment), so neither the
 // worker count nor scheduling order can change any outcome.
 func SelectKOpt(m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOptions) Selection {
+	return SelectKRows(func() Rows { return m }, maxK, frac, seed, opt)
+}
+
+// SelectKRows is SelectKOpt over an arbitrary row source — the entry
+// point of store-backed clustering, where rows are streamed
+// shard-by-shard off disk instead of materialized in one flat matrix.
+// open is called once per sweep worker (plus once for the sizing and
+// final materialization passes), so sources with internal caches — a
+// shard reader — are never shared between goroutines; an in-memory
+// matrix source can return the same *stats.Matrix every time. Results
+// are bit-identical to SelectKOpt on the materialized matrix: the
+// engines run the same floating-point operations in the same order,
+// only the row fetches differ.
+func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt SweepOptions) Selection {
 	opt = opt.withDefaults()
-	if maxK > m.Rows {
-		maxK = m.Rows
+	main := open()
+	n, d := main.Len(), main.Dim()
+	if maxK > n {
+		maxK = n
 	}
 	if maxK < 1 {
 		return Selection{MaxScore: math.Inf(-1)}
@@ -112,20 +128,22 @@ func SelectKOpt(m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOp
 		workers = maxK
 	}
 	scratches := make([]*scratch, workers)
+	sources := make([]Rows, workers)
 	pool.Run(maxK, workers, func(worker, i int) {
 		if scratches[worker] == nil {
 			scratches[worker] = newScratch()
+			sources[worker] = open()
 		}
 		sc := scratches[worker]
 		k := i + 1
-		res := kmeansRun(m, k, deriveSeed(seed, k), opt.Engine, opt, sc)
+		res := kmeansRun(sources[worker], k, deriveSeed(seed, k), opt.Engine, opt, sc)
 		runs[i] = runStats{
 			k:      res.K,
 			cents:  res.Centroids,
 			sse:    res.SSE,
 			counts: append([]int(nil), sc.counts[:res.K]...),
 		}
-		scores[i] = bicStats(m.Rows, m.Cols, res.K, res.SSE, runs[i].counts)
+		scores[i] = bicStats(n, d, res.K, res.SSE, runs[i].counts)
 		sses[i] = res.SSE
 	})
 
@@ -151,9 +169,9 @@ func SelectKOpt(m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOp
 	// stored centroids, bit-identical to the engine's own final pass
 	// (both are assignAll with the shared tie-breaking scan).
 	r := runs[chosen]
-	assign := make([]int, m.Rows)
+	assign := make([]int, n)
 	counts := make([]int, r.k)
-	assignAll(m, r.cents, assign, counts)
+	assignAll(main, r.cents, assign, counts)
 	return Selection{
 		Best:     Result{K: r.k, Assign: assign, Centroids: r.cents, SSE: r.sse},
 		Scores:   scores,

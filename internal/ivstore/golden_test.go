@@ -1,0 +1,138 @@
+package ivstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Golden round-trip: testdata/golden holds a small committed store
+// (one float32 and one quant8 shard plus the manifest) written by this
+// very package. The test pins both directions of the format:
+//
+//   - encoder stability: re-encoding the deterministic source shards
+//     must reproduce the committed files byte for byte, so any change
+//     to the on-disk layout is a reviewed, versioned decision;
+//   - decoder correctness: opening the committed store must yield the
+//     expected values, so old stores stay readable.
+//
+// Regenerate (after a deliberate, version-bumped format change) with:
+//
+//	IVSTORE_UPDATE_GOLDEN=1 go test ./internal/ivstore/ -run Golden
+const goldenDir = "testdata/golden"
+
+// goldenStore builds the deterministic store contents.
+func goldenStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := Create(dir, Config{Dims: 6, Encoding: Float32, ConfigHash: "golden-cfg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instsA, mA := synthShard(12, 6, 41)
+	if err := st.WriteShard("golden/f32/a", instsA, mA); err != nil {
+		t.Fatal(err)
+	}
+	instsB, mB := synthShard(9, 6, 42)
+	if err := st.WriteShard("golden/f32/b", instsB, mB); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit([]string{"golden/f32/a", "golden/f32/b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenStoreRoundTrip(t *testing.T) {
+	if os.Getenv("IVSTORE_UPDATE_GOLDEN") != "" {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		goldenStore(t, goldenDir)
+		t.Log("golden store regenerated")
+	}
+
+	// Encoder stability: a fresh build is byte-identical to the
+	// committed files.
+	fresh := t.TempDir()
+	goldenStore(t, fresh)
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("golden store missing (run with IVSTORE_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if len(entries) != 3 { // manifest + 2 shards
+		t.Fatalf("golden store has %d files, want 3", len(entries))
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(fresh, e.Name()))
+		if err != nil {
+			t.Fatalf("fresh build lacks golden file %s: %v", e.Name(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: fresh encoding diverges from committed golden bytes", e.Name())
+		}
+	}
+
+	// Decoder correctness: the committed store opens and decodes to the
+	// same values as the fresh one.
+	gSt, err := Open(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSt, err := Open(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gSt.Benchmarks(), fSt.Benchmarks()) || gSt.NumRows() != fSt.NumRows() {
+		t.Fatal("golden store inventory diverges")
+	}
+	for i := range gSt.Shards() {
+		g, err := gSt.ReadShard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fSt.ReadShard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g, f) {
+			t.Errorf("shard %d decodes differently from golden bytes", i)
+		}
+	}
+}
+
+// TestGoldenQuant8Stability pins the quant8 encoding bytes the same
+// way, without a separate on-disk store: the encoded bytes of a
+// deterministic shard must stay stable, and decode must invert them
+// within the documented bound (checked exhaustively in
+// TestQuant8ErrorBound).
+func TestGoldenQuant8Stability(t *testing.T) {
+	insts, m := synthShard(7, 4, 43)
+	raw := encodeShard(Quant8, insts, m)
+	path := filepath.Join("testdata", "quant8_golden.bin")
+	if os.Getenv("IVSTORE_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden quant8 bytes missing (run with IVSTORE_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !reflect.DeepEqual(raw, want) {
+		t.Fatal("quant8 encoding diverges from committed golden bytes")
+	}
+	gotInsts, gotVecs, err := decodeShard(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotInsts, insts) || gotVecs.Rows != m.Rows || gotVecs.Cols != m.Cols {
+		t.Fatal("golden quant8 shard decodes to wrong shape")
+	}
+}

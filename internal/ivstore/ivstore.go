@@ -1,0 +1,557 @@
+// Package ivstore implements the sharded, columnar, on-disk
+// interval-vector store behind registry-scale joint phase analysis. A
+// store is a directory holding one binary shard file per benchmark
+// (that benchmark's interval characteristic vectors plus per-interval
+// instruction counts) and a versioned JSON manifest recording the
+// shard inventory, the vector dimensionality, the value encoding and
+// the configuration hash the vectors were characterized under.
+//
+// The store exists so the joint clustering pipeline never has to
+// materialize the registry-wide interval matrix (122 benchmarks x 10k+
+// intervals x 47 columns) in memory: shards are appended one benchmark
+// at a time as pipeline workers finish, and the read side streams rows
+// shard-by-shard through a single-shard cache (Reader), so peak memory
+// is one decoded shard, not the whole matrix.
+//
+// Two value encodings are supported. Float32 (the default) stores
+// each value as an IEEE-754 single — half the bytes of the float64
+// vectors it is fed, with a relative rounding error bounded by 2^-24.
+// Quant8 stores one byte per value, linearly quantized per column
+// against that shard column's [min, max] range; reconstruction error
+// is bounded by half a quantization step, (max-min)/510 per value
+// (Quant8MaxError), asserted in the package tests.
+//
+// The manifest's per-shard configuration hashes are what make reruns
+// incremental: a caller re-characterizes only the benchmarks whose
+// hash or membership changed and adopts the other shards in place
+// (Adopt), then commits a manifest covering exactly the new set.
+//
+// Layout invariant: the global row order of a store is its manifest
+// shard order — shard 0's rows first, then shard 1's, exactly the
+// concatenation order of the in-memory joint path. Everything the
+// differential tests pin (bit-identical joint vocabularies) leans on
+// this.
+package ivstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mica/internal/stats"
+)
+
+// ManifestVersion is the on-disk format version of the store manifest.
+// Open refuses a manifest carrying a different stamp; unknown extra
+// JSON fields are tolerated (forward-compatible additions).
+const ManifestVersion = 1
+
+// manifestName is the manifest's file name inside the store directory.
+const manifestName = "manifest.json"
+
+// shardExt is the extension of shard files; Commit prunes files with
+// this extension that no manifest entry references.
+const shardExt = ".ivs"
+
+// Encoding names a shard value encoding.
+type Encoding string
+
+const (
+	// Float32 stores each value as an IEEE-754 single (the default).
+	Float32 Encoding = "float32"
+	// Quant8 stores one byte per value, linearly quantized per shard
+	// column; see Quant8MaxError for the reconstruction bound.
+	Quant8 Encoding = "quant8"
+)
+
+// valid reports whether e names a known encoding.
+func (e Encoding) valid() bool { return e == Float32 || e == Quant8 }
+
+// Config parameterizes a new store.
+type Config struct {
+	// Dims is the number of columns per row (the characteristic
+	// dimensionality). Required.
+	Dims int
+	// Encoding selects the shard value encoding; the zero value means
+	// Float32.
+	Encoding Encoding
+	// ConfigHash stamps the characterization configuration the vectors
+	// are produced under (callers hash their own config). Shards whose
+	// stamp no longer matches are what incremental reruns rebuild.
+	ConfigHash string
+}
+
+// WithDefaults returns c with zero fields replaced by the documented
+// defaults — the normalized form stores are created under and the
+// form Config{} must match (regression-tested).
+func (c Config) WithDefaults() Config {
+	if c.Encoding == "" {
+		c.Encoding = Float32
+	}
+	return c
+}
+
+// Shard is one manifest entry: a benchmark's rows and where they live.
+type Shard struct {
+	// Name is the benchmark the shard holds intervals for.
+	Name string `json:"name"`
+	// File is the shard's file name inside the store directory (a base
+	// name, never a path).
+	File string `json:"file"`
+	// Rows is the shard's row (interval) count.
+	Rows int `json:"rows"`
+	// Insts is the total dynamic instruction count across the shard's
+	// intervals (the per-row counts live in the shard file).
+	Insts uint64 `json:"insts"`
+	// ConfigHash is the characterization stamp the shard was written
+	// under.
+	ConfigHash string `json:"config_hash,omitempty"`
+}
+
+// manifest is the JSON document persisted as manifest.json.
+type manifest struct {
+	Version    int      `json:"version"`
+	Dims       int      `json:"dims"`
+	Encoding   Encoding `json:"encoding"`
+	ConfigHash string   `json:"config_hash,omitempty"`
+	Shards     []Shard  `json:"shards"`
+}
+
+// Store is an interval-vector store rooted at one directory. A store
+// is either committed (opened from a manifest, fully readable) or
+// building (created empty; WriteShard/Adopt stage shards until Commit
+// writes the manifest and makes it readable).
+type Store struct {
+	dir string
+	cfg Config
+
+	mu     sync.Mutex
+	staged map[string]Shard // by benchmark name, awaiting Commit
+
+	committed bool
+	shards    []Shard
+	offsets   []int // len(shards)+1 cumulative row starts
+}
+
+// Create prepares an empty store under dir (creating the directory if
+// needed) with the given configuration. Nothing is readable until
+// Commit; an existing manifest in dir is left untouched until then, so
+// a failed build never destroys the previous committed state.
+func Create(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("ivstore: creating %s: dims %d must be positive", dir, cfg.Dims)
+	}
+	if !cfg.Encoding.valid() {
+		return nil, fmt.Errorf("ivstore: creating %s: unknown encoding %q", dir, cfg.Encoding)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ivstore: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, cfg: cfg, staged: make(map[string]Shard)}, nil
+}
+
+// Open loads a committed store's manifest from dir and validates it.
+// Shard files are checked for existence; their contents are validated
+// on read (every shard file carries its own CRC).
+func Open(dir string) (*Store, error) {
+	cfg, shards, err := Inventory(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		if _, err := os.Stat(filepath.Join(dir, sh.File)); err != nil {
+			return nil, fmt.Errorf("ivstore: %s: shard %s: %w", filepath.Join(dir, manifestName), sh.Name, err)
+		}
+	}
+	st := &Store{
+		dir:       dir,
+		cfg:       cfg,
+		staged:    make(map[string]Shard),
+		committed: true,
+		shards:    shards,
+	}
+	st.offsets = offsetsOf(shards)
+	return st, nil
+}
+
+// Inventory reads and validates a store's manifest without requiring
+// the shard files to be present — the reuse-side entry point of
+// incremental rebuilds, where a vanished shard file means only that
+// benchmark gets re-characterized (Adopt re-checks each file), not
+// that the whole store is unusable.
+func Inventory(dir string) (Config, []Shard, error) {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	man, err := decodeManifest(path, data)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	return Config{Dims: man.Dims, Encoding: man.Encoding, ConfigHash: man.ConfigHash}, man.Shards, nil
+}
+
+// decodeManifest parses and validates a manifest document (path is
+// used in error messages only — filesystem checks stay in Open, so
+// the fuzz target can drive this on raw bytes). A malformed manifest
+// is always an error, never a panic.
+func decodeManifest(path string, data []byte) (manifest, error) {
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return man, fmt.Errorf("ivstore: decoding %s: %w", path, err)
+	}
+	if man.Version != ManifestVersion {
+		return man, fmt.Errorf("ivstore: %s: manifest version %d, want %d", path, man.Version, ManifestVersion)
+	}
+	if man.Dims <= 0 {
+		return man, fmt.Errorf("ivstore: %s: dims %d must be positive", path, man.Dims)
+	}
+	if !man.Encoding.valid() {
+		return man, fmt.Errorf("ivstore: %s: unknown encoding %q", path, man.Encoding)
+	}
+	seen := make(map[string]bool, len(man.Shards))
+	for i, sh := range man.Shards {
+		if sh.Name == "" {
+			return man, fmt.Errorf("ivstore: %s: shard %d has no benchmark name", path, i)
+		}
+		if seen[sh.Name] {
+			return man, fmt.Errorf("ivstore: %s: duplicate shard for %s", path, sh.Name)
+		}
+		seen[sh.Name] = true
+		if sh.File == "" || sh.File != filepath.Base(sh.File) || sh.File == "." || sh.File == ".." {
+			return man, fmt.Errorf("ivstore: %s: shard %s has invalid file name %q", path, sh.Name, sh.File)
+		}
+		if sh.Rows <= 0 {
+			return man, fmt.Errorf("ivstore: %s: shard %s has %d rows", path, sh.Name, sh.Rows)
+		}
+	}
+	return man, nil
+}
+
+func offsetsOf(shards []Shard) []int {
+	offsets := make([]int, len(shards)+1)
+	for i, sh := range shards {
+		offsets[i+1] = offsets[i] + sh.Rows
+	}
+	return offsets
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Dims returns the per-row column count.
+func (s *Store) Dims() int { return s.cfg.Dims }
+
+// Encoding returns the store's value encoding.
+func (s *Store) Encoding() Encoding { return s.cfg.Encoding }
+
+// ConfigHash returns the store-level characterization stamp.
+func (s *Store) ConfigHash() string { return s.cfg.ConfigHash }
+
+// Shards returns the committed shard inventory in row order.
+func (s *Store) Shards() []Shard { return s.shards }
+
+// NumRows returns the committed store's total row count.
+func (s *Store) NumRows() int {
+	if len(s.offsets) == 0 {
+		return 0
+	}
+	return s.offsets[len(s.offsets)-1]
+}
+
+// Benchmarks returns the committed shard names in row order.
+func (s *Store) Benchmarks() []string {
+	names := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		names[i] = sh.Name
+	}
+	return names
+}
+
+// ShardFileName maps a benchmark name and a configuration stamp to
+// the shard's deterministic file name: the sanitized name plus a
+// short hash of (name, stamp). Hashing the stamp in means a rebuild
+// under a different configuration or encoding writes DIFFERENT files
+// — it can never clobber the shards a previously committed manifest
+// still references, so an interrupted rebuild leaves the old store
+// fully readable. (The sanitized prefix alone could collide between
+// distinct benchmarks; the hash cannot.)
+func ShardFileName(name, stamp string) string {
+	sum := sha256.Sum256([]byte(name + "\x00" + stamp))
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + "-" + hex.EncodeToString(sum[:4]) + shardExt
+}
+
+// stamp is the configuration discriminator baked into shard file
+// names: hash and encoding together, since either changing invalidates
+// the bytes on disk.
+func (s *Store) stamp() string { return s.cfg.ConfigHash + "\x00" + string(s.cfg.Encoding) }
+
+// WriteShard encodes one benchmark's intervals as a shard file and
+// stages it for Commit. insts[i] is interval i's dynamic instruction
+// count; vecs row i is its characteristic vector. Safe for concurrent
+// use — pipeline workers write shards as they finish.
+func (s *Store) WriteShard(name string, insts []uint64, vecs *stats.Matrix) error {
+	if name == "" {
+		return fmt.Errorf("ivstore: writing shard: empty benchmark name")
+	}
+	if vecs == nil || vecs.Rows == 0 {
+		return fmt.Errorf("ivstore: writing shard %s: no rows", name)
+	}
+	if vecs.Cols != s.cfg.Dims {
+		return fmt.Errorf("ivstore: writing shard %s: %d columns, store has %d", name, vecs.Cols, s.cfg.Dims)
+	}
+	if len(insts) != vecs.Rows {
+		return fmt.Errorf("ivstore: writing shard %s: %d interval counts for %d rows", name, len(insts), vecs.Rows)
+	}
+	data := encodeShard(s.cfg.Encoding, insts, vecs)
+	file := ShardFileName(name, s.stamp())
+	// Write-then-rename so a crash mid-write can never leave a torn
+	// file under a name a manifest might reference.
+	path := filepath.Join(s.dir, file)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("ivstore: writing shard %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ivstore: writing shard %s: %w", name, err)
+	}
+	var total uint64
+	for _, n := range insts {
+		total += n
+	}
+	sh := Shard{Name: name, File: file, Rows: vecs.Rows, Insts: total, ConfigHash: s.cfg.ConfigHash}
+	s.mu.Lock()
+	s.staged[name] = sh
+	s.mu.Unlock()
+	return nil
+}
+
+// Adopt stages an existing shard (typically copied from a previously
+// committed manifest of the same directory) without rewriting its
+// file — the reuse path of incremental reruns. The shard file must
+// exist and the entry's stamp must match the store's configuration.
+func (s *Store) Adopt(sh Shard) error {
+	if sh.ConfigHash != s.cfg.ConfigHash {
+		return fmt.Errorf("ivstore: adopting shard %s: config hash %q does not match store %q",
+			sh.Name, sh.ConfigHash, s.cfg.ConfigHash)
+	}
+	if sh.File == "" || sh.File != filepath.Base(sh.File) {
+		return fmt.Errorf("ivstore: adopting shard %s: invalid file name %q", sh.Name, sh.File)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, sh.File)); err != nil {
+		return fmt.Errorf("ivstore: adopting shard %s: %w", sh.Name, err)
+	}
+	s.mu.Lock()
+	s.staged[sh.Name] = sh
+	s.mu.Unlock()
+	return nil
+}
+
+// Staged reports whether a shard for name is staged for Commit.
+func (s *Store) Staged(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.staged[name]
+	return ok
+}
+
+// Commit writes the manifest covering exactly the named shards, in
+// that order (which becomes the store's global row order), atomically
+// replacing any previous manifest, and prunes shard files no entry
+// references. Every name must have been staged via WriteShard or
+// Adopt.
+func (s *Store) Commit(order []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	man := manifest{
+		Version:    ManifestVersion,
+		Dims:       s.cfg.Dims,
+		Encoding:   s.cfg.Encoding,
+		ConfigHash: s.cfg.ConfigHash,
+		Shards:     make([]Shard, 0, len(order)),
+	}
+	seen := make(map[string]bool, len(order))
+	for _, name := range order {
+		if seen[name] {
+			// The read side (decodeManifest) rejects duplicate names, so
+			// committing one would produce a store that can never be
+			// reopened.
+			return fmt.Errorf("ivstore: committing %s: duplicate shard %s in commit order", s.dir, name)
+		}
+		seen[name] = true
+		sh, ok := s.staged[name]
+		if !ok {
+			return fmt.Errorf("ivstore: committing %s: no shard staged for %s", s.dir, name)
+		}
+		man.Shards = append(man.Shards, sh)
+	}
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
+	}
+	path := filepath.Join(s.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
+	}
+	s.committed = true
+	s.shards = man.Shards
+	s.offsets = offsetsOf(man.Shards)
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked removes shard files no committed entry references —
+// leftovers of benchmarks dropped from the set, of re-encoded or
+// re-configured runs (whose shards live under different stamped
+// names), and abandoned .tmp files of interrupted writes. Prune
+// failures are ignored: a stray file costs disk, not correctness.
+func (s *Store) pruneLocked() {
+	referenced := make(map[string]bool, len(s.shards))
+	for _, sh := range s.shards {
+		referenced[sh.File] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stray := strings.HasSuffix(name, shardExt) && !referenced[name] ||
+			strings.HasSuffix(name, shardExt+".tmp")
+		if e.Type().IsRegular() && stray {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// ShardData is one decoded shard.
+type ShardData struct {
+	// Name is the benchmark the rows belong to.
+	Name string
+	// Insts[i] is interval i's dynamic instruction count.
+	Insts []uint64
+	// Vecs holds the interval vectors, one row per interval, decoded to
+	// float64.
+	Vecs *stats.Matrix
+}
+
+// Starts returns the intervals' starting instruction numbers (the
+// prefix sums of Insts — intervals are contiguous by construction).
+func (d *ShardData) Starts() []uint64 {
+	starts := make([]uint64, len(d.Insts))
+	var acc uint64
+	for i, n := range d.Insts {
+		starts[i] = acc
+		acc += n
+	}
+	return starts
+}
+
+// ReadShard decodes committed shard i.
+func (s *Store) ReadShard(i int) (*ShardData, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("ivstore: shard index %d out of range [0, %d)", i, len(s.shards))
+	}
+	sh := s.shards[i]
+	path := filepath.Join(s.dir, sh.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ivstore: reading shard %s: %w", sh.Name, err)
+	}
+	insts, vecs, err := decodeShard(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ivstore: %s: %w", path, err)
+	}
+	if vecs.Rows != sh.Rows || vecs.Cols != s.cfg.Dims {
+		return nil, fmt.Errorf("ivstore: %s: shard is %dx%d, manifest says %dx%d",
+			path, vecs.Rows, vecs.Cols, sh.Rows, s.cfg.Dims)
+	}
+	return &ShardData{Name: sh.Name, Insts: insts, Vecs: vecs}, nil
+}
+
+// Reader streams a committed store's rows in global row order through
+// a single-shard cache: Row(i) decodes at most one shard and keeps it
+// until a row outside it is requested, so sequential scans decode each
+// shard exactly once and peak memory is one decoded shard. Each Reader
+// owns its cache; concurrent consumers (sweep workers) take one Reader
+// each via Store.Rows.
+//
+// Reader implements the cluster engines' row-source contract (Len,
+// Dim, Row, Gather). The store's files must not be mutated while a
+// Reader is live; a shard that fails to decode mid-stream panics with
+// the underlying error, since the streaming consumers have no error
+// channel — Open and the callers' initial full pass surface genuine
+// corruption as ordinary errors first.
+type Reader struct {
+	st   *Store
+	cur  int // cached shard index, -1 when empty
+	data *ShardData
+}
+
+// Rows returns a fresh streaming row source over the committed store.
+func (s *Store) Rows() *Reader { return &Reader{st: s, cur: -1} }
+
+// Len returns the total row count.
+func (r *Reader) Len() int { return r.st.NumRows() }
+
+// Dim returns the column count.
+func (r *Reader) Dim() int { return r.st.Dims() }
+
+// Row returns global row i, valid until the next Row or Gather call.
+func (r *Reader) Row(i int) []float64 {
+	s := r.shardOf(i)
+	if s != r.cur {
+		r.load(s)
+	}
+	return r.data.Vecs.Row(i - r.st.offsets[s])
+}
+
+// shardOf locates the shard holding global row i.
+func (r *Reader) shardOf(i int) int {
+	offs := r.st.offsets
+	// sort.Search returns the first shard whose end exceeds i.
+	return sort.Search(len(offs)-1, func(s int) bool { return offs[s+1] > i })
+}
+
+func (r *Reader) load(s int) {
+	data, err := r.st.ReadShard(s)
+	if err != nil {
+		panic(fmt.Sprintf("ivstore: streaming read: %v", err))
+	}
+	r.cur, r.data = s, data
+}
+
+// Gather copies the rows named by idx into dst in caller order,
+// visiting each distinct shard once per call (reads are executed in
+// row order) — the batched random-access path of minibatch k-means.
+func (r *Reader) Gather(idx []int, dst *stats.Matrix) {
+	order := make([]int, len(idx))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	for _, j := range order {
+		copy(dst.Row(j), r.Row(idx[j]))
+	}
+}

@@ -138,6 +138,16 @@ func AnalyzeJoint(benches []BenchmarkIntervals, cfg Config) (*JointResult, error
 func (j *JointResult) clusterJoint(cfg Config) {
 	norm := stats.ZScoreNormalize(j.Vectors)
 	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
+	j.deriveFrom(norm, sel)
+}
+
+// deriveFrom fills the clustering-derived half of a JointResult
+// (assignment, representatives, occupancy) from a finished sweep over
+// the normalized rows. norm may be a materialized matrix (in-memory
+// path) or a streaming store view (AnalyzeJointStore); rows are
+// consumed one at a time in ascending order, so either source yields
+// bit-identical results.
+func (j *JointResult) deriveFrom(norm cluster.Rows, sel cluster.Selection) {
 	j.Assign = sel.Best.Assign
 	j.K = sel.Best.K
 

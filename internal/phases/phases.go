@@ -11,9 +11,14 @@
 // The analysis is streaming and bounded-memory: intervals are
 // characterized as the VM runs by ONE profiler that is Reset between
 // intervals (analyzer tables cleared in place, never reallocated), and
-// interval vectors land in one flat row-major matrix. MaxIntervals can
-// be 10k+ at paper-scale budgets; memory grows only with the number of
-// intervals actually produced, never with the trace length.
+// interval vectors land in one flat row-major matrix. The default
+// interval cap is deliberately modest (DefaultConfig: 100 intervals,
+// the quick-look grid); paper-scale runs raise MaxIntervals to 10k+
+// and memory still grows only with the intervals actually produced,
+// never with the trace length. Registry-scale JOINT analysis goes one
+// step further: AnalyzeJointStore streams interval vectors
+// shard-by-shard out of an on-disk store (internal/ivstore), so not
+// even the per-benchmark matrices need to coexist in memory.
 package phases
 
 import (
@@ -31,8 +36,11 @@ type Config struct {
 	// IntervalLen is the interval length in dynamic instructions
 	// (default 10k).
 	IntervalLen uint64
-	// MaxIntervals bounds the trace length (default 100 intervals;
-	// paper-scale runs use 10k+).
+	// MaxIntervals bounds the trace length. The default is 100
+	// intervals — a quick-look grid, NOT the paper-scale setting;
+	// registry/paper-scale runs raise it to 10k+ and stay
+	// bounded-memory, since storage grows with intervals actually
+	// produced, not with the trace length.
 	MaxIntervals int
 	// MaxK bounds the BIC sweep (default 10).
 	MaxK int
@@ -45,6 +53,20 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config { return c.WithDefaults() }
+
+// DefaultConfig returns the documented default configuration, spelled
+// out: 10k instructions per interval, a 100-interval quick-look grid,
+// BIC sweep to K=10, all 47 characteristics with memory dependencies
+// tracked. Config{}.WithDefaults() must equal it exactly — the zero
+// value and the documented defaults can never drift apart
+// (regression-tested), the same contract mica.Options keeps.
+func DefaultConfig() Config {
+	return Config{
+		IntervalLen:  10_000,
+		MaxIntervals: 100,
+		MaxK:         10,
+	}
+}
 
 // WithDefaults returns c with zero fields replaced by the documented
 // defaults — the normalized form persisted phase caches are keyed on.

@@ -390,3 +390,23 @@ func TestEmptyProgramErrors(t *testing.T) {
 		t.Error("program with no instructions accepted")
 	}
 }
+
+// TestConfigZeroValueIsDefault pins the default story the package
+// comment tells: the zero Config normalized by WithDefaults IS
+// DefaultConfig, knob for knob — including the knobs newer subsystems
+// (the reduced pipeline, the interval-vector store) key caches and
+// shard stamps on, which hash the normalized form.
+func TestConfigZeroValueIsDefault(t *testing.T) {
+	got, want := (Config{}).WithDefaults(), DefaultConfig()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Config{}.WithDefaults() = %+v, want DefaultConfig() %+v", got, want)
+	}
+	if want.IntervalLen != 10_000 || want.MaxIntervals != 100 || want.MaxK != 10 {
+		t.Fatalf("DefaultConfig = %+v diverges from the documented defaults", want)
+	}
+	// The default options measure everything: the zero Options value
+	// means all 47 characteristics with memory dependencies tracked.
+	if want.Options.NoMemDeps || want.Options.Subset != nil || want.Options.PPMOrder != 0 {
+		t.Fatalf("DefaultConfig options %+v are not the measure-everything zero value", want.Options)
+	}
+}

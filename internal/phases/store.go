@@ -1,0 +1,74 @@
+package phases
+
+import (
+	"fmt"
+
+	"mica/internal/cluster"
+	"mica/internal/ivstore"
+	"mica/internal/mica"
+)
+
+// AnalyzeJointStore is AnalyzeJoint over a committed interval-vector
+// store instead of in-memory characterizations: the registry-scale
+// joint path. Rows are streamed shard-by-shard (one decoded shard per
+// concurrent reader, never the whole matrix), the per-column
+// normalization statistics are accumulated in the same order
+// stats.ZScoreNormalize uses, and the clustering runs the same engines
+// through cluster.SelectKRows — so on data that round-trips the store
+// encoding exactly, the resulting vocabulary (assignment, K,
+// representatives, occupancy) is bit-identical to AnalyzeJoint on the
+// materialized matrix. With the default float32 shards the stored
+// rows are the float64 vectors rounded to float32 (relative error
+// <= 2^-24); the differential tests pin both facts.
+//
+// The returned JointResult carries everything except the concatenated
+// Vectors matrix, which is exactly what the store exists not to
+// materialize — Vectors is nil, and representative vectors can be
+// fetched per shard via the store. workers bounds sweep parallelism
+// (0 = GOMAXPROCS); every worker streams through its own shard
+// reader, so peak memory is O(workers x shard + k·d).
+//
+// The store must not be mutated while the analysis runs.
+func AnalyzeJointStore(st *ivstore.Store, cfg Config, workers int) (*JointResult, error) {
+	cfg = cfg.withDefaults()
+	shards := st.Shards()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("phases: joint analysis of an empty store %s", st.Dir())
+	}
+	if st.Dims() != mica.NumChars {
+		return nil, fmt.Errorf("phases: store %s has %d-dimensional rows, want %d", st.Dir(), st.Dims(), mica.NumChars)
+	}
+
+	// One validating pass over every shard builds the provenance
+	// (RowRefs, per-row instruction counts). This is also where a
+	// corrupt shard surfaces as an ordinary error, before the
+	// streaming passes below (whose Reader has no error channel) start.
+	n := st.NumRows()
+	j := &JointResult{
+		Benchmarks: st.Benchmarks(),
+		Rows:       make([]RowRef, 0, n),
+		RowInsts:   make([]uint64, 0, n),
+	}
+	for si := range shards {
+		sd, err := st.ReadShard(si)
+		if err != nil {
+			return nil, fmt.Errorf("phases: joint analysis: %w", err)
+		}
+		for ii, insts := range sd.Insts {
+			j.Rows = append(j.Rows, RowRef{Bench: si, Interval: ii})
+			j.RowInsts = append(j.RowInsts, insts)
+		}
+	}
+
+	// Normalization statistics, streamed shard-by-shard in the same
+	// accumulation order stats.ZScoreNormalize uses (ColumnStats is
+	// pinned bit-identical to it).
+	mean, std := cluster.ColumnStats(st.Rows())
+
+	sel := cluster.SelectKRows(func() cluster.Rows {
+		return cluster.Normalized(st.Rows(), mean, std)
+	}, cfg.MaxK, 0.9, cfg.Seed, cluster.SweepOptions{Workers: workers})
+
+	j.deriveFrom(cluster.Normalized(st.Rows(), mean, std), sel)
+	return j, nil
+}

@@ -1,6 +1,8 @@
 package mica
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -314,6 +316,21 @@ func readPhaseCache(path string) (phaseCacheFile, error) {
 		return pf, fmt.Errorf("mica: %s: phase cache version %d, want %d", path, pf.Version, PhaseCacheVersion)
 	}
 	return pf, nil
+}
+
+// phaseConfigHash returns the sha256 hex stamp of the normalized phase
+// configuration — the provenance key interval-vector stores record per
+// shard (CharacterizeToStore). It hashes the same normalized JSON form
+// the JSON caches are keyed on, so "would this cache hit" and "can
+// this shard be reused" are decided by one serialization.
+func phaseConfigHash(cfg PhaseConfig) string {
+	data, err := json.Marshal(phaseConfigToJSON(cfg))
+	if err != nil {
+		// phaseConfigJSON is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("mica: hashing phase config: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // configsMatch reports whether a loaded cache configuration satisfies

@@ -777,3 +777,70 @@ func TestReducedVocabHitAccounting(t *testing.T) {
 		t.Errorf("vocabulary-hit replay reports %d sampled insts, want %d", got, want)
 	}
 }
+
+// TestVersionMismatchErrorsNameTheFile is the table-driven contract
+// for version-stamp rejection across every loader of persisted phase
+// state: the JSON caches (per-benchmark, joint, reduced) and the
+// interval-vector store manifest. Each error must name the offending
+// file and state both versions in the shared "version N, want M"
+// wording, so a stale-file report is actionable no matter which layer
+// produced it.
+func TestVersionMismatchErrorsNameTheFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(t *testing.T, name, doc string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name string
+		load func(t *testing.T) (string, error)
+		want string
+	}{
+		{"LoadPhases", func(t *testing.T) (string, error) {
+			p := write(t, "phases.json", `{"version": 99, "results": [{"name": "x"}]}`)
+			_, _, err := LoadPhases(p)
+			return p, err
+		}, "phase cache version 99, want 1"},
+		{"LoadJointPhases", func(t *testing.T) (string, error) {
+			p := write(t, "joint.json", `{"version": 99, "joint": {}}`)
+			_, _, err := LoadJointPhases(p)
+			return p, err
+		}, "phase cache version 99, want 1"},
+		{"LoadReduced", func(t *testing.T) (string, error) {
+			p := write(t, "reduced.json", `{"version": 99, "reduced": [{"name": "x"}]}`)
+			_, _, err := LoadReduced(p)
+			return p, err
+		}, "phase cache version 99, want 1"},
+		{"ivstore.Open", func(t *testing.T) (string, error) {
+			sub := filepath.Join(dir, "store")
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(sub, "manifest.json")
+			doc := `{"version": 99, "dims": 47, "encoding": "float32", "shards": []}`
+			if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenIVStore(sub)
+			return p, err
+		}, "manifest version 99, want 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, err := tc.load(t)
+			if err == nil {
+				t.Fatal("version-99 file accepted")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the offending file %s", err, path)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q lacks the unified wording %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package mica
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"mica/internal/ivstore"
+	micachar "mica/internal/mica"
+	"mica/internal/phases"
+	"mica/internal/vm"
+)
+
+// IVStore is the sharded, columnar, on-disk interval-vector store
+// behind registry-scale joint phase analysis: one binary shard per
+// benchmark plus a versioned JSON manifest. See internal/ivstore for
+// the format.
+type IVStore = ivstore.Store
+
+// StoreOptions parameterizes the store-backed joint pipelines. The
+// zero value (plus a Dir) is the documented default: float32 shards,
+// full rebuild.
+type StoreOptions struct {
+	// Dir is the store directory.
+	Dir string
+	// Quantize selects the 8-bit quantized shard encoding instead of
+	// float32 — 4x smaller shards for a reconstruction error bounded by
+	// half a per-column quantization step (ivstore.Quant8MaxError).
+	Quantize bool
+	// Incremental reuses shards of an existing store in Dir whose
+	// benchmark name and configuration stamp still match, so a rerun
+	// re-characterizes only the benchmarks whose configuration hash or
+	// membership changed (a missing or dropped shard counts as
+	// changed). Without it the whole set is re-characterized.
+	Incremental bool
+}
+
+// encoding maps the option to the store encoding.
+func (o StoreOptions) encoding() ivstore.Encoding {
+	if o.Quantize {
+		return ivstore.Quant8
+	}
+	return ivstore.Float32
+}
+
+// StoreBuildStats reports what a CharacterizeToStore run did per
+// benchmark — the incremental contract made observable (and
+// regression-tested: an incremental rerun that changes one benchmark
+// re-characterizes exactly that one).
+type StoreBuildStats struct {
+	// Characterized lists the benchmarks whose shards were (re)built
+	// this run, in pipeline order.
+	Characterized []string
+	// Reused lists the benchmarks whose existing shards were adopted
+	// unchanged.
+	Reused []string
+}
+
+// CharacterizeToStore characterizes every benchmark's intervals into
+// an on-disk interval-vector store: the sharded pooled pipeline (one
+// profiler per worker, Reset between intervals and benchmarks) feeds
+// one shard per benchmark, written as each worker finishes, so peak
+// memory is bounded by the in-flight benchmarks — never the
+// registry-wide matrix. The committed store's row order is bs order,
+// exactly the concatenation order of the in-memory joint path.
+//
+// With opt.Incremental, shards of an existing store in opt.Dir are
+// reused in place when their benchmark name and configuration stamp
+// (the hash of the normalized phase configuration) still match and
+// their file is still present; only changed benchmarks pay
+// re-characterization, and benchmarks dropped from bs are pruned on
+// commit. A directory that holds an unreadable store is an error,
+// never silently overwritten. cfg.Progress is invoked once per
+// benchmark actually characterized (not for reused shards).
+func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
+	if len(bs) == 0 {
+		return nil, nil, fmt.Errorf("mica: characterizing zero benchmarks to a store")
+	}
+	if opt.Dir == "" {
+		return nil, nil, fmt.Errorf("mica: store characterization needs a directory")
+	}
+	cfg.Phase = cfg.Phase.WithDefaults()
+	enc := opt.encoding()
+	hash := phaseConfigHash(cfg.Phase)
+
+	// Inventory the existing store when reuse is requested (the
+	// manifest alone — a vanished shard file only invalidates its own
+	// benchmark, via the Adopt fallback below). A missing store means a
+	// fresh build; a present-but-unusable one is surfaced, mirroring
+	// the JSON caches' refusal to clobber.
+	reusable := make(map[string]ivstore.Shard)
+	prevCfg, prevShards, err := ivstore.Inventory(opt.Dir)
+	switch {
+	case err == nil:
+		if opt.Incremental && prevCfg.Dims == NumChars && prevCfg.Encoding == enc && prevCfg.ConfigHash == hash {
+			for _, sh := range prevShards {
+				if sh.ConfigHash == hash {
+					reusable[sh.Name] = sh
+				}
+			}
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// No store yet; build from scratch.
+	default:
+		return nil, nil, fmt.Errorf("mica: %s exists but is not a usable interval-vector store (delete it or pass another path): %w", opt.Dir, err)
+	}
+
+	st, err := ivstore.Create(opt.Dir, ivstore.Config{Dims: NumChars, Encoding: enc, ConfigHash: hash})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stats := &StoreBuildStats{}
+	var toBuild []Benchmark
+	for _, b := range bs {
+		if sh, ok := reusable[b.Name()]; ok {
+			if err := st.Adopt(sh); err == nil {
+				stats.Reused = append(stats.Reused, b.Name())
+				continue
+			}
+			// A vanished or renamed shard file counts as a changed
+			// benchmark: fall through to re-characterization.
+		}
+		toBuild = append(toBuild, b)
+		stats.Characterized = append(stats.Characterized, b.Name())
+	}
+
+	err = phasePipeline(toBuild, cfg, "store characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
+		if err != nil {
+			return err
+		}
+		insts := make([]uint64, len(res.Intervals))
+		for ii, iv := range res.Intervals {
+			insts[ii] = iv.Insts
+		}
+		return st.WriteShard(toBuild[i].Name(), insts, res.Vectors)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	order := make([]string, len(bs))
+	for i, b := range bs {
+		order[i] = b.Name()
+	}
+	if err := st.Commit(order); err != nil {
+		return nil, nil, err
+	}
+	return st, stats, nil
+}
+
+// AnalyzePhasesJointStore is AnalyzePhasesJoint through the
+// interval-vector store: every benchmark is characterized into (or
+// reused from) the store in opt.Dir, then the registry-wide joint
+// vocabulary is clustered by streaming rows shard-by-shard —
+// bit-identical to the in-memory path on data that round-trips the
+// shard encoding, with peak memory O(workers x shard + k·d) instead
+// of O(benchmarks x intervals x 47). The returned result's Vectors
+// matrix is nil by design; everything else (assignment, K,
+// representatives, occupancy, provenance) is fully populated.
+func AnalyzePhasesJointStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*PhaseJointResult, *StoreBuildStats, error) {
+	st, stats, err := CharacterizeToStore(bs, cfg, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := phases.AnalyzeJointStore(st, cfg.Phase, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, stats, nil
+}
+
+// OpenIVStore opens an existing committed interval-vector store —
+// the read-only entry point for tools that analyze a store built by
+// an earlier run (mica-phases -store without re-characterizing, or a
+// direct phases.AnalyzeJointStore call).
+func OpenIVStore(dir string) (*IVStore, error) { return ivstore.Open(dir) }

@@ -1,0 +1,296 @@
+package mica
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mica/internal/phases"
+)
+
+// storeTestConfig keeps store-pipeline tests fast: a handful of short
+// intervals per benchmark.
+var storeTestConfig = PhaseConfig{IntervalLen: 500, MaxIntervals: 8, MaxK: 3, Seed: 2006}
+
+func storeBenchmarks(t *testing.T, names ...string) []Benchmark {
+	t.Helper()
+	bs := make([]Benchmark, len(names))
+	for i, n := range names {
+		b, err := BenchmarkByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs[i] = b
+	}
+	return bs
+}
+
+// TestAnalyzePhasesJointStoreMatchesInMemory is the top-level
+// differential of the tentpole: on a real benchmark set, the
+// store-backed joint vocabulary equals the in-memory AnalyzeJoint
+// vocabulary — bit-identical against the float32-rounded input (what
+// a float32 store holds by definition), and identical end-to-end
+// against the raw in-memory pipeline on this set.
+func TestAnalyzePhasesJointStoreMatchesInMemory(t *testing.T) {
+	bs := storeBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr", "SPEC2000/gzip/program")
+	pcfg := PhasePipelineConfig{Phase: storeTestConfig, Workers: 2}
+
+	want, err := AnalyzePhasesJoint(bs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := AnalyzePhasesJointStore(bs, pcfg, StoreOptions{Dir: filepath.Join(t.TempDir(), "store")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Characterized) != len(bs) || len(stats.Reused) != 0 {
+		t.Fatalf("fresh build stats %+v, want all characterized", stats)
+	}
+	if got.Vectors != nil {
+		t.Error("store-backed result materialized the joint matrix")
+	}
+	if !reflect.DeepEqual(got.Benchmarks, want.Benchmarks) ||
+		!reflect.DeepEqual(got.Rows, want.Rows) ||
+		!reflect.DeepEqual(got.RowInsts, want.RowInsts) {
+		t.Error("store-backed provenance diverges from in-memory")
+	}
+	if got.K != want.K || !reflect.DeepEqual(got.Assign, want.Assign) ||
+		!reflect.DeepEqual(got.Representatives, want.Representatives) ||
+		!reflect.DeepEqual(got.Occupancy, want.Occupancy) {
+		t.Errorf("store-backed vocabulary diverges from in-memory: K %d vs %d", got.K, want.K)
+	}
+}
+
+// TestCharacterizeToStoreIncremental is the incremental acceptance
+// test: a rerun that changes one benchmark re-characterizes only that
+// benchmark, observed through the pipeline progress counter.
+func TestCharacterizeToStoreIncremental(t *testing.T) {
+	names := []string{"MiBench/sha/large", "CommBench/drr/drr", "SPEC2000/gzip/program"}
+	bs := storeBenchmarks(t, names...)
+	dir := filepath.Join(t.TempDir(), "store")
+	profiled := 0
+	pcfg := PhasePipelineConfig{
+		Phase:    storeTestConfig,
+		Workers:  1,
+		Progress: func(done, total int, name string) { profiled++ },
+	}
+	inc := StoreOptions{Dir: dir, Incremental: true}
+
+	// Fresh build characterizes everything.
+	_, stats, err := CharacterizeToStore(bs, pcfg, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != len(bs) || len(stats.Characterized) != len(bs) {
+		t.Fatalf("fresh build characterized %d (progress %d), want %d", len(stats.Characterized), profiled, len(bs))
+	}
+	baseline, err := phases.AnalyzeJointStore(mustOpenStore(t, dir), storeTestConfig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged rerun: zero profiling, identical vocabulary.
+	profiled = 0
+	st, stats, err := CharacterizeToStore(bs, pcfg, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != 0 || len(stats.Characterized) != 0 || len(stats.Reused) != len(bs) {
+		t.Fatalf("unchanged rerun profiled %d, stats %+v", profiled, stats)
+	}
+	again, err := phases.AnalyzeJointStore(st, storeTestConfig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, again) {
+		t.Error("vocabulary from reused shards diverges from the fresh build")
+	}
+
+	// "Change" one benchmark by removing its shard file: only it is
+	// re-characterized.
+	if err := os.Remove(filepath.Join(dir, shardFileOf(t, dir, names[1]))); err != nil {
+		t.Fatal(err)
+	}
+	profiled = 0
+	_, stats, err = CharacterizeToStore(bs, pcfg, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != 1 || !reflect.DeepEqual(stats.Characterized, []string{names[1]}) {
+		t.Fatalf("one-benchmark change re-characterized %v (progress %d), want just %s",
+			stats.Characterized, profiled, names[1])
+	}
+
+	// Membership change: adding one benchmark characterizes only it.
+	grown := append(append([]Benchmark(nil), bs...), storeBenchmarks(t, "MiBench/FFT/fft-large")...)
+	profiled = 0
+	_, stats, err = CharacterizeToStore(grown, pcfg, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != 1 || !reflect.DeepEqual(stats.Characterized, []string{"MiBench/FFT/fft-large"}) {
+		t.Fatalf("grown set re-characterized %v, want just the new benchmark", stats.Characterized)
+	}
+
+	// Dropping a benchmark prunes its shard and profiles nothing.
+	droppedFile := shardFileOf(t, dir, names[0])
+	shrunk := grown[1:]
+	profiled = 0
+	_, stats, err = CharacterizeToStore(shrunk, pcfg, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != 0 || len(stats.Reused) != len(shrunk) {
+		t.Fatalf("shrunk set stats %+v (progress %d)", stats, profiled)
+	}
+	if _, err := os.Stat(filepath.Join(dir, droppedFile)); !os.IsNotExist(err) {
+		t.Error("dropped benchmark's shard not pruned")
+	}
+
+	// A configuration change invalidates every shard.
+	changed := pcfg
+	changed.Phase.IntervalLen = 600
+	profiled = 0
+	_, stats, err = CharacterizeToStore(shrunk, changed, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled != len(shrunk) || len(stats.Reused) != 0 {
+		t.Fatalf("config change reused %v, want full rebuild", stats.Reused)
+	}
+}
+
+func mustOpenStore(t *testing.T, dir string) *IVStore {
+	t.Helper()
+	st, err := OpenIVStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// shardFileOf resolves a benchmark's shard file from the committed
+// manifest (file names embed the configuration stamp).
+func shardFileOf(t *testing.T, dir, name string) string {
+	t.Helper()
+	for _, sh := range mustOpenStore(t, dir).Shards() {
+		if sh.Name == name {
+			return sh.File
+		}
+	}
+	t.Fatalf("no shard for %s in %s", name, dir)
+	return ""
+}
+
+// TestCharacterizeToStoreQuantized: the quantized store runs the same
+// pipeline and analysis end to end, and its shards are roughly a
+// quarter the size of the float32 ones.
+func TestCharacterizeToStoreQuantized(t *testing.T) {
+	bs := storeBenchmarks(t, "MiBench/sha/large", "CommBench/drr/drr")
+	// Enough intervals that the per-column quantization scales (16
+	// bytes each) amortize against the row data.
+	pcfg := PhasePipelineConfig{
+		Phase:   PhaseConfig{IntervalLen: 100, MaxIntervals: 200, MaxK: 3, Seed: 2006},
+		Workers: 1,
+	}
+	base := t.TempDir()
+	stF, _, err := CharacterizeToStore(bs, pcfg, StoreOptions{Dir: filepath.Join(base, "f32")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stQ, _, err := CharacterizeToStore(bs, pcfg, StoreOptions{Dir: filepath.Join(base, "q8"), Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeOf := func(st *IVStore) int64 {
+		var total int64
+		for _, sh := range st.Shards() {
+			fi, err := os.Stat(filepath.Join(st.Dir(), sh.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+		return total
+	}
+	f, q := sizeOf(stF), sizeOf(stQ)
+	if q*3 >= f {
+		t.Errorf("quant8 store %d bytes vs float32 %d — expected well under a third", q, f)
+	}
+	j, err := phases.AnalyzeJointStore(stQ, pcfg.Phase, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.K < 1 || len(j.Assign) != stQ.NumRows() {
+		t.Fatalf("quantized joint vocabulary malformed: K=%d", j.K)
+	}
+	// An incremental rerun under the other encoding must rebuild, not
+	// adopt incompatible shards.
+	_, stats, err := CharacterizeToStore(bs, pcfg, StoreOptions{Dir: filepath.Join(base, "q8"), Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Reused) != 0 {
+		t.Error("float32 request reused quant8 shards")
+	}
+}
+
+// TestCharacterizeToStoreRefusesCorrupt: an unreadable store directory
+// is an error naming the path, never silently rebuilt over.
+func TestCharacterizeToStoreRefusesCorrupt(t *testing.T) {
+	bs := storeBenchmarks(t, "MiBench/sha/large")
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := CharacterizeToStore(bs, PhasePipelineConfig{Phase: storeTestConfig, Workers: 1},
+		StoreOptions{Dir: dir, Incremental: true})
+	if err == nil {
+		t.Fatal("corrupt store rebuilt over")
+	}
+	if !strings.Contains(err.Error(), dir) || !strings.Contains(err.Error(), "not a usable") {
+		t.Fatalf("error %q does not refuse by name", err)
+	}
+}
+
+// TestJointStoreRegistryScale is the registry-scale acceptance run:
+// the full 122-benchmark registry at 1000 intervals per benchmark,
+// characterized into a store and clustered entirely store-backed. The
+// point is that it completes with bounded memory (rows are never
+// materialized as one matrix) and yields a structurally sound shared
+// vocabulary.
+func TestJointStoreRegistryScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry-scale store run skipped in -short mode")
+	}
+	bs := Benchmarks()
+	pcfg := PhasePipelineConfig{
+		Phase:   PhaseConfig{IntervalLen: 400, MaxIntervals: 1000, MaxK: 3, Seed: 2006},
+		Workers: 4,
+	}
+	j, stats, err := AnalyzePhasesJointStore(bs, pcfg, StoreOptions{Dir: filepath.Join(t.TempDir(), "registry")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Characterized) != len(bs) {
+		t.Fatalf("characterized %d benchmarks, want %d", len(stats.Characterized), len(bs))
+	}
+	if len(j.Benchmarks) != len(bs) || len(j.Rows) < 100*1000 {
+		t.Fatalf("joint space has %d benchmarks, %d rows — want the full registry at >=1k intervals",
+			len(j.Benchmarks), len(j.Rows))
+	}
+	if j.K < 1 || j.K > 3 {
+		t.Fatalf("selected K=%d outside the sweep", j.K)
+	}
+	for b := range j.Benchmarks {
+		sum := 0.0
+		for c := 0; c < j.K; c++ {
+			sum += j.Occupancy.At(b, c)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("benchmark %d occupancy row sums to %v", b, sum)
+		}
+	}
+}
