@@ -73,13 +73,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"slices"
 	"strings"
+	"syscall"
 	"time"
 
 	"mica"
@@ -168,6 +171,13 @@ func main() {
 		seed       = flag.Int64("seed", 2006, "synthetic data and k-means seed (with -cluster or -reduced)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancels the measurement context: the current
+	// pipeline drains and the harness exits without appending a
+	// half-measured entry to the tracked history.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case *jointRun:
@@ -178,7 +188,7 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runJoint(*budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
+			err = runJoint(ctx, *budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
 		}
 	case *clusterRun:
 		flag.Visit(func(f *flag.Flag) {
@@ -188,7 +198,7 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runCluster(*rows, *maxK, *runs, *jsonOut, *label, *seed)
+			err = runCluster(ctx, *rows, *maxK, *runs, *jsonOut, *label, *seed)
 		}
 	case *reducedRun:
 		flag.Visit(func(f *flag.Flag) {
@@ -198,10 +208,10 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runReduced(*budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
+			err = runReduced(ctx, *budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed)
 		}
 	default:
-		err = run(*budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval)
+		err = run(ctx, *budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-bench:", err)
@@ -209,7 +219,7 @@ func main() {
 	}
 }
 
-func run(budget uint64, runs int, benches, jsonOut, label string, phaseRun bool, interval uint64) error {
+func run(ctx context.Context, budget uint64, runs int, benches, jsonOut, label string, phaseRun bool, interval uint64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -284,6 +294,12 @@ func run(budget uint64, runs int, benches, jsonOut, label string, phaseRun bool,
 			var totalTime time.Duration
 			perBench := make(map[string]float64)
 			for i, b := range set {
+				// Measurement granularity is one benchmark: a signal stops
+				// the harness at the next benchmark boundary, so no
+				// half-measured entry reaches the tracked history.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				n, d, err := c.measure(b)
 				if err != nil {
 					return fmt.Errorf("%s on %s: %w", c.name, names[i], err)
@@ -341,7 +357,7 @@ func appendHistory(jsonOut string, res Result) error {
 // reference (SelectKNaive) against the parallel minibatch sweep, on
 // the same synthetic matrix with the same seed. Throughput is million
 // row-assignments per second (rows x maxK / wall time).
-func runCluster(rows, maxK, runs int, jsonOut, label string, seed int64) error {
+func runCluster(ctx context.Context, rows, maxK, runs int, jsonOut, label string, seed int64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -364,25 +380,34 @@ func runCluster(rows, maxK, runs int, jsonOut, label string, seed int64) error {
 		Benchmarks: []string{fmt.Sprintf("synthetic-blobs-%dx47-c%d", rows, centers)},
 	}
 
-	measure := func(sweep func() cluster.Selection) (cluster.Selection, time.Duration) {
+	measure := func(sweep func() cluster.Selection) (cluster.Selection, time.Duration, error) {
 		var sel cluster.Selection
 		best := time.Duration(0)
 		for r := 0; r < runs; r++ {
+			if err := ctx.Err(); err != nil {
+				return sel, best, err
+			}
 			start := time.Now()
 			s := sweep()
 			if d := time.Since(start); best == 0 || d < best {
 				best, sel = d, s
 			}
 		}
-		return sel, best
+		return sel, best, nil
 	}
 
-	naiveSel, naiveT := measure(func() cluster.Selection {
+	naiveSel, naiveT, err := measure(func() cluster.Selection {
 		return cluster.SelectKNaive(m, maxK, 0.9, seed)
 	})
-	miniSel, miniT := measure(func() cluster.Selection {
+	if err != nil {
+		return err
+	}
+	miniSel, miniT, err := measure(func() cluster.Selection {
 		return cluster.SelectKOpt(m, maxK, 0.9, seed, cluster.SweepOptions{Engine: cluster.EngineMiniBatch})
 	})
+	if err != nil {
+		return err
+	}
 
 	// Worst-case minibatch SSE excess over exact Lloyd across the sweep
 	// (k=1 SSE is seeding-independent, so the comparison starts there
@@ -437,7 +462,7 @@ func runCluster(rows, maxK, runs int, jsonOut, label string, seed int64) error {
 // records its speedup and the worst per-metric relative error of its
 // extrapolations — the tracked evidence that the speedup does not cost
 // accuracy.
-func runReduced(budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
+func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -477,6 +502,9 @@ func runReduced(budget, interval uint64, maxK, runs int, benches, jsonOut, label
 		var rr *mica.ReducedResult
 		var bestFull, bestRed time.Duration
 		for r := 0; r < runs; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			start := time.Now()
 			e, err := mica.ProfileExact(b, cfg)
 			if err != nil {
@@ -529,7 +557,7 @@ func runReduced(budget, interval uint64, maxK, runs int, benches, jsonOut, label
 // vocabulary (K + assignment) matches the in-memory one bit for bit,
 // so the recorded numbers carry their fidelity with them. -bench
 // defaults to the whole registry.
-func runJoint(budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
+func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -568,7 +596,7 @@ func runJoint(budget, interval uint64, maxK, runs int, benches, jsonOut, label s
 	var refTime time.Duration
 	for r := 0; r < runs; r++ {
 		start := time.Now()
-		j, err := mica.AnalyzePhasesJoint(set, pcfg)
+		j, err := mica.AnalyzePhasesJointCtx(ctx, set, pcfg)
 		if err != nil {
 			return fmt.Errorf("joint in-memory: %w", err)
 		}
@@ -600,7 +628,7 @@ func runJoint(budget, interval uint64, maxK, runs int, benches, jsonOut, label s
 				return err
 			}
 			start := time.Now()
-			j, _, err := mica.AnalyzePhasesJointStore(set, pcfg, mica.StoreOptions{Dir: dir, Quantize: sc.quantize})
+			j, _, err := mica.AnalyzePhasesJointStoreCtx(ctx, set, pcfg, mica.StoreOptions{Dir: dir, Quantize: sc.quantize})
 			if err != nil {
 				os.RemoveAll(dir)
 				return fmt.Errorf("%s: %w", sc.name, err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -9,10 +10,10 @@ import (
 
 func TestRunWritesHistory(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(2000, 1, "MiBench/sha/large", out, "first", false, 1000); err != nil {
+	if err := run(context.Background(), 2000, 1, "MiBench/sha/large", out, "first", false, 1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2000, 1, "MiBench/sha/large", out, "second", false, 1000); err != nil {
+	if err := run(context.Background(), 2000, 1, "MiBench/sha/large", out, "second", false, 1000); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -43,7 +44,7 @@ func TestRunWritesHistory(t *testing.T) {
 
 func TestRunPhasesWritesHistory(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "phases.json")
-	if err := run(10_000, 1, "MiBench/sha/large", out, "phase-smoke", true, 500); err != nil {
+	if err := run(context.Background(), 10_000, 1, "MiBench/sha/large", out, "phase-smoke", true, 500); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -72,16 +73,16 @@ func TestRunPhasesWritesHistory(t *testing.T) {
 }
 
 func TestRunPhasesRejectsBadInterval(t *testing.T) {
-	if err := run(1000, 1, "MiBench/sha/large", "", "x", true, 0); err == nil {
+	if err := run(context.Background(), 1000, 1, "MiBench/sha/large", "", "x", true, 0); err == nil {
 		t.Fatal("interval 0 accepted")
 	}
-	if err := run(1000, 1, "MiBench/sha/large", "", "x", true, 2000); err == nil {
+	if err := run(context.Background(), 1000, 1, "MiBench/sha/large", "", "x", true, 2000); err == nil {
 		t.Fatal("interval beyond budget accepted")
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run(1000, 1, "no/such/bench", "", "x", false, 1000); err == nil {
+	if err := run(context.Background(), 1000, 1, "no/such/bench", "", "x", false, 1000); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
 }
@@ -91,7 +92,7 @@ func TestRunUnknownBenchmark(t *testing.T) {
 // carrying its speedup and SSE-excess annotations.
 func TestRunClusterWritesHistory(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "cluster.json")
-	if err := runCluster(9000, 4, 1, out, "cluster-smoke", 2006); err != nil {
+	if err := runCluster(context.Background(), 9000, 4, 1, out, "cluster-smoke", 2006); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -133,17 +134,17 @@ func TestRunClusterWritesHistory(t *testing.T) {
 }
 
 func TestRunClusterRejectsBadShape(t *testing.T) {
-	if err := runCluster(0, 4, 1, "", "x", 1); err == nil {
+	if err := runCluster(context.Background(), 0, 4, 1, "", "x", 1); err == nil {
 		t.Fatal("rows=0 accepted")
 	}
-	if err := runCluster(100, 0, 1, "", "x", 1); err == nil {
+	if err := runCluster(context.Background(), 100, 0, 1, "", "x", 1); err == nil {
 		t.Fatal("maxk=0 accepted")
 	}
 }
 
 func TestRunReducedWritesHistory(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hist.json")
-	if err := runReduced(40_000, 2_000, 4, 1, "MiBench/sha/large", path, "test", 1); err != nil {
+	if err := runReduced(context.Background(), 40_000, 2_000, 4, 1, "MiBench/sha/large", path, "test", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -174,14 +175,14 @@ func TestRunReducedWritesHistory(t *testing.T) {
 }
 
 func TestRunReducedRejectsBadInterval(t *testing.T) {
-	if err := runReduced(1_000, 50_000, 4, 1, "MiBench/sha/large", "", "test", 1); err == nil {
+	if err := runReduced(context.Background(), 1_000, 50_000, 4, 1, "MiBench/sha/large", "", "test", 1); err == nil {
 		t.Fatal("interval > budget must be rejected")
 	}
 }
 
 func TestRunJointWritesHistory(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hist.json")
-	if err := runJoint(8_000, 1_000, 3, 1, "MiBench/sha/large,CommBench/drr/drr", path, "test", 1); err != nil {
+	if err := runJoint(context.Background(), 8_000, 1_000, 3, 1, "MiBench/sha/large,CommBench/drr/drr", path, "test", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -218,7 +219,7 @@ func TestRunJointWritesHistory(t *testing.T) {
 }
 
 func TestRunJointRejectsBadInterval(t *testing.T) {
-	if err := runJoint(1_000, 50_000, 3, 1, "MiBench/sha/large", "", "test", 1); err == nil {
+	if err := runJoint(context.Background(), 1_000, 50_000, 3, 1, "MiBench/sha/large", "", "test", 1); err == nil {
 		t.Fatal("interval > budget must be rejected")
 	}
 }

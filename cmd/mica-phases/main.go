@@ -40,14 +40,26 @@
 //	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
 //	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
 //	mica-phases -joint -store phases.ivs [-quant] [-incremental]
+//	mica-phases -store phases.ivs -fsck [-repair]
 //	mica-phases -reduced [-bench name | -all | -joint] [-sample 0.2] [-reps 3] [-cache reduced.json]
+//
+// SIGINT or SIGTERM cancels the run cleanly: in-flight benchmarks
+// drain, store-backed runs commit every shard finished so far, and a
+// rerun with -incremental resumes from the committed shards instead
+// of starting over. -fsck verifies a store's integrity (manifest,
+// per-shard CRCs, crash artifacts) and -fsck -repair quarantines
+// corrupt shards and clears crash debris so the store reopens
+// cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mica"
 	"mica/internal/report"
@@ -71,8 +83,16 @@ func main() {
 		sampleFrac   = flag.Float64("sample", 0, "cheap-pass sample fraction per interval with -reduced (0 = default 0.2)")
 		repsPerPhase = flag.Int("reps", 0, "measured intervals per phase with -reduced (0 = default 3)")
 		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models on the reduced replay pass")
+		fsck         = flag.Bool("fsck", false, "with -store: verify the store's integrity (manifest, per-shard CRCs, crash artifacts) and exit")
+		repair       = flag.Bool("repair", false, "with -store -fsck: quarantine corrupt shards and remove crash artifacts so the store reopens cleanly")
 	)
 	flag.Parse()
+
+	// A signal cancels the pipeline context instead of killing the
+	// process mid-write: workers drain, finished shards commit, and an
+	// -incremental rerun resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := mica.PhaseConfig{
 		IntervalLen:  *intervalLen,
 		MaxIntervals: *maxIntervals,
@@ -82,6 +102,15 @@ func main() {
 	sopt := mica.StoreOptions{Dir: *storeDir, Quantize: *quant, Incremental: *incremental}
 	var err error
 	switch {
+	case *fsck || *repair:
+		switch {
+		case *storeDir == "":
+			err = fmt.Errorf("-fsck/-repair check an interval-vector store; pass -store DIR")
+		case *repair && !*fsck:
+			err = fmt.Errorf("-repair rides on the fsck pass; pass -fsck -repair")
+		default:
+			err = runFsck(*storeDir, *repair)
+		}
 	case *storeDir != "" && *cache != "":
 		err = fmt.Errorf("-store and -cache are alternative persistence layers; pass one")
 	case *storeDir != "" && (!*joint || *reduced):
@@ -95,9 +124,9 @@ func main() {
 			RepsPerPhase: *repsPerPhase,
 			SkipHPC:      *skipHPC,
 		}
-		err = runReduced(*benchName, *all, *joint, *cache, rcfg, *workers)
+		err = runReduced(ctx, *benchName, *all, *joint, *cache, rcfg, *workers)
 	default:
-		err = run(*benchName, *all, *joint, *cache, sopt, cfg, *workers)
+		err = run(ctx, *benchName, *all, *joint, *cache, sopt, cfg, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
@@ -105,7 +134,35 @@ func main() {
 	}
 }
 
-func run(benchName string, all, joint bool, cache string, sopt mica.StoreOptions, cfg mica.PhaseConfig, workers int) error {
+// runFsck verifies (and with repair, repairs) the store at dir. A
+// dirty store makes the verify-only form exit nonzero so scripts can
+// gate on it; a successful repair exits zero with the report of what
+// was quarantined or removed.
+func runFsck(dir string, repair bool) error {
+	if repair {
+		rep, err := mica.RepairIVStore(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		if len(rep.Quarantined) > 0 {
+			fmt.Printf("%d shards quarantined; rerun with -joint -store %s -incremental to re-characterize exactly those benchmarks\n",
+				len(rep.Quarantined), dir)
+		}
+		return nil
+	}
+	rep, err := mica.VerifyIVStore(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if !rep.Clean() {
+		return fmt.Errorf("store %s failed verification; run -fsck -repair to quarantine bad shards and clear crash artifacts", dir)
+	}
+	return nil
+}
+
+func run(ctx context.Context, benchName string, all, joint bool, cache string, sopt mica.StoreOptions, cfg mica.PhaseConfig, workers int) error {
 	pcfg := mica.PhasePipelineConfig{
 		Phase:    cfg,
 		Workers:  workers,
@@ -117,13 +174,13 @@ func run(benchName string, all, joint bool, cache string, sopt mica.StoreOptions
 		if err != nil {
 			return err
 		}
-		j, stats, err := mica.AnalyzePhasesJointStore(bs, pcfg, sopt)
+		j, stats, err := mica.AnalyzePhasesJointStoreCtx(ctx, bs, pcfg, sopt)
+		if stats != nil {
+			reportStoreBuild(sopt.Dir, stats, err != nil)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr)
-		fmt.Printf("store %s: %d shards characterized, %d reused in place\n\n",
-			sopt.Dir, len(stats.Characterized), len(stats.Reused))
 		return renderJoint(j)
 
 	case joint:
@@ -131,7 +188,7 @@ func run(benchName string, all, joint bool, cache string, sopt mica.StoreOptions
 		if err != nil {
 			return err
 		}
-		j, hit, err := analyzeJoint(cache, bs, pcfg)
+		j, hit, err := analyzeJoint(ctx, cache, bs, pcfg)
 		if err != nil {
 			return err
 		}
@@ -142,7 +199,7 @@ func run(benchName string, all, joint bool, cache string, sopt mica.StoreOptions
 		return renderJoint(j)
 
 	case all:
-		results, hit, err := analyzeAll(cache, pcfg)
+		results, hit, err := analyzeAll(ctx, cache, pcfg)
 		if err != nil {
 			return err
 		}
@@ -213,8 +270,38 @@ func progressLine(done, total int, name string) {
 	fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-60s", done, total, name)
 }
 
+// reportStoreBuild summarizes what a store-backed run did — including
+// a failed or cancelled one, whose partial commit is the resume point
+// for the next -incremental rerun.
+func reportStoreBuild(dir string, stats *mica.StoreBuildStats, failed bool) {
+	fmt.Fprintln(os.Stderr)
+	out := os.Stdout
+	if failed {
+		// A failing run's summary belongs with its error, not in the
+		// result stream.
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "store %s: %d shards characterized, %d reused in place\n",
+		dir, len(stats.Characterized), len(stats.Reused))
+	if len(stats.Failed) > 0 {
+		fmt.Fprintf(out, "  failed: %s\n", strings.Join(stats.Failed, ", "))
+	}
+	if len(stats.Skipped) > 0 {
+		fmt.Fprintf(out, "  skipped (cancelled before dispatch): %d benchmarks\n", len(stats.Skipped))
+	}
+	for _, w := range stats.CommitWarnings {
+		fmt.Fprintf(out, "  commit warning: %s\n", w)
+	}
+	if failed && len(stats.Characterized)+len(stats.Reused) > 0 {
+		fmt.Fprintf(out, "  committed shards are durable; rerun with -incremental to resume from them\n")
+	}
+	if !failed {
+		fmt.Fprintln(out)
+	}
+}
+
 // runReduced drives the two-pass reduced pipelines.
-func runReduced(benchName string, all, joint bool, cache string, rcfg mica.ReducedConfig, workers int) error {
+func runReduced(ctx context.Context, benchName string, all, joint bool, cache string, rcfg mica.ReducedConfig, workers int) error {
 	pcfg := mica.ReducedPipelineConfig{
 		Reduced:  rcfg,
 		Workers:  workers,
@@ -226,7 +313,7 @@ func runReduced(benchName string, all, joint bool, cache string, rcfg mica.Reduc
 		if err != nil {
 			return err
 		}
-		jr, hit, err := analyzeReducedJoint(cache, bs, pcfg)
+		jr, hit, err := analyzeReducedJoint(ctx, cache, bs, pcfg)
 		if err != nil {
 			return err
 		}
@@ -244,7 +331,7 @@ func runReduced(benchName string, all, joint bool, cache string, rcfg mica.Reduc
 				return err
 			}
 		}
-		results, hit, err := analyzeReduced(cache, bs, pcfg)
+		results, hit, err := analyzeReduced(ctx, cache, bs, pcfg)
 		if err != nil {
 			return err
 		}
@@ -367,12 +454,14 @@ func selectBenchmarks(benchName string) ([]mica.Benchmark, error) {
 }
 
 // analyzeJoint runs the joint pipeline, through the cache when one is
-// configured.
-func analyzeJoint(cache string, bs []mica.Benchmark, pcfg mica.PhasePipelineConfig) (*mica.PhaseJointResult, bool, error) {
+// configured. (The cached path stays context-free: a hit does no
+// profiling, and a miss that gets interrupted simply leaves no cache
+// file — reruns start clean.)
+func analyzeJoint(ctx context.Context, cache string, bs []mica.Benchmark, pcfg mica.PhasePipelineConfig) (*mica.PhaseJointResult, bool, error) {
 	if cache != "" {
 		return mica.AnalyzePhasesJointCached(cache, bs, pcfg)
 	}
-	j, err := mica.AnalyzePhasesJoint(bs, pcfg)
+	j, err := mica.AnalyzePhasesJointCtx(ctx, bs, pcfg)
 	return j, false, err
 }
 
@@ -392,31 +481,31 @@ func analyzeSingle(cache string, b mica.Benchmark, pcfg mica.PhasePipelineConfig
 
 // analyzeAll runs the registry pipeline, through the cache when one is
 // configured.
-func analyzeAll(cache string, pcfg mica.PhasePipelineConfig) ([]mica.BenchmarkPhases, bool, error) {
+func analyzeAll(ctx context.Context, cache string, pcfg mica.PhasePipelineConfig) ([]mica.BenchmarkPhases, bool, error) {
 	if cache != "" {
 		return mica.AnalyzePhasesCached(cache, mica.Benchmarks(), pcfg)
 	}
-	results, err := mica.AnalyzePhasesAll(pcfg)
+	results, err := mica.AnalyzePhasesBenchmarksCtx(ctx, mica.Benchmarks(), pcfg)
 	return results, false, err
 }
 
 // analyzeReduced runs the reduced pipeline, through the cache when one
 // is configured.
-func analyzeReduced(cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) ([]mica.BenchmarkReduced, mica.ReducedCacheHit, error) {
+func analyzeReduced(ctx context.Context, cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) ([]mica.BenchmarkReduced, mica.ReducedCacheHit, error) {
 	if cache != "" {
 		return mica.AnalyzeReducedCached(cache, bs, pcfg)
 	}
-	results, err := mica.AnalyzeReducedBenchmarks(bs, pcfg)
+	results, err := mica.AnalyzeReducedBenchmarksCtx(ctx, bs, pcfg)
 	return results, mica.ReducedMiss, err
 }
 
 // analyzeReducedJoint runs the joint reduced pipeline, through the
 // vocabulary cache when one is configured.
-func analyzeReducedJoint(cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) (*mica.PhaseJointReduced, bool, error) {
+func analyzeReducedJoint(ctx context.Context, cache string, bs []mica.Benchmark, pcfg mica.ReducedPipelineConfig) (*mica.PhaseJointReduced, bool, error) {
 	if cache != "" {
 		return mica.AnalyzeReducedJointCached(cache, bs, pcfg)
 	}
-	jr, err := mica.AnalyzeReducedJoint(bs, pcfg)
+	jr, err := mica.AnalyzeReducedJointCtx(ctx, bs, pcfg)
 	return jr, false, err
 }
 

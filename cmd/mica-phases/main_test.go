@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -34,7 +35,9 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunSingleBenchmark(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}
-	out, err := capture(t, func() error { return run("SPEC2000/twolf/ref", false, false, "", mica.StoreOptions{}, cfg, 0) })
+	out, err := capture(t, func() error {
+		return run(context.Background(), "SPEC2000/twolf/ref", false, false, "", mica.StoreOptions{}, cfg, 0)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,16 +57,18 @@ func TestRunSubsetPipeline(t *testing.T) {
 	// The -all path over a registry subset is covered by the library
 	// tests; here exercise the pipeline rendering through a tiny -all
 	// run would profile 122 benchmarks, so only validate flag errors.
-	if _, err := capture(t, func() error { return run("", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0) }); err == nil {
+	if _, err := capture(t, func() error {
+		return run(context.Background(), "", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+	}); err == nil {
 		t.Error("missing mode accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("no/such/bench", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+		return run(context.Background(), "no/such/bench", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("MiBench/sha/large,no/such/bench", false, true, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+		return run(context.Background(), "MiBench/sha/large,no/such/bench", false, true, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("unknown benchmark in joint list accepted")
 	}
@@ -76,7 +81,7 @@ func TestRunSubsetPipeline(t *testing.T) {
 func TestRunJointSubset(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
-	out, err := capture(t, func() error { return run(names, false, true, "", mica.StoreOptions{}, cfg, 2) })
+	out, err := capture(t, func() error { return run(context.Background(), names, false, true, "", mica.StoreOptions{}, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +104,18 @@ func TestRunJointSubset(t *testing.T) {
 func TestRunSingleBenchmarkCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "single.json")
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 6, MaxK: 3, Seed: 1}
-	first, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0) })
+	first, err := capture(t, func() error {
+		return run(context.Background(), "MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(first, "profiling skipped") {
 		t.Fatal("first run claimed a cache hit")
 	}
-	second, err := capture(t, func() error { return run("MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0) })
+	second, err := capture(t, func() error {
+		return run(context.Background(), "MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +132,14 @@ func TestRunSingleBenchmarkCache(t *testing.T) {
 func TestRunJointCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "joint.json")
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 2, Seed: 3}
-	if _, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1) }); err != nil {
+	if _, err := capture(t, func() error {
+		return run(context.Background(), "MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1)
+	}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error { return run("MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1) })
+	out, err := capture(t, func() error {
+		return run(context.Background(), "MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +153,7 @@ func TestRunAllRegistry(t *testing.T) {
 		t.Skip("analyzes all 122 benchmarks")
 	}
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 3, Seed: 1}
-	out, err := capture(t, func() error { return run("", true, false, "", mica.StoreOptions{}, cfg, 4) })
+	out, err := capture(t, func() error { return run(context.Background(), "", true, false, "", mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +175,11 @@ func TestRunAllRegistryCached(t *testing.T) {
 	}
 	cache := filepath.Join(t.TempDir(), "phases.json")
 	cfg := mica.PhaseConfig{IntervalLen: 500, MaxIntervals: 3, MaxK: 2, Seed: 1}
-	first, err := capture(t, func() error { return run("", true, false, cache, mica.StoreOptions{}, cfg, 4) })
+	first, err := capture(t, func() error { return run(context.Background(), "", true, false, cache, mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := capture(t, func() error { return run("", true, false, cache, mica.StoreOptions{}, cfg, 4) })
+	second, err := capture(t, func() error { return run(context.Background(), "", true, false, cache, mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +195,7 @@ func TestRunAllRegistryCached(t *testing.T) {
 
 func TestRunReducedSingleBenchmark(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
-	out, err := capture(t, func() error { return runReduced("SPEC2000/twolf/ref", false, false, "", rcfg, 0) })
+	out, err := capture(t, func() error { return runReduced(context.Background(), "SPEC2000/twolf/ref", false, false, "", rcfg, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +209,7 @@ func TestRunReducedSingleBenchmark(t *testing.T) {
 func TestRunReducedSubsetPipeline(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	out, err := capture(t, func() error {
-		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, false, "", rcfg, 2)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, false, "", rcfg, 2)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +225,7 @@ func TestRunReducedJointWithCache(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	cache := filepath.Join(t.TempDir(), "joint.json")
 	out, err := capture(t, func() error {
-		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +235,7 @@ func TestRunReducedJointWithCache(t *testing.T) {
 	}
 	// Second run must reuse the cached vocabulary.
 	out, err = capture(t, func() error {
-		return runReduced("MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -236,12 +249,12 @@ func TestRunReducedCacheHitLine(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	cache := filepath.Join(t.TempDir(), "reduced.json")
 	if _, err := capture(t, func() error {
-		return runReduced("MiBench/sha/large", false, false, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, 0)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return runReduced("MiBench/sha/large", false, false, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +272,7 @@ func TestRunJointStore(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
 	sopt := mica.StoreOptions{Dir: dir, Incremental: true}
-	first, err := capture(t, func() error { return run(names, false, true, "", sopt, cfg, 2) })
+	first, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +285,7 @@ func TestRunJointStore(t *testing.T) {
 			t.Errorf("store run output missing %q:\n%s", want, first)
 		}
 	}
-	second, err := capture(t, func() error { return run(names, false, true, "", sopt, cfg, 2) })
+	second, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,5 +296,65 @@ func TestRunJointStore(t *testing.T) {
 	tail := second[strings.Index(second, "joint phase space"):]
 	if !strings.HasSuffix(first, tail) {
 		t.Error("store-backed rerun renders a different vocabulary")
+	}
+}
+
+// TestRunFsckRepair drives -fsck and -fsck -repair end to end: a
+// clean store verifies, a corrupted shard fails verification with a
+// nonzero exit, -repair quarantines it, and the incremental rerun
+// re-characterizes exactly the quarantined benchmark.
+func TestRunFsckRepair(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
+	names := "MiBench/sha/large, SPEC2000/gzip/program"
+	sopt := mica.StoreOptions{Dir: dir, Incremental: true}
+	if _, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) }); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return runFsck(dir, false) })
+	if err != nil {
+		t.Fatalf("clean store failed fsck: %v", err)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("clean store not reported clean:\n%s", out)
+	}
+
+	// Flip one byte in the middle of a shard: the CRC check must catch it.
+	shards, err := filepath.Glob(filepath.Join(dir, "*.ivs"))
+	if err != nil || len(shards) != 2 {
+		t.Fatalf("store has %d shards (%v), want 2", len(shards), err)
+	}
+	raw, err := os.ReadFile(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(shards[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = capture(t, func() error { return runFsck(dir, false) })
+	if err == nil {
+		t.Fatalf("corrupted store passed fsck:\n%s", out)
+	}
+	if !strings.Contains(out, "bad shard") {
+		t.Errorf("fsck did not name the bad shard:\n%s", out)
+	}
+
+	out, err = capture(t, func() error { return runFsck(dir, true) })
+	if err != nil {
+		t.Fatalf("repair failed: %v", err)
+	}
+	if !strings.Contains(out, "quarantined") || !strings.Contains(out, "-incremental") {
+		t.Errorf("repair output missing quarantine/resume hint:\n%s", out)
+	}
+
+	rerun, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rerun, "1 shards characterized, 1 reused") {
+		t.Errorf("post-repair rerun did not re-characterize exactly the quarantined benchmark:\n%s", rerun)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 
 	"mica/internal/pool"
@@ -97,7 +98,37 @@ func SelectKOpt(m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOp
 // are bit-identical to SelectKOpt on the materialized matrix: the
 // engines run the same floating-point operations in the same order,
 // only the row fetches differ.
+//
+// SelectKRows cannot be cancelled and re-panics any per-k worker
+// panic after the pool has drained; SelectKRowsCtx is the
+// fault-tolerant form.
 func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt SweepOptions) Selection {
+	sel, err := SelectKRowsCtx(context.Background(), open, maxK, frac, seed, opt)
+	if err != nil {
+		// Without a cancellable context the only possible failure is a
+		// per-k panic (a corrupt row source, an injected fault), which
+		// this legacy form surfaces exactly as the pre-pool code did:
+		// by crashing, after every other k finished cleanly.
+		panic(err)
+	}
+	return sel
+}
+
+// SelectKOptCtx is SelectKOpt with cancellation and error reporting:
+// the sweep stops dispatching per-k runs when ctx is cancelled
+// (in-flight runs drain), and a panicking run is isolated by the
+// worker pool and returned as an error attributing the k instead of
+// killing the process.
+func SelectKOptCtx(ctx context.Context, m *stats.Matrix, maxK int, frac float64, seed int64, opt SweepOptions) (Selection, error) {
+	return SelectKRowsCtx(ctx, func() Rows { return m }, maxK, frac, seed, opt)
+}
+
+// SelectKRowsCtx is the context-aware, error-returning form of
+// SelectKRows — the entry point registry-scale store-backed pipelines
+// cancel through. On any error (cancellation, per-k panic) the
+// returned Selection is zero; per-k errors carry the item (k-1) and
+// worker via pool.ItemError.
+func SelectKRowsCtx(ctx context.Context, open func() Rows, maxK int, frac float64, seed int64, opt SweepOptions) (Selection, error) {
 	opt = opt.withDefaults()
 	main := open()
 	n, d := main.Len(), main.Dim()
@@ -105,7 +136,7 @@ func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt Sweep
 		maxK = n
 	}
 	if maxK < 1 {
-		return Selection{MaxScore: math.Inf(-1)}
+		return Selection{MaxScore: math.Inf(-1)}, nil
 	}
 
 	// Per-k sufficient statistics: centroids (O(k·d)), SSE and cluster
@@ -129,7 +160,7 @@ func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt Sweep
 	}
 	scratches := make([]*scratch, workers)
 	sources := make([]Rows, workers)
-	pool.Run(maxK, workers, func(worker, i int) {
+	err := pool.RunCtx(ctx, maxK, workers, func(_ context.Context, worker, i int) error {
 		if scratches[worker] == nil {
 			scratches[worker] = newScratch()
 			sources[worker] = open()
@@ -145,7 +176,11 @@ func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt Sweep
 		}
 		scores[i] = bicStats(n, d, res.K, res.SSE, runs[i].counts)
 		sses[i] = res.SSE
+		return nil
 	})
+	if err != nil {
+		return Selection{}, err
+	}
 
 	best, worst := math.Inf(-1), math.Inf(1)
 	for _, s := range scores {
@@ -177,7 +212,7 @@ func SelectKRows(open func() Rows, maxK int, frac float64, seed int64, opt Sweep
 		Scores:   scores,
 		SSEs:     sses,
 		MaxScore: best,
-	}
+	}, nil
 }
 
 // SelectKNaive is the pre-scaling reference sweep: one fresh, serial,

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedFiresNothing(t *testing.T) {
+	if Enabled() {
+		t.Fatal("harness enabled with nothing armed")
+	}
+	if _, ok := Fire(ShardWrite, "x"); ok {
+		t.Fatal("disarmed Fire elected a fault")
+	}
+}
+
+func TestArmFiresExactOccurrence(t *testing.T) {
+	disarm := Arm(Address{Point: ShardWrite, Nth: 2}, Fail)
+	var hits []bool
+	for i := 0; i < 5; i++ {
+		_, ok := Fire(ShardWrite, "k")
+		hits = append(hits, ok)
+	}
+	if n := disarm(); n != 1 {
+		t.Fatalf("fault fired %d times, want 1", n)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestKeyedAddressCountsPerKey(t *testing.T) {
+	disarm := Arm(Address{Point: PoolItem, Key: "b", Nth: 1}, Fail)
+	defer disarm()
+	seq := []struct {
+		key  string
+		want bool
+	}{
+		{"a", false}, // a#0
+		{"b", false}, // b#0
+		{"a", false}, // a#1
+		{"b", true},  // b#1 <- armed
+		{"b", false}, // b#2
+	}
+	for i, s := range seq {
+		if _, ok := Fire(PoolItem, s.key); ok != s.want {
+			t.Fatalf("hit %d (%s): fired=%v, want %v", i, s.key, ok, s.want)
+		}
+	}
+}
+
+func TestKeylessAddressCountsAcrossKeys(t *testing.T) {
+	disarm := Arm(Address{Point: ShardSync, Nth: 2}, Fail)
+	defer disarm()
+	keys := []string{"a", "b", "c", "d"}
+	var fired []string
+	for _, k := range keys {
+		if _, ok := Fire(ShardSync, k); ok {
+			fired = append(fired, k)
+		}
+	}
+	if len(fired) != 1 || fired[0] != "c" {
+		t.Fatalf("fired at %v, want [c]", fired)
+	}
+}
+
+func TestRecordEnumeratesAddresses(t *testing.T) {
+	stop := Record()
+	Fire(ShardWrite, "a")
+	Fire(ShardWrite, "a")
+	Fire(ShardRename, "a")
+	Fire(ShardWrite, "b")
+	got := stop()
+	want := []Address{
+		{ShardWrite, "a", 0},
+		{ShardWrite, "a", 1},
+		{ShardRename, "a", 0},
+		{ShardWrite, "b", 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d addresses, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("address %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Enabled() {
+		t.Fatal("recorder still enabled after stop")
+	}
+}
+
+func TestCrashPanicsAtPoint(t *testing.T) {
+	disarm := Arm(Address{Point: PoolItem, Nth: 0}, Crash)
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash fault did not panic")
+		}
+	}()
+	Fire(PoolItem, "0")
+}
+
+func TestErrorfWrapsSentinel(t *testing.T) {
+	err := Errorf(ShardWrite, "x", Torn)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Errorf result %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestDoubleArmPanics(t *testing.T) {
+	disarm := Arm(Address{Point: ShardWrite}, Fail)
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Arm did not panic")
+		}
+	}()
+	Arm(Address{Point: ShardSync}, Fail)
+}
+
+// The counters are hit from concurrent pool workers; the harness must
+// be race-free even when tests arm keyed addresses under parallelism.
+func TestConcurrentFire(t *testing.T) {
+	disarm := Arm(Address{Point: PoolItem, Key: "7", Nth: 0}, Fail)
+	defer disarm()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, ok := Fire(PoolItem, "7"); ok {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("keyed Nth=0 fault fired %d times under concurrency, want exactly 1", fired)
+	}
+}

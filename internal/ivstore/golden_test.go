@@ -37,7 +37,10 @@ func goldenStore(t *testing.T, dir string) {
 	if err := st.WriteShard("golden/f32/b", instsB, mB); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Commit([]string{"golden/f32/a", "golden/f32/b"}); err != nil {
+	if _, err := st.Commit([]string{"golden/f32/a", "golden/f32/b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,9 +61,17 @@ func TestGoldenStoreRoundTrip(t *testing.T) {
 	// committed files.
 	fresh := t.TempDir()
 	goldenStore(t, fresh)
-	entries, err := os.ReadDir(goldenDir)
+	all, err := os.ReadDir(goldenDir)
 	if err != nil {
 		t.Fatalf("golden store missing (run with IVSTORE_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	// The advisory lock file is runtime state, not format: a previous
+	// Open of the golden dir may have left one behind.
+	var entries []os.DirEntry
+	for _, e := range all {
+		if e.Name() != lockName {
+			entries = append(entries, e)
+		}
 	}
 	if len(entries) != 3 { // manifest + 2 shards
 		t.Fatalf("golden store has %d files, want 3", len(entries))

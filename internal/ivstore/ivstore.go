@@ -31,6 +31,36 @@
 // concatenation order of the in-memory joint path. Everything the
 // differential tests pin (bit-identical joint vocabularies) leans on
 // this.
+//
+// # Durability and failure contract
+//
+// Every file that can become referenced state — shard files and the
+// manifest — is written with the full atomic protocol: payload to a
+// temp name, fsync the file, rename into place, fsync the directory.
+// A crash at any step therefore leaves either the old state or the
+// new state under every committed name, never a torn file; the only
+// crash artifacts are unreferenced temp files, which Commit's prune
+// and Repair both clear. The fault-injection suite (internal/faults)
+// kills a store build at every one of these steps and asserts the
+// reopened store is Verify-clean or Repair-recoverable.
+//
+// A store directory is guarded by an advisory flock (".lock") with
+// single-writer/multi-reader semantics: Create and Repair take it
+// exclusive, Open takes it shared, and Commit downgrades the builder
+// to shared once the manifest is published. Locks are advisory and
+// released by Close (or process exit); a conflicting lock is an
+// immediate error, never a silent wait.
+//
+// Verify checks a committed store end to end (every shard decoded and
+// CRC-checked against its manifest entry, orphan files listed);
+// Repair additionally quarantines corrupt shards, drops them from the
+// manifest and removes orphaned temp files, after which an
+// incremental rerun re-characterizes exactly the dropped benchmarks.
+//
+// All errors are ordinary wrapped errors naming the store, shard or
+// file involved; no API panics on corrupt input (fuzzed), and the
+// only panicking path is the streaming Reader, whose contract
+// requires a pre-validated store.
 package ivstore
 
 import (
@@ -44,6 +74,7 @@ import (
 	"strings"
 	"sync"
 
+	"mica/internal/faults"
 	"mica/internal/stats"
 )
 
@@ -133,6 +164,7 @@ type Store struct {
 
 	mu     sync.Mutex
 	staged map[string]Shard // by benchmark name, awaiting Commit
+	lk     *dirLock         // advisory store lock; nil after Close
 
 	committed bool
 	shards    []Shard
@@ -140,9 +172,12 @@ type Store struct {
 }
 
 // Create prepares an empty store under dir (creating the directory if
-// needed) with the given configuration. Nothing is readable until
-// Commit; an existing manifest in dir is left untouched until then, so
-// a failed build never destroys the previous committed state.
+// needed) with the given configuration, taking the directory's
+// advisory lock exclusive — a second concurrent writer (or a live
+// reader) is an immediate error. Nothing is readable until Commit; an
+// existing manifest in dir is left untouched until then, so a failed
+// build never destroys the previous committed state. Close releases
+// the lock.
 func Create(dir string, cfg Config) (*Store, error) {
 	cfg = cfg.WithDefaults()
 	if cfg.Dims <= 0 {
@@ -154,19 +189,30 @@ func Create(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ivstore: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir, cfg: cfg, staged: make(map[string]Shard)}, nil
+	lk, err := acquireDirLock(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, cfg: cfg, staged: make(map[string]Shard), lk: lk}, nil
 }
 
-// Open loads a committed store's manifest from dir and validates it.
-// Shard files are checked for existence; their contents are validated
-// on read (every shard file carries its own CRC).
+// Open loads a committed store's manifest from dir and validates it,
+// taking the directory's advisory lock shared, so no writer can prune
+// files from under the reader. Shard files are checked for existence;
+// their contents are validated on read (every shard file carries its
+// own CRC). Close releases the lock.
 func Open(dir string) (*Store, error) {
 	cfg, shards, err := Inventory(dir)
 	if err != nil {
 		return nil, err
 	}
+	lk, err := acquireDirLock(dir, false)
+	if err != nil {
+		return nil, err
+	}
 	for _, sh := range shards {
 		if _, err := os.Stat(filepath.Join(dir, sh.File)); err != nil {
+			lk.release()
 			return nil, fmt.Errorf("ivstore: %s: shard %s: %w", filepath.Join(dir, manifestName), sh.Name, err)
 		}
 	}
@@ -176,9 +222,22 @@ func Open(dir string) (*Store, error) {
 		staged:    make(map[string]Shard),
 		committed: true,
 		shards:    shards,
+		lk:        lk,
 	}
 	st.offsets = offsetsOf(shards)
 	return st, nil
+}
+
+// Close releases the store's advisory lock. The Store's read methods
+// keep working (reads are plain file opens), but the store is no
+// longer protected from a concurrent writer's prune, and WriteShard /
+// Commit must not be used after Close. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	lk := s.lk
+	s.lk = nil
+	s.mu.Unlock()
+	return lk.release()
 }
 
 // Inventory reads and validates a store's manifest without requiring
@@ -322,14 +381,12 @@ func (s *Store) WriteShard(name string, insts []uint64, vecs *stats.Matrix) erro
 	}
 	data := encodeShard(s.cfg.Encoding, insts, vecs)
 	file := ShardFileName(name, s.stamp())
-	// Write-then-rename so a crash mid-write can never leave a torn
-	// file under a name a manifest might reference.
+	// Durable atomic write (tmp + fsync + rename + dir fsync) so a
+	// crash at any step can never leave a torn file under a name a
+	// manifest might reference, and a completed write survives the
+	// crash.
 	path := filepath.Join(s.dir, file)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("ivstore: writing shard %s: %w", name, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeFileDurable(path, data, shardPoints); err != nil {
 		return fmt.Errorf("ivstore: writing shard %s: %w", name, err)
 	}
 	var total uint64
@@ -374,10 +431,20 @@ func (s *Store) Staged(name string) bool {
 
 // Commit writes the manifest covering exactly the named shards, in
 // that order (which becomes the store's global row order), atomically
-// replacing any previous manifest, and prunes shard files no entry
-// references. Every name must have been staged via WriteShard or
-// Adopt.
-func (s *Store) Commit(order []string) error {
+// and durably replacing any previous manifest, and prunes shard files
+// no entry references. Every name must have been staged via
+// WriteShard or Adopt.
+//
+// The returned warnings report prune problems — files Commit tried to
+// remove but could not, or a prune skipped because readers hold the
+// store's lock. Warnings never accompany a non-nil error and never
+// affect the committed state: a stray file costs disk, not
+// correctness, but callers (and the fsck report) get to see it.
+//
+// After a successful Commit the builder's exclusive lock is
+// downgraded to shared, so the store it just published can be opened
+// by concurrent readers while the builder is still live.
+func (s *Store) Commit(order []string) (warnings []string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	man := manifest{
@@ -393,56 +460,153 @@ func (s *Store) Commit(order []string) error {
 			// The read side (decodeManifest) rejects duplicate names, so
 			// committing one would produce a store that can never be
 			// reopened.
-			return fmt.Errorf("ivstore: committing %s: duplicate shard %s in commit order", s.dir, name)
+			return nil, fmt.Errorf("ivstore: committing %s: duplicate shard %s in commit order", s.dir, name)
 		}
 		seen[name] = true
 		sh, ok := s.staged[name]
 		if !ok {
-			return fmt.Errorf("ivstore: committing %s: no shard staged for %s", s.dir, name)
+			return nil, fmt.Errorf("ivstore: committing %s: no shard staged for %s", s.dir, name)
 		}
 		man.Shards = append(man.Shards, sh)
 	}
 	data, err := json.MarshalIndent(man, "", " ")
 	if err != nil {
-		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
+		return nil, fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
 	}
 	path := filepath.Join(s.dir, manifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
+	if err := writeFileDurable(path, append(data, '\n'), manifestPoints); err != nil {
+		return nil, fmt.Errorf("ivstore: committing %s: %w", s.dir, err)
 	}
 	s.committed = true
 	s.shards = man.Shards
 	s.offsets = offsetsOf(man.Shards)
-	s.pruneLocked()
-	return nil
+	warnings = s.pruneLocked()
+	if err := s.lk.downgrade(); err != nil {
+		warnings = append(warnings, err.Error())
+	}
+	return warnings, nil
 }
 
-// pruneLocked removes shard files no committed entry references —
-// leftovers of benchmarks dropped from the set, of re-encoded or
-// re-configured runs (whose shards live under different stamped
-// names), and abandoned .tmp files of interrupted writes. Prune
-// failures are ignored: a stray file costs disk, not correctness.
-func (s *Store) pruneLocked() {
+// pruneLocked removes files no committed entry references — shards of
+// benchmarks dropped from the set, of re-encoded or re-configured
+// runs (whose shards live under different stamped names), and
+// abandoned .tmp files of interrupted writes. It requires the
+// exclusive lock (no reader may be streaming the files it deletes);
+// when the lock is held shared — a re-commit on an already-published
+// store with live readers — the prune is skipped with a warning
+// instead of yanking files from under them. Removal failures are
+// returned as warnings: a stray file costs disk, not correctness.
+func (s *Store) pruneLocked() (warnings []string) {
+	if s.lk != nil && !s.lk.exclusive {
+		if err := s.lk.upgradeNB(); err != nil {
+			return []string{fmt.Sprintf("prune skipped: %v", err)}
+		}
+	}
 	referenced := make(map[string]bool, len(s.shards))
 	for _, sh := range s.shards {
 		referenced[sh.File] = true
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return
+		return []string{fmt.Sprintf("prune skipped: listing %s: %v", s.dir, err)}
 	}
 	for _, e := range entries {
 		name := e.Name()
-		stray := strings.HasSuffix(name, shardExt) && !referenced[name] ||
-			strings.HasSuffix(name, shardExt+".tmp")
-		if e.Type().IsRegular() && stray {
-			os.Remove(filepath.Join(s.dir, name))
+		if !e.Type().IsRegular() || !strayFile(name, referenced) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			warnings = append(warnings, fmt.Sprintf("pruning %s: %v", name, err))
 		}
 	}
+	return warnings
+}
+
+// strayFile reports whether a directory entry is prunable: an
+// unreferenced shard, an abandoned shard temp file, or an abandoned
+// manifest temp file. The lock file, the manifest and quarantined
+// shards are never stray.
+func strayFile(name string, referenced map[string]bool) bool {
+	return strings.HasSuffix(name, shardExt) && !referenced[name] ||
+		strings.HasSuffix(name, shardExt+".tmp") ||
+		name == manifestName+".tmp"
+}
+
+// durablePoints names the fault-injection points of one
+// writeFileDurable call chain.
+type durablePoints struct {
+	write, sync, rename faults.Point
+}
+
+var (
+	shardPoints    = durablePoints{faults.ShardWrite, faults.ShardSync, faults.ShardRename}
+	manifestPoints = durablePoints{faults.ManifestWrite, faults.ManifestSync, faults.ManifestRename}
+)
+
+// writeFileDurable writes data to path with the store's full
+// durability protocol: payload to path+".tmp", fsync the file, rename
+// into place, fsync the parent directory. A crash (or injected fault)
+// at any step leaves either the old file or the new file under path —
+// never a torn one — plus at worst an unreferenced temp file, which
+// prune and Repair clear. Each step carries a fault-injection point;
+// a Torn fault persists only half the payload before failing, the
+// on-disk shape of a crash mid-write.
+func writeFileDurable(path string, data []byte, pts durablePoints) error {
+	key := filepath.Base(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	payload := data
+	var injected error
+	if faults.Enabled() {
+		if kind, ok := faults.Fire(pts.write, key); ok {
+			injected = faults.Errorf(pts.write, key, kind)
+			if kind == faults.Torn {
+				payload = data[:len(data)/2]
+			} else {
+				payload = nil
+			}
+		}
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if injected != nil {
+		// Simulated crash mid-write: the (possibly partial) bytes were
+		// never synced and the rename never happens.
+		f.Close()
+		return injected
+	}
+	if faults.Enabled() {
+		if kind, ok := faults.Fire(pts.sync, key); ok {
+			f.Close()
+			return faults.Errorf(pts.sync, key, kind)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if faults.Enabled() {
+		if kind, ok := faults.Fire(pts.rename, key); ok {
+			return faults.Errorf(pts.rename, key, kind)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if faults.Enabled() {
+		if kind, ok := faults.Fire(faults.DirSync, key); ok {
+			return faults.Errorf(faults.DirSync, key, kind)
+		}
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // ShardData is one decoded shard.

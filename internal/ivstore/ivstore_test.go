@@ -51,7 +51,13 @@ func buildStore(t *testing.T, dir string, cfg Config, names []string, rows int) 
 			t.Fatal(err)
 		}
 	}
-	if err := st.Commit(names); err != nil {
+	if _, err := st.Commit(names); err != nil {
+		t.Fatal(err)
+	}
+	// Release the build handle's lock so the test can freely Create
+	// over the directory; the returned Store's read accessors still
+	// work after Close.
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return st
@@ -77,7 +83,7 @@ func TestRoundTripFloat32(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := st.Commit(names); err != nil {
+	if _, err := st.Commit(names); err != nil {
 		t.Fatal(err)
 	}
 
@@ -142,7 +148,7 @@ func TestQuant8ErrorBound(t *testing.T) {
 	if err := st.WriteShard("b", insts, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Commit([]string{"b"}); err != nil {
+	if _, err := st.Commit([]string{"b"}); err != nil {
 		t.Fatal(err)
 	}
 	opened, err := Open(dir)
@@ -211,6 +217,11 @@ func TestIncrementalAdoptCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Release prev's shared lock: Create takes the directory lock
+	// exclusive. prev's in-memory accessors (Shards) remain usable.
+	if err := prev.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	next, err := Create(dir, cfg)
 	if err != nil {
@@ -225,7 +236,7 @@ func TestIncrementalAdoptCommit(t *testing.T) {
 	if err := next.WriteShard("new", insts, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := next.Commit([]string{"a", "new", "b"}); err != nil {
+	if _, err := next.Commit([]string{"a", "new", "b"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -248,7 +259,7 @@ func TestIncrementalAdoptCommit(t *testing.T) {
 	}
 	// Duplicate names in the commit order are rejected (the read side
 	// refuses them, so committing one would brick the store).
-	if err := next.Commit([]string{"a", "a"}); err == nil {
+	if _, err := next.Commit([]string{"a", "a"}); err == nil {
 		t.Fatal("duplicate commit order accepted")
 	}
 	// Adopting under a different config hash must refuse.
@@ -273,7 +284,7 @@ func TestCommitRequiresStagedShards(t *testing.T) {
 	if err := st.WriteShard("a", insts, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Commit([]string{"a", "missing"}); err == nil {
+	if _, err := st.Commit([]string{"a", "missing"}); err == nil {
 		t.Fatal("commit with unstaged shard accepted")
 	}
 	if _, err := os.Stat(filepath.Join(dir, manifestName)); !os.IsNotExist(err) {

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package ivstore
+
+// lockName is the advisory lock file inside a store directory.
+const lockName = ".lock"
+
+// dirLock is a no-op on platforms without flock(2): the
+// single-writer/multi-reader protocol is not enforced there, only
+// documented. All of the repo's supported targets are unix.
+type dirLock struct{ exclusive bool }
+
+func acquireDirLock(dir string, exclusive bool) (*dirLock, error) {
+	return &dirLock{exclusive: exclusive}, nil
+}
+
+func (l *dirLock) downgrade() error { return nil }
+func (l *dirLock) upgradeNB() error { return nil }
+func (l *dirLock) release() error   { return nil }
+
+// syncDir is a no-op where directory fsync is unsupported; file-level
+// syncs still run.
+func syncDir(dir string) error { return nil }

@@ -1,0 +1,102 @@
+//go:build unix
+
+package ivstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockName is the advisory lock file inside a store directory. The
+// file exists only to carry flock state; its contents are empty and
+// it is never pruned.
+const lockName = ".lock"
+
+// dirLock is a BSD flock(2) advisory lock on a store directory's
+// lock file, implementing the store's single-writer/multi-reader
+// protocol: builders (Create, Repair) hold it exclusive, readers
+// (Open) hold it shared, and a committing builder downgrades to
+// shared so the store it just published can be opened concurrently.
+// Locks are per open file description, so two Store values in one
+// process contend exactly like two processes do.
+type dirLock struct {
+	f         *os.File
+	exclusive bool
+}
+
+// acquireDirLock takes the directory's advisory lock, non-blocking: a
+// held conflicting lock is an immediate, descriptive error rather
+// than a silent wait, so a second writer (or a reader racing a
+// builder) fails fast.
+func acquireDirLock(dir string, exclusive bool) (*dirLock, error) {
+	path := filepath.Join(dir, lockName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ivstore: locking %s: %w", dir, err)
+	}
+	how := syscall.LOCK_SH
+	role := "readers"
+	if exclusive {
+		how = syscall.LOCK_EX
+		role = "a writer"
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ivstore: %s is in use (flock as %s failed): %w — another process (or an unclosed Store) holds the store; close it or wait", dir, role, err)
+	}
+	return &dirLock{f: f, exclusive: exclusive}, nil
+}
+
+// downgrade converts an exclusive lock to shared, letting readers in
+// while the holder keeps writer-exclusion out of the way.
+func (l *dirLock) downgrade() error {
+	if l == nil || l.f == nil || !l.exclusive {
+		return nil
+	}
+	if err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_SH); err != nil {
+		return fmt.Errorf("ivstore: downgrading store lock: %w", err)
+	}
+	l.exclusive = false
+	return nil
+}
+
+// upgradeNB tries to convert a shared lock to exclusive without
+// blocking; it fails when other readers hold the lock.
+func (l *dirLock) upgradeNB() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	if l.exclusive {
+		return nil
+	}
+	if err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("ivstore: upgrading store lock: %w", err)
+	}
+	l.exclusive = true
+	return nil
+}
+
+// release drops the lock. Safe to call more than once.
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	// Closing the descriptor releases the flock.
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a completed rename inside it is
+// durable — without this, a crash can forget the rename itself even
+// though the renamed file's bytes were synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

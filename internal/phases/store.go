@@ -1,6 +1,7 @@
 package phases
 
 import (
+	"context"
 	"fmt"
 
 	"mica/internal/cluster"
@@ -30,6 +31,15 @@ import (
 //
 // The store must not be mutated while the analysis runs.
 func AnalyzeJointStore(st *ivstore.Store, cfg Config, workers int) (*JointResult, error) {
+	return AnalyzeJointStoreCtx(context.Background(), st, cfg, workers)
+}
+
+// AnalyzeJointStoreCtx is AnalyzeJointStore with cancellation: the
+// clustering sweep stops dispatching per-k runs when ctx is cancelled
+// and the call returns ctx's error; a panicking sweep worker (a
+// corrupt row surfacing mid-stream) is isolated and returned as an
+// error instead of killing the process.
+func AnalyzeJointStoreCtx(ctx context.Context, st *ivstore.Store, cfg Config, workers int) (*JointResult, error) {
 	cfg = cfg.withDefaults()
 	shards := st.Shards()
 	if len(shards) == 0 {
@@ -65,9 +75,12 @@ func AnalyzeJointStore(st *ivstore.Store, cfg Config, workers int) (*JointResult
 	// pinned bit-identical to it).
 	mean, std := cluster.ColumnStats(st.Rows())
 
-	sel := cluster.SelectKRows(func() cluster.Rows {
+	sel, err := cluster.SelectKRowsCtx(ctx, func() cluster.Rows {
 		return cluster.Normalized(st.Rows(), mean, std)
 	}, cfg.MaxK, 0.9, cfg.Seed, cluster.SweepOptions{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("phases: joint clustering of %s: %w", st.Dir(), err)
+	}
 
 	j.deriveFrom(cluster.Normalized(st.Rows(), mean, std), sel)
 	return j, nil

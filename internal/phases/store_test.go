@@ -69,7 +69,10 @@ func storeFrom(t *testing.T, dir string, enc ivstore.Encoding, benches []Benchma
 			t.Fatal(err)
 		}
 	}
-	if err := st.Commit(order); err != nil {
+	if _, err := st.Commit(order); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	opened, err := ivstore.Open(dir)
@@ -206,7 +209,7 @@ func TestAnalyzeJointStoreRejects(t *testing.T) {
 	if err := st.WriteShard("x", insts, stats.FromRows([][]float64{{1, 2, 3, 4, 5}, {2, 3, 4, 5, 6}})); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Commit([]string{"x"}); err != nil {
+	if _, err := st.Commit([]string{"x"}); err != nil {
 		t.Fatal(err)
 	}
 	opened, err := ivstore.Open(dir)
@@ -221,7 +224,7 @@ func TestAnalyzeJointStoreRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := empty.Commit(nil); err != nil {
+	if _, err := empty.Commit(nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := AnalyzeJointStore(empty, Config{}, 0); err == nil {

@@ -26,6 +26,8 @@
 package mica
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -195,27 +197,103 @@ func ProfileAll(cfg Config) ([]ProfileResult, error) {
 
 // ProfileBenchmarks measures the given benchmarks in parallel, returning
 // results in input order. Parallelism is a fixed pool of cfg.Workers
-// goroutines pulling from a work queue (internal/pool).
+// goroutines pulling from a work queue (internal/pool). On any failure
+// it returns nil results and an error naming every failed benchmark;
+// ProfileBenchmarksCtx is the fault-tolerant form that also returns
+// the partial results.
 func ProfileBenchmarks(bs []Benchmark, cfg Config) ([]ProfileResult, error) {
+	results, err := ProfileBenchmarksCtx(context.Background(), bs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ProfileBenchmarksCtx is ProfileBenchmarks with cancellation and
+// per-benchmark fault isolation: one failing — or panicking —
+// benchmark never stops the others. Every failure is wrapped with the
+// offending benchmark's name and all of them are joined into the
+// returned error; results[i] is valid exactly when no error names
+// bs[i] (failed entries are zero). Cancelling ctx stops dispatching
+// new benchmarks, lets in-flight ones drain, and folds ctx.Err() into
+// the returned error; benchmarks never dispatched are left zero
+// without an error of their own.
+func ProfileBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg Config) ([]ProfileResult, error) {
 	cfg = cfg.withDefaults()
 	results := make([]ProfileResult, len(bs))
-	errs := make([]error, len(bs))
 	var done int
 	var mu sync.Mutex
 
-	pool.Run(len(bs), cfg.Workers, func(_, i int) {
-		results[i], errs[i] = Profile(bs[i], cfg)
+	err := pool.RunCtx(ctx, len(bs), cfg.Workers, func(_ context.Context, _, i int) error {
+		var err error
+		results[i], err = Profile(bs[i], cfg)
+		if err != nil {
+			return err
+		}
 		if cfg.Progress != nil {
 			mu.Lock()
 			done++
 			cfg.Progress(done, len(bs), bs[i].Name())
 			mu.Unlock()
 		}
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mica: profiling %s: %w", bs[i].Name(), err)
+	return results, namePoolErrors(err, "profiling", func(i int) string { return bs[i].Name() })
+}
+
+// namePoolErrors rewraps a pool.RunCtx error so that every per-item
+// failure — error returns and recovered panics alike — names the
+// benchmark it belongs to, which the pool itself cannot do (it only
+// knows item indices). Non-item parts (the context error on
+// cancellation) pass through unchanged, and the *pool.ItemError stays
+// in each wrapped chain so errors.As keeps working.
+func namePoolErrors(err error, what string, name func(i int) string) error {
+	if err == nil {
+		return nil
+	}
+	var parts []error
+	var walk func(e error)
+	walk = func(e error) {
+		if joined, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var ie *pool.ItemError
+		if errors.As(e, &ie) {
+			parts = append(parts, fmt.Errorf("mica: %s %s: %w", what, name(ie.Item), e))
+			return
+		}
+		parts = append(parts, e)
+	}
+	walk(err)
+	return errors.Join(parts...)
+}
+
+// failedItems collects the item indices a pool error attributes
+// failures to — the set a partial-result pipeline uses to tell failed
+// items (the pool reported them) from skipped ones (never dispatched
+// after cancellation). It works on raw pool.RunCtx errors and on
+// namePoolErrors-rewrapped ones alike.
+func failedItems(err error) map[int]bool {
+	if err == nil {
+		return nil
+	}
+	failed := make(map[int]bool)
+	var walk func(e error)
+	walk = func(e error) {
+		if joined, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var ie *pool.ItemError
+		if errors.As(e, &ie) {
+			failed[ie.Item] = true
 		}
 	}
-	return results, nil
+	walk(err)
+	return failed
 }

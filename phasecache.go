@@ -1,6 +1,7 @@
 package mica
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -798,30 +799,35 @@ func AnalyzeReducedCached(path string, bs []Benchmark, cfg ReducedPipelineConfig
 // pipeline against cached cheap vocabularies, sharded over the fixed
 // worker pool with one pooled full-pass profiler per worker — the same
 // pooling and progress reporting a cache miss gets from
-// AnalyzeReducedBenchmarks.
+// AnalyzeReducedBenchmarks, and the same fault isolation: every
+// failing benchmark is named in the joined error, none can crash the
+// others.
 func replayFromVocabulary(bs []Benchmark, vocab map[string]*PhaseResult, cfg ReducedPipelineConfig) ([]BenchmarkReduced, error) {
 	rcfg := cfg.Reduced.WithDefaults()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(bs) {
+		workers = len(bs)
+	}
 	results := make([]BenchmarkReduced, len(bs))
-	errs := make([]error, len(bs))
 	profs := make([]*micachar.Profiler, workers)
 	var done int
 	var mu sync.Mutex
 
-	pool.Run(len(bs), workers, func(worker, i int) {
+	err := pool.RunCtx(context.Background(), len(bs), workers, func(_ context.Context, worker, i int) error {
 		replay, err := bs[i].Instantiate()
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		if profs[worker] == nil {
 			profs[worker] = micachar.NewProfiler(rcfg.FullOptions)
 		}
-		var res *ReducedResult
-		res, errs[i] = phases.ReplayReduced(replay, profs[worker], vocab[bs[i].Name()], rcfg)
+		res, err := phases.ReplayReduced(replay, profs[worker], vocab[bs[i].Name()], rcfg)
+		if err != nil {
+			return err
+		}
 		results[i] = BenchmarkReduced{Benchmark: bs[i], Result: res}
 		if cfg.Progress != nil {
 			mu.Lock()
@@ -829,11 +835,10 @@ func replayFromVocabulary(bs []Benchmark, vocab map[string]*PhaseResult, cfg Red
 			cfg.Progress(done, len(bs), bs[i].Name())
 			mu.Unlock()
 		}
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mica: reduced replay of %s: %w", bs[i].Name(), err)
-		}
+	if err != nil {
+		return nil, namePoolErrors(err, "reduced replay of", func(i int) string { return bs[i].Name() })
 	}
 	return results, nil
 }

@@ -1,6 +1,7 @@
 package mica
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,61 +82,98 @@ func AnalyzePhasesAll(cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
 }
 
 // AnalyzePhasesBenchmarks is AnalyzePhasesAll over an explicit
-// benchmark list, returning results in input order.
+// benchmark list, returning results in input order. On any failure it
+// returns nil results and an error naming every failed benchmark;
+// AnalyzePhasesBenchmarksCtx is the fault-tolerant form that also
+// returns the partial results.
 func AnalyzePhasesBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
-	results := make([]BenchmarkPhases, len(bs))
-	err := phasePipeline(bs, cfg, "phase analysis", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
-		res, err := phases.AnalyzeWith(m, prof, cfg.Phase)
-		results[i] = BenchmarkPhases{Benchmark: bs[i], Result: res}
-		return err
-	})
+	results, err := AnalyzePhasesBenchmarksCtx(context.Background(), bs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
 }
 
-// phasePipeline is the shared sharded front half of every phase
+// AnalyzePhasesBenchmarksCtx is AnalyzePhasesBenchmarks with
+// cancellation and per-benchmark fault isolation: a failing or
+// panicking benchmark is reported — wrapped with its name, all
+// failures joined into the returned error — while the others complete.
+// results[i].Result is non-nil exactly when bs[i] succeeded; failed or
+// never-dispatched (cancelled) entries carry a nil Result. Cancelling
+// ctx stops dispatching new benchmarks, drains in-flight ones, and
+// folds ctx.Err() into the returned error.
+func AnalyzePhasesBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig) ([]BenchmarkPhases, error) {
+	results := make([]BenchmarkPhases, len(bs))
+	for i := range results {
+		results[i].Benchmark = bs[i]
+	}
+	err := phasePipelineCtx(ctx, bs, cfg, "phase analysis of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := phases.AnalyzeWith(m, prof, cfg.Phase)
+		if err != nil {
+			return err
+		}
+		results[i].Result = res
+		return nil
+	})
+	return results, err
+}
+
+// phasePipeline is the legacy non-cancellable front half shared by the
+// phase pipelines; it delegates to phasePipelineCtx with a background
+// context, so its only observable difference from the old code is
+// that every failing benchmark is reported (joined), not just the
+// first, and a panicking benchmark surfaces as an error instead of
+// crashing the process.
+func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
+	analyze func(m *vm.Machine, prof *micachar.Profiler, i int) error) error {
+	return phasePipelineCtx(context.Background(), bs, cfg, what, analyze)
+}
+
+// phasePipelineCtx is the shared sharded front half of every phase
 // pipeline: it instantiates each benchmark on a fixed worker pool, one
 // pooled profiler per worker (built once, Reset between intervals and
-// benchmarks by the callee), calls analyze for each, and joins errors
-// with the failing benchmark's name. Both the per-benchmark and joint
-// pipelines run through it, so pooling/progress fixes land in one
-// place.
-func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
+// benchmarks by the callee), and calls analyze for each. Failures
+// follow the pool's error contract — isolation (one bad benchmark
+// never stops the others), attribution (every failure, panics
+// included, is wrapped with the failing benchmark's name via
+// namePoolErrors), collection (all failures joined), and prompt
+// cancellation with in-flight drain. Both the per-benchmark and joint
+// pipelines run through it, so pooling/progress/fault fixes land in
+// one place. what reads like "phase analysis of" — it is spliced
+// between "mica:" and the benchmark name.
+func phasePipelineCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, what string,
 	analyze func(m *vm.Machine, prof *micachar.Profiler, i int) error) error {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	errs := make([]error, len(bs))
+	if workers > len(bs) {
+		workers = len(bs)
+	}
 	profs := make([]*micachar.Profiler, workers)
 	var done int
 	var mu sync.Mutex
 
-	pool.Run(len(bs), workers, func(worker, i int) {
+	err := pool.RunCtx(ctx, len(bs), workers, func(_ context.Context, worker, i int) error {
 		m, err := bs[i].Instantiate()
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		if profs[worker] == nil {
 			profs[worker] = micachar.NewProfiler(cfg.Phase.Options)
 		}
-		errs[i] = analyze(m, profs[worker], i)
+		if err := analyze(m, profs[worker], i); err != nil {
+			return err
+		}
 		if cfg.Progress != nil {
 			mu.Lock()
 			done++
 			cfg.Progress(done, len(bs), bs[i].Name())
 			mu.Unlock()
 		}
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("mica: %s of %s: %w", what, bs[i].Name(), err)
-		}
-	}
-	return nil
+	return namePoolErrors(err, what, func(i int) string { return bs[i].Name() })
 }
 
 // AnalyzePhasesJoint builds a shared cross-benchmark phase vocabulary:
@@ -147,22 +185,39 @@ func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
 // cross-benchmark representative intervals. On a single benchmark it
 // is bit-identical to AnalyzePhases.
 func AnalyzePhasesJoint(bs []Benchmark, cfg PhasePipelineConfig) (*PhaseJointResult, error) {
-	named, err := characterizeBenchmarks(bs, cfg)
+	return AnalyzePhasesJointCtx(context.Background(), bs, cfg)
+}
+
+// AnalyzePhasesJointCtx is AnalyzePhasesJoint with cancellation and
+// full error collection. A joint vocabulary built from a silently
+// shrunken benchmark set would be a different vocabulary, so any
+// characterization failure (or cancellation) is fatal to the joint
+// result — but every failing benchmark is still isolated, named and
+// reported in one joined error rather than crashing the pipeline or
+// stopping at the first failure. The store-backed form
+// (AnalyzePhasesJointStoreCtx) is the one that commits partial work.
+func AnalyzePhasesJointCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig) (*PhaseJointResult, error) {
+	named, err := characterizeBenchmarksCtx(ctx, bs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return phases.AnalyzeJoint(named, cfg.Phase)
 }
 
-// characterizeBenchmarks is the profiling front half of the joint
+// characterizeBenchmarksCtx is the profiling front half of the joint
 // pipeline: interval characterization for every benchmark, sharded
-// over the fixed worker pool, clustering skipped.
-func characterizeBenchmarks(bs []Benchmark, cfg PhasePipelineConfig) ([]phases.BenchmarkIntervals, error) {
+// over the fixed worker pool, clustering skipped. On any failure the
+// named slice is nil — the joint paths never consume partial sets
+// implicitly.
+func characterizeBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig) ([]phases.BenchmarkIntervals, error) {
 	named := make([]phases.BenchmarkIntervals, len(bs))
-	err := phasePipeline(bs, cfg, "characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	err := phasePipelineCtx(ctx, bs, cfg, "characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
 		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
+		if err != nil {
+			return err
+		}
 		named[i] = phases.BenchmarkIntervals{Name: bs[i].Name(), Result: res}
-		return err
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -274,51 +329,70 @@ type BenchmarkReduced struct {
 // cheap-pass and one full-pass profiler across all the benchmarks it
 // processes (Reset between intervals and benchmarks), so analyzer
 // tables are built twice per worker rather than twice per benchmark.
-// Results are in input order.
+// Results are in input order. On any failure it returns nil results
+// and an error naming every failed benchmark;
+// AnalyzeReducedBenchmarksCtx is the fault-tolerant form that also
+// returns the partial results.
 func AnalyzeReducedBenchmarks(bs []Benchmark, cfg ReducedPipelineConfig) ([]BenchmarkReduced, error) {
+	results, err := AnalyzeReducedBenchmarksCtx(context.Background(), bs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AnalyzeReducedBenchmarksCtx is AnalyzeReducedBenchmarks with
+// cancellation and per-benchmark fault isolation: a failing or
+// panicking benchmark is reported — wrapped with its name, all
+// failures joined into the returned error — while the others complete.
+// results[i].Result is non-nil exactly when bs[i] succeeded.
+// Cancelling ctx stops dispatching new benchmarks, drains in-flight
+// ones, and folds ctx.Err() into the returned error.
+func AnalyzeReducedBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipelineConfig) ([]BenchmarkReduced, error) {
 	rcfg := cfg.Reduced.WithDefaults()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(bs) {
+		workers = len(bs)
+	}
 	results := make([]BenchmarkReduced, len(bs))
-	errs := make([]error, len(bs))
+	for i := range results {
+		results[i].Benchmark = bs[i]
+	}
 	cheapProfs := make([]*micachar.Profiler, workers)
 	fullProfs := make([]*micachar.Profiler, workers)
 	var done int
 	var mu sync.Mutex
 
-	pool.Run(len(bs), workers, func(worker, i int) {
+	err := pool.RunCtx(ctx, len(bs), workers, func(_ context.Context, worker, i int) error {
 		cheap, err := bs[i].Instantiate()
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		replay, err := bs[i].Instantiate()
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		if cheapProfs[worker] == nil {
 			cheapProfs[worker] = micachar.NewProfiler(rcfg.CheapConfig().Options)
 			fullProfs[worker] = micachar.NewProfiler(rcfg.FullOptions)
 		}
-		var res *ReducedResult
-		res, errs[i] = phases.AnalyzeReducedWith(cheap, replay, cheapProfs[worker], fullProfs[worker], rcfg)
-		results[i] = BenchmarkReduced{Benchmark: bs[i], Result: res}
+		res, err := phases.AnalyzeReducedWith(cheap, replay, cheapProfs[worker], fullProfs[worker], rcfg)
+		if err != nil {
+			return err
+		}
+		results[i].Result = res
 		if cfg.Progress != nil {
 			mu.Lock()
 			done++
 			cfg.Progress(done, len(bs), bs[i].Name())
 			mu.Unlock()
 		}
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mica: reduced profiling of %s: %w", bs[i].Name(), err)
-		}
-	}
-	return results, nil
+	return results, namePoolErrors(err, "reduced profiling of", func(i int) string { return bs[i].Name() })
 }
 
 // AnalyzeReducedJoint runs joint-vocabulary-driven reduction: every
@@ -330,13 +404,25 @@ func AnalyzeReducedBenchmarks(bs []Benchmark, cfg ReducedPipelineConfig) ([]Benc
 // the cross-benchmark redundancy payoff: K full interval measurements
 // for the whole set instead of K per benchmark.
 func AnalyzeReducedJoint(bs []Benchmark, cfg ReducedPipelineConfig) (*PhaseJointReduced, error) {
+	return AnalyzeReducedJointCtx(context.Background(), bs, cfg)
+}
+
+// AnalyzeReducedJointCtx is AnalyzeReducedJoint with cancellation and
+// full error collection. Like AnalyzePhasesJointCtx, a
+// characterization failure is fatal to the joint result (the shared
+// vocabulary must cover the requested set), but every failing
+// benchmark is isolated, named and reported in one joined error.
+func AnalyzeReducedJointCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipelineConfig) (*PhaseJointReduced, error) {
 	rcfg := cfg.Reduced.WithDefaults()
 	named := make([]phases.BenchmarkIntervals, len(bs))
 	pcfg := PhasePipelineConfig{Phase: rcfg.CheapConfig(), Workers: cfg.Workers, Progress: cfg.Progress}
-	err := phasePipeline(bs, pcfg, "reduced characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	err := phasePipelineCtx(ctx, bs, pcfg, "reduced characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
 		res, err := phases.CharacterizeReducedWith(m, prof, rcfg)
+		if err != nil {
+			return err
+		}
 		named[i] = phases.BenchmarkIntervals{Name: bs[i].Name(), Result: res}
-		return err
+		return nil
 	})
 	if err != nil {
 		return nil, err

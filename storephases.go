@@ -1,6 +1,7 @@
 package mica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -49,11 +50,25 @@ func (o StoreOptions) encoding() ivstore.Encoding {
 // re-characterizes exactly that one).
 type StoreBuildStats struct {
 	// Characterized lists the benchmarks whose shards were (re)built
-	// this run, in pipeline order.
+	// this run, in pipeline order. With CharacterizeToStoreCtx a
+	// benchmark appears here only if its shard was actually written —
+	// failed and never-dispatched benchmarks land in Failed/Skipped.
 	Characterized []string
 	// Reused lists the benchmarks whose existing shards were adopted
 	// unchanged.
 	Reused []string
+	// Failed lists the benchmarks whose characterization or shard
+	// write failed this run (bs order). They are absent from the
+	// committed manifest; an incremental rerun re-characterizes
+	// exactly them.
+	Failed []string
+	// Skipped lists the benchmarks never dispatched because the
+	// context was cancelled first (bs order). Like Failed they are
+	// absent from the committed manifest and picked up by a rerun.
+	Skipped []string
+	// CommitWarnings carries the non-fatal problems Commit reported
+	// (stray files it could not prune, a failed lock downgrade).
+	CommitWarnings []string
 }
 
 // CharacterizeToStore characterizes every benchmark's intervals into
@@ -73,6 +88,38 @@ type StoreBuildStats struct {
 // never silently overwritten. cfg.Progress is invoked once per
 // benchmark actually characterized (not for reused shards).
 func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
+	st, stats, err := CharacterizeToStoreCtx(context.Background(), bs, cfg, opt)
+	if err != nil {
+		// Legacy all-or-nothing contract: no store handle on error. The
+		// partial commit (if any) is still on disk for incremental
+		// reruns; only the open handle and its lock are released.
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, err
+	}
+	return st, stats, nil
+}
+
+// CharacterizeToStoreCtx is CharacterizeToStore with cancellation and
+// per-benchmark fault isolation — the resumable form. A failing or
+// panicking benchmark is skipped (named in the joined error and in
+// stats.Failed) while the others complete; cancelling ctx stops
+// dispatching new benchmarks and drains in-flight ones (never
+// dispatched ones land in stats.Skipped). In both cases every shard
+// that WAS successfully staged — reused or just characterized — is
+// still committed, so the partial store is durable and a subsequent
+// Incremental rerun adopts those shards and re-characterizes exactly
+// the failed/skipped benchmarks. If nothing was staged, nothing is
+// committed and a previously committed store in opt.Dir is left
+// untouched.
+//
+// On success the returned store is committed and open (holding a
+// shared lock); the caller owns it and should Close it. When err is
+// non-nil the store is returned too whenever it exists — possibly
+// committed with partial contents, possibly uncommitted if the commit
+// itself failed — so the caller can inspect it; Close it either way.
+func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
 	if len(bs) == 0 {
 		return nil, nil, fmt.Errorf("mica: characterizing zero benchmarks to a store")
 	}
@@ -122,10 +169,10 @@ func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptio
 			// benchmark: fall through to re-characterization.
 		}
 		toBuild = append(toBuild, b)
-		stats.Characterized = append(stats.Characterized, b.Name())
 	}
 
-	err = phasePipeline(toBuild, cfg, "store characterization", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	built := make([]bool, len(toBuild))
+	pipeErr := phasePipelineCtx(ctx, toBuild, cfg, "store characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
 		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
 		if err != nil {
 			return err
@@ -134,20 +181,49 @@ func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptio
 		for ii, iv := range res.Intervals {
 			insts[ii] = iv.Insts
 		}
-		return st.WriteShard(toBuild[i].Name(), insts, res.Vectors)
+		if err := st.WriteShard(toBuild[i].Name(), insts, res.Vectors); err != nil {
+			return err
+		}
+		built[i] = true
+		return nil
 	})
-	if err != nil {
-		return nil, nil, err
+
+	// Split the non-built benchmarks into failed (the pool attributed
+	// an error to them) and skipped (never dispatched — cancellation),
+	// and record what actually got (re)characterized.
+	failed := failedItems(pipeErr)
+	for i, b := range toBuild {
+		switch {
+		case built[i]:
+			stats.Characterized = append(stats.Characterized, b.Name())
+		case failed[i]:
+			stats.Failed = append(stats.Failed, b.Name())
+		default:
+			stats.Skipped = append(stats.Skipped, b.Name())
+		}
 	}
 
-	order := make([]string, len(bs))
-	for i, b := range bs {
-		order[i] = b.Name()
+	// Commit every staged shard — reused or built — in bs order, so
+	// partial work survives a failure or cancellation and an
+	// incremental rerun re-characterizes exactly the rest. With nothing
+	// staged there is nothing worth committing, and skipping the commit
+	// keeps the invariant that a (wholly) failed build never destroys a
+	// previously committed store.
+	var order []string
+	for _, b := range bs {
+		if st.Staged(b.Name()) {
+			order = append(order, b.Name())
+		}
 	}
-	if err := st.Commit(order); err != nil {
-		return nil, nil, err
+	if len(order) == 0 {
+		return st, stats, pipeErr
 	}
-	return st, stats, nil
+	warnings, commitErr := st.Commit(order)
+	stats.CommitWarnings = warnings
+	if commitErr != nil {
+		return st, stats, errors.Join(pipeErr, commitErr)
+	}
+	return st, stats, pipeErr
 }
 
 // AnalyzePhasesJointStore is AnalyzePhasesJoint through the
@@ -160,13 +236,30 @@ func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptio
 // matrix is nil by design; everything else (assignment, K,
 // representatives, occupancy, provenance) is fully populated.
 func AnalyzePhasesJointStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*PhaseJointResult, *StoreBuildStats, error) {
-	st, stats, err := CharacterizeToStore(bs, cfg, opt)
-	if err != nil {
-		return nil, nil, err
+	return AnalyzePhasesJointStoreCtx(context.Background(), bs, cfg, opt)
+}
+
+// AnalyzePhasesJointStoreCtx is AnalyzePhasesJointStore with
+// cancellation and fault isolation. The characterization half has
+// CharacterizeToStoreCtx's resumable semantics — whatever was staged
+// before a failure or cancellation is committed for the next
+// incremental run — but like the in-memory joint path, any
+// characterization failure is fatal to the joint RESULT: a vocabulary
+// silently built over a shrunken set would not be the requested one.
+// The returned stats (non-nil whenever the build started) say exactly
+// which benchmarks were characterized, reused, failed or skipped. The
+// internally opened store is always closed before returning.
+func AnalyzePhasesJointStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*PhaseJointResult, *StoreBuildStats, error) {
+	st, stats, err := CharacterizeToStoreCtx(ctx, bs, cfg, opt)
+	if st != nil {
+		defer st.Close()
 	}
-	j, err := phases.AnalyzeJointStore(st, cfg.Phase, cfg.Workers)
 	if err != nil {
-		return nil, nil, err
+		return nil, stats, err
+	}
+	j, err := phases.AnalyzeJointStoreCtx(ctx, st, cfg.Phase, cfg.Workers)
+	if err != nil {
+		return nil, stats, err
 	}
 	return j, stats, nil
 }
@@ -176,3 +269,21 @@ func AnalyzePhasesJointStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreO
 // an earlier run (mica-phases -store without re-characterizing, or a
 // direct phases.AnalyzeJointStore call).
 func OpenIVStore(dir string) (*IVStore, error) { return ivstore.Open(dir) }
+
+// IVStoreFsckReport is the result of an interval-vector store
+// integrity check or repair. See ivstore.FsckReport.
+type IVStoreFsckReport = ivstore.FsckReport
+
+// VerifyIVStore checks the integrity of the store at dir without
+// modifying it: the manifest parses, every manifest shard is present
+// with an intact CRC, and no crash artifacts (orphaned tmp files,
+// shards absent from the manifest) remain. The report's Clean method
+// says whether the store needs Repair.
+func VerifyIVStore(dir string) (*IVStoreFsckReport, error) { return ivstore.Verify(dir) }
+
+// RepairIVStore restores the store at dir to a consistent state:
+// corrupt or truncated shards are quarantined (renamed aside and
+// dropped from the manifest) and crash artifacts are removed. The
+// store stays usable; an incremental rerun re-characterizes exactly
+// the quarantined benchmarks.
+func RepairIVStore(dir string) (*IVStoreFsckReport, error) { return ivstore.Repair(dir) }

@@ -79,10 +79,11 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 	inc := StoreOptions{Dir: dir, Incremental: true}
 
 	// Fresh build characterizes everything.
-	_, stats, err := CharacterizeToStore(bs, pcfg, inc)
+	st0, stats, err := CharacterizeToStore(bs, pcfg, inc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st0.Close()
 	if profiled != len(bs) || len(stats.Characterized) != len(bs) {
 		t.Fatalf("fresh build characterized %d (progress %d), want %d", len(stats.Characterized), profiled, len(bs))
 	}
@@ -97,6 +98,7 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.Close()
 	if profiled != 0 || len(stats.Characterized) != 0 || len(stats.Reused) != len(bs) {
 		t.Fatalf("unchanged rerun profiled %d, stats %+v", profiled, stats)
 	}
@@ -114,10 +116,11 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	profiled = 0
-	_, stats, err = CharacterizeToStore(bs, pcfg, inc)
+	st1, stats, err := CharacterizeToStore(bs, pcfg, inc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st1.Close()
 	if profiled != 1 || !reflect.DeepEqual(stats.Characterized, []string{names[1]}) {
 		t.Fatalf("one-benchmark change re-characterized %v (progress %d), want just %s",
 			stats.Characterized, profiled, names[1])
@@ -126,10 +129,11 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 	// Membership change: adding one benchmark characterizes only it.
 	grown := append(append([]Benchmark(nil), bs...), storeBenchmarks(t, "MiBench/FFT/fft-large")...)
 	profiled = 0
-	_, stats, err = CharacterizeToStore(grown, pcfg, inc)
+	st2, stats, err := CharacterizeToStore(grown, pcfg, inc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st2.Close()
 	if profiled != 1 || !reflect.DeepEqual(stats.Characterized, []string{"MiBench/FFT/fft-large"}) {
 		t.Fatalf("grown set re-characterized %v, want just the new benchmark", stats.Characterized)
 	}
@@ -138,10 +142,11 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 	droppedFile := shardFileOf(t, dir, names[0])
 	shrunk := grown[1:]
 	profiled = 0
-	_, stats, err = CharacterizeToStore(shrunk, pcfg, inc)
+	st3, stats, err := CharacterizeToStore(shrunk, pcfg, inc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st3.Close()
 	if profiled != 0 || len(stats.Reused) != len(shrunk) {
 		t.Fatalf("shrunk set stats %+v (progress %d)", stats, profiled)
 	}
@@ -153,21 +158,27 @@ func TestCharacterizeToStoreIncremental(t *testing.T) {
 	changed := pcfg
 	changed.Phase.IntervalLen = 600
 	profiled = 0
-	_, stats, err = CharacterizeToStore(shrunk, changed, inc)
+	st4, stats, err := CharacterizeToStore(shrunk, changed, inc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st4.Close()
 	if profiled != len(shrunk) || len(stats.Reused) != 0 {
 		t.Fatalf("config change reused %v, want full rebuild", stats.Reused)
 	}
 }
 
+// mustOpenStore opens a committed store and immediately releases its
+// lock — test reads do not need protection from concurrent writers,
+// and a held shared lock would block the rebuilds these tests exercise
+// (Create takes the lock exclusive).
 func mustOpenStore(t *testing.T, dir string) *IVStore {
 	t.Helper()
 	st, err := OpenIVStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.Close()
 	return st
 }
 
@@ -200,10 +211,12 @@ func TestCharacterizeToStoreQuantized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	stF.Close()
 	stQ, _, err := CharacterizeToStore(bs, pcfg, StoreOptions{Dir: filepath.Join(base, "q8"), Quantize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	stQ.Close()
 	sizeOf := func(st *IVStore) int64 {
 		var total int64
 		for _, sh := range st.Shards() {
