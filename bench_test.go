@@ -725,6 +725,43 @@ func BenchmarkReducedPipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkReducedStorePipeline measures store-backed reduced
+// profiling — the phases-reduced-store configuration cmd/mica-bench
+// -reduced tracks in BENCH_phases.json: the cheap sampled pass lands
+// in an interval-vector store and the full-characterization replay
+// gathers each benchmark's representatives back through the
+// decoded-shard cache. Effective MIPS: trace instructions per second
+// of end-to-end wall time over the set.
+func BenchmarkReducedStorePipeline(b *testing.B) {
+	bs := make([]Benchmark, 0, 3)
+	for _, name := range []string{
+		"SPEC2000/gzip/program", "MiBench/sha/large", "MiBench/FFT/fft-large",
+	} {
+		bench, err := BenchmarkByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs = append(bs, bench)
+	}
+	cfg := ReducedPipelineConfig{Reduced: ReducedConfig{
+		Phase: PhaseConfig{IntervalLen: 2_500, MaxIntervals: 80, MaxK: 6, Seed: 2006},
+	}}
+	var n uint64
+	for i := 0; i < b.N; i++ {
+		results, stats, err := AnalyzeReducedStore(bs, cfg, StoreOptions{Dir: filepath.Join(b.TempDir(), "store")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Cache.Decodes == 0 {
+			b.Fatal("replay bypassed the decoded-shard cache")
+		}
+		for _, r := range results {
+			n += r.Result.TotalInsts()
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
 // BenchmarkJointStorePipeline measures registry-scale joint phase
 // analysis — the configurations cmd/mica-bench -joint tracks in
 // BENCH_phases.json: the in-memory flat-matrix path against the

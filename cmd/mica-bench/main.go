@@ -19,17 +19,24 @@
 // exact full profiling on the same interval grid, in two
 // configurations measured in the same run:
 //
-//	phases-full-grid  the exact matched-grid profile: full 47-dim +
-//	                  EV56/EV67 HPC characterization on EVERY interval
-//	phases-reduced    the two-pass reduced pipeline: sampled
-//	                  key-characteristic cheap pass, clustering, and
-//	                  full characterization only on per-phase measured
-//	                  intervals
+//	phases-full-grid      the exact matched-grid profile: full 47-dim +
+//	                      EV56/EV67 HPC characterization on EVERY
+//	                      interval
+//	phases-reduced        the two-pass reduced pipeline: sampled
+//	                      key-characteristic cheap pass, clustering,
+//	                      and full characterization only on per-phase
+//	                      measured intervals
+//	phases-reduced-store  the same reduced pipeline through the
+//	                      interval-vector store: the cheap pass lands
+//	                      in on-disk shards and the replay gathers
+//	                      representatives back through the
+//	                      decoded-shard cache
 //
-// The reduced config also records its effective speedup over the full
-// grid and the worst per-metric relative error of its extrapolated
-// whole-run vectors, so the recorded speedup carries its quality bound
-// with it.
+// The reduced configs also record their effective speedup over the
+// full grid and the worst per-metric relative error of their
+// extrapolated whole-run vectors, so the recorded speedup carries its
+// quality bound with it; the store config additionally records its
+// cache accounting (shard decodes, peak decoded bytes).
 //
 // With -joint it measures registry-scale joint phase analysis — every
 // selected benchmark's intervals clustered once into a shared
@@ -42,10 +49,13 @@
 //	                   rows shard-by-shard (AnalyzePhasesJointStore)
 //	joint-store-quant8 the same with 8-bit quantized shards
 //
-// The store configs also record their store size on disk and whether
-// the resulting vocabulary (K + assignment) is identical to the
-// in-memory one, so the recorded throughput carries its fidelity with
-// it. -joint defaults to the whole 122-benchmark registry.
+// The store configs also record their store size on disk, their
+// decoded-shard cache accounting (shard decodes, peak decoded bytes —
+// the clustering sweep streams the same rows many times, so the cache
+// turns repeated decodes into hits) and whether the resulting
+// vocabulary (K + assignment) is identical to the in-memory one, so
+// the recorded throughput carries its fidelity with it. -joint
+// defaults to the whole 122-benchmark registry.
 //
 // With -cluster it measures the BIC k-sweep (cluster.SelectK) on a
 // synthetic phase-interval matrix (-rows x 47, Gaussian blobs) in two
@@ -497,6 +507,7 @@ func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, be
 	var fullTime, redTime time.Duration
 	var totalInsts uint64
 	maxErr := 0.0
+	exacts := make([]*phases.ExactProfile, len(set))
 	for i, b := range set {
 		var ex *phases.ExactProfile
 		var rr *mica.ReducedResult
@@ -531,6 +542,7 @@ func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, be
 		if e := rr.MaxRelativeError(ex); e > maxErr {
 			maxErr = e
 		}
+		exacts[i] = ex
 	}
 	full.MIPS = mips(totalInsts, fullTime)
 	red.MIPS = mips(totalInsts, redTime)
@@ -539,10 +551,57 @@ func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, be
 	red.PerBench["max_rel_err"] = maxErr
 	res.Configs = []ConfigResult{full, red}
 
+	// Store-backed reduced: the same pipeline with its cheap pass in a
+	// fresh interval-vector store and the replay reading shards back
+	// through the decoded-shard cache. The store APIs are set-level, so
+	// this configuration is timed end to end over the whole set against
+	// the summed full-grid reference.
+	stored := ConfigResult{Name: "phases-reduced-store", PerBench: make(map[string]float64)}
+	var storeTime time.Duration
+	var storeResults []mica.BenchmarkReduced
+	var storeStats *mica.StoreBuildStats
+	rpcfg := mica.ReducedPipelineConfig{Reduced: cfg}
+	for r := 0; r < runs; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "mica-reduced-store-*")
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rs, stats, err := mica.AnalyzeReducedStoreCtx(ctx, set, rpcfg, mica.StoreOptions{Dir: dir})
+		if err != nil {
+			os.RemoveAll(dir)
+			return fmt.Errorf("reduced store: %w", err)
+		}
+		if d := time.Since(start); storeTime == 0 || d < storeTime {
+			storeTime, storeResults, storeStats = d, rs, stats
+		}
+		os.RemoveAll(dir)
+	}
+	storeMaxErr := 0.0
+	for i, rr := range storeResults {
+		if e := rr.Result.MaxRelativeError(exacts[i]); e > storeMaxErr {
+			storeMaxErr = e
+		}
+	}
+	stored.MIPS = mips(totalInsts, storeTime)
+	storeSpeedup := fullTime.Seconds() / storeTime.Seconds()
+	stored.PerBench["seconds"] = storeTime.Seconds()
+	stored.PerBench["speedup_vs_full"] = storeSpeedup
+	stored.PerBench["max_rel_err"] = storeMaxErr
+	stored.PerBench["shard_decodes"] = float64(storeStats.Cache.Decodes)
+	stored.PerBench["cache_peak_bytes"] = float64(storeStats.Cache.PeakBytes)
+	res.Configs = append(res.Configs, stored)
+
 	t := report.NewTable("config", "MIPS", "time", "notes")
 	t.AddRow("phases-full-grid", fmt.Sprintf("%.2f", full.MIPS), fullTime.Round(time.Millisecond), "")
 	t.AddRow("phases-reduced", fmt.Sprintf("%.2f", red.MIPS), redTime.Round(time.Millisecond),
 		fmt.Sprintf("%.2fx faster, max rel err %.2f%%", speedup, maxErr*100))
+	t.AddRow("phases-reduced-store", fmt.Sprintf("%.2f", stored.MIPS), storeTime.Round(time.Millisecond),
+		fmt.Sprintf("%.2fx faster, max rel err %.2f%%, %d decodes, peak %.1f KB cached",
+			storeSpeedup, storeMaxErr*100, storeStats.Cache.Decodes, float64(storeStats.Cache.PeakBytes)/1e3))
 	fmt.Print(t.String())
 
 	return appendHistory(jsonOut, res)
@@ -620,6 +679,7 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 		quantize bool
 	}{{"joint-store", false}, {"joint-store-quant8", true}} {
 		var best *mica.PhaseJointResult
+		var bestStats *mica.StoreBuildStats
 		var bestTime time.Duration
 		var storeBytes int64
 		for r := 0; r < runs; r++ {
@@ -628,13 +688,13 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 				return err
 			}
 			start := time.Now()
-			j, _, err := mica.AnalyzePhasesJointStoreCtx(ctx, set, pcfg, mica.StoreOptions{Dir: dir, Quantize: sc.quantize})
+			j, stats, err := mica.AnalyzePhasesJointStoreCtx(ctx, set, pcfg, mica.StoreOptions{Dir: dir, Quantize: sc.quantize})
 			if err != nil {
 				os.RemoveAll(dir)
 				return fmt.Errorf("%s: %w", sc.name, err)
 			}
 			if d := time.Since(start); bestTime == 0 || d < bestTime {
-				bestTime, best = d, j
+				bestTime, best, bestStats = d, j, stats
 				storeBytes = dirSize(dir)
 			}
 			os.RemoveAll(dir)
@@ -644,14 +704,17 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 			identical = 1
 		}
 		cr := ConfigResult{Name: sc.name, MIPS: mips(totalInsts, bestTime), PerBench: map[string]float64{
-			"seconds":         bestTime.Seconds(),
-			"rows":            float64(len(best.Rows)),
-			"selected_k":      float64(best.K),
-			"store_bytes":     float64(storeBytes),
-			"vocab_identical": identical,
+			"seconds":          bestTime.Seconds(),
+			"rows":             float64(len(best.Rows)),
+			"selected_k":       float64(best.K),
+			"store_bytes":      float64(storeBytes),
+			"vocab_identical":  identical,
+			"shard_decodes":    float64(bestStats.Cache.Decodes),
+			"cache_peak_bytes": float64(bestStats.Cache.PeakBytes),
 		}}
 		res.Configs = append(res.Configs, cr)
-		note := fmt.Sprintf("%.2fx of in-memory, %.1f MB store", bestTime.Seconds()/refTime.Seconds(), float64(storeBytes)/1e6)
+		note := fmt.Sprintf("%.2fx of in-memory, %.1f MB store, %d decodes",
+			bestTime.Seconds()/refTime.Seconds(), float64(storeBytes)/1e6, bestStats.Cache.Decodes)
 		if identical == 1 {
 			note += ", vocab identical"
 		} else {

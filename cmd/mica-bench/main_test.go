@@ -159,15 +159,26 @@ func TestRunReducedWritesHistory(t *testing.T) {
 		t.Fatalf("history has %d entries, want 1", len(hist.History))
 	}
 	rec := hist.History[0]
-	if len(rec.Configs) != 2 || rec.Configs[0].Name != "phases-full-grid" || rec.Configs[1].Name != "phases-reduced" {
+	if len(rec.Configs) != 3 ||
+		rec.Configs[0].Name != "phases-full-grid" ||
+		rec.Configs[1].Name != "phases-reduced" ||
+		rec.Configs[2].Name != "phases-reduced-store" {
 		t.Fatalf("configs = %+v", rec.Configs)
 	}
-	red := rec.Configs[1]
-	if red.PerBench["speedup_vs_full"] <= 0 {
-		t.Error("reduced entry missing speedup_vs_full")
+	for _, red := range rec.Configs[1:] {
+		if red.PerBench["speedup_vs_full"] <= 0 {
+			t.Errorf("%s entry missing speedup_vs_full", red.Name)
+		}
+		if _, ok := red.PerBench["max_rel_err"]; !ok {
+			t.Errorf("%s entry missing max_rel_err", red.Name)
+		}
 	}
-	if _, ok := red.PerBench["max_rel_err"]; !ok {
-		t.Error("reduced entry missing max_rel_err")
+	stored := rec.Configs[2]
+	if stored.PerBench["shard_decodes"] <= 0 {
+		t.Error("store entry missing shard_decodes")
+	}
+	if stored.PerBench["cache_peak_bytes"] <= 0 {
+		t.Error("store entry missing cache_peak_bytes")
 	}
 	if rec.Interval != 2_000 || rec.MaxK != 4 {
 		t.Errorf("recorded interval/maxk = %d/%d", rec.Interval, rec.MaxK)
@@ -215,6 +226,12 @@ func TestRunJointWritesHistory(t *testing.T) {
 	}
 	if store.PerBench["rows"] != rec.Configs[0].PerBench["rows"] {
 		t.Error("store and in-memory row counts differ")
+	}
+	if store.PerBench["shard_decodes"] <= 0 {
+		t.Error("store entry missing shard_decodes")
+	}
+	if store.PerBench["cache_peak_bytes"] <= 0 {
+		t.Error("store entry missing cache_peak_bytes")
 	}
 }
 

@@ -25,23 +25,29 @@
 // with -cache, a rerun skips both passes, and a cached vocabulary
 // alone (same cheap configuration) still skips the cheap pass.
 //
-// With -joint -store DIR the joint pipeline runs through the on-disk
+// With -store DIR the pipelines run through the on-disk
 // interval-vector store instead of one in-memory matrix: every
 // benchmark's intervals are written as a columnar shard (float32, or
-// 8-bit quantized with -quant), and the clustering streams rows
-// shard-by-shard, so registry-scale joint spaces no longer need the
-// whole matrix in memory. With -incremental a rerun reuses every
-// shard whose benchmark and configuration are unchanged and
-// re-characterizes only the rest.
+// 8-bit quantized with -quant), and the analysis reads rows back
+// through a byte-budgeted decoded-shard cache (-cachebytes), so
+// registry-scale runs no longer need the whole matrix in memory.
+// -store combines with -joint (streaming joint clustering), with
+// -reduced (the cheap pass lands in the store, the replay gathers
+// representatives back out of it), and with both at once. With
+// -incremental a rerun reuses every shard whose benchmark and
+// configuration are unchanged and re-characterizes only the rest;
+// with -warm a joint rerun additionally seeds its clustering from the
+// state the previous run persisted next to the store.
 //
 // Usage:
 //
 //	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
 //	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
 //	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
-//	mica-phases -joint -store phases.ivs [-quant] [-incremental]
+//	mica-phases -joint -store phases.ivs [-quant] [-incremental] [-warm] [-cachebytes N]
 //	mica-phases -store phases.ivs -fsck [-repair]
 //	mica-phases -reduced [-bench name | -all | -joint] [-sample 0.2] [-reps 3] [-cache reduced.json]
+//	mica-phases -reduced [-joint] -store phases.ivs [-incremental] [-cachebytes N]
 //
 // SIGINT or SIGTERM cancels the run cleanly: in-flight benchmarks
 // drain, store-backed runs commit every shard finished so far, and a
@@ -83,6 +89,8 @@ func main() {
 		sampleFrac   = flag.Float64("sample", 0, "cheap-pass sample fraction per interval with -reduced (0 = default 0.2)")
 		repsPerPhase = flag.Int("reps", 0, "measured intervals per phase with -reduced (0 = default 3)")
 		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models on the reduced replay pass")
+		cacheBytes   = flag.Int64("cachebytes", 0, "with -store: byte budget for the decoded-shard cache (0 = default: all shards, clamped to 1 GiB)")
+		warm         = flag.Bool("warm", false, "with -joint -store: seed the clustering from the warm state a previous run persisted next to the store")
 		fsck         = flag.Bool("fsck", false, "with -store: verify the store's integrity (manifest, per-shard CRCs, crash artifacts) and exit")
 		repair       = flag.Bool("repair", false, "with -store -fsck: quarantine corrupt shards and remove crash artifacts so the store reopens cleanly")
 	)
@@ -99,24 +107,20 @@ func main() {
 		MaxK:         *maxK,
 		Seed:         *seed,
 	}
-	sopt := mica.StoreOptions{Dir: *storeDir, Quantize: *quant, Incremental: *incremental}
-	var err error
+	sopt := mica.StoreOptions{
+		Dir: *storeDir, Quantize: *quant, Incremental: *incremental,
+		CacheBytes: *cacheBytes, WarmStart: *warm,
+	}
+	fl := cliFlags{
+		bench: *benchName, all: *all, joint: *joint, reduced: *reduced,
+		cache: *cache, storeDir: *storeDir, quant: *quant, incremental: *incremental,
+		warm: *warm, cacheBytes: *cacheBytes, fsck: *fsck, repair: *repair,
+	}
+	err := validateFlags(fl)
 	switch {
+	case err != nil:
 	case *fsck || *repair:
-		switch {
-		case *storeDir == "":
-			err = fmt.Errorf("-fsck/-repair check an interval-vector store; pass -store DIR")
-		case *repair && !*fsck:
-			err = fmt.Errorf("-repair rides on the fsck pass; pass -fsck -repair")
-		default:
-			err = runFsck(*storeDir, *repair)
-		}
-	case *storeDir != "" && *cache != "":
-		err = fmt.Errorf("-store and -cache are alternative persistence layers; pass one")
-	case *storeDir != "" && (!*joint || *reduced):
-		err = fmt.Errorf("-store drives the joint pipeline; combine it with -joint (without -reduced)")
-	case *storeDir == "" && (*quant || *incremental):
-		err = fmt.Errorf("-quant and -incremental only apply to -store runs")
+		err = runFsck(*storeDir, *repair)
 	case *reduced:
 		rcfg := mica.ReducedConfig{
 			Phase:        cfg,
@@ -124,7 +128,7 @@ func main() {
 			RepsPerPhase: *repsPerPhase,
 			SkipHPC:      *skipHPC,
 		}
-		err = runReduced(ctx, *benchName, *all, *joint, *cache, rcfg, *workers)
+		err = runReduced(ctx, *benchName, *all, *joint, *cache, rcfg, sopt, *workers)
 	default:
 		err = run(ctx, *benchName, *all, *joint, *cache, sopt, cfg, *workers)
 	}
@@ -132,6 +136,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
 		os.Exit(1)
 	}
+}
+
+// cliFlags is the flag combination a run was invoked with, gathered
+// for validation (and table-tested as one unit).
+type cliFlags struct {
+	bench               string
+	all, joint, reduced bool
+	cache, storeDir     string
+	quant, incremental  bool
+	warm                bool
+	cacheBytes          int64
+	fsck, repair        bool
+}
+
+// validateFlags rejects inconsistent flag combinations up front, with
+// errors that name the fix. nil means the combination is runnable.
+func validateFlags(f cliFlags) error {
+	switch {
+	case f.fsck || f.repair:
+		switch {
+		case f.storeDir == "":
+			return fmt.Errorf("-fsck/-repair check an interval-vector store; pass -store DIR")
+		case f.repair && !f.fsck:
+			return fmt.Errorf("-repair rides on the fsck pass; pass -fsck -repair")
+		}
+		return nil
+	case f.storeDir != "" && f.cache != "":
+		return fmt.Errorf("-store and -cache are alternative persistence layers; pass one")
+	case f.storeDir != "" && !f.joint && !f.reduced:
+		return fmt.Errorf("-store drives the joint and reduced pipelines; combine it with -joint, -reduced, or both")
+	case f.storeDir == "" && (f.quant || f.incremental || f.warm || f.cacheBytes != 0):
+		return fmt.Errorf("-quant, -incremental, -warm and -cachebytes only apply to -store runs")
+	case f.cacheBytes < 0:
+		return fmt.Errorf("-cachebytes wants a positive byte budget (0 = default)")
+	case f.warm && !f.joint:
+		return fmt.Errorf("-warm seeds the joint clustering; combine it with -joint")
+	}
+	return nil
 }
 
 // runFsck verifies (and with repair, repairs) the store at dir. A
@@ -292,6 +334,13 @@ func reportStoreBuild(dir string, stats *mica.StoreBuildStats, failed bool) {
 	for _, w := range stats.CommitWarnings {
 		fmt.Fprintf(out, "  commit warning: %s\n", w)
 	}
+	if stats.WarmStarted {
+		fmt.Fprintf(out, "  clustering warm-started from the previous run's state\n")
+	}
+	if stats.Cache.Decodes > 0 {
+		fmt.Fprintf(out, "  decoded-shard cache: %d decodes, %d hits, %d evictions, peak %d bytes (budget %d)\n",
+			stats.Cache.Decodes, stats.Cache.Hits, stats.Cache.Evictions, stats.Cache.PeakBytes, stats.Cache.BudgetBytes)
+	}
 	if failed && len(stats.Characterized)+len(stats.Reused) > 0 {
 		fmt.Fprintf(out, "  committed shards are durable; rerun with -incremental to resume from them\n")
 	}
@@ -301,13 +350,54 @@ func reportStoreBuild(dir string, stats *mica.StoreBuildStats, failed bool) {
 }
 
 // runReduced drives the two-pass reduced pipelines.
-func runReduced(ctx context.Context, benchName string, all, joint bool, cache string, rcfg mica.ReducedConfig, workers int) error {
+func runReduced(ctx context.Context, benchName string, all, joint bool, cache string, rcfg mica.ReducedConfig, sopt mica.StoreOptions, workers int) error {
 	pcfg := mica.ReducedPipelineConfig{
 		Reduced:  rcfg,
 		Workers:  workers,
 		Progress: progressLine,
 	}
 	switch {
+	case joint && sopt.Dir != "":
+		bs, err := selectBenchmarks(benchName)
+		if err != nil {
+			return err
+		}
+		jr, stats, err := mica.AnalyzeReducedJointStoreCtx(ctx, bs, pcfg, sopt)
+		if stats != nil {
+			reportStoreBuild(sopt.Dir, stats, err != nil)
+		}
+		if err != nil {
+			return err
+		}
+		return renderReducedJoint(jr)
+
+	case sopt.Dir != "":
+		bs := mica.Benchmarks()
+		if !all {
+			var err error
+			if bs, err = selectBenchmarks(benchName); err != nil {
+				return err
+			}
+		}
+		results, stats, err := mica.AnalyzeReducedStoreCtx(ctx, bs, pcfg, sopt)
+		if stats != nil {
+			reportStoreBuild(sopt.Dir, stats, err != nil)
+		}
+		if err != nil {
+			return err
+		}
+		if len(results) == 1 {
+			return renderReducedSingle(results[0])
+		}
+		t := report.NewTable("benchmark", "intervals", "phases", "measured", "full insts", "skipped insts")
+		for _, r := range results {
+			res := r.Result
+			t.AddRow(r.Benchmark.Name(), len(res.Phases.Intervals), res.Phases.K,
+				len(res.Measured), res.MeasuredInsts, res.SkippedInsts)
+		}
+		fmt.Print(t.String())
+		return nil
+
 	case joint:
 		bs, err := selectBenchmarks(benchName)
 		if err != nil {

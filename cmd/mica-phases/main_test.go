@@ -195,7 +195,9 @@ func TestRunAllRegistryCached(t *testing.T) {
 
 func TestRunReducedSingleBenchmark(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
-	out, err := capture(t, func() error { return runReduced(context.Background(), "SPEC2000/twolf/ref", false, false, "", rcfg, 0) })
+	out, err := capture(t, func() error {
+		return runReduced(context.Background(), "SPEC2000/twolf/ref", false, false, "", rcfg, mica.StoreOptions{}, 0)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func TestRunReducedSingleBenchmark(t *testing.T) {
 func TestRunReducedSubsetPipeline(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	out, err := capture(t, func() error {
-		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, false, "", rcfg, 2)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, false, "", rcfg, mica.StoreOptions{}, 2)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +227,7 @@ func TestRunReducedJointWithCache(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	cache := filepath.Join(t.TempDir(), "joint.json")
 	out, err := capture(t, func() error {
-		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, mica.StoreOptions{}, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +237,7 @@ func TestRunReducedJointWithCache(t *testing.T) {
 	}
 	// Second run must reuse the cached vocabulary.
 	out, err = capture(t, func() error {
-		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large,SPEC2000/gzip/program", false, true, cache, rcfg, mica.StoreOptions{}, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -249,12 +251,12 @@ func TestRunReducedCacheHitLine(t *testing.T) {
 	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
 	cache := filepath.Join(t.TempDir(), "reduced.json")
 	if _, err := capture(t, func() error {
-		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, mica.StoreOptions{}, 0)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, 0)
+		return runReduced(context.Background(), "MiBench/sha/large", false, false, cache, rcfg, mica.StoreOptions{}, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +298,134 @@ func TestRunJointStore(t *testing.T) {
 	tail := second[strings.Index(second, "joint phase space"):]
 	if !strings.HasSuffix(first, tail) {
 		t.Error("store-backed rerun renders a different vocabulary")
+	}
+}
+
+// TestValidateFlags tables the flag matrix: every supported
+// combination is accepted and every inconsistent one is rejected with
+// an error naming the fix.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       cliFlags
+		wantErr string // substring; empty = accepted
+	}{
+		{"single bench", cliFlags{bench: "a/b/c"}, ""},
+		{"all", cliFlags{all: true}, ""},
+		{"joint", cliFlags{joint: true}, ""},
+		{"reduced bench", cliFlags{reduced: true, bench: "a/b/c"}, ""},
+		{"reduced all", cliFlags{reduced: true, all: true}, ""},
+		{"reduced joint", cliFlags{reduced: true, joint: true}, ""},
+		{"joint cache", cliFlags{joint: true, cache: "j.json"}, ""},
+		{"reduced cache", cliFlags{reduced: true, all: true, cache: "r.json"}, ""},
+		{"joint store", cliFlags{joint: true, storeDir: "d"}, ""},
+		{"joint store quant incremental", cliFlags{joint: true, storeDir: "d", quant: true, incremental: true}, ""},
+		{"joint store warm", cliFlags{joint: true, storeDir: "d", warm: true}, ""},
+		{"joint store cachebytes", cliFlags{joint: true, storeDir: "d", cacheBytes: 1 << 20}, ""},
+		{"reduced store", cliFlags{reduced: true, all: true, storeDir: "d"}, ""},
+		{"reduced store bench", cliFlags{reduced: true, bench: "a/b/c", storeDir: "d"}, ""},
+		{"reduced store cachebytes", cliFlags{reduced: true, all: true, storeDir: "d", cacheBytes: 4096}, ""},
+		{"reduced joint store", cliFlags{reduced: true, joint: true, storeDir: "d"}, ""},
+		{"reduced joint store warm", cliFlags{reduced: true, joint: true, storeDir: "d", warm: true, incremental: true}, ""},
+		{"fsck", cliFlags{fsck: true, storeDir: "d"}, ""},
+		{"fsck repair", cliFlags{fsck: true, repair: true, storeDir: "d"}, ""},
+
+		{"store without pipeline", cliFlags{storeDir: "d"}, "-joint, -reduced, or both"},
+		{"store with bench only", cliFlags{storeDir: "d", bench: "a/b/c"}, "-joint, -reduced, or both"},
+		{"store with all only", cliFlags{storeDir: "d", all: true}, "-joint, -reduced, or both"},
+		{"store and cache", cliFlags{joint: true, storeDir: "d", cache: "j.json"}, "alternative persistence layers"},
+		{"quant without store", cliFlags{joint: true, quant: true}, "only apply to -store"},
+		{"incremental without store", cliFlags{all: true, incremental: true}, "only apply to -store"},
+		{"warm without store", cliFlags{joint: true, warm: true}, "only apply to -store"},
+		{"cachebytes without store", cliFlags{joint: true, cacheBytes: 4096}, "only apply to -store"},
+		{"warm without joint", cliFlags{reduced: true, all: true, storeDir: "d", warm: true}, "combine it with -joint"},
+		{"negative cachebytes", cliFlags{joint: true, storeDir: "d", cacheBytes: -1}, "positive byte budget"},
+		{"fsck without store", cliFlags{fsck: true}, "pass -store DIR"},
+		{"repair without fsck", cliFlags{repair: true, storeDir: "d"}, "pass -fsck -repair"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.f)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.wantErr)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunReducedStore exercises -reduced -store end to end: the first
+// run characterizes every shard and reports the cache accounting, the
+// incremental rerun reuses the cheap pass entirely and renders the
+// same table.
+func TestRunReducedStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	sopt := mica.StoreOptions{Dir: dir, Incremental: true, CacheBytes: 1 << 20}
+	names := "MiBench/sha/large,SPEC2000/gzip/program"
+	first, err := capture(t, func() error {
+		return runReduced(context.Background(), names, false, false, "", rcfg, sopt, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"2 shards characterized, 0 reused",
+		"decoded-shard cache:",
+		"MiBench/sha/large",
+		"skipped insts",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("reduced store run output missing %q:\n%s", want, first)
+		}
+	}
+	second, err := capture(t, func() error {
+		return runReduced(context.Background(), names, false, false, "", rcfg, sopt, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "0 shards characterized, 2 reused") {
+		t.Errorf("incremental reduced rerun did not reuse shards:\n%s", second)
+	}
+	tail := second[strings.Index(second, "benchmark"):]
+	if !strings.HasSuffix(first, tail) {
+		t.Error("store-backed reduced rerun renders a different table")
+	}
+}
+
+// TestRunReducedJointStoreWarm drives -reduced -joint -store -warm end
+// to end: the rerun reuses every shard and takes the warm path.
+func TestRunReducedJointStoreWarm(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	rcfg := mica.ReducedConfig{Phase: mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}}
+	sopt := mica.StoreOptions{Dir: dir, Incremental: true, WarmStart: true}
+	names := "MiBench/sha/large,SPEC2000/gzip/program"
+	first, err := capture(t, func() error {
+		return runReduced(context.Background(), names, false, true, "", rcfg, sopt, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "joint reduced profile: 2 benchmarks") {
+		t.Errorf("joint reduced store output wrong:\n%s", first)
+	}
+	if strings.Contains(first, "warm-started") {
+		t.Error("fresh run claimed a warm start")
+	}
+	second, err := capture(t, func() error {
+		return runReduced(context.Background(), names, false, true, "", rcfg, sopt, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "0 shards characterized, 2 reused") {
+		t.Errorf("incremental joint reduced rerun did not reuse shards:\n%s", second)
+	}
+	if !strings.Contains(second, "warm-started") {
+		t.Errorf("warm rerun did not report the warm path:\n%s", second)
 	}
 }
 

@@ -341,6 +341,17 @@ func kmeansRun(m Rows, k int, seed int64, eng Engine, opt SweepOptions, sc *scra
 		}
 	}
 	rng := rand.New(rand.NewSource(seed))
+	if opt.Warm.usable(m.Dim()) {
+		seeds := warmSeeds(m, k, opt.Warm, rng, sc)
+		switch eng {
+		case EngineElkan:
+			return elkanFrom(m, seeds, sc)
+		case EngineMiniBatch:
+			return miniBatchFrom(m, seeds, rng, opt, sc)
+		default:
+			return lloydFrom(m, seeds, sc)
+		}
+	}
 	switch eng {
 	case EngineElkan:
 		return elkanFrom(m, seedPlusPlus(m, k, rng, sc), sc)

@@ -150,6 +150,13 @@ func miniBatchRun(m Rows, k int, rng *rand.Rand, opt SweepOptions, sc *scratch) 
 	// assignment stabilizes (or the cap), repairing empty clusters,
 	// settling centroid means, and ending with an assignment consistent
 	// with the centroids.
+	return miniBatchPolish(m, cents, sc)
+}
+
+// miniBatchPolish runs the bounded full-data Lloyd tail shared by the
+// restart path and the warm path.
+func miniBatchPolish(m Rows, cents *stats.Matrix, sc *scratch) Result {
+	n, k := m.Len(), cents.Rows
 	assign := ints(&sc.assign, n)
 	counts := ints(&sc.counts, k)
 	var sse, prevSSE float64
@@ -162,4 +169,72 @@ func miniBatchRun(m Rows, k int, rng *rand.Rand, opt SweepOptions, sc *scratch) 
 		updateCentroids(m, cents, assign, counts)
 	}
 	return Result{K: k, Assign: assign, Centroids: cents, SSE: sse}
+}
+
+// miniBatchFrom is the warm-start variant of miniBatchRun: the seed
+// centroids are already data-informed (a previous run's centers), so
+// the k-means++ restarts are skipped in favor of one sampled
+// refinement pass from the seeds, followed by the standard full-data
+// polish. Small inputs fall back to exact refinement, mirroring
+// miniBatchRun's fallback. cents is refined in place (callers pass a
+// private copy).
+func miniBatchFrom(m Rows, cents *stats.Matrix, rng *rand.Rand, opt SweepOptions, sc *scratch) Result {
+	n, d := m.Len(), m.Dim()
+	k := cents.Rows
+	batch := opt.BatchSize
+	if n <= 4*batch || 8*k >= n {
+		return lloydFrom(m, cents, sc)
+	}
+
+	// Drift tolerance from a sample's mean squared row norm, as in
+	// miniBatchRun.
+	sampleN := 2 * batch
+	if sampleN > n {
+		sampleN = n
+	}
+	sampleIdx := ints(&sc.sampleIdx, sampleN)
+	for j := range sampleIdx {
+		sampleIdx[j] = rng.Intn(n)
+	}
+	sampleData := floats(&sc.sample, sampleN*d)
+	sample := &stats.Matrix{Rows: sampleN, Cols: d, Data: sampleData}
+	gather(m, sampleIdx, sample)
+	scale := 0.0
+	for _, v := range sampleData {
+		scale += v * v
+	}
+	tol := 1e-6 * (1 + scale/float64(sampleN)) * float64(k)
+
+	upd := ints(&sc.upd, k)
+	for c := range upd {
+		upd[c] = 0
+	}
+	idx := ints(&sc.batch, batch)
+	prev := floats(&sc.prev, k*d)
+	batchRows := &stats.Matrix{Rows: batch, Cols: d, Data: floats(&sc.gat, batch*d)}
+	for iter := 0; iter < miniBatchIters; iter++ {
+		copy(prev, cents.Data)
+		for j := range idx {
+			idx[j] = rng.Intn(n)
+		}
+		gather(m, idx, batchRows)
+		for j := range idx {
+			row := batchRows.Row(j)
+			c, _ := nearest(row, cents)
+			upd[c]++
+			eta := 1 / float64(upd[c])
+			crow := cents.Row(c)
+			for j := 0; j < d; j++ {
+				crow[j] += eta * (row[j] - crow[j])
+			}
+		}
+		drift := 0.0
+		for c := 0; c < k; c++ {
+			drift += sqDist(prev[c*d:(c+1)*d], cents.Row(c))
+		}
+		if drift <= tol && iter+1 >= miniBatchMinIters {
+			break
+		}
+	}
+	return miniBatchPolish(m, cents, sc)
 }

@@ -40,6 +40,11 @@ type SweepOptions struct {
 	// BatchSize is the minibatch sample size per iteration (default
 	// 1024).
 	BatchSize int
+	// Warm optionally seeds every swept k from a previous clustering's
+	// centroids instead of k-means++ (see WarmStart). Engines still
+	// iterate to convergence; ignored when the centroid dimensionality
+	// does not match the rows.
+	Warm *WarmStart
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {

@@ -1,0 +1,74 @@
+package ivstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// auxSuffix is the required suffix of auxiliary file names. The suffix
+// keeps aux files disjoint from everything the store's maintenance
+// machinery touches: Commit's prune only removes shard (.ivs) and temp
+// files, and Verify/Repair classify only shard, temp and quarantine
+// names, so aux files survive prunes, repairs and fsck untouched.
+const auxSuffix = ".aux.json"
+
+// validAuxName reports whether name is an acceptable auxiliary file
+// name: a plain base name carrying the aux suffix.
+func validAuxName(name string) bool {
+	return strings.HasSuffix(name, auxSuffix) &&
+		len(name) > len(auxSuffix) &&
+		name == filepath.Base(name) &&
+		!strings.ContainsAny(name, "/\\")
+}
+
+// WriteAux durably writes a small auxiliary document (for example,
+// warm-start clustering state) into the store directory under name,
+// which must end in ".aux.json". The write follows the store's atomic
+// protocol — temp file, fsync, rename, directory fsync — so a crash
+// leaves either the old document or the new one, never a torn file.
+// Aux files are advisory sidecars: they are not referenced by the
+// manifest, not validated by Verify, and not removed by prune or
+// Repair.
+func (s *Store) WriteAux(name string, data []byte) error {
+	if !validAuxName(name) {
+		return fmt.Errorf("ivstore: aux file name %q must be a base name ending in %q", name, auxSuffix)
+	}
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ivstore: writing aux %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ivstore: writing aux %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ivstore: syncing aux %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ivstore: closing aux %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ivstore: publishing aux %s: %w", name, err)
+	}
+	return syncDir(s.dir)
+}
+
+// ReadAux reads an auxiliary document previously written by WriteAux.
+// A missing file is reported with an error satisfying
+// errors.Is(err, os.ErrNotExist), which callers treat as "no aux state
+// yet", not a failure.
+func (s *Store) ReadAux(name string) ([]byte, error) {
+	if !validAuxName(name) {
+		return nil, fmt.Errorf("ivstore: aux file name %q must be a base name ending in %q", name, auxSuffix)
+	}
+	return os.ReadFile(filepath.Join(s.dir, name))
+}

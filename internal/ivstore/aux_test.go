@@ -1,0 +1,151 @@
+package ivstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidAuxName(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"warm.aux.json", true},
+		{"state-v2.aux.json", true},
+		{".aux.json", false},         // suffix only, no base
+		{"warm.json", false},         // wrong suffix
+		{"warm.aux.json.bak", false}, // suffix not at the end
+		{"sub/warm.aux.json", false}, // path separator
+		{"..\\warm.aux.json", false}, // windows separator
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := validAuxName(c.name); got != c.ok {
+			t.Errorf("validAuxName(%q) = %v, want %v", c.name, got, c.ok)
+		}
+	}
+}
+
+// TestAuxRoundTrip: WriteAux publishes atomically (no temp file left
+// behind), ReadAux returns the exact bytes, overwrites replace the
+// document, and a missing aux file reads as os.ErrNotExist.
+func TestAuxRoundTrip(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 4}, []string{"a"}, 10)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+
+	if _, err := opened.ReadAux("warm.aux.json"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing aux read err = %v, want os.ErrNotExist", err)
+	}
+	if err := opened.WriteAux("warm.aux.json", []byte(`{"k":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := opened.ReadAux("warm.aux.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"k":3}` {
+		t.Fatalf("aux read back %q", got)
+	}
+	if err := opened.WriteAux("warm.aux.json", []byte(`{"k":4}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = opened.ReadAux("warm.aux.json"); string(got) != `{"k":4}` {
+		t.Fatalf("overwritten aux read back %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "warm.aux.json.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind after publish: %v", err)
+	}
+
+	for _, bad := range []string{"warm.json", "sub/warm.aux.json", ".aux.json"} {
+		if err := opened.WriteAux(bad, nil); err == nil {
+			t.Errorf("WriteAux(%q) accepted an invalid name", bad)
+		}
+		if _, err := opened.ReadAux(bad); err == nil {
+			t.Errorf("ReadAux(%q) accepted an invalid name", bad)
+		}
+	}
+}
+
+// TestAuxSurvivesFsck: aux files are advisory sidecars — Verify does
+// not flag them as orphans, and Repair leaves them in place even while
+// quarantining a corrupt shard.
+func TestAuxSurvivesFsck(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 4}, []string{"a", "b"}, 12)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opened.WriteAux("warm.aux.json", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := opened.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean store with an aux file verifies dirty:\n%s", rep)
+	}
+	if bad := rep.Bad(); len(bad) != 0 {
+		t.Fatalf("clean store reports bad shards %v", bad)
+	}
+	if s := rep.String(); !strings.Contains(s, "clean") {
+		t.Fatalf("clean report renders as %q", s)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one shard on disk; Verify names it, Repair quarantines it,
+	// and the aux file is untouched throughout.
+	shardFile := filepath.Join(st.Dir(), opened.Shards()[0].File)
+	raw, err := os.ReadFile(shardFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(shardFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = Verify(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("corrupt shard verified clean")
+	}
+	if bad := rep.Bad(); len(bad) != 1 || bad[0] != "a" {
+		t.Fatalf("Bad() = %v, want [a]", bad)
+	}
+	if s := rep.String(); !strings.Contains(s, "bad shard a") {
+		t.Fatalf("dirty report renders as %q", s)
+	}
+
+	rep, err = Repair(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "a" {
+		t.Fatalf("Repair quarantined %v, want [a]", rep.Quarantined)
+	}
+	if data, err := os.ReadFile(filepath.Join(st.Dir(), "warm.aux.json")); err != nil || string(data) != `{}` {
+		t.Fatalf("aux file after Repair: %q, %v", data, err)
+	}
+
+	reopened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatalf("store does not reopen after Repair: %v", err)
+	}
+	defer reopened.Close()
+	if len(reopened.Shards()) != 1 || reopened.Shards()[0].Name != "b" {
+		t.Fatalf("repaired store shards = %+v", reopened.Shards())
+	}
+}

@@ -1,0 +1,227 @@
+package ivstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultCacheCap bounds the default decoded-shard cache budget. A
+// store whose fully decoded size fits under this cap caches every
+// shard (so repeated clustering passes decode each shard exactly once,
+// like the in-memory path); a larger store keeps the hottest shards up
+// to the cap.
+const defaultCacheCap = 1 << 30 // 1 GiB
+
+// cacheOverheadBytes is the accounting overhead charged per cached
+// shard on top of its decoded vectors and instruction counts (headers,
+// slice descriptors, list/map bookkeeping).
+const cacheOverheadBytes = 128
+
+// CacheStats is a snapshot of the decoded-shard cache's counters.
+type CacheStats struct {
+	// BudgetBytes is the cache's byte budget.
+	BudgetBytes int64
+	// Bytes is the decoded bytes currently held.
+	Bytes int64
+	// PeakBytes is the largest value Bytes has reached.
+	PeakBytes int64
+	// Hits counts lookups served from cache (including lookups that
+	// waited on another reader's in-flight decode of the same shard).
+	Hits uint64
+	// Misses counts lookups that had to decode the shard.
+	Misses uint64
+	// Decodes counts actual shard decodes; with the cache's in-flight
+	// deduplication this equals Misses even under concurrent readers.
+	Decodes uint64
+	// Evictions counts shards dropped to stay within budget.
+	Evictions uint64
+}
+
+// decodedShardBytes estimates the resident size of a decoded shard:
+// the float64 vector matrix plus the per-interval instruction counts.
+func decodedShardBytes(rows, dims int) int64 {
+	return int64(rows)*int64(dims)*8 + int64(rows)*8 + cacheOverheadBytes
+}
+
+// defaultCacheBudget sizes the cache for a committed shard inventory:
+// the total decoded size clamped to defaultCacheCap, floored at the
+// largest single shard so sequential scans never thrash on a budget
+// too small to hold their working row.
+func defaultCacheBudget(shards []Shard, dims int) int64 {
+	var total, largest int64
+	for _, sh := range shards {
+		b := decodedShardBytes(sh.Rows, dims)
+		total += b
+		if b > largest {
+			largest = b
+		}
+	}
+	budget := total
+	if budget > defaultCacheCap {
+		budget = defaultCacheCap
+	}
+	if budget < largest {
+		budget = largest
+	}
+	return budget
+}
+
+// cacheEntry is one shard's slot in the cache. A just-inserted entry
+// has a nil elem and an open ready channel while its owner decodes;
+// waiters block on ready and then read data/err. Entries that fail to
+// decode are not retained (the next lookup retries).
+type cacheEntry struct {
+	shard int
+	data  *ShardData
+	err   error
+	bytes int64
+	ready chan struct{}
+	elem  *list.Element // LRU position; nil while decoding
+}
+
+// shardCache is a byte-budgeted LRU over decoded shards, shared by all
+// of a committed store's readers. Lookups of the same shard are
+// deduplicated: one reader decodes while the rest wait on the entry,
+// so N concurrent scans cost one decode per shard, not N. Evicted
+// ShardData stays valid for readers still holding it (it is immutable
+// and garbage-collected once unreferenced).
+type shardCache struct {
+	st *Store
+
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	peak      int64
+	hits      uint64
+	misses    uint64
+	decodes   uint64
+	evictions uint64
+	entries   map[int]*cacheEntry
+	lru       *list.List // front = most recently used
+}
+
+func newShardCache(st *Store, budget int64) *shardCache {
+	if budget <= 0 {
+		budget = defaultCacheBudget(st.shards, st.cfg.Dims)
+	}
+	return &shardCache{
+		st:      st,
+		budget:  budget,
+		entries: make(map[int]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns decoded shard i, from cache or by decoding it.
+func (c *shardCache) get(i int) (*ShardData, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[i]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.data, e.err
+	}
+	e := &cacheEntry{shard: i, ready: make(chan struct{})}
+	c.entries[i] = e
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.st.ReadShard(i)
+
+	c.mu.Lock()
+	c.decodes++
+	e.data, e.err = data, err
+	if err != nil {
+		// Do not cache failures: a transient read error must not pin
+		// the shard unreadable for the cache's lifetime.
+		delete(c.entries, i)
+	} else {
+		e.bytes = decodedShardBytes(data.Vecs.Rows, data.Vecs.Cols)
+		c.bytes += e.bytes
+		if c.bytes > c.peak {
+			c.peak = c.bytes
+		}
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return data, err
+}
+
+// evictLocked drops least-recently-used entries until the cache is
+// within budget, always retaining the most recent entry so a single
+// over-budget shard still caches (and scans over it do not thrash).
+func (c *shardCache) evictLocked() {
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.shard)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// stats returns a snapshot of the cache counters.
+func (c *shardCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		BudgetBytes: c.budget,
+		Bytes:       c.bytes,
+		PeakBytes:   c.peak,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Decodes:     c.decodes,
+		Evictions:   c.evictions,
+	}
+}
+
+// cache returns the store's shared decoded-shard cache, creating it on
+// first use with the default budget (or the budget set by
+// SetCacheBytes before first use).
+func (s *Store) cacheHandle() *shardCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		s.cache = newShardCache(s, s.cacheBytes)
+	}
+	return s.cache
+}
+
+// SetCacheBytes sets the decoded-shard cache's byte budget. A
+// non-positive n selects the default (the full decoded store size
+// clamped to 1 GiB, floored at the largest shard). Any cached shards
+// are dropped, so the call also serves as a cache reset; counters
+// restart from zero.
+func (s *Store) SetCacheBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheBytes = n
+	s.cache = nil
+}
+
+// CacheBytes reports the decoded-shard cache's byte budget (resolving
+// the default if the cache has not been sized explicitly).
+func (s *Store) CacheBytes() int64 {
+	return s.cacheHandle().budget
+}
+
+// CacheStats snapshots the decoded-shard cache counters.
+func (s *Store) CacheStats() CacheStats {
+	return s.cacheHandle().stats()
+}
+
+// CachedShard returns decoded committed shard i through the store's
+// shared byte-budgeted LRU cache. The returned ShardData is immutable
+// and remains valid after eviction; concurrent callers of the same
+// shard share one decode. Use ReadShard to bypass the cache (fsck and
+// verification paths, which must re-read the file).
+func (s *Store) CachedShard(i int) (*ShardData, error) {
+	return s.cacheHandle().get(i)
+}

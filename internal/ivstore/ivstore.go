@@ -10,8 +10,13 @@
 // materialize the registry-wide interval matrix (122 benchmarks x 10k+
 // intervals x 47 columns) in memory: shards are appended one benchmark
 // at a time as pipeline workers finish, and the read side streams rows
-// shard-by-shard through a single-shard cache (Reader), so peak memory
-// is one decoded shard, not the whole matrix.
+// shard-by-shard (Reader) through a shared byte-budgeted decoded-shard
+// LRU (SetCacheBytes, CacheStats, CachedShard), so repeated clustering
+// passes decode each shard once while peak memory stays within the
+// budget, not the whole matrix. On unix, RowsMmap serves the same row
+// contract straight from mmapped shard files — no decode buffers at
+// all, page cache shared across processes — with a read-the-file
+// fallback elsewhere.
 //
 // Two value encodings are supported. Float32 (the default) stores
 // each value as an IEEE-754 single — half the bytes of the float64
@@ -50,6 +55,20 @@
 // to shared once the manifest is published. Locks are advisory and
 // released by Close (or process exit); a conflicting lock is an
 // immediate error, never a silent wait.
+//
+// # Staleness contract
+//
+// A reader's view is the manifest snapshot it loaded at Open: Row,
+// Gather, ReadShard and CachedShard keep serving that shard list even
+// if a writer commits a newer manifest to the same directory. The
+// snapshot stays readable because a committing writer that cannot
+// upgrade its lock past live readers skips pruning ("prune skipped"
+// warning) — superseded shard files remain on disk (and, for mmap
+// readers on unix, an unlinked mapped file remains valid) until some
+// later commit finds no readers holding the lock. Readers are
+// therefore consistent but possibly stale; reopen the store to observe
+// a newer commit. Decoded shards cached before a re-commit are dropped
+// from the cache, never served against the new shard list.
 //
 // Verify checks a committed store end to end (every shard decoded and
 // CRC-checked against its manifest entry, orphan files listed);
@@ -169,6 +188,12 @@ type Store struct {
 	committed bool
 	shards    []Shard
 	offsets   []int // len(shards)+1 cumulative row starts
+
+	cacheBytes int64       // requested cache budget; <=0 means default
+	cache      *shardCache // shared decoded-shard LRU, built on first use
+
+	mapsMu sync.Mutex
+	maps   []*mappedShard // lazily mapped shards, index-aligned with shards
 }
 
 // Create prepares an empty store under dir (creating the directory if
@@ -236,8 +261,13 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	lk := s.lk
 	s.lk = nil
+	s.cache = nil
 	s.mu.Unlock()
-	return lk.release()
+	err := lk.release()
+	if merr := s.unmapAll(); err == nil {
+		err = merr
+	}
+	return err
 }
 
 // Inventory reads and validates a store's manifest without requiring
@@ -480,6 +510,10 @@ func (s *Store) Commit(order []string) (warnings []string, err error) {
 	s.committed = true
 	s.shards = man.Shards
 	s.offsets = offsetsOf(man.Shards)
+	// The committed inventory changed: drop the decoded-shard cache and
+	// any mmapped views keyed to the previous shard list.
+	s.cache = nil
+	defer s.unmapAll()
 	warnings = s.pruneLocked()
 	if err := s.lk.downgrade(); err != nil {
 		warnings = append(warnings, err.Error())
@@ -654,12 +688,13 @@ func (s *Store) ReadShard(i int) (*ShardData, error) {
 	return &ShardData{Name: sh.Name, Insts: insts, Vecs: vecs}, nil
 }
 
-// Reader streams a committed store's rows in global row order through
-// a single-shard cache: Row(i) decodes at most one shard and keeps it
-// until a row outside it is requested, so sequential scans decode each
-// shard exactly once and peak memory is one decoded shard. Each Reader
-// owns its cache; concurrent consumers (sweep workers) take one Reader
-// each via Store.Rows.
+// Reader streams a committed store's rows in global row order. Row(i)
+// resolves shards through the store's shared byte-budgeted LRU
+// (CachedShard) and pins the current shard locally, so sequential
+// scans pay one cache lookup per shard transition, repeated passes hit
+// shards already decoded by any reader, and peak memory is bounded by
+// the cache budget plus each live reader's pinned shard. Concurrent
+// consumers (sweep workers) take one Reader each via Store.Rows.
 //
 // Reader implements the cluster engines' row-source contract (Len,
 // Dim, Row, Gather). The store's files must not be mutated while a
@@ -669,7 +704,7 @@ func (s *Store) ReadShard(i int) (*ShardData, error) {
 // corruption as ordinary errors first.
 type Reader struct {
 	st   *Store
-	cur  int // cached shard index, -1 when empty
+	cur  int // pinned shard index, -1 when empty
 	data *ShardData
 }
 
@@ -699,7 +734,7 @@ func (r *Reader) shardOf(i int) int {
 }
 
 func (r *Reader) load(s int) {
-	data, err := r.st.ReadShard(s)
+	data, err := r.st.CachedShard(s)
 	if err != nil {
 		panic(fmt.Sprintf("ivstore: streaming read: %v", err))
 	}

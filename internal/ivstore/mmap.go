@@ -1,0 +1,255 @@
+package ivstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"sort"
+
+	"mica/internal/stats"
+)
+
+// mappedShard is a validated, read-only view of one shard file's raw
+// bytes — an mmap on unix, a byte slice read from the file elsewhere
+// (mapFile decides). Rows are assembled on demand from the columnar
+// payload, so a mapped shard costs file-backed pages instead of a
+// private decode buffer, and those pages are shared with every other
+// process mapping the same store.
+type mappedShard struct {
+	raw    []byte
+	mapped bool // raw came from mmap and needs unmapping
+	rows   int
+	cols   int
+	enc    byte
+	// Quant8 per-column scales, decoded once at map time (empty for
+	// float32).
+	mins  []float64
+	steps []float64
+}
+
+// openMappedShard maps path and validates it exactly like decodeShard
+// (magic, encoding byte, header-implied size, trailing CRC, quant8
+// scale finiteness) plus the manifest cross-checks ReadShard performs
+// (row/column counts, store encoding). The CRC pass streams the whole
+// file once at map time; after that, reads touch only the pages the
+// requested rows live on.
+func openMappedShard(path string, wantRows, wantCols int, enc Encoding) (*mappedShard, error) {
+	raw, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ivstore: mapping %s: %w", path, err)
+	}
+	m := &mappedShard{raw: raw, mapped: mapped}
+	if err := m.validate(); err != nil {
+		m.close()
+		return nil, fmt.Errorf("ivstore: %s: %w", path, err)
+	}
+	if m.rows != wantRows || m.cols != wantCols {
+		m.close()
+		return nil, fmt.Errorf("ivstore: %s: shard is %dx%d, manifest says %dx%d",
+			path, m.rows, m.cols, wantRows, wantCols)
+	}
+	if m.enc != encByte(enc) {
+		m.close()
+		return nil, fmt.Errorf("ivstore: %s: shard encoding byte %d does not match store encoding %q",
+			path, m.enc, enc)
+	}
+	return m, nil
+}
+
+// validate checks the mapped bytes against the shard format, mirroring
+// decodeShard's validation sequence without materializing the rows.
+func (m *mappedShard) validate() error {
+	raw := m.raw
+	if len(raw) < shardHdrSize+4 {
+		return fmt.Errorf("shard truncated at %d bytes", len(raw))
+	}
+	if string(raw[:8]) != shardMagic {
+		return fmt.Errorf("bad shard magic %q", raw[:8])
+	}
+	enc := raw[8]
+	if enc != encByteFloat32 && enc != encByteQuant8 {
+		return fmt.Errorf("unknown shard encoding byte %d", enc)
+	}
+	rows := uint64(binary.LittleEndian.Uint32(raw[12:16]))
+	cols := uint64(binary.LittleEndian.Uint32(raw[16:20]))
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("empty shard (%d rows x %d cols)", rows, cols)
+	}
+	payload, ok := payloadSize(enc, rows, cols)
+	if !ok || payload > math.MaxUint64-(shardHdrSize+8*rows+4) {
+		return fmt.Errorf("shard header implies an impossible size (%d rows x %d cols)", rows, cols)
+	}
+	want := shardHdrSize + 8*rows + payload + 4
+	if uint64(len(raw)) != want {
+		return fmt.Errorf("shard is %d bytes, header implies %d (%d rows x %d cols)",
+			len(raw), want, rows, cols)
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return fmt.Errorf("shard checksum %08x does not match stored %08x", got, sum)
+	}
+	m.rows, m.cols, m.enc = int(rows), int(cols), enc
+	if enc == encByteQuant8 {
+		m.mins = make([]float64, cols)
+		m.steps = make([]float64, cols)
+		base := uint64(shardHdrSize) + 8*rows
+		for j := uint64(0); j < cols; j++ {
+			colBase := base + j*(16+rows)
+			lo := math.Float64frombits(binary.LittleEndian.Uint64(raw[colBase : colBase+8]))
+			step := math.Float64frombits(binary.LittleEndian.Uint64(raw[colBase+8 : colBase+16]))
+			if !isFinite(lo) || !isFinite(step) || step < 0 {
+				return fmt.Errorf("column %d has invalid quantization scale (min %v, step %v)", j, lo, step)
+			}
+			m.mins[j], m.steps[j] = lo, step
+		}
+	}
+	return nil
+}
+
+// inst returns interval i's dynamic instruction count.
+func (m *mappedShard) inst(i int) uint64 {
+	return binary.LittleEndian.Uint64(m.raw[shardHdrSize+8*i:])
+}
+
+// rowInto assembles row i from the columnar payload into dst
+// (len(dst) >= cols), producing exactly the values decodeShard would.
+func (m *mappedShard) rowInto(i int, dst []float64) {
+	base := shardHdrSize + 8*m.rows
+	if m.enc == encByteQuant8 {
+		perCol := 16 + m.rows
+		off := base + 16 + i
+		for j := 0; j < m.cols; j++ {
+			dst[j] = m.mins[j] + float64(m.raw[off])*m.steps[j]
+			off += perCol
+		}
+		return
+	}
+	off := base + 4*i
+	stride := 4 * m.rows
+	for j := 0; j < m.cols; j++ {
+		dst[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(m.raw[off : off+4])))
+		off += stride
+	}
+}
+
+// close releases the mapping (a no-op for byte-slice fallbacks).
+func (m *mappedShard) close() error {
+	if !m.mapped || m.raw == nil {
+		return nil
+	}
+	raw := m.raw
+	m.raw, m.mapped = nil, false
+	return unmapFile(raw)
+}
+
+// mappedShardAt returns committed shard i's mapping, establishing it
+// on first use. Mappings are shared by all of the store's MmapReaders
+// and released by Close.
+func (s *Store) mappedShardAt(i int) (*mappedShard, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("ivstore: shard index %d out of range [0, %d)", i, len(s.shards))
+	}
+	s.mapsMu.Lock()
+	defer s.mapsMu.Unlock()
+	if s.maps == nil {
+		s.maps = make([]*mappedShard, len(s.shards))
+	}
+	if m := s.maps[i]; m != nil {
+		return m, nil
+	}
+	sh := s.shards[i]
+	m, err := openMappedShard(filepath.Join(s.dir, sh.File), sh.Rows, s.cfg.Dims, s.cfg.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	s.maps[i] = m
+	return m, nil
+}
+
+// unmapAll releases every established shard mapping.
+func (s *Store) unmapAll() error {
+	s.mapsMu.Lock()
+	maps := s.maps
+	s.maps = nil
+	s.mapsMu.Unlock()
+	var errs []error
+	for _, m := range maps {
+		if m != nil {
+			if err := m.close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MmapReader streams a committed store's rows straight from mapped
+// shard files: Row assembles the requested row from the columnar
+// payload into a per-reader buffer, so no shard is ever decoded into a
+// private float64 matrix. Mappings are established per shard on first
+// touch and shared across the store's readers; page residency is
+// managed by the OS, so the memory cost is file-backed cache pages,
+// not heap.
+//
+// MmapReader implements the same row-source contract as Reader (Len,
+// Dim, Row, Gather) with the same validity rule — a returned row is
+// valid until the next Row or Gather call on that reader — and the
+// same panic-on-corruption contract for mid-stream failures. Rows are
+// bit-identical to Reader's (differential-tested for both encodings).
+type MmapReader struct {
+	st  *Store
+	buf []float64
+}
+
+// RowsMmap returns a streaming row source over mapped shard files,
+// establishing (and validating) every shard's mapping up front so
+// corruption surfaces here as an error rather than a mid-stream panic.
+// On non-unix platforms the mapping degrades to reading each shard
+// file into memory once, behind the same contract.
+func (s *Store) RowsMmap() (*MmapReader, error) {
+	for i := range s.shards {
+		if _, err := s.mappedShardAt(i); err != nil {
+			return nil, err
+		}
+	}
+	return &MmapReader{st: s, buf: make([]float64, s.cfg.Dims)}, nil
+}
+
+// Len returns the total row count.
+func (r *MmapReader) Len() int { return r.st.NumRows() }
+
+// Dim returns the column count.
+func (r *MmapReader) Dim() int { return r.st.Dims() }
+
+// Row returns global row i, valid until the next Row or Gather call.
+func (r *MmapReader) Row(i int) []float64 {
+	s := r.shardOf(i)
+	m, err := r.st.mappedShardAt(s)
+	if err != nil {
+		panic(fmt.Sprintf("ivstore: mmap read: %v", err))
+	}
+	m.rowInto(i-r.st.offsets[s], r.buf)
+	return r.buf
+}
+
+// shardOf locates the shard holding global row i.
+func (r *MmapReader) shardOf(i int) int {
+	offs := r.st.offsets
+	return sort.Search(len(offs)-1, func(s int) bool { return offs[s+1] > i })
+}
+
+// Gather copies the rows named by idx into dst in caller order; with
+// mapped shards random access needs no read-order sorting.
+func (r *MmapReader) Gather(idx []int, dst *stats.Matrix) {
+	for j, i := range idx {
+		s := r.shardOf(i)
+		m, err := r.st.mappedShardAt(s)
+		if err != nil {
+			panic(fmt.Sprintf("ivstore: mmap read: %v", err))
+		}
+		m.rowInto(i-r.st.offsets[s], dst.Row(j))
+	}
+}

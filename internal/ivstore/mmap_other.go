@@ -1,0 +1,17 @@
+//go:build !unix
+
+package ivstore
+
+import "os"
+
+// mapFile on platforms without flock/mmap support reads the whole file
+// into memory once; the returned bool is false (nothing to unmap).
+// MmapReader's contract is unchanged — rows are assembled from the
+// same validated byte layout — only the page-sharing benefit is lost.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is a no-op for the byte-slice fallback.
+func unmapFile([]byte) error { return nil }

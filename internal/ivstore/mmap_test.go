@@ -1,0 +1,200 @@
+package ivstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mica/internal/stats"
+)
+
+// TestMmapReaderMatchesReader: the mmap row source is bit-identical to
+// the decoding Reader for both encodings, across Row and Gather.
+func TestMmapReaderMatchesReader(t *testing.T) {
+	for _, enc := range []Encoding{Float32, Quant8} {
+		t.Run(string(enc), func(t *testing.T) {
+			st := buildStore(t, t.TempDir(), Config{Dims: 7, Encoding: enc}, []string{"a", "b", "c"}, 33)
+			opened, err := Open(st.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer opened.Close()
+			mm, err := opened.RowsMmap()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := opened.Rows()
+			if mm.Len() != ref.Len() || mm.Dim() != ref.Dim() {
+				t.Fatalf("mmap reader shape %dx%d, want %dx%d", mm.Len(), mm.Dim(), ref.Len(), ref.Dim())
+			}
+			for i := 0; i < ref.Len(); i++ {
+				if !reflect.DeepEqual(mm.Row(i), ref.Row(i)) {
+					t.Fatalf("row %d diverges between mmap and decode", i)
+				}
+			}
+			n := ref.Len()
+			idx := []int{n - 1, 0, 40, 40, 7, n - 2}
+			want := stats.NewMatrix(len(idx), 7)
+			ref.Gather(idx, want)
+			got := stats.NewMatrix(len(idx), 7)
+			mm.Gather(idx, got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("mmap Gather diverges from decode Gather")
+			}
+		})
+	}
+}
+
+// TestMmapInsts: per-interval instruction counts read through the
+// mapping match the decoded shard.
+func TestMmapInsts(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 4}, []string{"a"}, 20)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	sd, err := opened.ReadShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := opened.mappedShardAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range sd.Insts {
+		if got := m.inst(i); got != want {
+			t.Fatalf("inst %d: %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestMmapRejectsCorruption: every corruption the byte decoder rejects
+// is also rejected at map time, surfaced by RowsMmap as an error (not
+// a mid-stream panic), and the pristine file still maps after a failed
+// attempt.
+func TestMmapRejectsCorruption(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 3}, []string{"a"}, 8)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	path := filepath.Join(st.Dir(), opened.Shards()[0].File)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangle := map[string][]byte{
+		"truncated": good[:len(good)/2],
+		"magic":     append([]byte("NOTMICA1"), good[8:]...),
+		"crc":       flip(good, len(good)-1, 0xff),
+		"encoding":  flip(good, 8, 0x7f),
+	}
+	for name, raw := range mangle {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			opened.unmapAll() // drop any mapping of the pristine bytes
+			if _, err := opened.RowsMmap(); err == nil {
+				t.Fatal("corrupt shard mapped without error")
+			}
+		})
+	}
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened.unmapAll()
+	if _, err := opened.RowsMmap(); err != nil {
+		t.Fatalf("pristine shard rejected after repair: %v", err)
+	}
+}
+
+// TestMmapDecodeEquivalence: for arbitrary synthetic shards, assembling
+// rows from the mapped layout equals the full decode — the same
+// invariant the fuzz target checks on hostile inputs.
+func TestMmapDecodeEquivalence(t *testing.T) {
+	for _, enc := range []Encoding{Float32, Quant8} {
+		insts, m := synthShard(17, 5, 3)
+		raw := encodeShard(enc, insts, m)
+		ms := &mappedShard{raw: raw}
+		if err := ms.validate(); err != nil {
+			t.Fatalf("%s: pristine shard rejected: %v", enc, err)
+		}
+		wantInsts, wantVecs, err := decodeShard(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := make([]float64, 5)
+		for i := 0; i < 17; i++ {
+			ms.rowInto(i, row)
+			if !reflect.DeepEqual(row, wantVecs.Row(i)) {
+				t.Fatalf("%s row %d: mapped assembly diverges from decode", enc, i)
+			}
+			if ms.inst(i) != wantInsts[i] {
+				t.Fatalf("%s inst %d diverges", enc, i)
+			}
+		}
+	}
+}
+
+// TestMmapConcurrentReaders: shared mappings under concurrent Row and
+// Gather traffic stay identical to the reference scan. Run with -race.
+func TestMmapConcurrentReaders(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 6, Encoding: Quant8}, []string{"a", "b", "c"}, 25)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	n := opened.NumRows()
+	ref := stats.NewMatrix(n, 6)
+	refReader := opened.Rows()
+	for i := 0; i < n; i++ {
+		copy(ref.Row(i), refReader.Row(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := opened.RowsMmap()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if !reflect.DeepEqual(r.Row(i), ref.Row(i)) {
+					t.Errorf("row %d diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMmapCloseReleasesMappings: Close unmaps; a fresh Open rebuilds
+// mappings from scratch.
+func TestMmapCloseReleasesMappings(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 4}, []string{"a", "b"}, 12)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opened.RowsMmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opened.mapsMu.Lock()
+	if opened.maps != nil {
+		opened.mapsMu.Unlock()
+		t.Fatal("Close left mappings live")
+	}
+	opened.mapsMu.Unlock()
+}

@@ -1,0 +1,44 @@
+//go:build unix
+
+package ivstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned bool reports whether the
+// bytes are an mmap that must be released with unmapFile; on unix it
+// is always true for non-empty files. An empty file maps to an empty
+// slice without a mapping (mmap of length 0 is an error on Linux, and
+// shard validation rejects it anyway with a proper message).
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return []byte{}, false, nil
+	}
+	if size > math.MaxInt32 && ^uint(0)>>32 == 0 {
+		return nil, false, fmt.Errorf("file is %d bytes, too large to map on a 32-bit platform", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("mmap: %w", err)
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

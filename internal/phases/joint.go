@@ -71,6 +71,15 @@ type JointResult struct {
 	// behaviors — the cross-benchmark redundancy signal a joint
 	// vocabulary exists to expose.
 	Occupancy *stats.Matrix
+
+	// Warm-start capture (unexported so the JSON phase caches are
+	// untouched): the normalized-space centroids the vocabulary was
+	// derived from, and — for store-backed runs — the normalization
+	// statistics they live under. WarmState packages them for
+	// persistence; a JointResult loaded from a cache has none.
+	centroids *stats.Matrix
+	normMean  []float64
+	normStd   []float64
 }
 
 // PhaseShare returns benchmark b's instruction share in shared phase c.

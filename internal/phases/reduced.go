@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"mica/internal/mica"
 	"mica/internal/stats"
@@ -296,50 +295,7 @@ func measureInterval(m *vm.Machine, fullProf *mica.Profiler, skipHPC bool, insts
 // the z-scored cheap space (ties broken by ascending interval index).
 // Returned as a map from interval index to phase.
 func measurementPlan(ph *Result, reps int) map[int]int {
-	norm := stats.ZScoreNormalize(ph.Vectors)
-	d := norm.Cols
-	means := stats.NewMatrix(ph.K, d)
-	counts := make([]int, ph.K)
-	for i, c := range ph.Assign {
-		counts[c]++
-		row := norm.Row(i)
-		for j := 0; j < d; j++ {
-			means.Set(c, j, means.At(c, j)+row[j])
-		}
-	}
-	for c := 0; c < ph.K; c++ {
-		if counts[c] == 0 {
-			continue
-		}
-		for j := 0; j < d; j++ {
-			means.Set(c, j, means.At(c, j)/float64(counts[c]))
-		}
-	}
-	type ranked struct {
-		dist float64
-		idx  int
-	}
-	byPhase := make([][]ranked, ph.K)
-	for i, c := range ph.Assign {
-		byPhase[c] = append(byPhase[c], ranked{stats.Euclidean(norm.Row(i), means.Row(c)), i})
-	}
-	plan := make(map[int]int)
-	for c, members := range byPhase {
-		sort.Slice(members, func(a, b int) bool {
-			if members[a].dist != members[b].dist {
-				return members[a].dist < members[b].dist
-			}
-			return members[a].idx < members[b].idx
-		})
-		n := reps
-		if n > len(members) {
-			n = len(members)
-		}
-		for _, r := range members[:n] {
-			plan[r.idx] = c
-		}
-	}
-	return plan
+	return measurementPlanRows(stats.ZScoreNormalize(ph.Vectors), ph.Assign, ph.K, reps)
 }
 
 // ReplayReduced is the expensive pass: it re-executes the trace over
@@ -677,13 +633,22 @@ func jointMeasurementPlan(j *JointResult, reps int) map[int]int {
 // it is called only for benchmarks that own a measured interval.
 func ReplayJoint(j *JointResult, machines func(bench int) (*vm.Machine, error), cfg ReducedConfig) (*JointReduced, error) {
 	cfg = cfg.WithDefaults()
+	if j.Vectors == nil {
+		return nil, fmt.Errorf("phases: joint replay: vocabulary carries no vectors (store-backed results replay via ReplayJointStore)")
+	}
+	return replayJointPlan(j, jointMeasurementPlan(j, cfg.RepsPerPhase), machines, cfg)
+}
+
+// replayJointPlan is the replay body shared by the in-memory and
+// store-backed joint reductions; plan maps joint row index to phase
+// and cfg must already carry its defaults.
+func replayJointPlan(j *JointResult, plan map[int]int, machines func(bench int) (*vm.Machine, error), cfg ReducedConfig) (*JointReduced, error) {
 	jr := &JointReduced{
 		Joint:  j,
 		HasHPC: !cfg.SkipHPC,
 		Chars:  make([]mica.Vector, len(j.Benchmarks)),
 		HPC:    make([]uarch.HPCVector, len(j.Benchmarks)),
 	}
-	plan := jointMeasurementPlan(j, cfg.RepsPerPhase)
 
 	// Group the planned rows by source benchmark; each owning
 	// benchmark is replayed once through its interval prefix up to the

@@ -2,6 +2,7 @@ package mica
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -17,6 +18,11 @@ import (
 // benchmark plus a versioned JSON manifest. See internal/ivstore for
 // the format.
 type IVStore = ivstore.Store
+
+// IVCacheStats is the store's decoded-shard cache accounting (budget,
+// resident and peak bytes, hits, decodes, evictions). See
+// ivstore.CacheStats.
+type IVCacheStats = ivstore.CacheStats
 
 // StoreOptions parameterizes the store-backed joint pipelines. The
 // zero value (plus a Dir) is the documented default: float32 shards,
@@ -34,6 +40,17 @@ type StoreOptions struct {
 	// membership changed (a missing or dropped shard counts as
 	// changed). Without it the whole set is re-characterized.
 	Incremental bool
+	// CacheBytes bounds the store's decoded-shard cache (bytes of
+	// decoded rows held in memory across the analysis passes). Zero
+	// keeps the store's default budget: all shards decoded, clamped to
+	// 1 GiB and floored at one shard. See ivstore.SetCacheBytes.
+	CacheBytes int64
+	// WarmStart seeds the joint clustering from the warm state a
+	// previous store-backed run persisted next to the store (and
+	// persists this run's state for the next one). A missing, stale or
+	// drifted state silently falls back to fresh seeding;
+	// StoreBuildStats.WarmStarted reports what happened.
+	WarmStart bool
 }
 
 // encoding maps the option to the store encoding.
@@ -69,6 +86,15 @@ type StoreBuildStats struct {
 	// CommitWarnings carries the non-fatal problems Commit reported
 	// (stray files it could not prune, a failed lock downgrade).
 	CommitWarnings []string
+	// Cache is the store's decoded-shard cache accounting at the end of
+	// the analysis (peak resident bytes, hits, decodes, evictions) —
+	// populated by the joint/reduced store pipelines that close the
+	// store internally, zero for a bare CharacterizeToStore.
+	Cache IVCacheStats
+	// WarmStarted reports whether the joint clustering was actually
+	// seeded from a persisted warm state (StoreOptions.WarmStart
+	// requested AND the state matched the store).
+	WarmStarted bool
 }
 
 // CharacterizeToStore characterizes every benchmark's intervals into
@@ -120,15 +146,29 @@ func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptio
 // committed with partial contents, possibly uncommitted if the commit
 // itself failed — so the caller can inspect it; Close it either way.
 func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
+	cfg.Phase = cfg.Phase.WithDefaults()
+	return characterizeToStoreCtx(ctx, bs, cfg, opt, phaseConfigHash(cfg.Phase), "store characterization of",
+		func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error) {
+			return phases.CharacterizeWith(m, prof, cfg.Phase)
+		})
+}
+
+// characterizeToStoreCtx is the shared store-build engine behind the
+// plain and reduced store pipelines: shard reuse inventory, the pooled
+// characterization (characterize produces each benchmark's interval
+// grid; the profiler it receives was built from cfg.Phase.Options),
+// per-benchmark fault accounting and the partial-work commit. hash is
+// the configuration stamp shards are keyed on — the plain and reduced
+// pipelines stamp differently, so their shards never cross-adopt.
+func characterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions,
+	hash, what string, characterize func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error)) (*IVStore, *StoreBuildStats, error) {
 	if len(bs) == 0 {
 		return nil, nil, fmt.Errorf("mica: characterizing zero benchmarks to a store")
 	}
 	if opt.Dir == "" {
 		return nil, nil, fmt.Errorf("mica: store characterization needs a directory")
 	}
-	cfg.Phase = cfg.Phase.WithDefaults()
 	enc := opt.encoding()
-	hash := phaseConfigHash(cfg.Phase)
 
 	// Inventory the existing store when reuse is requested (the
 	// manifest alone — a vanished shard file only invalidates its own
@@ -156,6 +196,9 @@ func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipeli
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.CacheBytes > 0 {
+		st.SetCacheBytes(opt.CacheBytes)
+	}
 
 	stats := &StoreBuildStats{}
 	var toBuild []Benchmark
@@ -172,8 +215,8 @@ func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipeli
 	}
 
 	built := make([]bool, len(toBuild))
-	pipeErr := phasePipelineCtx(ctx, toBuild, cfg, "store characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
-		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
+	pipeErr := phasePipelineCtx(ctx, toBuild, cfg, what, func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+		res, err := characterize(m, prof)
 		if err != nil {
 			return err
 		}
@@ -257,11 +300,61 @@ func AnalyzePhasesJointStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePi
 	if err != nil {
 		return nil, stats, err
 	}
-	j, err := phases.AnalyzeJointStoreCtx(ctx, st, cfg.Phase, cfg.Workers)
+	var warm *phases.JointWarmState
+	if opt.WarmStart {
+		warm = loadWarmState(st)
+	}
+	j, warmUsed, err := phases.AnalyzeJointStoreWarmCtx(ctx, st, cfg.Phase, cfg.Workers, warm)
+	if stats != nil {
+		stats.WarmStarted = warmUsed
+	}
+	captureCacheStats(st, stats)
 	if err != nil {
 		return nil, stats, err
 	}
+	saveWarmState(st, j)
 	return j, stats, nil
+}
+
+// warmAuxName is the auxiliary file the joint store pipelines persist
+// their warm-start state under, next to the store's shards.
+const warmAuxName = "warm.aux.json"
+
+// loadWarmState reads the persisted warm-start state next to a store.
+// Absence or an unreadable file is a silent fresh start — warm seeding
+// is an optimization, never a correctness dependency.
+func loadWarmState(st *IVStore) *phases.JointWarmState {
+	data, err := st.ReadAux(warmAuxName)
+	if err != nil {
+		return nil
+	}
+	var ws phases.JointWarmState
+	if json.Unmarshal(data, &ws) != nil {
+		return nil
+	}
+	return &ws
+}
+
+// saveWarmState persists a joint result's warm state next to the
+// store, best-effort: a failed write costs the next run its warm
+// start, nothing else.
+func saveWarmState(st *IVStore, j *PhaseJointResult) {
+	ws := j.WarmState(st.ConfigHash())
+	if ws == nil {
+		return
+	}
+	if data, err := json.Marshal(ws); err == nil {
+		_ = st.WriteAux(warmAuxName, data)
+	}
+}
+
+// captureCacheStats snapshots the store's decoded-shard cache
+// accounting into the build stats; the store pipelines call it just
+// before closing the store they opened internally.
+func captureCacheStats(st *IVStore, stats *StoreBuildStats) {
+	if st != nil && stats != nil {
+		stats.Cache = st.CacheStats()
+	}
 }
 
 // OpenIVStore opens an existing committed interval-vector store —

@@ -1,0 +1,185 @@
+package mica
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	micachar "mica/internal/mica"
+	"mica/internal/phases"
+	"mica/internal/pool"
+	"mica/internal/vm"
+)
+
+// Store-backed reduced profiling: the cheap sampled pass's interval
+// vectors go through the interval-vector store (one shard per
+// benchmark, same incremental reuse and crash-safety as the plain
+// store pipeline), and the expensive replay reads them back through
+// the store's decoded-shard cache. The shards are stamped with a
+// reduced-specific configuration hash, so plain and reduced stores in
+// the same directory lineage never cross-adopt each other's shards.
+
+// reducedStoreHash is the configuration stamp of a reduced cheap-pass
+// shard: the cheap characterization's phase stamp composed with the
+// sampling fraction (the two inputs that shape the stored vectors) and
+// a reduced-pipeline salt keeping it disjoint from phaseConfigHash
+// even for SampleFrac == 1. cfg must already have its defaults
+// applied.
+func reducedStoreHash(cfg ReducedConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mica-reduced-store-v1\n%s\n%s\n",
+		phaseConfigHash(cfg.CheapConfig()), strconv.FormatFloat(cfg.SampleFrac, 'g', -1, 64))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CharacterizeReducedToStore runs the reduced pipeline's cheap sampled
+// pass over every benchmark into an on-disk interval-vector store —
+// CharacterizeToStore with the sampled key-subset characterization
+// instead of the full one. The stored vectors keep the full
+// characteristic width (columns outside the subset are exactly zero),
+// so the joint clustering machinery reads reduced stores unchanged.
+// Reuse, fault isolation and partial commits follow
+// CharacterizeToStoreCtx's contract.
+func CharacterizeReducedToStore(bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
+	return CharacterizeReducedToStoreCtx(context.Background(), bs, cfg, opt)
+}
+
+// CharacterizeReducedToStoreCtx is CharacterizeReducedToStore with
+// cancellation and per-benchmark fault isolation.
+func CharacterizeReducedToStoreCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	pcfg := PhasePipelineConfig{Phase: rcfg.CheapConfig(), Workers: cfg.Workers, Progress: cfg.Progress}
+	return characterizeToStoreCtx(ctx, bs, pcfg, opt, reducedStoreHash(rcfg), "reduced store characterization of",
+		func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error) {
+			return phases.CharacterizeReducedWith(m, prof, rcfg)
+		})
+}
+
+// AnalyzeReducedStore is AnalyzeReducedBenchmarks through the
+// interval-vector store: the cheap pass lands in (or is reused from)
+// the store in opt.Dir, then each benchmark's phases are clustered
+// from its stored shard and replayed with the full profiler. With
+// opt.Incremental, an unchanged benchmark skips its cheap pass
+// entirely — only the replay (whose cost the reduction already
+// bounded to a few intervals per phase) is paid again.
+func AnalyzeReducedStore(bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) ([]BenchmarkReduced, *StoreBuildStats, error) {
+	return AnalyzeReducedStoreCtx(context.Background(), bs, cfg, opt)
+}
+
+// AnalyzeReducedStoreCtx is AnalyzeReducedStore with cancellation and
+// per-benchmark fault isolation. The cheap half has
+// CharacterizeToStoreCtx's resumable semantics; like the in-memory
+// pipeline, the returned error joins every failed benchmark while
+// results[i].Result is non-nil exactly when bs[i] made it through both
+// passes.
+func AnalyzeReducedStoreCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) ([]BenchmarkReduced, *StoreBuildStats, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	st, stats, err := CharacterizeReducedToStoreCtx(ctx, bs, cfg, opt)
+	if st != nil {
+		defer st.Close()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+
+	shardIdx := make(map[string]int)
+	for i, sh := range st.Shards() {
+		shardIdx[sh.Name] = i
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	results := make([]BenchmarkReduced, len(bs))
+	for i := range results {
+		results[i].Benchmark = bs[i]
+	}
+	fullProfs := make([]*micachar.Profiler, workers)
+	var done int
+	var mu sync.Mutex
+
+	replayErr := pool.RunCtx(ctx, len(bs), workers, func(_ context.Context, worker, i int) error {
+		si, ok := shardIdx[bs[i].Name()]
+		if !ok {
+			return fmt.Errorf("no committed shard (cheap pass did not complete)")
+		}
+		sd, err := st.CachedShard(si)
+		if err != nil {
+			return err
+		}
+		replay, err := bs[i].Instantiate()
+		if err != nil {
+			return err
+		}
+		if fullProfs[worker] == nil {
+			fullProfs[worker] = micachar.NewProfiler(rcfg.FullOptions)
+		}
+		res, err := phases.ReplayReducedShard(replay, fullProfs[worker], sd, rcfg)
+		if err != nil {
+			return err
+		}
+		results[i].Result = res
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(bs), bs[i].Name())
+			mu.Unlock()
+		}
+		return nil
+	})
+	captureCacheStats(st, stats)
+	return results, stats, namePoolErrors(replayErr, "store-backed reduced replay of", func(i int) string { return bs[i].Name() })
+}
+
+// AnalyzeReducedJointStore is AnalyzeReducedJoint through the
+// interval-vector store: the cheap pass lands in the store, the shared
+// vocabulary is clustered by streaming the store's rows (warm-started
+// from the previous run's state when opt.WarmStart), and the joint
+// replay measures only the shared representatives, gathered back
+// through the decoded-shard cache.
+func AnalyzeReducedJointStore(bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) (*PhaseJointReduced, *StoreBuildStats, error) {
+	return AnalyzeReducedJointStoreCtx(context.Background(), bs, cfg, opt)
+}
+
+// AnalyzeReducedJointStoreCtx is AnalyzeReducedJointStore with
+// cancellation. As with the other joint paths, a characterization
+// failure is fatal to the joint result (partial cheap work is still
+// committed for the next incremental run).
+func AnalyzeReducedJointStoreCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipelineConfig, opt StoreOptions) (*PhaseJointReduced, *StoreBuildStats, error) {
+	rcfg := cfg.Reduced.WithDefaults()
+	st, stats, err := CharacterizeReducedToStoreCtx(ctx, bs, cfg, opt)
+	if st != nil {
+		defer st.Close()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	var warm *phases.JointWarmState
+	if opt.WarmStart {
+		warm = loadWarmState(st)
+	}
+	j, warmUsed, err := phases.AnalyzeJointStoreWarmCtx(ctx, st, rcfg.CheapConfig(), cfg.Workers, warm)
+	if stats != nil {
+		stats.WarmStarted = warmUsed
+	}
+	if err != nil {
+		captureCacheStats(st, stats)
+		return nil, stats, err
+	}
+	saveWarmState(st, j)
+	jr, err := phases.ReplayJointStore(st, j, func(bi int) (*vm.Machine, error) {
+		return bs[bi].Instantiate()
+	}, rcfg)
+	captureCacheStats(st, stats)
+	if err != nil {
+		return nil, stats, fmt.Errorf("mica: store-backed joint reduced replay: %w", err)
+	}
+	return jr, stats, nil
+}
