@@ -57,6 +57,16 @@
 // the recorded throughput carries its fidelity with it. -joint
 // defaults to the whole 122-benchmark registry.
 //
+// With -serve it measures the mica-serve serving layer: a store is
+// built over the selected benchmarks, an in-process HTTP daemon
+// (internal/serve) opens it, and -clients concurrent clients drive
+// -queries similarity lookups each through real HTTP. The recorded
+// configuration:
+//
+//	serve-similarity  aggregate similarity-query throughput in
+//	                  queries/s, with server-side p50/p99 latency and
+//	                  the client/query mix in the per-bench map
+//
 // With -cluster it measures the BIC k-sweep (cluster.SelectK) on a
 // synthetic phase-interval matrix (-rows x 47, Gaussian blobs) in two
 // configurations, reporting million row-assignments per second
@@ -80,6 +90,7 @@
 //	mica-bench -phases [-interval 1000] [-json BENCH_phases.json]
 //	mica-bench -cluster [-rows 100000] [-maxk 10] [-json BENCH_phases.json]
 //	mica-bench -joint [-budget 400000] [-interval 400] [-maxk 3] [-json BENCH_phases.json]
+//	mica-bench -serve [-clients 16] [-queries 32] [-json BENCH_phases.json]
 package main
 
 import (
@@ -87,11 +98,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"slices"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -100,6 +115,7 @@ import (
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
 	"mica/internal/report"
+	"mica/internal/serve"
 	"mica/internal/vm"
 )
 
@@ -175,6 +191,9 @@ func main() {
 		interval   = flag.Uint64("interval", 1_000, "phase interval length in instructions (with -phases or -reduced)")
 		reducedRun = flag.Bool("reduced", false, "measure phase-aware reduced profiling vs exact full profiling on the same interval grid")
 		jointRun   = flag.Bool("joint", false, "measure registry-scale joint phase analysis (in-memory vs store-backed vs quantized store)")
+		serveRun   = flag.Bool("serve", false, "measure the serving layer's similarity-query throughput over a live HTTP daemon")
+		clients    = flag.Int("clients", 16, "concurrent clients (with -serve)")
+		queries    = flag.Int("queries", 32, "similarity queries per client (with -serve)")
 		clusterRun = flag.Bool("cluster", false, "measure the SelectK BIC sweep (naive vs parallel-minibatch) instead of the profiler configs")
 		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
 		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster or -reduced)")
@@ -190,6 +209,16 @@ func main() {
 
 	var err error
 	switch {
+	case *serveRun:
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "phases", "reduced", "cluster", "joint", "rows":
+				err = fmt.Errorf("-%s does not apply to -serve (use -budget/-interval/-maxk/-seed/-bench/-clients/-queries)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runServe(ctx, *budget, *interval, *maxK, *runs, *benches, *jsonOut, *label, *seed, *clients, *queries)
+		}
 	case *jointRun:
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -722,6 +751,164 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 		}
 		t.AddRow(sc.name, fmt.Sprintf("%.2f", cr.MIPS), bestTime.Round(time.Millisecond), best.K, note)
 	}
+	fmt.Print(t.String())
+
+	return appendHistory(jsonOut, res)
+}
+
+// runServe measures the serving layer: it builds a store over the
+// selected benchmarks (default: the whole registry), opens it behind
+// an in-process mica-serve HTTP daemon, and drives clients x queries
+// concurrent similarity lookups through real HTTP. Throughput is
+// queries per second of wall time (best of runs); the recorded entry
+// carries the server-side p50/p99 latency from /api/v1/stats so the
+// tracked history sees tail behaviour, not just the mean.
+func runServe(ctx context.Context, budget, interval uint64, maxK, runs int, benches, jsonOut, label string, seed int64, clients, queries int) error {
+	if runs < 1 {
+		runs = 1
+	}
+	if clients < 1 || queries < 1 {
+		return fmt.Errorf("serve measurement needs positive -clients and -queries (got %d, %d)", clients, queries)
+	}
+	if interval == 0 || interval > budget {
+		return fmt.Errorf("serve interval %d out of range for budget %d", interval, budget)
+	}
+	set := mica.Benchmarks()
+	names := []string{fmt.Sprintf("registry-%d", len(set))}
+	if benches != "" {
+		var err error
+		if names, set, err = resolveBenchmarks(benches); err != nil {
+			return err
+		}
+	}
+	phase := mica.PhaseConfig{
+		IntervalLen:  interval,
+		MaxIntervals: int(budget / interval),
+		MaxK:         maxK,
+		Seed:         seed,
+	}
+
+	dir, err := os.MkdirTemp("", "mica-serve-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	buildStart := time.Now()
+	st, _, err := mica.CharacterizeToStoreCtx(ctx, set,
+		mica.PhasePipelineConfig{Phase: phase}, mica.StoreOptions{Dir: dir})
+	if err != nil {
+		return fmt.Errorf("serve store build: %w", err)
+	}
+	defer st.Close()
+	buildTime := time.Since(buildStart)
+
+	srv, err := serve.New(st, serve.Config{Phase: phase})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	benchNames := make([]string, len(set))
+	for i, b := range set {
+		benchNames[i] = b.Name()
+	}
+
+	var best time.Duration
+	for r := 0; r < runs; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for q := 0; q < queries; q++ {
+					bench := benchNames[(c*queries+q*31)%len(benchNames)]
+					k := 1 + (c+q)%8
+					resp, err := http.Get(fmt.Sprintf("%s/api/v1/similar?bench=%s&k=%d", base, bench, k))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("similar %s k=%d: status %d", bench, k, resp.StatusCode)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	total := clients * queries
+	qps := float64(total) / best.Seconds()
+
+	// Server-side latency percentiles over every request the daemon saw.
+	resp, err := http.Get(base + "/api/v1/stats")
+	if err != nil {
+		return err
+	}
+	var sr struct {
+		Endpoints map[string]serve.EndpointStats `json:"endpoints"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	sim := sr.Endpoints["similar"]
+	if sim.Errors != 0 {
+		return fmt.Errorf("similar endpoint reported %d errors under the measurement load", sim.Errors)
+	}
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget,
+		Interval:   interval,
+		MaxK:       maxK,
+		Runs:       runs,
+		Benchmarks: names,
+		Configs: []ConfigResult{{
+			Name: "serve-similarity",
+			MIPS: qps,
+			Unit: "queries/s",
+			PerBench: map[string]float64{
+				"seconds":       best.Seconds(),
+				"clients":       float64(clients),
+				"queries":       float64(total),
+				"p50_ms":        sim.P50Ms,
+				"p99_ms":        sim.P99Ms,
+				"mean_ms":       sim.MeanMs,
+				"build_seconds": buildTime.Seconds(),
+			},
+		}},
+	}
+
+	t := report.NewTable("config", "queries/s", "time", "notes")
+	t.AddRow("serve-similarity", fmt.Sprintf("%.0f", qps), best.Round(time.Millisecond),
+		fmt.Sprintf("%d clients x %d queries, p50 %.2fms, p99 %.2fms", clients, queries, sim.P50Ms, sim.P99Ms))
 	fmt.Print(t.String())
 
 	return appendHistory(jsonOut, res)

@@ -235,6 +235,56 @@ func TestRunJointWritesHistory(t *testing.T) {
 	}
 }
 
+// TestRunServeWritesHistory smoke-tests the -serve mode over a small
+// store: the recorded entry carries similarity QPS with server-side
+// tail latency.
+func TestRunServeWritesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	benches := "MiBench/sha/large,SPEC2000/gzip/program,MiBench/FFT/fft-large"
+	if err := runServe(context.Background(), 4_000, 500, 3, 1, benches, path, "test", 1, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	rec := hist.History[0]
+	if len(rec.Configs) != 1 || rec.Configs[0].Name != "serve-similarity" {
+		t.Fatalf("configs = %+v", rec.Configs)
+	}
+	c := rec.Configs[0]
+	if c.Unit != "queries/s" {
+		t.Errorf("unit = %q, want queries/s", c.Unit)
+	}
+	if c.MIPS <= 0 {
+		t.Errorf("similarity throughput = %v", c.MIPS)
+	}
+	if c.PerBench["queries"] != 4*8 {
+		t.Errorf("recorded %v queries, want 32", c.PerBench["queries"])
+	}
+	for _, key := range []string{"p50_ms", "p99_ms", "seconds", "build_seconds"} {
+		if _, ok := c.PerBench[key]; !ok {
+			t.Errorf("serve entry missing %s", key)
+		}
+	}
+}
+
+func TestRunServeRejectsBadLoad(t *testing.T) {
+	if err := runServe(context.Background(), 4_000, 500, 3, 1, "MiBench/sha/large", "", "x", 1, 0, 8); err == nil {
+		t.Fatal("clients=0 accepted")
+	}
+	if err := runServe(context.Background(), 1_000, 50_000, 3, 1, "MiBench/sha/large", "", "x", 1, 4, 8); err == nil {
+		t.Fatal("interval > budget accepted")
+	}
+}
+
 func TestRunJointRejectsBadInterval(t *testing.T) {
 	if err := runJoint(context.Background(), 1_000, 50_000, 3, 1, "MiBench/sha/large", "", "test", 1); err == nil {
 		t.Fatal("interval > budget must be rejected")

@@ -1,0 +1,241 @@
+// Command mica-serve is characterization-as-a-service: a long-running
+// HTTP/JSON daemon over the mica library and a warm interval-vector
+// store, serving the paper's workload-characterization queries to
+// concurrent clients.
+//
+// At startup it builds (or incrementally reuses) the store for the
+// selected benchmarks, optionally clusters the joint cross-benchmark
+// phase vocabulary (warm-started from the state a previous run
+// persisted next to the store), assembles the normalized-PCA
+// similarity index from the cached vectors, and then listens. The
+// endpoints:
+//
+//	POST /api/v1/characterize   {"benchmark": "suite/program/input"}
+//	                            → 202 {job id}; jobs dedup in-flight and
+//	                              completed work by the phase-config stamp
+//	GET  /api/v1/jobs/{id}      → job status; Table I/II rows, phase
+//	                              timeline and kiviat data when done
+//	GET  /api/v1/similar?bench=X&k=5[&space=pca|phase]
+//	                            → k nearest benchmarks in the normalized
+//	                              PCA space (or joint phase-occupancy space)
+//	GET  /api/v1/vectors?bench=X[&from=N&count=M]
+//	                            → the benchmark's stored interval vectors
+//	GET  /api/v1/benchmarks     → registry listing with store coverage
+//	GET  /api/v1/stats          → per-endpoint latency/QPS, job and dedup
+//	                              counters, store cache stats
+//	GET  /healthz               → liveness
+//
+// Backpressure is explicit: a full job queue answers 429 with
+// Retry-After, shutdown answers 503. SIGINT or SIGTERM stops the
+// listener, drains accepted jobs and closes the store cleanly.
+//
+// Usage:
+//
+//	mica-serve -store phases.ivs [-addr 127.0.0.1:8344]
+//	mica-serve -store phases.ivs -bench name,name,... [-interval 10000] [-intervals 100]
+//	mica-serve -store phases.ivs -joint=false -workers 8 -queue 128 [-quant] [-cachebytes N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mica"
+	"mica/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address")
+		storeDir     = flag.String("store", "", "interval-vector store directory (required; built/warmed at startup)")
+		benchName    = flag.String("bench", "", "comma-separated benchmarks to serve (default: the whole registry)")
+		intervalLen  = flag.Uint64("interval", 10_000, "interval length in dynamic instructions")
+		maxIntervals = flag.Int("intervals", 100, "maximum number of intervals per benchmark")
+		maxK         = flag.Int("maxk", 10, "maximum K for the BIC phase sweep")
+		seed         = flag.Int64("seed", 2006, "k-means seed")
+		workers      = flag.Int("workers", 0, "characterization workers for startup build and job pool (0 = GOMAXPROCS)")
+		queueCap     = flag.Int("queue", 64, "pending characterization-job bound; a full queue answers 429")
+		retain       = flag.Int("retain", 1024, "finished jobs kept pollable")
+		quant        = flag.Bool("quant", false, "write 8-bit quantized shards instead of float32")
+		incremental  = flag.Bool("incremental", true, "reuse unchanged shards at startup, characterizing only the rest")
+		warm         = flag.Bool("warm", true, "seed the joint clustering from the previous run's persisted state")
+		joint        = flag.Bool("joint", true, "cluster the joint phase vocabulary at startup (enables space=phase similarity)")
+		cacheBytes   = flag.Int64("cachebytes", 0, "byte budget for the decoded-shard cache (0 = default)")
+		pcaVar       = flag.Float64("pcavar", 0.9, "variance fraction the similarity index's PCA components must explain")
+		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models in characterization jobs")
+	)
+	flag.Parse()
+
+	fl := cliFlags{
+		storeDir: *storeDir, addr: *addr, queueCap: *queueCap,
+		retain: *retain, cacheBytes: *cacheBytes, pcaVar: *pcaVar,
+		warm: *warm, joint: *joint,
+	}
+	if err := validateFlags(fl); err != nil {
+		fmt.Fprintln(os.Stderr, "mica-serve:", err)
+		os.Exit(1)
+	}
+
+	// SIGINT/SIGTERM cancels the startup build exactly like the batch
+	// CLIs (finished shards commit, an incremental restart resumes)
+	// and, once serving, triggers the graceful drain below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, fl, mica.PhaseConfig{
+		IntervalLen:  *intervalLen,
+		MaxIntervals: *maxIntervals,
+		MaxK:         *maxK,
+		Seed:         *seed,
+	}, mica.StoreOptions{
+		Dir: *storeDir, Quantize: *quant, Incremental: *incremental,
+		CacheBytes: *cacheBytes, WarmStart: *warm,
+	}, *benchName, *workers, *skipHPC, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mica-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// cliFlags is the flag combination a run was invoked with, gathered
+// for validation (and table-tested as one unit).
+type cliFlags struct {
+	storeDir   string
+	addr       string
+	queueCap   int
+	retain     int
+	cacheBytes int64
+	pcaVar     float64
+	warm       bool
+	joint      bool
+}
+
+// validateFlags rejects inconsistent flag combinations up front, with
+// errors that name the fix. nil means the combination is runnable.
+func validateFlags(f cliFlags) error {
+	switch {
+	case f.storeDir == "":
+		return fmt.Errorf("mica-serve serves from an interval-vector store; pass -store DIR")
+	case f.addr == "":
+		return fmt.Errorf("-addr wants a listen address")
+	case f.queueCap <= 0:
+		return fmt.Errorf("-queue wants a positive pending-job bound")
+	case f.retain <= 0:
+		return fmt.Errorf("-retain wants a positive finished-job bound")
+	case f.cacheBytes < 0:
+		return fmt.Errorf("-cachebytes wants a positive byte budget (0 = default)")
+	case f.pcaVar <= 0 || f.pcaVar > 1:
+		return fmt.Errorf("-pcavar wants a variance fraction in (0, 1]")
+	case f.warm && !f.joint:
+		return fmt.Errorf("-warm seeds the joint clustering; combine it with -joint")
+	}
+	return nil
+}
+
+// run warms the store, builds the serving state and serves until ctx
+// is cancelled. ready, when non-nil, is told the bound listen address
+// once the daemon is accepting connections (tests bind :0 and need
+// the kernel-chosen port).
+func run(ctx context.Context, fl cliFlags, phase mica.PhaseConfig, sopt mica.StoreOptions,
+	benchName string, workers int, skipHPC bool, ready func(addr string)) error {
+	bs, err := selectBenchmarks(benchName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("warming store %s (%d benchmarks)...\n", sopt.Dir, len(bs))
+	begin := time.Now()
+	st, bstats, err := mica.CharacterizeToStoreCtx(ctx, bs,
+		mica.PhasePipelineConfig{Phase: phase, Workers: workers}, sopt)
+	if st != nil {
+		defer st.Close()
+	}
+	if err != nil {
+		return err
+	}
+	if bstats != nil {
+		fmt.Printf("store ready in %v: %d characterized, %d reused, %d rows\n",
+			time.Since(begin).Round(time.Millisecond),
+			len(bstats.Characterized), len(bstats.Reused), st.NumRows())
+	}
+
+	cfg := serve.Config{
+		Phase:       phase,
+		SkipHPC:     skipHPC,
+		Workers:     workers,
+		QueueCap:    fl.queueCap,
+		Retain:      fl.retain,
+		PCAVariance: fl.pcaVar,
+	}
+	if fl.joint {
+		begin = time.Now()
+		j, warmUsed, err := mica.AnalyzePhasesJointOpenStoreCtx(ctx, st, phase, workers, fl.warm)
+		if err != nil {
+			return fmt.Errorf("joint vocabulary: %w", err)
+		}
+		fmt.Printf("joint vocabulary: K=%d over %d intervals in %v (warm start: %v)\n",
+			j.K, len(j.Assign), time.Since(begin).Round(time.Millisecond), warmUsed)
+		cfg.Joint = j
+	}
+
+	srv, err := serve.New(st, cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", fl.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The listener dies when the context does; jobs accepted before
+	// the signal drain before the store closes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Println("\nshutting down: draining jobs...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("serving %d benchmarks on http://%s (config %.12s...)\n",
+		len(bs), ln.Addr(), srv.ConfigKey())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	err = httpSrv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	srv.Close()
+	fmt.Println("drained; store closed cleanly")
+	return nil
+}
+
+// selectBenchmarks resolves a comma-separated -bench list, or the
+// whole registry when the list is empty.
+func selectBenchmarks(benchName string) ([]mica.Benchmark, error) {
+	if benchName == "" {
+		return mica.Benchmarks(), nil
+	}
+	var bs []mica.Benchmark
+	for _, n := range strings.Split(benchName, ",") {
+		b, err := mica.BenchmarkByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		bs = append(bs, b)
+	}
+	return bs, nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mica"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := cliFlags{
+		storeDir: "phases.ivs", addr: "127.0.0.1:8344", queueCap: 64,
+		retain: 1024, pcaVar: 0.9, warm: true, joint: true,
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*cliFlags)
+		wantErr string
+	}{
+		{"defaults", func(f *cliFlags) {}, ""},
+		{"no store", func(f *cliFlags) { f.storeDir = "" }, "-store"},
+		{"no addr", func(f *cliFlags) { f.addr = "" }, "-addr"},
+		{"zero queue", func(f *cliFlags) { f.queueCap = 0 }, "-queue"},
+		{"negative queue", func(f *cliFlags) { f.queueCap = -3 }, "-queue"},
+		{"zero retain", func(f *cliFlags) { f.retain = 0 }, "-retain"},
+		{"negative cache", func(f *cliFlags) { f.cacheBytes = -1 }, "-cachebytes"},
+		{"zero pcavar", func(f *cliFlags) { f.pcaVar = 0 }, "-pcavar"},
+		{"pcavar above one", func(f *cliFlags) { f.pcaVar = 1.5 }, "-pcavar"},
+		{"warm without joint", func(f *cliFlags) { f.joint = false }, "-joint"},
+		{"cold without joint", func(f *cliFlags) { f.joint = false; f.warm = false }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want mention of %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSelectBenchmarks(t *testing.T) {
+	all, err := selectBenchmarks("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(mica.Benchmarks()) {
+		t.Fatalf("empty -bench selected %d benchmarks, want the whole registry (%d)",
+			len(all), len(mica.Benchmarks()))
+	}
+	two, err := selectBenchmarks("MiBench/sha/large, SPEC2000/gzip/program")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name() != "MiBench/sha/large" || two[1].Name() != "SPEC2000/gzip/program" {
+		t.Fatalf("explicit list resolved to %v", two)
+	}
+	if _, err := selectBenchmarks("no/such/bench"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestRunServesAndDrains boots the daemon end to end on a tiny
+// two-benchmark store — warm build, joint vocabulary, live HTTP — then
+// cancels the context and verifies the graceful drain.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fl := cliFlags{
+		storeDir: t.TempDir(), addr: "127.0.0.1:0", queueCap: 8,
+		retain: 16, pcaVar: 0.9, warm: true, joint: true,
+	}
+	phase := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 1}
+	sopt := mica.StoreOptions{Dir: fl.storeDir, Incremental: true, WarmStart: true}
+
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	out := captureStdout(t)
+	go func() {
+		runErr <- run(ctx, fl, phase, sopt,
+			"MiBench/sha/large,SPEC2000/gzip/program", 2, false,
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never came up")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// A similarity query against the live daemon answers from the
+	// two-benchmark store.
+	resp, err = http.Get("http://" + addr + "/api/v1/similar?bench=MiBench/sha/large&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim struct {
+		Neighbors []struct {
+			Name string `json:"name"`
+		} `json:"neighbors"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sim)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(sim.Neighbors) != 1 || sim.Neighbors[0].Name != "SPEC2000/gzip/program" {
+		t.Fatalf("similar neighbors %v, want the other stored benchmark", sim.Neighbors)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon never drained")
+	}
+
+	got := out()
+	for _, want := range []string{
+		"store ready",
+		"joint vocabulary: K=",
+		"serving 2 benchmarks",
+		"drained; store closed cleanly",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// captureStdout redirects stdout until the returned function is
+// called, which restores it and hands back everything printed.
+func captureStdout(t *testing.T) func() string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	return func() string {
+		w.Close()
+		os.Stdout = old
+		return <-done
+	}
+}

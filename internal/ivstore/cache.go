@@ -18,23 +18,35 @@ const defaultCacheCap = 1 << 30 // 1 GiB
 const cacheOverheadBytes = 128
 
 // CacheStats is a snapshot of the decoded-shard cache's counters.
+// The JSON tags are the field names mica-serve's /stats endpoint
+// exposes.
 type CacheStats struct {
 	// BudgetBytes is the cache's byte budget.
-	BudgetBytes int64
+	BudgetBytes int64 `json:"budget_bytes"`
 	// Bytes is the decoded bytes currently held.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 	// PeakBytes is the largest value Bytes has reached.
-	PeakBytes int64
-	// Hits counts lookups served from cache (including lookups that
-	// waited on another reader's in-flight decode of the same shard).
-	Hits uint64
-	// Misses counts lookups that had to decode the shard.
-	Misses uint64
-	// Decodes counts actual shard decodes; with the cache's in-flight
-	// deduplication this equals Misses even under concurrent readers.
-	Decodes uint64
+	PeakBytes int64 `json:"peak_bytes"`
+	// Hits counts lookups served decoded data from the cache,
+	// including lookups that waited on another reader's in-flight
+	// decode of the same shard and received its successful result.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that initiated a decode of the shard.
+	Misses uint64 `json:"misses"`
+	// Decodes counts shard decodes that succeeded; with the cache's
+	// in-flight deduplication Decodes == Misses - DecodeErrors, so it
+	// equals Misses even under concurrent readers as long as no decode
+	// fails.
+	Decodes uint64 `json:"decodes"`
+	// DecodeErrors counts decode attempts that failed. Failed decodes
+	// are not cached, so the next lookup of the shard retries.
+	DecodeErrors uint64 `json:"decode_errors"`
+	// ErrorWaits counts lookups that joined another reader's in-flight
+	// decode which then failed; they received the error, not data, and
+	// are counted here instead of in Hits.
+	ErrorWaits uint64 `json:"error_waits"`
 	// Evictions counts shards dropped to stay within budget.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 }
 
 // decodedShardBytes estimates the resident size of a decoded shard:
@@ -71,12 +83,13 @@ func defaultCacheBudget(shards []Shard, dims int) int64 {
 // waiters block on ready and then read data/err. Entries that fail to
 // decode are not retained (the next lookup retries).
 type cacheEntry struct {
-	shard int
-	data  *ShardData
-	err   error
-	bytes int64
-	ready chan struct{}
-	elem  *list.Element // LRU position; nil while decoding
+	shard   int
+	data    *ShardData
+	err     error
+	bytes   int64
+	ready   chan struct{}
+	elem    *list.Element // LRU position; nil while decoding
+	waiters int           // lookups blocked on ready
 }
 
 // shardCache is a byte-budgeted LRU over decoded shards, shared by all
@@ -88,16 +101,23 @@ type cacheEntry struct {
 type shardCache struct {
 	st *Store
 
-	mu        sync.Mutex
-	budget    int64
-	bytes     int64
-	peak      int64
-	hits      uint64
-	misses    uint64
-	decodes   uint64
-	evictions uint64
-	entries   map[int]*cacheEntry
-	lru       *list.List // front = most recently used
+	// decode performs the actual shard decode; it is st.ReadShard
+	// except in tests, which substitute a blocking or failing decode
+	// to pin the concurrent accounting.
+	decode func(int) (*ShardData, error)
+
+	mu           sync.Mutex
+	budget       int64
+	bytes        int64
+	peak         int64
+	hits         uint64
+	misses       uint64
+	decodes      uint64
+	decodeErrors uint64
+	errorWaits   uint64
+	evictions    uint64
+	entries      map[int]*cacheEntry
+	lru          *list.List // front = most recently used
 }
 
 func newShardCache(st *Store, budget int64) *shardCache {
@@ -106,6 +126,7 @@ func newShardCache(st *Store, budget int64) *shardCache {
 	}
 	return &shardCache{
 		st:      st,
+		decode:  st.ReadShard,
 		budget:  budget,
 		entries: make(map[int]*cacheEntry),
 		lru:     list.New(),
@@ -116,12 +137,32 @@ func newShardCache(st *Store, budget int64) *shardCache {
 func (c *shardCache) get(i int) (*ShardData, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[i]; ok {
-		c.hits++
 		if e.elem != nil {
+			// Resident entry: decoded data is already in cache.
+			c.hits++
 			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e.data, e.err
 		}
+		// In-flight decode: join it, and classify the lookup only
+		// once the outcome is known — a waiter that receives an error
+		// must not count as a hit.
+		e.waiters++
 		c.mu.Unlock()
 		<-e.ready
+		c.mu.Lock()
+		if e.err != nil {
+			c.errorWaits++
+		} else {
+			c.hits++
+			// The decode succeeded but the entry may have been
+			// evicted between close(ready) and here; only touch the
+			// LRU if it is still resident.
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+		}
+		c.mu.Unlock()
 		return e.data, e.err
 	}
 	e := &cacheEntry{shard: i, ready: make(chan struct{})}
@@ -129,16 +170,19 @@ func (c *shardCache) get(i int) (*ShardData, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	data, err := c.st.ReadShard(i)
+	data, err := c.decode(i)
 
 	c.mu.Lock()
-	c.decodes++
 	e.data, e.err = data, err
 	if err != nil {
 		// Do not cache failures: a transient read error must not pin
-		// the shard unreadable for the cache's lifetime.
+		// the shard unreadable for the cache's lifetime. A failed
+		// attempt is a DecodeError, not a Decode, so the documented
+		// Decodes == Misses - DecodeErrors relation holds.
+		c.decodeErrors++
 		delete(c.entries, i)
 	} else {
+		c.decodes++
 		e.bytes = decodedShardBytes(data.Vecs.Rows, data.Vecs.Cols)
 		c.bytes += e.bytes
 		if c.bytes > c.peak {
@@ -172,13 +216,15 @@ func (c *shardCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		BudgetBytes: c.budget,
-		Bytes:       c.bytes,
-		PeakBytes:   c.peak,
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Decodes:     c.decodes,
-		Evictions:   c.evictions,
+		BudgetBytes:  c.budget,
+		Bytes:        c.bytes,
+		PeakBytes:    c.peak,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Decodes:      c.decodes,
+		DecodeErrors: c.decodeErrors,
+		ErrorWaits:   c.errorWaits,
+		Evictions:    c.evictions,
 	}
 }
 

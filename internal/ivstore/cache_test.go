@@ -1,7 +1,9 @@
 package ivstore
 
 import (
+	"errors"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -277,5 +279,95 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 	if cs.Hits+cs.Misses != 16 {
 		t.Fatalf("stats %+v, want 16 accounted lookups", cs)
+	}
+}
+
+// TestCacheFailedDecodeAccounting pins the error-path accounting:
+// waiters that join an in-flight decode which then fails must receive
+// the error and count as ErrorWaits (not Hits), and the failed attempt
+// counts as a DecodeError (not a Decode), preserving the documented
+// Decodes == Misses - DecodeErrors relation.
+func TestCacheFailedDecodeAccounting(t *testing.T) {
+	st := buildStore(t, t.TempDir(), Config{Dims: 4}, []string{"a"}, 10)
+	opened, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+
+	c := opened.cacheHandle()
+	realDecode := c.decode
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c.decode = func(i int) (*ShardData, error) {
+		close(started)
+		<-release
+		return nil, errors.New("injected decode failure")
+	}
+
+	const joiners = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, joiners+1)
+	wg.Add(1)
+	go func() { // the decoding lookup
+		defer wg.Done()
+		_, err := opened.CachedShard(0)
+		errCh <- err
+	}()
+	<-started // the entry is registered and its decode is in flight
+	for g := 0; g < joiners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := opened.CachedShard(0)
+			errCh <- err
+		}()
+	}
+	// Wait until every joiner has registered on the in-flight entry,
+	// so all of them are classified on the error path.
+	for {
+		c.mu.Lock()
+		e := c.entries[0]
+		n := 0
+		if e != nil {
+			n = e.waiters
+		}
+		c.mu.Unlock()
+		if n == joiners {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err == nil {
+			t.Fatal("a lookup joined the failed decode but got no error")
+		}
+	}
+	cs := opened.CacheStats()
+	if cs.Misses != 1 || cs.Decodes != 0 || cs.DecodeErrors != 1 {
+		t.Fatalf("stats %+v, want 1 miss / 0 decodes / 1 decode error", cs)
+	}
+	if cs.Hits != 0 || cs.ErrorWaits != joiners {
+		t.Fatalf("stats %+v, want 0 hits / %d error waits", cs, joiners)
+	}
+
+	// The failure is not cached: a retry decodes fresh and succeeds,
+	// and the invariant holds across the mixed history.
+	c.decode = realDecode
+	if _, err := opened.CachedShard(0); err != nil {
+		t.Fatalf("retry after failed decode: %v", err)
+	}
+	if _, err := opened.CachedShard(0); err != nil {
+		t.Fatalf("cached retry: %v", err)
+	}
+	cs = opened.CacheStats()
+	if cs.Misses != 2 || cs.Decodes != 1 || cs.DecodeErrors != 1 || cs.Hits != 1 {
+		t.Fatalf("stats %+v, want 2 misses / 1 decode / 1 decode error / 1 hit", cs)
+	}
+	if cs.Decodes != cs.Misses-cs.DecodeErrors {
+		t.Fatalf("stats %+v: Decodes != Misses - DecodeErrors", cs)
 	}
 }

@@ -78,8 +78,10 @@
 //
 // All errors are ordinary wrapped errors naming the store, shard or
 // file involved; no API panics on corrupt input (fuzzed), and the
-// only panicking path is the streaming Reader, whose contract
-// requires a pre-validated store.
+// only panicking paths are the streaming Reader's Row and Gather,
+// whose cluster-engine contract requires a pre-validated store — the
+// RowErr/GatherErr variants serve the same rows with ordinary errors
+// for consumers (serving handlers) that must survive a corrupt shard.
 package ivstore
 
 import (
@@ -363,6 +365,23 @@ func (s *Store) Benchmarks() []string {
 		names[i] = sh.Name
 	}
 	return names
+}
+
+// ShardIndex returns the committed shard index holding name's rows,
+// or false if the store has no shard for that benchmark.
+func (s *Store) ShardIndex(name string) (int, bool) {
+	for i, sh := range s.shards {
+		if sh.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RowRange returns the half-open global row interval [start, end) of
+// committed shard i — the rows Reader serves for that benchmark.
+func (s *Store) RowRange(i int) (start, end int) {
+	return s.offsets[i], s.offsets[i+1]
 }
 
 // ShardFileName maps a benchmark name and a configuration stamp to
@@ -698,10 +717,13 @@ func (s *Store) ReadShard(i int) (*ShardData, error) {
 //
 // Reader implements the cluster engines' row-source contract (Len,
 // Dim, Row, Gather). The store's files must not be mutated while a
-// Reader is live; a shard that fails to decode mid-stream panics with
-// the underlying error, since the streaming consumers have no error
-// channel — Open and the callers' initial full pass surface genuine
-// corruption as ordinary errors first.
+// Reader is live. Row and Gather panic if a shard fails to decode
+// mid-stream, since the cluster engines have no error channel — Open
+// and the callers' initial full pass surface genuine corruption as
+// ordinary errors first. Consumers that can report errors (a serving
+// handler answering one request among many) should use RowErr and
+// GatherErr instead, which degrade a corrupt shard to an error on the
+// affected read.
 type Reader struct {
 	st   *Store
 	cur  int // pinned shard index, -1 when empty
@@ -718,12 +740,28 @@ func (r *Reader) Len() int { return r.st.NumRows() }
 func (r *Reader) Dim() int { return r.st.Dims() }
 
 // Row returns global row i, valid until the next Row or Gather call.
+// It panics if the shard holding i fails to decode; error-aware
+// consumers should use RowErr.
 func (r *Reader) Row(i int) []float64 {
+	row, err := r.RowErr(i)
+	if err != nil {
+		panic(fmt.Sprintf("ivstore: streaming read: %v", err))
+	}
+	return row
+}
+
+// RowErr returns global row i, valid until the next Row, RowErr,
+// Gather, or GatherErr call. A shard that fails to decode mid-stream
+// is reported as an error rather than a panic, so a serving boundary
+// can fail the one affected query and keep running.
+func (r *Reader) RowErr(i int) ([]float64, error) {
 	s := r.shardOf(i)
 	if s != r.cur {
-		r.load(s)
+		if err := r.load(s); err != nil {
+			return nil, err
+		}
 	}
-	return r.data.Vecs.Row(i - r.st.offsets[s])
+	return r.data.Vecs.Row(i - r.st.offsets[s]), nil
 }
 
 // shardOf locates the shard holding global row i.
@@ -733,24 +771,41 @@ func (r *Reader) shardOf(i int) int {
 	return sort.Search(len(offs)-1, func(s int) bool { return offs[s+1] > i })
 }
 
-func (r *Reader) load(s int) {
+func (r *Reader) load(s int) error {
 	data, err := r.st.CachedShard(s)
 	if err != nil {
-		panic(fmt.Sprintf("ivstore: streaming read: %v", err))
+		return err
 	}
 	r.cur, r.data = s, data
+	return nil
 }
 
 // Gather copies the rows named by idx into dst in caller order,
 // visiting each distinct shard once per call (reads are executed in
 // row order) — the batched random-access path of minibatch k-means.
+// It panics if a shard fails to decode; error-aware consumers should
+// use GatherErr.
 func (r *Reader) Gather(idx []int, dst *stats.Matrix) {
+	if err := r.GatherErr(idx, dst); err != nil {
+		panic(fmt.Sprintf("ivstore: streaming read: %v", err))
+	}
+}
+
+// GatherErr copies the rows named by idx into dst in caller order,
+// visiting each distinct shard once per call, reporting a mid-stream
+// decode failure as an error instead of panicking.
+func (r *Reader) GatherErr(idx []int, dst *stats.Matrix) error {
 	order := make([]int, len(idx))
 	for j := range order {
 		order[j] = j
 	}
 	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
 	for _, j := range order {
-		copy(dst.Row(j), r.Row(idx[j]))
+		row, err := r.RowErr(idx[j])
+		if err != nil {
+			return err
+		}
+		copy(dst.Row(j), row)
 	}
+	return nil
 }

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow bounds the per-endpoint latency samples kept for the
+// percentile estimates; beyond it the ring overwrites oldest-first,
+// so the percentiles track recent traffic.
+const latWindow = 4096
+
+// endpointMetrics accumulates one endpoint's counters. All methods
+// are safe for concurrent use.
+type endpointMetrics struct {
+	mu     sync.Mutex
+	count  uint64
+	errors uint64
+	total  time.Duration
+	ring   []time.Duration
+	next   int
+	full   bool
+}
+
+func (m *endpointMetrics) observe(d time.Duration, isErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count++
+	if isErr {
+		m.errors++
+	}
+	m.total += d
+	if m.ring == nil {
+		m.ring = make([]time.Duration, latWindow)
+	}
+	m.ring[m.next] = d
+	m.next++
+	if m.next == len(m.ring) {
+		m.next, m.full = 0, true
+	}
+}
+
+// EndpointStats is one endpoint's snapshot in the /stats payload.
+type EndpointStats struct {
+	// Count is the number of requests served (including errors).
+	Count uint64 `json:"count"`
+	// Errors is the number of responses with status >= 400.
+	Errors uint64 `json:"errors"`
+	// QPS is Count divided by the server's uptime.
+	QPS float64 `json:"qps"`
+	// MeanMs, P50Ms and P99Ms summarize latency over the recent
+	// window (mean is over the endpoint's whole lifetime).
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := EndpointStats{Count: m.count, Errors: m.errors}
+	if uptime > 0 {
+		s.QPS = float64(m.count) / uptime.Seconds()
+	}
+	if m.count > 0 {
+		s.MeanMs = float64(m.total.Milliseconds()) / float64(m.count)
+	}
+	n := m.next
+	if m.full {
+		n = len(m.ring)
+	}
+	if n == 0 {
+		return s
+	}
+	window := make([]time.Duration, n)
+	copy(window, m.ring[:n])
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	s.P50Ms = float64(window[n/2]) / float64(time.Millisecond)
+	s.P99Ms = float64(window[n*99/100]) / float64(time.Millisecond)
+	return s
+}

@@ -334,6 +334,24 @@ func phaseConfigHash(cfg PhaseConfig) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// PhaseConfigKey is the public form of the phase-configuration stamp:
+// the sha256 hex of the normalized configuration, the same key the
+// JSON caches match on and the stamp interval-vector store shards
+// carry. Two requests with equal keys and equal benchmark names ask
+// for the same characterization, which is what lets a serving layer
+// (mica-serve) collapse identical in-flight and completed submissions
+// onto one run.
+func PhaseConfigKey(cfg PhaseConfig) string {
+	return phaseConfigHash(cfg.WithDefaults())
+}
+
+// ReducedConfigKey is PhaseConfigKey's reduced-pipeline counterpart:
+// the stamp reduced cheap-pass shards are matched on, disjoint from
+// plain phase stamps even at SampleFrac == 1.
+func ReducedConfigKey(cfg ReducedConfig) string {
+	return reducedStoreHash(cfg.WithDefaults())
+}
+
 // configsMatch reports whether a loaded cache configuration satisfies
 // a request.
 func configsMatch(gotCfg, wantCfg PhaseConfig) bool {

@@ -316,6 +316,28 @@ func AnalyzePhasesJointStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePi
 	return j, stats, nil
 }
 
+// AnalyzePhasesJointOpenStoreCtx clusters the joint cross-benchmark
+// vocabulary of an ALREADY-OPEN committed store, characterizing
+// nothing — the serving-side entry point: mica-serve opens its store
+// once at startup and answers phase and similarity queries from it.
+// Warm-start state is read from and saved back to the store's aux
+// files exactly as the build pipelines do (best-effort both ways).
+// The caller keeps ownership of st; warmUsed reports whether a prior
+// run's state actually seeded the clustering.
+func AnalyzePhasesJointOpenStoreCtx(ctx context.Context, st *IVStore, cfg PhaseConfig, workers int, warmStart bool) (j *PhaseJointResult, warmUsed bool, err error) {
+	cfg = cfg.WithDefaults()
+	var warm *phases.JointWarmState
+	if warmStart {
+		warm = loadWarmState(st)
+	}
+	j, warmUsed, err = phases.AnalyzeJointStoreWarmCtx(ctx, st, cfg, workers, warm)
+	if err != nil {
+		return nil, warmUsed, err
+	}
+	saveWarmState(st, j)
+	return j, warmUsed, nil
+}
+
 // warmAuxName is the auxiliary file the joint store pipelines persist
 // their warm-start state under, next to the store's shards.
 const warmAuxName = "warm.aux.json"
