@@ -87,6 +87,8 @@
 // Usage:
 //
 //	mica-bench [-budget 2000000] [-runs 3] [-bench name,name,...] [-json BENCH_profile.json]
+//	mica-bench -record [-budget 2000000] [-json BENCH_profile.json]
+//	mica-bench -replay [-budget 2000000] [-json BENCH_profile.json]
 //	mica-bench -phases [-interval 1000] [-json BENCH_phases.json]
 //	mica-bench -cluster [-rows 100000] [-maxk 10] [-json BENCH_phases.json]
 //	mica-bench -joint [-budget 400000] [-interval 400] [-maxk 3] [-json BENCH_phases.json]
@@ -114,6 +116,8 @@ import (
 	"mica/internal/cluster"
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
+	"path/filepath"
+
 	"mica/internal/report"
 	"mica/internal/serve"
 	"mica/internal/vm"
@@ -194,6 +198,8 @@ func main() {
 		serveRun   = flag.Bool("serve", false, "measure the serving layer's similarity-query throughput over a live HTTP daemon")
 		clients    = flag.Int("clients", 16, "concurrent clients (with -serve)")
 		queries    = flag.Int("queries", 32, "similarity queries per client (with -serve)")
+		recordRun  = flag.Bool("record", false, "measure trace recording overhead (raw VM vs VM + trace writer)")
+		replayRun  = flag.Bool("replay", false, "measure trace replay throughput (live VM and live characterization vs recorded-trace replay)")
 		clusterRun = flag.Bool("cluster", false, "measure the SelectK BIC sweep (naive vs parallel-minibatch) instead of the profiler configs")
 		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
 		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster or -reduced)")
@@ -209,6 +215,19 @@ func main() {
 
 	var err error
 	switch {
+	case *recordRun || *replayRun:
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "phases", "reduced", "cluster", "joint", "serve", "rows":
+				err = fmt.Errorf("-%s does not apply to -record/-replay (use -budget/-runs/-bench)", f.Name)
+			}
+		})
+		if err == nil && *recordRun && *replayRun {
+			err = fmt.Errorf("-record and -replay are separate measurements; pass one")
+		}
+		if err == nil {
+			err = runTrace(ctx, *budget, *runs, *benches, *jsonOut, *label, *replayRun)
+		}
 	case *serveRun:
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -909,6 +928,170 @@ func runServe(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 	t := report.NewTable("config", "queries/s", "time", "notes")
 	t.AddRow("serve-similarity", fmt.Sprintf("%.0f", qps), best.Round(time.Millisecond),
 		fmt.Sprintf("%d clients x %d queries, p50 %.2fms, p99 %.2fms", clients, queries, sim.P50Ms, sim.P99Ms))
+	fmt.Print(t.String())
+
+	return appendHistory(jsonOut, res)
+}
+
+// runTrace measures the trace layer against the live VM on the same
+// benchmarks and budget. With replay=false it records the recording
+// tax: the raw VM against the VM with a trace.Writer attached (plus
+// the on-disk bytes per instruction of the resulting files). With
+// replay=true it pre-records every benchmark outside the timed region
+// and measures replay throughput: the bare decode loop and the
+// replayed 47-characteristic profile against their live-VM
+// equivalents — the replay-raw entry records its speedup over live
+// characterization, the number the trace format exists to deliver.
+func runTrace(ctx context.Context, budget uint64, runs int, benches, jsonOut, label string, replay bool) error {
+	if runs < 1 {
+		runs = 1
+	}
+	names, set, err := resolveBenchmarks(benches)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mica-trace-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	paths := make(map[string]string, len(set))
+	for i, b := range set {
+		paths[b.Name()] = filepath.Join(dir, fmt.Sprintf("b%d.trc", i))
+	}
+
+	res := Result{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget,
+		Runs:       runs,
+		Benchmarks: names,
+	}
+
+	micaCfg := mica.DefaultConfig()
+	micaCfg.InstBudget = budget
+	micaCfg.SkipHPC = true
+	liveRaw := benchConfig{"live-vm-raw", func(b mica.Benchmark) (uint64, time.Duration, error) {
+		start := time.Now()
+		m, err := b.Instantiate()
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := m.Run(budget, nil)
+		if err != nil && err != vm.ErrBudget {
+			return 0, 0, err
+		}
+		return n, time.Since(start), nil
+	}}
+
+	var configs []benchConfig
+	if replay {
+		for _, b := range set {
+			if _, err := mica.RecordTrace(b, paths[b.Name()], budget); err != nil {
+				return fmt.Errorf("pre-recording %s: %w", b.Name(), err)
+			}
+		}
+		configs = []benchConfig{
+			liveRaw,
+			{"live-vm-mica", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				pr, err := mica.Profile(b, micaCfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				return pr.Insts, time.Since(start), nil
+			}},
+			{"replay-raw", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				src, err := mica.TraceBenchmark(b.Name(), paths[b.Name()]).Source()
+				if err != nil {
+					return 0, 0, err
+				}
+				n, err := src.Run(0, nil)
+				if err != nil {
+					return 0, 0, err
+				}
+				return n, time.Since(start), nil
+			}},
+			{"replay-mica", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				pr, err := mica.Profile(mica.TraceBenchmark(b.Name(), paths[b.Name()]), micaCfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				return pr.Insts, time.Since(start), nil
+			}},
+		}
+	} else {
+		configs = []benchConfig{
+			liveRaw,
+			{"record-trace", func(b mica.Benchmark) (uint64, time.Duration, error) {
+				start := time.Now()
+				n, err := mica.RecordTrace(b, paths[b.Name()], budget)
+				return n, time.Since(start), err
+			}},
+		}
+	}
+
+	t := report.NewTable("config", "MIPS", "insts", "time")
+	for _, c := range configs {
+		best := ConfigResult{Name: c.name, PerBench: make(map[string]float64)}
+		var bestInsts uint64
+		var bestTime time.Duration
+		for r := 0; r < runs; r++ {
+			var totalInsts uint64
+			var totalTime time.Duration
+			perBench := make(map[string]float64)
+			for i, b := range set {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				n, d, err := c.measure(b)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", c.name, names[i], err)
+				}
+				totalInsts += n
+				totalTime += d
+				perBench[names[i]] = mips(n, d)
+			}
+			if m := mips(totalInsts, totalTime); m > best.MIPS {
+				best.MIPS = m
+				best.PerBench = perBench
+				bestInsts, bestTime = totalInsts, totalTime
+			}
+		}
+		res.Configs = append(res.Configs, best)
+		t.AddRow(c.name, fmt.Sprintf("%.2f", best.MIPS), bestInsts,
+			bestTime.Round(time.Millisecond))
+	}
+
+	if replay {
+		// The headline ratios: how much faster replay is than running
+		// (and characterizing on) the live VM.
+		liveMica := res.Configs[1].MIPS
+		for i := 2; i < len(res.Configs); i++ {
+			if liveMica > 0 {
+				res.Configs[i].PerBench["speedup_vs_live_mica"] = res.Configs[i].MIPS / liveMica
+			}
+		}
+	} else {
+		// The recording tax and the on-disk cost of the trace files.
+		var traceBytes int64
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil {
+				traceBytes += fi.Size()
+			}
+		}
+		if res.Configs[0].MIPS > 0 {
+			res.Configs[1].PerBench["overhead_vs_raw"] = res.Configs[0].MIPS / res.Configs[1].MIPS
+		}
+		totalInsts := budget * uint64(len(set))
+		if totalInsts > 0 {
+			res.Configs[1].PerBench["bytes_per_inst"] = float64(traceBytes) / float64(totalInsts)
+		}
+	}
 	fmt.Print(t.String())
 
 	return appendHistory(jsonOut, res)

@@ -290,3 +290,68 @@ func TestRunJointRejectsBadInterval(t *testing.T) {
 		t.Fatal("interval > budget must be rejected")
 	}
 }
+
+func TestRunTraceRecordWritesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := runTrace(context.Background(), 20_000, 1, "MiBench/sha/large", path, "test", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(hist.History))
+	}
+	rec := hist.History[0]
+	if len(rec.Configs) != 2 ||
+		rec.Configs[0].Name != "live-vm-raw" ||
+		rec.Configs[1].Name != "record-trace" {
+		t.Fatalf("configs = %+v", rec.Configs)
+	}
+	recCfg := rec.Configs[1]
+	if recCfg.PerBench["overhead_vs_raw"] <= 0 {
+		t.Error("record entry missing overhead_vs_raw")
+	}
+	if recCfg.PerBench["bytes_per_inst"] <= 0 {
+		t.Error("record entry missing bytes_per_inst")
+	}
+}
+
+func TestRunTraceReplayWritesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := runTrace(context.Background(), 20_000, 1, "MiBench/sha/large", path, "test", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist History
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	rec := hist.History[0]
+	if len(rec.Configs) != 4 ||
+		rec.Configs[0].Name != "live-vm-raw" ||
+		rec.Configs[1].Name != "live-vm-mica" ||
+		rec.Configs[2].Name != "replay-raw" ||
+		rec.Configs[3].Name != "replay-mica" {
+		t.Fatalf("configs = %+v", rec.Configs)
+	}
+	for _, c := range rec.Configs[2:] {
+		if c.PerBench["speedup_vs_live_mica"] <= 0 {
+			t.Errorf("%s entry missing speedup_vs_live_mica", c.Name)
+		}
+	}
+}
+
+func TestRunTraceUnknownBenchmark(t *testing.T) {
+	if err := runTrace(context.Background(), 1_000, 1, "nope/nope/nope", "", "x", true); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -42,6 +42,7 @@
 // Usage:
 //
 //	mica-phases -bench SPEC2000/twolf/ref [-interval 10000] [-intervals 100]
+//	mica-phases -trace recorded.trc [-bench display/name/here]
 //	mica-phases -all [-workers 8] [-maxk 10] [-seed 2006] [-cache phases.json]
 //	mica-phases -joint [-bench name,name,...] [-maxk 10] [-cache joint.json]
 //	mica-phases -joint -store phases.ivs [-quant] [-incremental] [-warm] [-cachebytes N]
@@ -93,6 +94,7 @@ func main() {
 		warm         = flag.Bool("warm", false, "with -joint -store: seed the clustering from the warm state a previous run persisted next to the store")
 		fsck         = flag.Bool("fsck", false, "with -store: verify the store's integrity (manifest, per-shard CRCs, crash artifacts) and exit")
 		repair       = flag.Bool("repair", false, "with -store -fsck: quarantine corrupt shards and remove crash artifacts so the store reopens cleanly")
+		tracePath    = flag.String("trace", "", "analyze a recorded trace file instead of an embedded benchmark (phase analysis replays it twice)")
 	)
 	flag.Parse()
 
@@ -115,6 +117,7 @@ func main() {
 		bench: *benchName, all: *all, joint: *joint, reduced: *reduced,
 		cache: *cache, storeDir: *storeDir, quant: *quant, incremental: *incremental,
 		warm: *warm, cacheBytes: *cacheBytes, fsck: *fsck, repair: *repair,
+		trace: *tracePath,
 	}
 	err := validateFlags(fl)
 	switch {
@@ -130,7 +133,7 @@ func main() {
 		}
 		err = runReduced(ctx, *benchName, *all, *joint, *cache, rcfg, sopt, *workers)
 	default:
-		err = run(ctx, *benchName, *all, *joint, *cache, sopt, cfg, *workers)
+		err = run(ctx, *benchName, *tracePath, *all, *joint, *cache, sopt, cfg, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)
@@ -148,6 +151,7 @@ type cliFlags struct {
 	warm                bool
 	cacheBytes          int64
 	fsck, repair        bool
+	trace               string
 }
 
 // validateFlags rejects inconsistent flag combinations up front, with
@@ -172,6 +176,10 @@ func validateFlags(f cliFlags) error {
 		return fmt.Errorf("-cachebytes wants a positive byte budget (0 = default)")
 	case f.warm && !f.joint:
 		return fmt.Errorf("-warm seeds the joint clustering; combine it with -joint")
+	case f.trace != "" && (f.all || f.joint || f.reduced):
+		return fmt.Errorf("-trace analyzes one recorded file; it does not combine with -all, -joint or -reduced")
+	case f.trace != "" && f.cache != "":
+		return fmt.Errorf("-cache is keyed by benchmark name, which a trace file's contents can drift from; drop -cache for -trace runs")
 	}
 	return nil
 }
@@ -204,7 +212,7 @@ func runFsck(dir string, repair bool) error {
 	return nil
 }
 
-func run(ctx context.Context, benchName string, all, joint bool, cache string, sopt mica.StoreOptions, cfg mica.PhaseConfig, workers int) error {
+func run(ctx context.Context, benchName, tracePath string, all, joint bool, cache string, sopt mica.StoreOptions, cfg mica.PhaseConfig, workers int) error {
 	pcfg := mica.PhasePipelineConfig{
 		Phase:    cfg,
 		Workers:  workers,
@@ -262,10 +270,16 @@ func run(ctx context.Context, benchName string, all, joint bool, cache string, s
 		fmt.Print(t.String())
 		return nil
 
-	case benchName != "":
-		b, err := mica.BenchmarkByName(benchName)
-		if err != nil {
-			return err
+	case benchName != "" || tracePath != "":
+		var b mica.Benchmark
+		if tracePath != "" {
+			b = mica.TraceBenchmark(benchName, tracePath)
+		} else {
+			var err error
+			b, err = mica.BenchmarkByName(benchName)
+			if err != nil {
+				return err
+			}
 		}
 		res, hit, err := analyzeSingle(cache, b, pcfg)
 		if err != nil {
@@ -304,7 +318,7 @@ func run(ctx context.Context, benchName string, all, joint bool, cache string, s
 		return nil
 
 	default:
-		return fmt.Errorf("pass -bench <name>, -all or -joint")
+		return fmt.Errorf("pass -bench <name>, -trace <file>, -all or -joint")
 	}
 }
 

@@ -36,7 +36,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 func TestRunSingleBenchmark(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}
 	out, err := capture(t, func() error {
-		return run(context.Background(), "SPEC2000/twolf/ref", false, false, "", mica.StoreOptions{}, cfg, 0)
+		return run(context.Background(), "SPEC2000/twolf/ref", "", false, false, "", mica.StoreOptions{}, cfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,17 +58,17 @@ func TestRunSubsetPipeline(t *testing.T) {
 	// tests; here exercise the pipeline rendering through a tiny -all
 	// run would profile 122 benchmarks, so only validate flag errors.
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+		return run(context.Background(), "", "", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("missing mode accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "no/such/bench", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+		return run(context.Background(), "no/such/bench", "", false, false, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "MiBench/sha/large,no/such/bench", false, true, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
+		return run(context.Background(), "MiBench/sha/large,no/such/bench", "", false, true, "", mica.StoreOptions{}, mica.PhaseConfig{}, 0)
 	}); err == nil {
 		t.Error("unknown benchmark in joint list accepted")
 	}
@@ -81,7 +81,9 @@ func TestRunSubsetPipeline(t *testing.T) {
 func TestRunJointSubset(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
-	out, err := capture(t, func() error { return run(context.Background(), names, false, true, "", mica.StoreOptions{}, cfg, 2) })
+	out, err := capture(t, func() error {
+		return run(context.Background(), names, "", false, true, "", mica.StoreOptions{}, cfg, 2)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestRunSingleBenchmarkCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "single.json")
 	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 6, MaxK: 3, Seed: 1}
 	first, err := capture(t, func() error {
-		return run(context.Background(), "MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0)
+		return run(context.Background(), "MiBench/sha/large", "", false, false, cache, mica.StoreOptions{}, cfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +116,7 @@ func TestRunSingleBenchmarkCache(t *testing.T) {
 		t.Fatal("first run claimed a cache hit")
 	}
 	second, err := capture(t, func() error {
-		return run(context.Background(), "MiBench/sha/large", false, false, cache, mica.StoreOptions{}, cfg, 0)
+		return run(context.Background(), "MiBench/sha/large", "", false, false, cache, mica.StoreOptions{}, cfg, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,12 +135,12 @@ func TestRunJointCache(t *testing.T) {
 	cache := filepath.Join(t.TempDir(), "joint.json")
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 2, Seed: 3}
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1)
+		return run(context.Background(), "MiBench/sha/large", "", false, true, cache, mica.StoreOptions{}, cfg, 1)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(context.Background(), "MiBench/sha/large", false, true, cache, mica.StoreOptions{}, cfg, 1)
+		return run(context.Background(), "MiBench/sha/large", "", false, true, cache, mica.StoreOptions{}, cfg, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +155,7 @@ func TestRunAllRegistry(t *testing.T) {
 		t.Skip("analyzes all 122 benchmarks")
 	}
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 5, MaxK: 3, Seed: 1}
-	out, err := capture(t, func() error { return run(context.Background(), "", true, false, "", mica.StoreOptions{}, cfg, 4) })
+	out, err := capture(t, func() error { return run(context.Background(), "", "", true, false, "", mica.StoreOptions{}, cfg, 4) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +177,15 @@ func TestRunAllRegistryCached(t *testing.T) {
 	}
 	cache := filepath.Join(t.TempDir(), "phases.json")
 	cfg := mica.PhaseConfig{IntervalLen: 500, MaxIntervals: 3, MaxK: 2, Seed: 1}
-	first, err := capture(t, func() error { return run(context.Background(), "", true, false, cache, mica.StoreOptions{}, cfg, 4) })
+	first, err := capture(t, func() error {
+		return run(context.Background(), "", "", true, false, cache, mica.StoreOptions{}, cfg, 4)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := capture(t, func() error { return run(context.Background(), "", true, false, cache, mica.StoreOptions{}, cfg, 4) })
+	second, err := capture(t, func() error {
+		return run(context.Background(), "", "", true, false, cache, mica.StoreOptions{}, cfg, 4)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +280,7 @@ func TestRunJointStore(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
 	sopt := mica.StoreOptions{Dir: dir, Incremental: true}
-	first, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
+	first, err := capture(t, func() error { return run(context.Background(), names, "", false, true, "", sopt, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +293,7 @@ func TestRunJointStore(t *testing.T) {
 			t.Errorf("store run output missing %q:\n%s", want, first)
 		}
 	}
-	second, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
+	second, err := capture(t, func() error { return run(context.Background(), names, "", false, true, "", sopt, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,6 +334,8 @@ func TestValidateFlags(t *testing.T) {
 		{"reduced joint store", cliFlags{reduced: true, joint: true, storeDir: "d"}, ""},
 		{"reduced joint store warm", cliFlags{reduced: true, joint: true, storeDir: "d", warm: true, incremental: true}, ""},
 		{"fsck", cliFlags{fsck: true, storeDir: "d"}, ""},
+		{"trace", cliFlags{trace: "x.trc"}, ""},
+		{"trace with display name", cliFlags{trace: "x.trc", bench: "a/b/c"}, ""},
 		{"fsck repair", cliFlags{fsck: true, repair: true, storeDir: "d"}, ""},
 
 		{"store without pipeline", cliFlags{storeDir: "d"}, "-joint, -reduced, or both"},
@@ -342,6 +350,10 @@ func TestValidateFlags(t *testing.T) {
 		{"negative cachebytes", cliFlags{joint: true, storeDir: "d", cacheBytes: -1}, "positive byte budget"},
 		{"fsck without store", cliFlags{fsck: true}, "pass -store DIR"},
 		{"repair without fsck", cliFlags{repair: true, storeDir: "d"}, "pass -fsck -repair"},
+		{"trace with all", cliFlags{trace: "x.trc", all: true}, "-trace"},
+		{"trace with joint", cliFlags{trace: "x.trc", joint: true}, "-trace"},
+		{"trace with reduced", cliFlags{trace: "x.trc", reduced: true}, "-trace"},
+		{"trace with cache", cliFlags{trace: "x.trc", cache: "c.json"}, "drop -cache"},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.f)
@@ -438,7 +450,7 @@ func TestRunFsckRepair(t *testing.T) {
 	cfg := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 5}
 	names := "MiBench/sha/large, SPEC2000/gzip/program"
 	sopt := mica.StoreOptions{Dir: dir, Incremental: true}
-	if _, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) }); err != nil {
+	if _, err := capture(t, func() error { return run(context.Background(), names, "", false, true, "", sopt, cfg, 2) }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -480,11 +492,46 @@ func TestRunFsckRepair(t *testing.T) {
 		t.Errorf("repair output missing quarantine/resume hint:\n%s", out)
 	}
 
-	rerun, err := capture(t, func() error { return run(context.Background(), names, false, true, "", sopt, cfg, 2) })
+	rerun, err := capture(t, func() error { return run(context.Background(), names, "", false, true, "", sopt, cfg, 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(rerun, "1 shards characterized, 1 reused") {
 		t.Errorf("post-repair rerun did not re-characterize exactly the quarantined benchmark:\n%s", rerun)
+	}
+}
+
+// TestRunTraceReplay: -trace analyzes a recorded file and reproduces
+// the live benchmark's phase analysis exactly (same timeline, same
+// representatives), differing only in the displayed name.
+func TestRunTraceReplay(t *testing.T) {
+	cfg := mica.PhaseConfig{IntervalLen: 2_000, MaxIntervals: 10, MaxK: 4, Seed: 1}
+	bench := "SPEC2000/twolf/ref"
+	b, err := mica.BenchmarkByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := filepath.Join(t.TempDir(), "twolf.trc")
+	if _, err := mica.RecordTrace(b, trc, cfg.IntervalLen*uint64(cfg.MaxIntervals)); err != nil {
+		t.Fatal(err)
+	}
+	live, err := capture(t, func() error {
+		return run(context.Background(), bench, "", false, false, "", mica.StoreOptions{}, cfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := capture(t, func() error {
+		return run(context.Background(), "", trc, false, false, "", mica.StoreOptions{}, cfg, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything after the first line (which names the benchmark) must
+	// match byte for byte: timeline, representatives, reconstruction.
+	liveBody := live[strings.Index(live, "\n"):]
+	replayBody := replay[strings.Index(replay, "\n"):]
+	if replayBody != liveBody {
+		t.Errorf("trace replay diverges from live analysis:\nlive:\n%s\nreplay:\n%s", live, replay)
 	}
 }

@@ -7,6 +7,13 @@
 //	mica-profile -list
 //	mica-profile -bench SPEC2000/mcf/ref [-budget 300000]
 //	mica-profile -all -json results.json
+//	mica-profile -bench SPEC2000/mcf/ref -record mcf.trc
+//	mica-profile -trace mcf.trc
+//
+// -record runs the benchmark's embedded VM while writing its dynamic
+// instruction stream to a durable trace file; -trace profiles a
+// recorded file instead of an embedded benchmark, producing the
+// bit-identical characterization.
 package main
 
 import (
@@ -25,15 +32,17 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		budget    = flag.Uint64("budget", 300_000, "dynamic instruction budget per benchmark")
 		jsonOut   = flag.String("json", "", "write results to a JSON file")
+		record    = flag.String("record", "", "record -bench's instruction stream to this trace file instead of profiling")
+		tracePath = flag.String("trace", "", "profile a recorded trace file instead of an embedded benchmark")
 	)
 	flag.Parse()
-	if err := run(*benchName, *all, *list, *budget, *jsonOut); err != nil {
+	if err := run(*benchName, *all, *list, *budget, *jsonOut, *record, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-profile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, all, list bool, budget uint64, jsonOut string) error {
+func run(benchName string, all, list bool, budget uint64, jsonOut, record, tracePath string) error {
 	if list {
 		t := report.NewTable("name", "kernel", "paper I-cnt (M)")
 		for _, b := range mica.Benchmarks() {
@@ -45,6 +54,37 @@ func run(benchName string, all, list bool, budget uint64, jsonOut string) error 
 
 	cfg := mica.DefaultConfig()
 	cfg.InstBudget = budget
+
+	if record != "" && tracePath != "" {
+		return fmt.Errorf("-record and -trace are mutually exclusive")
+	}
+	if record != "" {
+		if all || benchName == "" {
+			return fmt.Errorf("-record needs exactly one -bench <name>")
+		}
+		b, err := mica.BenchmarkByName(benchName)
+		if err != nil {
+			return err
+		}
+		n, err := mica.RecordTrace(b, record, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", n, b.Name(), record)
+		return nil
+	}
+	if tracePath != "" {
+		if all {
+			return fmt.Errorf("-trace and -all are mutually exclusive")
+		}
+		b := mica.TraceBenchmark(benchName, tracePath)
+		res, err := mica.Profile(b, cfg)
+		if err != nil {
+			return err
+		}
+		printProfile(b, res)
+		return nil
+	}
 
 	switch {
 	case all:
@@ -75,21 +115,30 @@ func run(benchName string, all, list bool, budget uint64, jsonOut string) error 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s (kernel %s, %d instructions)\n\n", b.Name(), b.Kernel, res.Insts)
-		t := report.NewTable("#", "category", "characteristic", "value")
-		for c := 0; c < mica.NumChars; c++ {
-			t.AddRow(c+1, mica.CharCategory(c), mica.CharName(c), res.Chars[c])
-		}
-		fmt.Print(t.String())
-		fmt.Println()
-		h := report.NewTable("HPC metric", "value")
-		for c := 0; c < mica.NumHPCMetrics; c++ {
-			h.AddRow(mica.HPCMetricName(c), res.HPC[c])
-		}
-		fmt.Print(h.String())
+		printProfile(b, res)
 		return nil
 
 	default:
-		return fmt.Errorf("pass -bench <name>, -all or -list")
+		return fmt.Errorf("pass -bench <name>, -all, -list or -trace <file>")
 	}
+}
+
+// printProfile renders one benchmark's characterization tables.
+func printProfile(b mica.Benchmark, res mica.ProfileResult) {
+	source := "kernel " + b.Kernel
+	if b.TracePath != "" {
+		source = "trace " + b.TracePath
+	}
+	fmt.Printf("%s (%s, %d instructions)\n\n", b.Name(), source, res.Insts)
+	t := report.NewTable("#", "category", "characteristic", "value")
+	for c := 0; c < mica.NumChars; c++ {
+		t.AddRow(c+1, mica.CharCategory(c), mica.CharName(c), res.Chars[c])
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	h := report.NewTable("HPC metric", "value")
+	for c := 0; c < mica.NumHPCMetrics; c++ {
+		h.AddRow(mica.HPCMetricName(c), res.HPC[c])
+	}
+	fmt.Print(h.String())
 }

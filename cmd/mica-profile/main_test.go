@@ -31,7 +31,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunList(t *testing.T) {
-	out, err := capture(t, func() error { return run("", false, true, 1000, "") })
+	out, err := capture(t, func() error { return run("", false, true, 1000, "", "", "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleBenchmark(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("MiBench/sha/large", false, false, 5_000, "")
+		return run("MiBench/sha/large", false, false, 5_000, "", "", "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,13 +58,13 @@ func TestRunSingleBenchmark(t *testing.T) {
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if _, err := capture(t, func() error { return run("nope", false, false, 1000, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("nope", false, false, 1000, "", "", "") }); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestRunNoModeIsError(t *testing.T) {
-	if _, err := capture(t, func() error { return run("", false, false, 1000, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("", false, false, 1000, "", "", "") }); err == nil {
 		t.Error("missing mode accepted")
 	}
 }
@@ -74,7 +74,7 @@ func TestRunAllToJSON(t *testing.T) {
 		t.Skip("profiles all 122 benchmarks")
 	}
 	path := filepath.Join(t.TempDir(), "r.json")
-	if _, err := capture(t, func() error { return run("", true, false, 2_000, path) }); err != nil {
+	if _, err := capture(t, func() error { return run("", true, false, 2_000, path, "", "") }); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -83,5 +83,66 @@ func TestRunAllToJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "BioInfoMark/blast/protein") {
 		t.Error("JSON missing benchmarks")
+	}
+}
+
+// TestRecordReplayRoundTrip: -record writes a trace whose -trace
+// replay renders the identical characterization tables the live
+// benchmark does.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	trc := filepath.Join(t.TempDir(), "sha.trc")
+	rec, err := capture(t, func() error {
+		return run("MiBench/sha/large", false, false, 5_000, "", trc, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec, "recorded 5000 instructions") {
+		t.Fatalf("record output %q missing instruction count", rec)
+	}
+	live, err := capture(t, func() error {
+		return run("MiBench/sha/large", false, false, 5_000, "", "", "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := capture(t, func() error {
+		return run("", false, false, 5_000, "", "", trc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The header line names the source (kernel vs trace file); every
+	// number below it must match exactly.
+	liveBody := live[strings.Index(live, "\n"):]
+	replayBody := replay[strings.Index(replay, "\n"):]
+	if replayBody != liveBody {
+		t.Error("trace replay tables diverge from the live benchmark")
+	}
+	if !strings.Contains(replay, "trace "+trc) {
+		t.Errorf("replay header %q does not name the trace file", strings.SplitN(replay, "\n", 2)[0])
+	}
+}
+
+// TestRecordTraceFlagValidation: the record/trace flag combinations
+// that cannot work are rejected up front.
+func TestRecordTraceFlagValidation(t *testing.T) {
+	cases := []struct {
+		name          string
+		bench         string
+		all           bool
+		record, trace string
+	}{
+		{"record and trace", "MiBench/sha/large", false, "a.trc", "b.trc"},
+		{"record without bench", "", false, "a.trc", ""},
+		{"record with all", "MiBench/sha/large", true, "a.trc", ""},
+		{"trace with all", "", true, "", "a.trc"},
+	}
+	for _, tc := range cases {
+		if _, err := capture(t, func() error {
+			return run(tc.bench, tc.all, false, 1000, "", tc.record, tc.trace)
+		}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }

@@ -13,6 +13,11 @@
 //	POST /api/v1/characterize   {"benchmark": "suite/program/input"}
 //	                            → 202 {job id}; jobs dedup in-flight and
 //	                              completed work by the phase-config stamp
+//	POST /api/v1/traces[?name=X] raw recorded-trace bytes (mica-profile
+//	                            -record) → validated end to end, persisted
+//	                            durably under -tracedir, characterized via
+//	                            the same deduped job path (404 without
+//	                            -tracedir; oversized 413, corrupt 400)
 //	GET  /api/v1/jobs/{id}      → job status; Table I/II rows, phase
 //	                              timeline and kiviat data when done
 //	GET  /api/v1/similar?bench=X&k=5[&space=pca|phase]
@@ -34,6 +39,7 @@
 //	mica-serve -store phases.ivs [-addr 127.0.0.1:8344]
 //	mica-serve -store phases.ivs -bench name,name,... [-interval 10000] [-intervals 100]
 //	mica-serve -store phases.ivs -joint=false -workers 8 -queue 128 [-quant] [-cachebytes N]
+//	mica-serve -store phases.ivs -tracedir traces/ [-maxupload 67108864]
 package main
 
 import (
@@ -72,13 +78,15 @@ func main() {
 		cacheBytes   = flag.Int64("cachebytes", 0, "byte budget for the decoded-shard cache (0 = default)")
 		pcaVar       = flag.Float64("pcavar", 0.9, "variance fraction the similarity index's PCA components must explain")
 		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models in characterization jobs")
+		traceDir     = flag.String("tracedir", "", "enable POST /api/v1/traces; validated uploads are persisted here and characterized like registry benchmarks")
+		maxUpload    = flag.Int64("maxupload", 64<<20, "uploaded-trace size bound in bytes; larger requests answer 413")
 	)
 	flag.Parse()
 
 	fl := cliFlags{
 		storeDir: *storeDir, addr: *addr, queueCap: *queueCap,
 		retain: *retain, cacheBytes: *cacheBytes, pcaVar: *pcaVar,
-		warm: *warm, joint: *joint,
+		warm: *warm, joint: *joint, traceDir: *traceDir, maxUpload: *maxUpload,
 	}
 	if err := validateFlags(fl); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-serve:", err)
@@ -116,6 +124,8 @@ type cliFlags struct {
 	pcaVar     float64
 	warm       bool
 	joint      bool
+	traceDir   string
+	maxUpload  int64
 }
 
 // validateFlags rejects inconsistent flag combinations up front, with
@@ -136,6 +146,8 @@ func validateFlags(f cliFlags) error {
 		return fmt.Errorf("-pcavar wants a variance fraction in (0, 1]")
 	case f.warm && !f.joint:
 		return fmt.Errorf("-warm seeds the joint clustering; combine it with -joint")
+	case f.traceDir != "" && f.maxUpload <= 0:
+		return fmt.Errorf("-maxupload wants a positive byte bound")
 	}
 	return nil
 }
@@ -168,12 +180,14 @@ func run(ctx context.Context, fl cliFlags, phase mica.PhaseConfig, sopt mica.Sto
 	}
 
 	cfg := serve.Config{
-		Phase:       phase,
-		SkipHPC:     skipHPC,
-		Workers:     workers,
-		QueueCap:    fl.queueCap,
-		Retain:      fl.retain,
-		PCAVariance: fl.pcaVar,
+		Phase:         phase,
+		SkipHPC:       skipHPC,
+		Workers:       workers,
+		QueueCap:      fl.queueCap,
+		Retain:        fl.retain,
+		PCAVariance:   fl.pcaVar,
+		TraceDir:      fl.traceDir,
+		MaxTraceBytes: fl.maxUpload,
 	}
 	if fl.joint {
 		begin = time.Now()

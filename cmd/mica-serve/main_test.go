@@ -35,6 +35,8 @@ func TestValidateFlags(t *testing.T) {
 		{"pcavar above one", func(f *cliFlags) { f.pcaVar = 1.5 }, "-pcavar"},
 		{"warm without joint", func(f *cliFlags) { f.joint = false }, "-joint"},
 		{"cold without joint", func(f *cliFlags) { f.joint = false; f.warm = false }, ""},
+		{"tracedir", func(f *cliFlags) { f.traceDir = "td"; f.maxUpload = 1 << 20 }, ""},
+		{"tracedir zero maxupload", func(f *cliFlags) { f.traceDir = "td" }, "-maxupload"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

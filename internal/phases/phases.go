@@ -28,7 +28,7 @@ import (
 	"mica/internal/cluster"
 	"mica/internal/mica"
 	"mica/internal/stats"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // Config parameterizes phase analysis.
@@ -143,11 +143,11 @@ func (r *Result) TotalInsts() uint64 {
 	return n
 }
 
-// Analyze runs streaming phase analysis over a machine's execution: up
-// to MaxIntervals intervals of IntervalLen instructions each,
-// characterized by one profiler reused across all intervals. The
-// machine should be freshly instantiated.
-func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
+// Analyze runs streaming phase analysis over a source's event stream
+// (a freshly instantiated machine or a freshly opened trace replay):
+// up to MaxIntervals intervals of IntervalLen instructions each,
+// characterized by one profiler reused across all intervals.
+func Analyze(m trace.Source, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	return AnalyzeWith(m, mica.NewProfiler(cfg.Options), cfg)
 }
@@ -157,7 +157,7 @@ func Analyze(m *vm.Machine, cfg Config) (*Result, error) {
 // interval, so a pooled profiler arrives clean no matter what trace it
 // measured last — the mechanism registry-wide pipelines use to share
 // one profiler's tables across many benchmarks.
-func AnalyzeWith(m *vm.Machine, prof *mica.Profiler, cfg Config) (*Result, error) {
+func AnalyzeWith(m trace.Source, prof *mica.Profiler, cfg Config) (*Result, error) {
 	return analyze(m, cfg.withDefaults(), func() *mica.Profiler {
 		prof.Reset()
 		return prof
@@ -169,7 +169,7 @@ func AnalyzeWith(m *vm.Machine, prof *mica.Profiler, cfg Config) (*Result, error
 // bit-identical results to Analyze/AnalyzeWith and is retained as the
 // differential-testing oracle and as the baseline configuration of the
 // tracked phase benchmark (BENCH_phases.json).
-func AnalyzeUnpooled(m *vm.Machine, cfg Config) (*Result, error) {
+func AnalyzeUnpooled(m trace.Source, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	return analyze(m, cfg, func() *mica.Profiler {
 		return mica.NewProfiler(cfg.Options)
@@ -182,17 +182,17 @@ func AnalyzeUnpooled(m *vm.Machine, cfg Config) (*Result, error) {
 // Assign/K/Representatives are empty. Joint cross-benchmark pipelines
 // use it to characterize each benchmark before clustering ALL
 // intervals at once (AnalyzeJoint).
-func CharacterizeWith(m *vm.Machine, prof *mica.Profiler, cfg Config) (*Result, error) {
+func CharacterizeWith(m trace.Source, prof *mica.Profiler, cfg Config) (*Result, error) {
 	return characterize(m, cfg.withDefaults(), func() *mica.Profiler {
 		prof.Reset()
 		return prof
 	})
 }
 
-// analyze streams intervals off the machine, drawing the profiler for
+// analyze streams intervals off the source, drawing the profiler for
 // each interval from nextProfiler (a pooled reset or a fresh
 // allocation), then clusters them.
-func analyze(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
+func analyze(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
 	res, err := characterize(m, cfg, nextProfiler)
 	if err != nil {
 		return nil, err
@@ -201,9 +201,9 @@ func analyze(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Re
 	return res, nil
 }
 
-// characterize streams intervals off the machine into a Result's flat
+// characterize streams intervals off the source into a Result's flat
 // vector matrix, leaving the clustering fields empty.
-func characterize(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
+func characterize(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
 	res := &Result{}
 	var vecs []float64
 	var start uint64
@@ -219,7 +219,7 @@ func characterize(m *vm.Machine, cfg Config, nextProfiler func() *mica.Profiler)
 		if err == nil {
 			break // program halted
 		}
-		if !errors.Is(err, vm.ErrBudget) {
+		if !errors.Is(err, trace.ErrBudget) {
 			return nil, fmt.Errorf("phases: interval %d: %w", i, err)
 		}
 	}

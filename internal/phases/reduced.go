@@ -22,7 +22,6 @@ import (
 	"mica/internal/stats"
 	"mica/internal/trace"
 	"mica/internal/uarch"
-	"mica/internal/vm"
 )
 
 // KeyCharacteristics returns the indices of the paper's 8 GA-selected
@@ -185,11 +184,11 @@ type ReducedResult struct {
 func (r *ReducedResult) TotalInsts() uint64 { return r.Phases.TotalInsts() }
 
 // AnalyzeReduced runs the full two-pass reduced pipeline. cheap and
-// replay must be two freshly instantiated machines of the same
+// replay must be two freshly instantiated sources of the same
 // program: the first carries the cheap sampled pass, the second the
 // measurement replay (the VM is deterministic, so both traverse the
 // identical trace).
-func AnalyzeReduced(cheap, replay *vm.Machine, cfg ReducedConfig) (*ReducedResult, error) {
+func AnalyzeReduced(cheap, replay trace.Source, cfg ReducedConfig) (*ReducedResult, error) {
 	cfg = cfg.WithDefaults()
 	return AnalyzeReducedWith(cheap, replay,
 		mica.NewProfiler(cfg.CheapConfig().Options), mica.NewProfiler(cfg.FullOptions), cfg)
@@ -201,7 +200,7 @@ func AnalyzeReduced(cheap, replay *vm.Machine, cfg ReducedConfig) (*ReducedResul
 // before every interval they observe, so pooled profilers arrive clean
 // — the mechanism the registry-wide reduced pipeline uses to share
 // analyzer tables across benchmarks.
-func AnalyzeReducedWith(cheap, replay *vm.Machine, cheapProf, fullProf *mica.Profiler, cfg ReducedConfig) (*ReducedResult, error) {
+func AnalyzeReducedWith(cheap, replay trace.Source, cheapProf, fullProf *mica.Profiler, cfg ReducedConfig) (*ReducedResult, error) {
 	cfg = cfg.WithDefaults()
 	ph, sampled, err := characterizeReduced(cheap, cheapProf, cfg)
 	if err != nil {
@@ -221,7 +220,7 @@ func AnalyzeReducedWith(cheap, replay *vm.Machine, cheapProf, fullProf *mica.Pro
 // reduced pipelines use it to characterize each benchmark before
 // clustering all intervals at once. The profiler must have been built
 // from CheapConfig().Options; it is Reset before every interval.
-func CharacterizeReducedWith(m *vm.Machine, prof *mica.Profiler, cfg ReducedConfig) (*Result, error) {
+func CharacterizeReducedWith(m trace.Source, prof *mica.Profiler, cfg ReducedConfig) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	res, _, err := characterizeReduced(m, prof, cfg)
 	return res, err
@@ -234,7 +233,7 @@ func CharacterizeReducedWith(m *vm.Machine, prof *mica.Profiler, cfg ReducedConf
 // lets a cached unsampled phase vocabulary stand in for the cheap
 // pass. Interval.Insts always records the interval's full instruction
 // count — the quantity weights and the replay grid are built from.
-func characterizeReduced(m *vm.Machine, prof *mica.Profiler, cfg ReducedConfig) (*Result, uint64, error) {
+func characterizeReduced(m trace.Source, prof *mica.Profiler, cfg ReducedConfig) (*Result, uint64, error) {
 	pcfg := cfg.Phase
 	sample := cfg.sampleLen()
 	res := &Result{}
@@ -244,7 +243,7 @@ func characterizeReduced(m *vm.Machine, prof *mica.Profiler, cfg ReducedConfig) 
 		prof.Reset()
 		n, err := m.Run(sample, prof)
 		sampled += n
-		if n == sample && err != nil && errors.Is(err, vm.ErrBudget) && sample < pcfg.IntervalLen {
+		if n == sample && err != nil && errors.Is(err, trace.ErrBudget) && sample < pcfg.IntervalLen {
 			var rest uint64
 			rest, err = m.Run(pcfg.IntervalLen-sample, nil)
 			n += rest
@@ -258,7 +257,7 @@ func characterizeReduced(m *vm.Machine, prof *mica.Profiler, cfg ReducedConfig) 
 		if err == nil {
 			break // program halted
 		}
-		if !errors.Is(err, vm.ErrBudget) {
+		if !errors.Is(err, trace.ErrBudget) {
 			return nil, 0, fmt.Errorf("phases: reduced interval %d: %w", i, err)
 		}
 	}
@@ -274,7 +273,7 @@ func characterizeReduced(m *vm.Machine, prof *mica.Profiler, cfg ReducedConfig) 
 // measured vectors. Shared by the per-benchmark replay, the joint
 // replay and the exact-grid oracle so the three stay in lockstep — the
 // reduced-vs-exact differential depends on them measuring identically.
-func measureInterval(m *vm.Machine, fullProf *mica.Profiler, skipHPC bool, insts uint64) (uint64, mica.Vector, uarch.HPCVector, error) {
+func measureInterval(m trace.Source, fullProf *mica.Profiler, skipHPC bool, insts uint64) (uint64, mica.Vector, uarch.HPCVector, error) {
 	fullProf.Reset()
 	var obs trace.Observer = fullProf
 	var hpc *uarch.HPCProfiler
@@ -306,7 +305,7 @@ func measurementPlan(ph *Result, reps int) map[int]int {
 // phase-weighted sums of the per-phase measurement means. The profiler
 // must have been built from cfg.FullOptions; it is Reset before every
 // measured interval.
-func ReplayReduced(m *vm.Machine, fullProf *mica.Profiler, ph *Result, cfg ReducedConfig) (*ReducedResult, error) {
+func ReplayReduced(m trace.Source, fullProf *mica.Profiler, ph *Result, cfg ReducedConfig) (*ReducedResult, error) {
 	cfg = cfg.WithDefaults()
 	rr := &ReducedResult{Phases: ph, HasHPC: !cfg.SkipHPC}
 	// Reconstruct the cheap pass's observation count from the grid: it
@@ -398,7 +397,7 @@ func (r *ReducedResult) extrapolate() {
 // replayCheck verifies the replay pass retired exactly the interval's
 // instruction count — the determinism contract between the two passes.
 func replayCheck(i int, iv Interval, n uint64, err error) error {
-	if err != nil && !errors.Is(err, vm.ErrBudget) {
+	if err != nil && !errors.Is(err, trace.ErrBudget) {
 		return fmt.Errorf("phases: reduced replay interval %d: %w", i, err)
 	}
 	if n != iv.Insts {
@@ -435,7 +434,7 @@ func (e *ExactProfile) TotalInsts() uint64 {
 // paid on EVERY interval. It is both the differential-test oracle for
 // the reduced extrapolation and the cost baseline the tracked
 // `mica-bench -reduced` speedup is measured against.
-func CharacterizeExact(m *vm.Machine, cfg ReducedConfig) (*ExactProfile, error) {
+func CharacterizeExact(m trace.Source, cfg ReducedConfig) (*ExactProfile, error) {
 	cfg = cfg.WithDefaults()
 	pcfg := cfg.Phase
 	prof := mica.NewProfiler(cfg.FullOptions)
@@ -456,7 +455,7 @@ func CharacterizeExact(m *vm.Machine, cfg ReducedConfig) (*ExactProfile, error) 
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, vm.ErrBudget) {
+		if !errors.Is(err, trace.ErrBudget) {
 			return nil, fmt.Errorf("phases: exact interval %d: %w", i, err)
 		}
 	}
@@ -628,21 +627,21 @@ func jointMeasurementPlan(j *JointResult, reps int) map[int]int {
 }
 
 // ReplayJoint measures the shared phases' chosen intervals and
-// extrapolates every member benchmark. machines must return a freshly
-// instantiated machine for benchmark bi (indexed like j.Benchmarks);
-// it is called only for benchmarks that own a measured interval.
-func ReplayJoint(j *JointResult, machines func(bench int) (*vm.Machine, error), cfg ReducedConfig) (*JointReduced, error) {
+// extrapolates every member benchmark. sources must return a fresh
+// event source for benchmark bi (indexed like j.Benchmarks); it is
+// called only for benchmarks that own a measured interval.
+func ReplayJoint(j *JointResult, sources func(bench int) (trace.Source, error), cfg ReducedConfig) (*JointReduced, error) {
 	cfg = cfg.WithDefaults()
 	if j.Vectors == nil {
 		return nil, fmt.Errorf("phases: joint replay: vocabulary carries no vectors (store-backed results replay via ReplayJointStore)")
 	}
-	return replayJointPlan(j, jointMeasurementPlan(j, cfg.RepsPerPhase), machines, cfg)
+	return replayJointPlan(j, jointMeasurementPlan(j, cfg.RepsPerPhase), sources, cfg)
 }
 
 // replayJointPlan is the replay body shared by the in-memory and
 // store-backed joint reductions; plan maps joint row index to phase
 // and cfg must already carry its defaults.
-func replayJointPlan(j *JointResult, plan map[int]int, machines func(bench int) (*vm.Machine, error), cfg ReducedConfig) (*JointReduced, error) {
+func replayJointPlan(j *JointResult, plan map[int]int, sources func(bench int) (trace.Source, error), cfg ReducedConfig) (*JointReduced, error) {
 	jr := &JointReduced{
 		Joint:  j,
 		HasHPC: !cfg.SkipHPC,
@@ -684,7 +683,7 @@ func replayJointPlan(j *JointResult, plan map[int]int, machines func(bench int) 
 				last = t.interval
 			}
 		}
-		m, err := machines(bi)
+		m, err := sources(bi)
 		if err != nil {
 			return nil, fmt.Errorf("phases: joint replay of %s: %w", j.Benchmarks[bi], err)
 		}

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"mica/internal/mica"
+	"mica/internal/trace"
 	"mica/internal/uarch"
-	"mica/internal/vm"
 )
 
 func reducedTestConfig() ReducedConfig {
@@ -196,7 +196,7 @@ func TestReplayJointSingleBenchmarkMatchesPerBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jr, err := ReplayJoint(j, func(int) (*vm.Machine, error) { return newMachine(t), nil }, cfg)
+	jr, err := ReplayJoint(j, func(int) (trace.Source, error) { return newMachine(t), nil }, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestReplayJointSharedReps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jr, err := ReplayJoint(j, func(bi int) (*vm.Machine, error) {
+	jr, err := ReplayJoint(j, func(bi int) (trace.Source, error) {
 		return machineFor(t, j.Benchmarks[bi], twoPhaseProgram), nil
 	}, cfg)
 	if err != nil {

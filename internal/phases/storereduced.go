@@ -17,7 +17,7 @@ import (
 	"mica/internal/ivstore"
 	"mica/internal/mica"
 	"mica/internal/stats"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // measurementPlanRows is measurementPlan over any normalized row
@@ -83,7 +83,7 @@ func measurementPlanRows(norm cluster.Rows, assign []int, k, reps int) map[int]i
 // statistics (a result of AnalyzeJointStore in this process), they are
 // reused; otherwise they are recomputed from the store, which yields
 // the identical statistics for an unchanged store.
-func ReplayJointStore(st *ivstore.Store, j *JointResult, machines func(bench int) (*vm.Machine, error), cfg ReducedConfig) (*JointReduced, error) {
+func ReplayJointStore(st *ivstore.Store, j *JointResult, sources func(bench int) (trace.Source, error), cfg ReducedConfig) (*JointReduced, error) {
 	cfg = cfg.WithDefaults()
 	if st.NumRows() != len(j.Rows) {
 		return nil, fmt.Errorf("phases: joint store replay: store has %d rows, vocabulary has %d", st.NumRows(), len(j.Rows))
@@ -94,7 +94,7 @@ func ReplayJointStore(st *ivstore.Store, j *JointResult, machines func(bench int
 	}
 	norm := cluster.Normalized(st.Rows(), mean, std)
 	plan := measurementPlanRows(norm, j.Assign, j.K, cfg.RepsPerPhase)
-	return replayJointPlan(j, plan, machines, cfg)
+	return replayJointPlan(j, plan, sources, cfg)
 }
 
 // ResultFromShard reconstructs a cheap-pass phase Result from a stored
@@ -123,9 +123,9 @@ func ResultFromShard(sd *ivstore.ShardData, cfg ReducedConfig) *Result {
 // ReplayReducedShard runs the expensive reduced replay for one
 // benchmark whose cheap pass was loaded from a store shard: the shard
 // is lifted back into a phase Result (ResultFromShard) and replayed
-// with ReplayReduced. m must be a fresh machine for the shard's
+// with ReplayReduced. m must be a fresh source for the shard's
 // benchmark and fullProf a profiler built from cfg.FullOptions.
-func ReplayReducedShard(m *vm.Machine, fullProf *mica.Profiler, sd *ivstore.ShardData, cfg ReducedConfig) (*ReducedResult, error) {
+func ReplayReducedShard(m trace.Source, fullProf *mica.Profiler, sd *ivstore.ShardData, cfg ReducedConfig) (*ReducedResult, error) {
 	cfg = cfg.WithDefaults()
 	return ReplayReduced(m, fullProf, ResultFromShard(sd, cfg), cfg)
 }

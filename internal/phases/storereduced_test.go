@@ -9,7 +9,7 @@ import (
 	"mica/internal/ivstore"
 	"mica/internal/mica"
 	"mica/internal/stats"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // TestMeasurementPlanRowsMatchesMatrix: the generalized planner over a
@@ -48,7 +48,7 @@ func TestReplayJointStoreMatchesReplayJoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	benches := []BenchmarkIntervals{{Name: "twophase", Result: ph}}
-	machines := func(int) (*vm.Machine, error) { return newMachine(t), nil }
+	machines := func(int) (trace.Source, error) { return newMachine(t), nil }
 
 	st := storeFrom(t, t.TempDir(), ivstore.Float32, benches)
 	jStore, err := AnalyzeJointStore(st, cfg.CheapConfig(), 0)
@@ -85,7 +85,7 @@ func TestReplayJointStoreMatchesReplayJoint(t *testing.T) {
 // points at ReplayJointStore.
 func TestReplayJointRejectsVectorless(t *testing.T) {
 	j := &JointResult{Benchmarks: []string{"x"}, K: 1, Assign: []int{0}}
-	_, err := ReplayJoint(j, func(int) (*vm.Machine, error) { return nil, nil }, reducedTestConfig())
+	_, err := ReplayJoint(j, func(int) (trace.Source, error) { return nil, nil }, reducedTestConfig())
 	if err == nil || !strings.Contains(err.Error(), "ReplayJointStore") {
 		t.Fatalf("vectorless replay error = %v, want a pointer to ReplayJointStore", err)
 	}
@@ -96,7 +96,7 @@ func TestReplayJointRejectsVectorless(t *testing.T) {
 func TestReplayJointStoreRowMismatch(t *testing.T) {
 	st := storeFrom(t, t.TempDir(), ivstore.Float32, []BenchmarkIntervals{synthBench("m/a", 20, 41)})
 	j := &JointResult{Rows: make([]RowRef, 7)}
-	_, err := ReplayJointStore(st, j, func(int) (*vm.Machine, error) { return nil, nil }, reducedTestConfig())
+	_, err := ReplayJointStore(st, j, func(int) (trace.Source, error) { return nil, nil }, reducedTestConfig())
 	if err == nil || !strings.Contains(err.Error(), "rows") {
 		t.Fatalf("row-count mismatch error = %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mica"
 	"mica/internal/pool"
 )
 
@@ -29,11 +30,16 @@ type Job struct {
 	ID        string
 	Key       string // dedup key: benchmark name + config stamp
 	Benchmark string
-	Status    JobStatus
-	Created   time.Time
-	Finished  time.Time
-	Result    *CharacterizationResult
-	Error     string
+	// bench is the resolved benchmark the job runs — a registry entry
+	// or a trace-backed one built from an upload. Carrying it in the
+	// job (instead of re-resolving the name at run time) is what lets
+	// uploaded traces flow through the same queue as registry names.
+	bench    mica.Benchmark
+	Status   JobStatus
+	Created  time.Time
+	Finished time.Time
+	Result   *CharacterizationResult
+	Error    string
 	// Deduped counts later submissions collapsed onto this job.
 	Deduped uint64
 }
@@ -63,7 +69,7 @@ type JobStats struct {
 // for polling.
 type jobManager struct {
 	queue  *pool.Queue
-	run    func(worker int, benchmark string) (*CharacterizationResult, error)
+	run    func(worker int, b mica.Benchmark) (*CharacterizationResult, error)
 	retain int
 
 	mu        sync.Mutex
@@ -81,7 +87,7 @@ type jobManager struct {
 }
 
 func newJobManager(workers, queueCap, retain int,
-	run func(worker int, benchmark string) (*CharacterizationResult, error)) *jobManager {
+	run func(worker int, b mica.Benchmark) (*CharacterizationResult, error)) *jobManager {
 	if queueCap <= 0 {
 		queueCap = 64
 	}
@@ -101,12 +107,12 @@ func newJobManager(workers, queueCap, retain int,
 	return m
 }
 
-// submit registers a job for (benchmark, key), deduplicating against
-// any queued, running or done job with the same key. It returns the
-// job serving the request and whether the submission was collapsed
-// onto an existing one; pool.ErrQueueSaturated and pool.ErrQueueClosed
+// submit registers a job for (bench, key), deduplicating against any
+// queued, running or done job with the same key. It returns the job
+// serving the request and whether the submission was collapsed onto
+// an existing one; pool.ErrQueueSaturated and pool.ErrQueueClosed
 // pass through for the handler to map onto 429/503.
-func (m *jobManager) submit(benchmark, key string) (*Job, bool, error) {
+func (m *jobManager) submit(bench mica.Benchmark, key string) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j, ok := m.byKey[key]; ok && j.Status != JobFailed {
@@ -119,7 +125,8 @@ func (m *jobManager) submit(benchmark, key string) (*Job, bool, error) {
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", m.seq),
 		Key:       key,
-		Benchmark: benchmark,
+		Benchmark: bench.Name(),
+		bench:     bench,
 		Status:    JobQueued,
 		Created:   time.Now(),
 	}
@@ -152,7 +159,7 @@ func (m *jobManager) execute(worker int, j *Job) {
 				err = fmt.Errorf("characterization panicked: %v", r)
 			}
 		}()
-		res, err = m.run(worker, j.Benchmark)
+		res, err = m.run(worker, j.bench)
 	}()
 
 	m.mu.Lock()

@@ -8,7 +8,11 @@
 //     deduplicated — in-flight and completed — by the benchmark name
 //     composed with the library's phase-configuration stamp
 //     (mica.PhaseConfigKey), so identical concurrent submissions cost
-//     one characterization.
+//     one characterization. Recorded trace files can be uploaded
+//     (POST /api/v1/traces, bounded and validated before a byte is
+//     persisted) and are characterized by the identical job path —
+//     an upload is just a benchmark whose instruction stream replays
+//     from disk instead of the embedded VM.
 //   - Similarity queries, the paper's headline use case: k nearest
 //     benchmarks to X in the normalized PCA space (or the joint
 //     vocabulary's phase-occupancy space), answered inline from the
@@ -24,10 +28,15 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,6 +71,14 @@ type Config struct {
 	// Joint, when non-nil, is the store's joint vocabulary; it
 	// enables space=phase similarity queries over its occupancy rows.
 	Joint *mica.PhaseJointResult
+	// TraceDir, when non-empty, enables POST /api/v1/traces: validated
+	// uploads are persisted there (durably, content-addressed) and
+	// characterized through the normal job path. Empty disables the
+	// endpoint (404).
+	TraceDir string
+	// MaxTraceBytes bounds an uploaded trace's size; larger requests
+	// answer 413 (default 64 MiB).
+	MaxTraceBytes int64
 }
 
 // Server is the HTTP serving layer. Create with New, expose with
@@ -143,6 +160,14 @@ func New(st *ivstore.Store, cfg Config) (*Server, error) {
 	if cfg.PCAVariance <= 0 {
 		cfg.PCAVariance = 0.9
 	}
+	if cfg.MaxTraceBytes <= 0 {
+		cfg.MaxTraceBytes = 64 << 20
+	}
+	if cfg.TraceDir != "" {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: trace dir: %w", err)
+		}
+	}
 	var occ *stats.Matrix
 	if cfg.Joint != nil {
 		occ = cfg.Joint.Occupancy
@@ -167,6 +192,7 @@ func New(st *ivstore.Store, cfg Config) (*Server, error) {
 	})
 	s.mux.Handle("GET /api/v1/benchmarks", s.wrap("benchmarks", s.handleBenchmarks))
 	s.mux.Handle("POST /api/v1/characterize", s.wrap("characterize", s.handleCharacterize))
+	s.mux.Handle("POST /api/v1/traces", s.wrap("traces", s.handleTraceUpload))
 	s.mux.Handle("GET /api/v1/jobs/{id}", s.wrap("jobs", s.handleJob))
 	s.mux.Handle("GET /api/v1/similar", s.wrap("similar", s.handleSimilar))
 	s.mux.Handle("GET /api/v1/vectors", s.wrap("vectors", s.handleVectors))
@@ -191,14 +217,13 @@ func (s *Server) Close() {
 
 // characterize is the job body: the plain library path, so service
 // responses are bit-identical to what a CLI/library user computes for
-// the same configuration. The queue's worker id is accepted for
-// future per-worker state pooling (profiler reuse), matching the
-// batch pipelines' worker contract.
-func (s *Server) characterize(worker int, name string) (*CharacterizationResult, error) {
-	b, err := mica.BenchmarkByName(name)
-	if err != nil {
-		return nil, err
-	}
+// the same configuration — whether b is a registry entry or a
+// trace-backed benchmark built from an upload (the handlers resolve
+// the name; the job carries the benchmark). The queue's worker id is
+// accepted for future per-worker state pooling (profiler reuse),
+// matching the batch pipelines' worker contract.
+func (s *Server) characterize(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+	name := b.Name()
 	profCfg := mica.Config{
 		InstBudget: s.cfg.Phase.IntervalLen * uint64(s.cfg.Phase.MaxIntervals),
 		SkipHPC:    s.cfg.SkipHPC,
@@ -365,12 +390,20 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing benchmark name")
 		return
 	}
-	if _, err := mica.BenchmarkByName(req.Benchmark); err != nil {
+	b, err := mica.BenchmarkByName(req.Benchmark)
+	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	key := req.Benchmark + "|" + s.ConfigKey()
-	j, deduped, err := s.jobs.submit(req.Benchmark, key)
+	s.submitJob(w, b)
+}
+
+// submitJob queues benchmark b (registry or trace-backed) under the
+// server-wide config stamp and writes the accepted-job response,
+// mapping queue backpressure onto 429/503.
+func (s *Server) submitJob(w http.ResponseWriter, b mica.Benchmark) {
+	key := b.Name() + "|" + s.ConfigKey()
+	j, deduped, err := s.jobs.submit(b, key)
 	switch {
 	case errors.Is(err, pool.ErrQueueSaturated):
 		w.Header().Set("Retry-After", "1")
@@ -384,6 +417,71 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJob(w, http.StatusAccepted, j.ID, deduped)
+}
+
+// handleTraceUpload accepts a recorded trace file (the request body is
+// the raw trace bytes), validates it end to end — header, CRCs, every
+// event — before a byte is persisted, stores it durably under a
+// content-addressed name in the trace directory, and submits it as a
+// normal characterization job. Re-uploading identical bytes dedups
+// onto the same job, exactly like resubmitting a registry name.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TraceDir == "" {
+		writeError(w, http.StatusNotFound, "trace uploads are not enabled (no trace directory configured)")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("trace exceeds upload limit of %d bytes", s.cfg.MaxTraceBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading upload: "+err.Error())
+		return
+	}
+	events, err := mica.ValidateTrace(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid trace: "+err.Error())
+		return
+	}
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:4])
+	label := sanitizeTraceLabel(r.URL.Query().Get("name"))
+	name := "trace/" + label + "/" + hash
+	path := filepath.Join(s.cfg.TraceDir, hash+".trc")
+	if err := mica.SaveTrace(path, data); err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting trace: "+err.Error())
+		return
+	}
+	w.Header().Set("X-Trace-Events", strconv.FormatUint(events, 10))
+	s.submitJob(w, mica.TraceBenchmark(name, path))
+}
+
+// sanitizeTraceLabel maps a caller-supplied upload label onto the
+// program segment of the "trace/<label>/<hash>" benchmark name:
+// letters, digits, dot, dash and underscore pass through; anything
+// else (including the name separator '/') becomes '-'. An empty label
+// is "upload".
+func sanitizeTraceLabel(label string) string {
+	if label == "" {
+		return "upload"
+	}
+	if len(label) > 64 {
+		label = label[:64]
+	}
+	out := []byte(label)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

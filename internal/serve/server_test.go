@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -326,9 +327,9 @@ func TestServeBackpressureAndShutdown(t *testing.T) {
 	// before the listener starts, so no handler observes it mid-write.
 	release := make(chan struct{})
 	s.jobs.close()
-	s.jobs = newJobManager(1, 1, 0, func(worker int, benchmark string) (*CharacterizationResult, error) {
+	s.jobs = newJobManager(1, 1, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		<-release
-		return &CharacterizationResult{Benchmark: benchmark}, nil
+		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
@@ -401,28 +402,34 @@ func TestServeStats(t *testing.T) {
 	}
 }
 
+// testBench builds a synthetic benchmark for jobManager unit tests;
+// the injected run func never instantiates it.
+func testBench(name string) mica.Benchmark {
+	return mica.TraceBenchmark("test/"+name+"/in", "")
+}
+
 // TestJobManagerFailureRetry: a failed job releases its dedup key so
 // the next submission retries, while queued/running/done jobs hold it.
 func TestJobManagerFailureRetry(t *testing.T) {
 	calls := 0
 	fail := true
-	m := newJobManager(1, 4, 0, func(worker int, benchmark string) (*CharacterizationResult, error) {
+	m := newJobManager(1, 4, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		calls++
 		if fail {
 			return nil, errors.New("injected failure")
 		}
-		return &CharacterizationResult{Benchmark: benchmark}, nil
+		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
 	defer m.close()
 
-	j1, deduped, err := m.submit("b", "key")
+	j1, deduped, err := m.submit(testBench("b"), "key")
 	if err != nil || deduped {
 		t.Fatalf("first submit: %v deduped=%v", err, deduped)
 	}
 	waitStatus(t, m, j1.ID, JobFailed)
 
 	fail = false
-	j2, deduped, err := m.submit("b", "key")
+	j2, deduped, err := m.submit(testBench("b"), "key")
 	if err != nil || deduped {
 		t.Fatalf("retry submit: %v deduped=%v", err, deduped)
 	}
@@ -430,7 +437,7 @@ func TestJobManagerFailureRetry(t *testing.T) {
 		t.Fatal("retry reused the failed job")
 	}
 	waitStatus(t, m, j2.ID, JobDone)
-	if _, deduped, _ := m.submit("b", "key"); !deduped {
+	if _, deduped, _ := m.submit(testBench("b"), "key"); !deduped {
 		t.Fatal("submission after success did not dedup")
 	}
 	if calls != 2 {
@@ -441,14 +448,14 @@ func TestJobManagerFailureRetry(t *testing.T) {
 // TestJobManagerPanicIsolation: a panicking characterization marks the
 // job failed and the manager keeps serving.
 func TestJobManagerPanicIsolation(t *testing.T) {
-	m := newJobManager(1, 4, 0, func(worker int, benchmark string) (*CharacterizationResult, error) {
-		if benchmark == "bad" {
+	m := newJobManager(1, 4, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+		if b.Program == "bad" {
 			panic("characterization exploded")
 		}
-		return &CharacterizationResult{Benchmark: benchmark}, nil
+		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
 	defer m.close()
-	bad, _, err := m.submit("bad", "bad-key")
+	bad, _, err := m.submit(testBench("bad"), "bad-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +464,7 @@ func TestJobManagerPanicIsolation(t *testing.T) {
 	if got.Error == "" {
 		t.Fatal("panicked job carries no error")
 	}
-	good, _, err := m.submit("good", "good-key")
+	good, _, err := m.submit(testBench("good"), "good-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,12 +474,12 @@ func TestJobManagerPanicIsolation(t *testing.T) {
 // TestJobManagerRetention: finished jobs beyond the retention bound
 // are evicted, in-flight dedup mappings are never evicted.
 func TestJobManagerRetention(t *testing.T) {
-	m := newJobManager(1, 16, 2, func(worker int, benchmark string) (*CharacterizationResult, error) {
-		return &CharacterizationResult{Benchmark: benchmark}, nil
+	m := newJobManager(1, 16, 2, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
 	var ids []string
 	for i := 0; i < 5; i++ {
-		j, _, err := m.submit(fmt.Sprintf("b%d", i), fmt.Sprintf("key%d", i))
+		j, _, err := m.submit(testBench(fmt.Sprintf("b%d", i)), fmt.Sprintf("key%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -508,4 +515,129 @@ func waitStatus(t testing.TB, m *jobManager, id string, want JobStatus) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// postRaw POSTs raw bytes to url and asserts the status code,
+// returning the decoded JSON body (when out is non-nil) and response.
+func postRaw(t testing.TB, url string, body []byte, wantStatus int, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s (%d bytes): status %d, want %d", url, len(body), resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding body: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestServeTraceUpload: an uploaded recorded trace is validated,
+// persisted and characterized through the normal job path, and the
+// result is bit-identical to characterizing the live benchmark the
+// trace was recorded from. Oversized and corrupt uploads are refused
+// with 4xx and the daemon keeps serving.
+func TestServeTraceUpload(t *testing.T) {
+	st := buildTestStore(t, testBenchmarks, testPhase)
+
+	// Record the trace the upload will carry: the same instruction
+	// window the server's job body profiles.
+	bench := testBenchmarks[0]
+	b, err := mica.BenchmarkByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := testPhase.WithDefaults()
+	budget := phase.IntervalLen * uint64(phase.MaxIntervals)
+	tracePath := filepath.Join(t.TempDir(), "rec.trc")
+	if _, err := mica.RecordTrace(b, tracePath, budget); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := startServer(t, st, Config{
+		Phase:         testPhase,
+		TraceDir:      t.TempDir(),
+		MaxTraceBytes: int64(len(raw)),
+	})
+
+	// Upload → accepted job → done, with the event count surfaced.
+	var sub jobResponse
+	resp := postRaw(t, ts.URL+"/api/v1/traces?name=sha", raw, http.StatusAccepted, &sub)
+	if got := resp.Header.Get("X-Trace-Events"); got != fmt.Sprint(budget) {
+		t.Fatalf("X-Trace-Events = %q, want %d", got, budget)
+	}
+	if !strings.HasPrefix(sub.Benchmark, "trace/sha/") {
+		t.Fatalf("upload benchmark name %q, want trace/sha/<hash>", sub.Benchmark)
+	}
+	done := pollJob(t, ts.URL, sub.ID)
+	if done.Status != JobDone {
+		t.Fatalf("upload job finished %s: %s", done.Status, done.Error)
+	}
+	res := done.Result
+	if res == nil {
+		t.Fatal("done upload job has no result")
+	}
+
+	// The replayed characterization is bit-identical to the live
+	// benchmark's library path at the same budget.
+	pr, err := mica.Profile(b, mica.Config{InstBudget: budget, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := mica.AnalyzePhases(b, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != pr.Insts {
+		t.Fatalf("uploaded-trace insts %d, live %d", res.Insts, pr.Insts)
+	}
+	if !reflect.DeepEqual(res.Chars, pr.Chars[:]) {
+		t.Fatal("uploaded-trace characteristic vector diverges from live VM")
+	}
+	if !reflect.DeepEqual(res.HPC, pr.HPC[:]) {
+		t.Fatal("uploaded-trace HPC vector diverges from live VM")
+	}
+	if res.Phases.K != ph.K || res.Phases.Intervals != len(ph.Intervals) {
+		t.Fatalf("uploaded-trace phases K=%d/%d, live K=%d/%d",
+			res.Phases.K, res.Phases.Intervals, ph.K, len(ph.Intervals))
+	}
+	wantTimeline := make([]byte, len(ph.Assign))
+	for i, p := range ph.Assign {
+		wantTimeline[i] = byte('A' + p%26)
+	}
+	if res.Phases.Timeline != string(wantTimeline) {
+		t.Fatal("uploaded-trace phase timeline diverges from live VM")
+	}
+
+	// Re-uploading identical bytes dedups onto the same job.
+	var dup jobResponse
+	postRaw(t, ts.URL+"/api/v1/traces?name=sha", raw, http.StatusAccepted, &dup)
+	if dup.ID != sub.ID || !dup.Deduped {
+		t.Fatalf("identical re-upload got job %s (deduped=%v), want dedup onto %s", dup.ID, dup.Deduped, sub.ID)
+	}
+
+	// Oversized upload → 413; corrupt payload → 400; both leave the
+	// daemon serving.
+	postRaw(t, ts.URL+"/api/v1/traces", append(append([]byte(nil), raw...), 0), http.StatusRequestEntityTooLarge, nil)
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xFF
+	postRaw(t, ts.URL+"/api/v1/traces", bad, http.StatusBadRequest, nil)
+	postRaw(t, ts.URL+"/api/v1/traces", []byte("not a trace"), http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+	if js := s.jobs.stats(); js.Executed != 1 {
+		t.Fatalf("job stats %+v, want exactly 1 executed", js)
+	}
+
+	// A server without a trace directory refuses uploads outright.
+	_, ts2 := startServer(t, st, Config{Phase: testPhase})
+	postRaw(t, ts2.URL+"/api/v1/traces", raw, http.StatusNotFound, nil)
 }

@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mica/internal/trace"
+)
+
+// goldenPath is a small committed trace (MiBench/sha/large, 2000
+// instructions) recorded by this very package. It pins both directions
+// of the format: re-recording the deterministic kernel must reproduce
+// the committed bytes exactly (encoder stability — any on-disk layout
+// change is a reviewed, versioned decision), and the committed file
+// must replay to the expected event count (decoder compatibility — old
+// traces stay readable).
+//
+// Regenerate (after a deliberate, version-bumped format change) with:
+//
+//	MICATRACE_UPDATE_GOLDEN=1 go test ./internal/trace/ -run Golden
+const goldenPath = "testdata/golden.trc"
+
+const goldenBench = "MiBench/sha/large"
+const goldenBudget = 2_000
+
+func TestGoldenTraceRoundTrip(t *testing.T) {
+	fresh := recordBenchmark(t, t.TempDir(), goldenBench, goldenBudget)
+	freshBytes := mustRead(t, fresh)
+
+	if os.Getenv("MICATRACE_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.SaveBytes(goldenPath, freshBytes); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden trace regenerated")
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden trace missing (run with MICATRACE_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(golden, freshBytes) {
+		t.Fatalf("recording %s no longer reproduces the committed golden trace "+
+			"(%d bytes vs %d committed) — if the format changed deliberately, bump "+
+			"Version and regenerate", goldenBench, len(freshBytes), len(golden))
+	}
+	n, err := trace.Validate(golden)
+	if err != nil {
+		t.Fatalf("committed golden trace no longer validates: %v", err)
+	}
+	if n != goldenBudget {
+		t.Fatalf("golden trace replays %d events, want %d", n, goldenBudget)
+	}
+}
+
+// FuzzTraceDecode: arbitrary bytes fed to the trace decoder must either
+// replay cleanly or return an error — truncation, bit flips, corrupt
+// block lengths and oversized counts can never panic or over-allocate.
+// Anything Validate accepts must then actually replay through a Reader
+// to the same event count, twice (Reset is part of the decode
+// contract: phase analysis replays every trace twice).
+func FuzzTraceDecode(f *testing.F) {
+	valid := mustRead(f, recordBenchmark(f, f.TempDir(), goldenBench, 500))
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MICATRC\x00")) // bare magic, no version/trailer
+	truncated := valid[:len(valid)/2]
+	f.Add(truncated)
+	badVersion := bytes.Clone(valid)
+	badVersion[8] = 99
+	f.Add(badVersion)
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n, err := trace.Validate(raw)
+		if err != nil {
+			return
+		}
+		r, err := trace.NewReader(raw, "fuzz")
+		if err != nil {
+			t.Fatalf("Validate accepted what NewReader rejects: %v", err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, err := r.Run(0, nil)
+			if err != nil {
+				t.Fatalf("pass %d: Validate accepted what Run rejects after %d events: %v", pass, got, err)
+			}
+			if got != n {
+				t.Fatalf("pass %d replayed %d events, Validate counted %d", pass, got, n)
+			}
+			r.Reset()
+		}
+	})
+}

@@ -1,9 +1,19 @@
-// Package trace defines the dynamic instruction event stream produced by
-// the VM and consumed by analyzers. It is the reproduction's substitute
-// for ATOM binary instrumentation: where the paper instruments an Alpha
-// binary so that analysis routines run per retired instruction, here the
-// VM delivers one Event per retired instruction to every registered
-// Observer in a single pass.
+// Package trace defines the dynamic instruction event stream the
+// analyzers consume, and the sources that produce it. It is the
+// reproduction's substitute for ATOM binary instrumentation: where the
+// paper instruments an Alpha binary so that analysis routines run per
+// retired instruction, here a Source delivers one Event per retired
+// instruction to every registered Observer in a single pass.
+//
+// Two producers implement Source. The embedded VM (internal/vm)
+// interprets a kernel and emits events live; it is how the 122 registry
+// benchmarks run. The Reader in this package replays a previously
+// recorded trace file, so any event stream — a VM run captured with
+// Record or a Writer, or a trace converted from an external tool — can
+// be characterized without re-executing the program. The on-disk format
+// (see format.go) is versioned, CRC-checked and delta-packed; replay
+// decodes tens of millions of events per second, so trace-backed
+// characterization is bounded by the analyzers, not by interpretation.
 package trace
 
 import "mica/internal/isa"
@@ -43,10 +53,11 @@ type Event struct {
 	MemAddr uint64
 	MemSize uint8
 
-	// Branch outcome, valid when Class == ClassBranch. Taken is always
-	// true for unconditional transfers. Target is the byte address
-	// actually transferred to when taken; for not-taken branches it is
-	// the fall-through address.
+	// Taken, Conditional and Target are the branch outcome, valid when
+	// Class == ClassBranch. Taken is always true for unconditional
+	// transfers; Conditional marks conditional branches. Target is the
+	// byte address actually transferred to when taken; for not-taken
+	// branches it is the fall-through address.
 	Taken       bool
 	Conditional bool
 	Target      uint64

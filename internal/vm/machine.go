@@ -1,7 +1,6 @@
 package vm
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -13,8 +12,10 @@ import (
 // ErrBudget is returned by Run when the instruction budget is reached
 // before the program halts. It is an expected, non-fatal outcome: workload
 // kernels are written as long-running loops and the budget plays the role
-// of the trace length.
-var ErrBudget = errors.New("vm: instruction budget exhausted")
+// of the trace length. It is the same sentinel every trace.Source returns
+// (the Machine is one Source among others), re-exported here so existing
+// vm.ErrBudget comparisons keep working.
+var ErrBudget = trace.ErrBudget
 
 // Machine executes one assembled program. It is not safe for concurrent
 // use; run one Machine per goroutine.

@@ -38,7 +38,6 @@ import (
 	"mica/internal/suites"
 	"mica/internal/trace"
 	"mica/internal/uarch"
-	"mica/internal/vm"
 )
 
 // Re-exported core types. The implementation lives in internal packages;
@@ -85,6 +84,40 @@ func BenchmarksBySuite(suite string) []Benchmark { return suites.BySuite(suite) 
 
 // BenchmarkByName resolves a canonical "suite/program/input" name.
 func BenchmarkByName(name string) (Benchmark, error) { return suites.ByName(name) }
+
+// TraceBenchmark builds a benchmark backed by the recorded trace file
+// at path instead of an embedded kernel; it flows through Profile, the
+// phase pipelines and the store-backed pipelines exactly like a
+// registry entry. name may be a canonical "suite/program/input"
+// identifier; anything else is namespaced under the "trace" suite.
+func TraceBenchmark(name, path string) Benchmark { return suites.TraceBenchmark(name, path) }
+
+// RecordTrace runs benchmark b for up to budget instructions (<= 0
+// means until it halts) while recording its dynamic instruction stream
+// to the trace file at path, and returns the number of instructions
+// recorded. The file is written durably (tmp, fsync, rename); a
+// failed recording leaves nothing at path. The recorded trace replays
+// bit-identically through every pipeline via TraceBenchmark.
+func RecordTrace(b Benchmark, path string, budget uint64) (uint64, error) {
+	src, err := b.Source()
+	if err != nil {
+		return 0, err
+	}
+	return trace.Record(src, path, budget)
+}
+
+// ValidateTrace decodes an in-memory trace image end to end — header,
+// block CRCs, every event record — and returns its event count. It is
+// the full-strength admission check services run on uploaded traces
+// before persisting them: a trace that validates replays without
+// error.
+func ValidateTrace(data []byte) (uint64, error) { return trace.Validate(data) }
+
+// SaveTrace durably persists an already encoded trace image to path
+// (tmp, fsync, rename), after checking that it carries a current trace
+// header. Combined with ValidateTrace it is the upload persistence
+// path; recorded files from RecordTrace are already durable.
+func SaveTrace(path string, data []byte) error { return trace.SaveBytes(path, data) }
 
 // SuiteNames lists the six suite names in Table I order.
 func SuiteNames() []string {
@@ -163,7 +196,7 @@ type ProfileResult struct {
 // Profile measures one benchmark under cfg.
 func Profile(b Benchmark, cfg Config) (ProfileResult, error) {
 	cfg = cfg.withDefaults()
-	m, err := b.Instantiate()
+	m, err := b.Source()
 	if err != nil {
 		return ProfileResult{}, err
 	}
@@ -179,7 +212,7 @@ func Profile(b Benchmark, cfg Config) (ProfileResult, error) {
 		observers = append(observers, hpc)
 	}
 	n, err := m.Run(cfg.InstBudget, observers)
-	if err != nil && err != vm.ErrBudget {
+	if err != nil && err != trace.ErrBudget {
 		return ProfileResult{}, fmt.Errorf("mica: running %s: %w", b.Name(), err)
 	}
 	res := ProfileResult{Benchmark: b, Chars: prof.Vector(), Insts: n}

@@ -15,7 +15,7 @@ import (
 	"mica/internal/phases"
 	"mica/internal/pool"
 	"mica/internal/stats"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // PhaseCacheVersion is the on-disk format version of phase-result
@@ -835,7 +835,7 @@ func replayFromVocabulary(bs []Benchmark, vocab map[string]*PhaseResult, cfg Red
 	var mu sync.Mutex
 
 	err := pool.RunCtx(context.Background(), len(bs), workers, func(_ context.Context, worker, i int) error {
-		replay, err := bs[i].Instantiate()
+		replay, err := bs[i].Source()
 		if err != nil {
 			return err
 		}
@@ -896,7 +896,7 @@ func AnalyzeReducedJointCached(path string, bs []Benchmark, cfg ReducedPipelineC
 	cfg.Reduced = rcfg
 	wantCheap := reducedCheapConfigJSON(rcfg)
 
-	machines := func(bi int) (*vm.Machine, error) { return bs[bi].Instantiate() }
+	machines := func(bi int) (trace.Source, error) { return bs[bi].Source() }
 
 	pf, err := readPhaseCache(path)
 	switch {

@@ -828,6 +828,29 @@ func TestVersionMismatchErrorsNameTheFile(t *testing.T) {
 			_, err := OpenIVStore(sub)
 			return p, err
 		}, "manifest version 99, want 1"},
+		{"trace.Open", func(t *testing.T) (string, error) {
+			// A real recorded trace with only its version stamp rewritten:
+			// everything past the header is a valid v1 body, so the
+			// version check alone must reject it.
+			b, err := BenchmarkByName("MiBench/sha/large")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(dir, "stale.trc")
+			if _, err := RecordTrace(b, p, 1_000); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[8] = 99
+			if err := os.WriteFile(p, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = TraceBenchmark("", p).Source()
+			return p, err
+		}, "trace format version 99, want 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

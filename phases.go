@@ -9,7 +9,7 @@ import (
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
 	"mica/internal/pool"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // Phase-analysis re-exports: interval-based phase classification, the
@@ -40,7 +40,7 @@ type (
 // the intervals into phases (k-means + BIC) and selects one weighted
 // representative interval per phase.
 func AnalyzePhases(b Benchmark, cfg PhaseConfig) (*PhaseResult, error) {
-	m, err := b.Instantiate()
+	m, err := b.Source()
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +107,7 @@ func AnalyzePhasesBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg PhasePi
 	for i := range results {
 		results[i].Benchmark = bs[i]
 	}
-	err := phasePipelineCtx(ctx, bs, cfg, "phase analysis of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	err := phasePipelineCtx(ctx, bs, cfg, "phase analysis of", func(m trace.Source, prof *micachar.Profiler, i int) error {
 		res, err := phases.AnalyzeWith(m, prof, cfg.Phase)
 		if err != nil {
 			return err
@@ -125,7 +125,7 @@ func AnalyzePhasesBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg PhasePi
 // first, and a panicking benchmark surfaces as an error instead of
 // crashing the process.
 func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
-	analyze func(m *vm.Machine, prof *micachar.Profiler, i int) error) error {
+	analyze func(m trace.Source, prof *micachar.Profiler, i int) error) error {
 	return phasePipelineCtx(context.Background(), bs, cfg, what, analyze)
 }
 
@@ -142,7 +142,7 @@ func phasePipeline(bs []Benchmark, cfg PhasePipelineConfig, what string,
 // one place. what reads like "phase analysis of" — it is spliced
 // between "mica:" and the benchmark name.
 func phasePipelineCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, what string,
-	analyze func(m *vm.Machine, prof *micachar.Profiler, i int) error) error {
+	analyze func(m trace.Source, prof *micachar.Profiler, i int) error) error {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -155,7 +155,7 @@ func phasePipelineCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConf
 	var mu sync.Mutex
 
 	err := pool.RunCtx(ctx, len(bs), workers, func(_ context.Context, worker, i int) error {
-		m, err := bs[i].Instantiate()
+		m, err := bs[i].Source()
 		if err != nil {
 			return err
 		}
@@ -211,7 +211,7 @@ func AnalyzePhasesJointCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelin
 // implicitly.
 func characterizeBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig) ([]phases.BenchmarkIntervals, error) {
 	named := make([]phases.BenchmarkIntervals, len(bs))
-	err := phasePipelineCtx(ctx, bs, cfg, "characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	err := phasePipelineCtx(ctx, bs, cfg, "characterization of", func(m trace.Source, prof *micachar.Profiler, i int) error {
 		res, err := phases.CharacterizeWith(m, prof, cfg.Phase)
 		if err != nil {
 			return err
@@ -261,11 +261,11 @@ func KeySubset() []bool { return phases.KeySubset() }
 // representative intervals, extrapolating whole-run vectors as
 // phase-weighted sums.
 func AnalyzeReduced(b Benchmark, cfg ReducedConfig) (*ReducedResult, error) {
-	cheap, err := b.Instantiate()
+	cheap, err := b.Source()
 	if err != nil {
 		return nil, err
 	}
-	replay, err := b.Instantiate()
+	replay, err := b.Source()
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +295,7 @@ func ProfileReduced(b Benchmark, cfg ReducedConfig) (ProfileResult, error) {
 // oracle reduced extrapolations are scored against and the cost
 // baseline of the tracked `mica-bench -reduced` speedup.
 func ProfileExact(b Benchmark, cfg ReducedConfig) (*PhaseExactProfile, error) {
-	m, err := b.Instantiate()
+	m, err := b.Source()
 	if err != nil {
 		return nil, err
 	}
@@ -367,11 +367,11 @@ func AnalyzeReducedBenchmarksCtx(ctx context.Context, bs []Benchmark, cfg Reduce
 	var mu sync.Mutex
 
 	err := pool.RunCtx(ctx, len(bs), workers, func(_ context.Context, worker, i int) error {
-		cheap, err := bs[i].Instantiate()
+		cheap, err := bs[i].Source()
 		if err != nil {
 			return err
 		}
-		replay, err := bs[i].Instantiate()
+		replay, err := bs[i].Source()
 		if err != nil {
 			return err
 		}
@@ -416,7 +416,7 @@ func AnalyzeReducedJointCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipe
 	rcfg := cfg.Reduced.WithDefaults()
 	named := make([]phases.BenchmarkIntervals, len(bs))
 	pcfg := PhasePipelineConfig{Phase: rcfg.CheapConfig(), Workers: cfg.Workers, Progress: cfg.Progress}
-	err := phasePipelineCtx(ctx, bs, pcfg, "reduced characterization of", func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	err := phasePipelineCtx(ctx, bs, pcfg, "reduced characterization of", func(m trace.Source, prof *micachar.Profiler, i int) error {
 		res, err := phases.CharacterizeReducedWith(m, prof, rcfg)
 		if err != nil {
 			return err
@@ -431,8 +431,8 @@ func AnalyzeReducedJointCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipe
 	if err != nil {
 		return nil, err
 	}
-	jr, err := phases.ReplayJoint(j, func(bi int) (*vm.Machine, error) {
-		return bs[bi].Instantiate()
+	jr, err := phases.ReplayJoint(j, func(bi int) (trace.Source, error) {
+		return bs[bi].Source()
 	}, rcfg)
 	if err != nil {
 		return nil, fmt.Errorf("mica: joint reduced replay: %w", err)

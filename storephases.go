@@ -10,7 +10,7 @@ import (
 	"mica/internal/ivstore"
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // IVStore is the sharded, columnar, on-disk interval-vector store
@@ -148,7 +148,7 @@ func CharacterizeToStore(bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptio
 func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions) (*IVStore, *StoreBuildStats, error) {
 	cfg.Phase = cfg.Phase.WithDefaults()
 	return characterizeToStoreCtx(ctx, bs, cfg, opt, phaseConfigHash(cfg.Phase), "store characterization of",
-		func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error) {
+		func(m trace.Source, prof *micachar.Profiler) (*phases.Result, error) {
 			return phases.CharacterizeWith(m, prof, cfg.Phase)
 		})
 }
@@ -161,7 +161,7 @@ func CharacterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipeli
 // the configuration stamp shards are keyed on — the plain and reduced
 // pipelines stamp differently, so their shards never cross-adopt.
 func characterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipelineConfig, opt StoreOptions,
-	hash, what string, characterize func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error)) (*IVStore, *StoreBuildStats, error) {
+	hash, what string, characterize func(m trace.Source, prof *micachar.Profiler) (*phases.Result, error)) (*IVStore, *StoreBuildStats, error) {
 	if len(bs) == 0 {
 		return nil, nil, fmt.Errorf("mica: characterizing zero benchmarks to a store")
 	}
@@ -215,7 +215,7 @@ func characterizeToStoreCtx(ctx context.Context, bs []Benchmark, cfg PhasePipeli
 	}
 
 	built := make([]bool, len(toBuild))
-	pipeErr := phasePipelineCtx(ctx, toBuild, cfg, what, func(m *vm.Machine, prof *micachar.Profiler, i int) error {
+	pipeErr := phasePipelineCtx(ctx, toBuild, cfg, what, func(m trace.Source, prof *micachar.Profiler, i int) error {
 		res, err := characterize(m, prof)
 		if err != nil {
 			return err

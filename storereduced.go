@@ -12,7 +12,7 @@ import (
 	micachar "mica/internal/mica"
 	"mica/internal/phases"
 	"mica/internal/pool"
-	"mica/internal/vm"
+	"mica/internal/trace"
 )
 
 // Store-backed reduced profiling: the cheap sampled pass's interval
@@ -54,7 +54,7 @@ func CharacterizeReducedToStoreCtx(ctx context.Context, bs []Benchmark, cfg Redu
 	rcfg := cfg.Reduced.WithDefaults()
 	pcfg := PhasePipelineConfig{Phase: rcfg.CheapConfig(), Workers: cfg.Workers, Progress: cfg.Progress}
 	return characterizeToStoreCtx(ctx, bs, pcfg, opt, reducedStoreHash(rcfg), "reduced store characterization of",
-		func(m *vm.Machine, prof *micachar.Profiler) (*phases.Result, error) {
+		func(m trace.Source, prof *micachar.Profiler) (*phases.Result, error) {
 			return phases.CharacterizeReducedWith(m, prof, rcfg)
 		})
 }
@@ -114,7 +114,7 @@ func AnalyzeReducedStoreCtx(ctx context.Context, bs []Benchmark, cfg ReducedPipe
 		if err != nil {
 			return err
 		}
-		replay, err := bs[i].Instantiate()
+		replay, err := bs[i].Source()
 		if err != nil {
 			return err
 		}
@@ -174,8 +174,8 @@ func AnalyzeReducedJointStoreCtx(ctx context.Context, bs []Benchmark, cfg Reduce
 		return nil, stats, err
 	}
 	saveWarmState(st, j)
-	jr, err := phases.ReplayJointStore(st, j, func(bi int) (*vm.Machine, error) {
-		return bs[bi].Instantiate()
+	jr, err := phases.ReplayJointStore(st, j, func(bi int) (trace.Source, error) {
+		return bs[bi].Source()
 	}, rcfg)
 	captureCacheStats(st, stats)
 	if err != nil {
