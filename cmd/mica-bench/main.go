@@ -35,8 +35,9 @@
 // The reduced configs also record their effective speedup over the
 // full grid and the worst per-metric relative error of their
 // extrapolated whole-run vectors, so the recorded speedup carries its
-// quality bound with it; the store config additionally records its
-// cache accounting (shard decodes, peak decoded bytes).
+// quality bound with it; every config additionally records the
+// observability registry's delta over its runs (cache accounting,
+// pool counters, stage durations) in its metrics map.
 //
 // With -joint it measures registry-scale joint phase analysis — every
 // selected benchmark's intervals clustered once into a shared
@@ -49,8 +50,8 @@
 //	                   rows shard-by-shard (AnalyzePhasesJointStore)
 //	joint-store-quant8 the same with 8-bit quantized shards
 //
-// The store configs also record their store size on disk, their
-// decoded-shard cache accounting (shard decodes, peak decoded bytes —
+// The store configs also record their store size on disk, the
+// registry's cache accounting delta (decodes, peak decoded bytes —
 // the clustering sweep streams the same rows many times, so the cache
 // turns repeated decodes into hits) and whether the resulting
 // vocabulary (K + assignment) is identical to the in-memory one, so
@@ -115,6 +116,7 @@ import (
 	"mica"
 	"mica/internal/cluster"
 	micachar "mica/internal/mica"
+	"mica/internal/obs"
 	"mica/internal/phases"
 	"path/filepath"
 
@@ -182,6 +184,21 @@ type ConfigResult struct {
 	Unit string `json:"unit,omitempty"`
 	// PerBench is the per-benchmark MIPS breakdown.
 	PerBench map[string]float64 `json:"per_bench"`
+	// Metrics is the observability registry's delta over this
+	// configuration's runs (flattened counters and histogram
+	// counts/sums, mica_<layer>_<name> keys): cache decodes, pool
+	// items, stage durations — whatever the run actually touched. It
+	// replaces ad-hoc per-config fields, so new instrumentation lands
+	// in the history without touching this harness.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapMetrics captures the observability registry's current state and
+// returns a closure yielding the flattened delta since — the Metrics
+// record a configuration carries into the history file.
+func snapMetrics() func() map[string]float64 {
+	base := obs.Default().Snapshot()
+	return func() map[string]float64 { return obs.Delta(base, obs.Default().Snapshot()) }
 }
 
 func main() {
@@ -204,8 +221,14 @@ func main() {
 		rows       = flag.Int("rows", 100_000, "synthetic matrix rows (with -cluster)")
 		maxK       = flag.Int("maxk", 10, "BIC sweep width (with -cluster or -reduced)")
 		seed       = flag.Int64("seed", 2006, "synthetic data and k-means seed (with -cluster or -reduced)")
+		statsOut   = flag.String("stats", "", "after the run, dump the observability registry as JSON to this file (\"-\" = stdout)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 
 	// SIGINT/SIGTERM cancels the measurement context: the current
 	// pipeline drains and the harness exits without appending a
@@ -270,6 +293,11 @@ func main() {
 		}
 	default:
 		err = run(ctx, *budget, *runs, *benches, *jsonOut, *label, *phaseRun, *interval)
+	}
+	if *statsOut != "" {
+		if serr := obs.DumpStats(*statsOut); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-bench:", err)
@@ -347,6 +375,7 @@ func run(ctx context.Context, budget uint64, runs int, benches, jsonOut, label s
 		best := ConfigResult{Name: c.name, PerBench: make(map[string]float64)}
 		var bestInsts uint64
 		var bestTime time.Duration
+		delta := snapMetrics()
 		for r := 0; r < runs; r++ {
 			var totalInsts uint64
 			var totalTime time.Duration
@@ -372,6 +401,7 @@ func run(ctx context.Context, budget uint64, runs int, benches, jsonOut, label s
 				bestInsts, bestTime = totalInsts, totalTime
 			}
 		}
+		best.Metrics = delta()
 		res.Configs = append(res.Configs, best)
 		t.AddRow(c.name, fmt.Sprintf("%.2f", best.MIPS), bestInsts,
 			bestTime.Round(time.Millisecond))
@@ -609,6 +639,7 @@ func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, be
 	var storeResults []mica.BenchmarkReduced
 	var storeStats *mica.StoreBuildStats
 	rpcfg := mica.ReducedPipelineConfig{Reduced: cfg}
+	storeDelta := snapMetrics()
 	for r := 0; r < runs; r++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -639,8 +670,9 @@ func runReduced(ctx context.Context, budget, interval uint64, maxK, runs int, be
 	stored.PerBench["seconds"] = storeTime.Seconds()
 	stored.PerBench["speedup_vs_full"] = storeSpeedup
 	stored.PerBench["max_rel_err"] = storeMaxErr
-	stored.PerBench["shard_decodes"] = float64(storeStats.Cache.Decodes)
-	stored.PerBench["cache_peak_bytes"] = float64(storeStats.Cache.PeakBytes)
+	// Cache accounting (decodes, peak bytes) and stage durations land
+	// in Metrics via the registry delta instead of hand-picked keys.
+	stored.Metrics = storeDelta()
 	res.Configs = append(res.Configs, stored)
 
 	t := report.NewTable("config", "MIPS", "time", "notes")
@@ -701,6 +733,7 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 	// In-memory reference.
 	var ref *mica.PhaseJointResult
 	var refTime time.Duration
+	inmemDelta := snapMetrics()
 	for r := 0; r < runs; r++ {
 		start := time.Now()
 		j, err := mica.AnalyzePhasesJointCtx(ctx, set, pcfg)
@@ -716,7 +749,7 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 		"seconds":    refTime.Seconds(),
 		"rows":       float64(len(ref.Rows)),
 		"selected_k": float64(ref.K),
-	}}
+	}, Metrics: inmemDelta()}
 	res.Configs = []ConfigResult{inmem}
 
 	t := report.NewTable("config", "MIPS", "time", "K", "notes")
@@ -730,6 +763,7 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 		var bestStats *mica.StoreBuildStats
 		var bestTime time.Duration
 		var storeBytes int64
+		delta := snapMetrics()
 		for r := 0; r < runs; r++ {
 			dir, err := os.MkdirTemp("", "mica-joint-store-*")
 			if err != nil {
@@ -752,14 +786,12 @@ func runJoint(ctx context.Context, budget, interval uint64, maxK, runs int, benc
 			identical = 1
 		}
 		cr := ConfigResult{Name: sc.name, MIPS: mips(totalInsts, bestTime), PerBench: map[string]float64{
-			"seconds":          bestTime.Seconds(),
-			"rows":             float64(len(best.Rows)),
-			"selected_k":       float64(best.K),
-			"store_bytes":      float64(storeBytes),
-			"vocab_identical":  identical,
-			"shard_decodes":    float64(bestStats.Cache.Decodes),
-			"cache_peak_bytes": float64(bestStats.Cache.PeakBytes),
-		}}
+			"seconds":         bestTime.Seconds(),
+			"rows":            float64(len(best.Rows)),
+			"selected_k":      float64(best.K),
+			"store_bytes":     float64(storeBytes),
+			"vocab_identical": identical,
+		}, Metrics: delta()}
 		res.Configs = append(res.Configs, cr)
 		note := fmt.Sprintf("%.2fx of in-memory, %.1f MB store, %d decodes",
 			bestTime.Seconds()/refTime.Seconds(), float64(storeBytes)/1e6, bestStats.Cache.Decodes)
@@ -1040,6 +1072,7 @@ func runTrace(ctx context.Context, budget uint64, runs int, benches, jsonOut, la
 		best := ConfigResult{Name: c.name, PerBench: make(map[string]float64)}
 		var bestInsts uint64
 		var bestTime time.Duration
+		delta := snapMetrics()
 		for r := 0; r < runs; r++ {
 			var totalInsts uint64
 			var totalTime time.Duration
@@ -1062,6 +1095,7 @@ func runTrace(ctx context.Context, budget uint64, runs int, benches, jsonOut, la
 				bestInsts, bestTime = totalInsts, totalTime
 			}
 		}
+		best.Metrics = delta()
 		res.Configs = append(res.Configs, best)
 		t.AddRow(c.name, fmt.Sprintf("%.2f", best.MIPS), bestInsts,
 			bestTime.Round(time.Millisecond))

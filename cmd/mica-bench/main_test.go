@@ -174,11 +174,14 @@ func TestRunReducedWritesHistory(t *testing.T) {
 		}
 	}
 	stored := rec.Configs[2]
-	if stored.PerBench["shard_decodes"] <= 0 {
-		t.Error("store entry missing shard_decodes")
+	if stored.Metrics["mica_ivstore_cache_decodes_total"] <= 0 {
+		t.Error("store entry metrics missing cache decodes")
 	}
-	if stored.PerBench["cache_peak_bytes"] <= 0 {
-		t.Error("store entry missing cache_peak_bytes")
+	if stored.Metrics["mica_ivstore_cache_peak_bytes"] <= 0 {
+		t.Error("store entry metrics missing cache peak bytes")
+	}
+	if stored.Metrics[`mica_stage_duration_seconds{stage="phases.replay"}:count`] <= 0 {
+		t.Error("store entry metrics missing replay stage durations")
 	}
 	if rec.Interval != 2_000 || rec.MaxK != 4 {
 		t.Errorf("recorded interval/maxk = %d/%d", rec.Interval, rec.MaxK)
@@ -227,11 +230,11 @@ func TestRunJointWritesHistory(t *testing.T) {
 	if store.PerBench["rows"] != rec.Configs[0].PerBench["rows"] {
 		t.Error("store and in-memory row counts differ")
 	}
-	if store.PerBench["shard_decodes"] <= 0 {
-		t.Error("store entry missing shard_decodes")
+	if store.Metrics["mica_ivstore_cache_decodes_total"] <= 0 {
+		t.Error("store entry metrics missing cache decodes")
 	}
-	if store.PerBench["cache_peak_bytes"] <= 0 {
-		t.Error("store entry missing cache_peak_bytes")
+	if store.Metrics["mica_ivstore_cache_peak_bytes"] <= 0 {
+		t.Error("store entry metrics missing cache peak bytes")
 	}
 }
 

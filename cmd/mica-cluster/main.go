@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"mica"
+	"mica/internal/obs"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 		svgDir  = flag.String("svg", "", "write one SVG kiviat per benchmark into this directory")
 		useAll  = flag.Bool("all-chars", false, "cluster in the full 47-D space instead of the GA key space")
 		hier    = flag.Bool("hier", false, "also print a complete-linkage hierarchical clustering cut at the same K")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 	if err := run(*budget, *results, *maxK, *seed, *kiviat, *svgDir, *useAll, *hier); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-cluster:", err)
 		os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"mica"
+	"mica/internal/obs"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: all|table1|table2|fig1|table3|fig2|fig3|fig4|fig5|table4|fig6|suites")
 		kiviats = flag.Bool("kiviat", false, "include per-benchmark kiviat diagrams in fig6")
 		seed    = flag.Int64("seed", 2006, "seed for the GA and k-means")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 	if err := run(*budget, *outDir, *results, *exp, *kiviats, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-compare:", err)
 		os.Exit(1)

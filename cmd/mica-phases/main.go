@@ -69,6 +69,7 @@ import (
 	"syscall"
 
 	"mica"
+	"mica/internal/obs"
 	"mica/internal/report"
 )
 
@@ -95,8 +96,14 @@ func main() {
 		fsck         = flag.Bool("fsck", false, "with -store: verify the store's integrity (manifest, per-shard CRCs, crash artifacts) and exit")
 		repair       = flag.Bool("repair", false, "with -store -fsck: quarantine corrupt shards and remove crash artifacts so the store reopens cleanly")
 		tracePath    = flag.String("trace", "", "analyze a recorded trace file instead of an embedded benchmark (phase analysis replays it twice)")
+		statsOut     = flag.String("stats", "", "after the run, dump the observability registry (stage durations, cache/pool counters) as JSON to this file (\"-\" = stdout)")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 
 	// A signal cancels the pipeline context instead of killing the
 	// process mid-write: workers drain, finished shards commit, and an
@@ -134,6 +141,14 @@ func main() {
 		err = runReduced(ctx, *benchName, *all, *joint, *cache, rcfg, sopt, *workers)
 	default:
 		err = run(ctx, *benchName, *tracePath, *all, *joint, *cache, sopt, cfg, *workers)
+	}
+	// The stats dump happens even after a failed run: a partial
+	// snapshot (what characterized, how long each stage took before
+	// the error) is exactly what a post-mortem wants.
+	if *statsOut != "" {
+		if serr := obs.DumpStats(*statsOut); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-phases:", err)

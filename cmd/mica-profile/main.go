@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"mica"
+	"mica/internal/obs"
 	"mica/internal/report"
 )
 
@@ -34,9 +35,21 @@ func main() {
 		jsonOut   = flag.String("json", "", "write results to a JSON file")
 		record    = flag.String("record", "", "record -bench's instruction stream to this trace file instead of profiling")
 		tracePath = flag.String("trace", "", "profile a recorded trace file instead of an embedded benchmark")
+		statsOut  = flag.String("stats", "", "after the run, dump the observability registry as JSON to this file (\"-\" = stdout)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
-	if err := run(*benchName, *all, *list, *budget, *jsonOut, *record, *tracePath); err != nil {
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
+	err := run(*benchName, *all, *list, *budget, *jsonOut, *record, *tracePath)
+	if *statsOut != "" {
+		if serr := obs.DumpStats(*statsOut); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mica-profile:", err)
 		os.Exit(1)
 	}

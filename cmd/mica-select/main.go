@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"mica"
+	"mica/internal/obs"
 	"mica/internal/report"
 )
 
@@ -24,8 +25,13 @@ func main() {
 		budget  = flag.Uint64("budget", 300_000, "dynamic instruction budget per benchmark")
 		results = flag.String("results", "", "JSON results cache")
 		seed    = flag.Int64("seed", 2006, "GA seed")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 	if err := run(*budget, *results, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-select:", err)
 		os.Exit(1)

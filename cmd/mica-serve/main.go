@@ -28,7 +28,16 @@
 //	GET  /api/v1/benchmarks     → registry listing with store coverage
 //	GET  /api/v1/stats          → per-endpoint latency/QPS, job and dedup
 //	                              counters, store cache stats
+//	GET  /api/v1/version        → build identity (module version, Go
+//	                              toolchain, VCS revision + dirty bit)
+//	GET  /metrics               → Prometheus text exposition over every
+//	                              instrumented layer (serve, jobs, pool,
+//	                              ivstore cache, pipeline stages)
 //	GET  /healthz               → liveness
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// live CPU/heap profiling (off by default; the endpoints expose
+// process internals).
 //
 // Backpressure is explicit: a full job queue answers 429 with
 // Retry-After, shutdown answers 503. SIGINT or SIGTERM stops the
@@ -49,6 +58,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +66,7 @@ import (
 	"time"
 
 	"mica"
+	"mica/internal/obs"
 	"mica/internal/serve"
 )
 
@@ -80,13 +91,20 @@ func main() {
 		skipHPC      = flag.Bool("skiphpc", false, "skip the EV56/EV67 machine models in characterization jobs")
 		traceDir     = flag.String("tracedir", "", "enable POST /api/v1/traces; validated uploads are persisted here and characterized like registry benchmarks")
 		maxUpload    = flag.Int64("maxupload", 64<<20, "uploaded-trace size bound in bytes; larger requests answer 413")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Build())
+		return
+	}
 
 	fl := cliFlags{
 		storeDir: *storeDir, addr: *addr, queueCap: *queueCap,
 		retain: *retain, cacheBytes: *cacheBytes, pcaVar: *pcaVar,
 		warm: *warm, joint: *joint, traceDir: *traceDir, maxUpload: *maxUpload,
+		pprof: *pprofOn,
 	}
 	if err := validateFlags(fl); err != nil {
 		fmt.Fprintln(os.Stderr, "mica-serve:", err)
@@ -126,6 +144,7 @@ type cliFlags struct {
 	joint      bool
 	traceDir   string
 	maxUpload  int64
+	pprof      bool
 }
 
 // validateFlags rejects inconsistent flag combinations up front, with
@@ -208,7 +227,20 @@ func run(ctx context.Context, fl cliFlags, phase mica.PhaseConfig, sopt mica.Sto
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// pprof is opt-in: the profiling endpoints leak heap contents and
+	// can stall the runtime, so they only mount when the operator asks.
+	handler := srv.Handler()
+	if fl.pprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	// The listener dies when the context does; jobs accepted before
 	// the signal drain before the store closes.

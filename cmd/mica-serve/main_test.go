@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mica"
+	"mica/internal/obs"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -86,7 +87,7 @@ func TestRunServesAndDrains(t *testing.T) {
 
 	fl := cliFlags{
 		storeDir: t.TempDir(), addr: "127.0.0.1:0", queueCap: 8,
-		retain: 16, pcaVar: 0.9, warm: true, joint: true,
+		retain: 16, pcaVar: 0.9, warm: true, joint: true, pprof: true,
 	}
 	phase := mica.PhaseConfig{IntervalLen: 1_000, MaxIntervals: 8, MaxK: 3, Seed: 1}
 	sopt := mica.StoreOptions{Dir: fl.storeDir, Incremental: true, WarmStart: true}
@@ -136,6 +137,35 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if len(sim.Neighbors) != 1 || sim.Neighbors[0].Name != "SPEC2000/gzip/program" {
 		t.Fatalf("similar neighbors %v, want the other stored benchmark", sim.Neighbors)
+	}
+
+	// The daemon's /metrics scrape must be well-formed Prometheus text
+	// exposition and cover the layers the startup build exercised.
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	obs.AssertWellFormedExposition(t, string(metrics))
+	for _, want := range []string{"mica_serve_requests_total", "mica_ivstore_cache_decodes_total", "mica_stage_runs_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+
+	// pprof was requested, so the profiling index must answer on the
+	// same address.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof: status %d", resp.StatusCode)
 	}
 
 	cancel()

@@ -4,9 +4,14 @@ import (
 	"context"
 	"math"
 
+	"mica/internal/obs"
 	"mica/internal/pool"
 	"mica/internal/stats"
 )
+
+// metRowsClustered counts rows entering a k-sweep (per sweep, not per
+// swept k).
+var metRowsClustered = obs.Default().Counter("mica_cluster_rows_total", "Rows entering BIC k-sweeps.")
 
 // Engine selects the k-means engine a sweep runs per k.
 type Engine int
@@ -134,9 +139,12 @@ func SelectKOptCtx(ctx context.Context, m *stats.Matrix, maxK int, frac float64,
 // returned Selection is zero; per-k errors carry the item (k-1) and
 // worker via pool.ItemError.
 func SelectKRowsCtx(ctx context.Context, open func() Rows, maxK int, frac float64, seed int64, opt SweepOptions) (Selection, error) {
+	span := obs.StartSpan("cluster.sweep-k")
+	defer span.End()
 	opt = opt.withDefaults()
 	main := open()
 	n, d := main.Len(), main.Dim()
+	metRowsClustered.Add(float64(n))
 	if maxK > n {
 		maxK = n
 	}

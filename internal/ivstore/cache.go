@@ -140,6 +140,7 @@ func (c *shardCache) get(i int) (*ShardData, error) {
 		if e.elem != nil {
 			// Resident entry: decoded data is already in cache.
 			c.hits++
+			metCacheHits.Inc()
 			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
 			return e.data, e.err
@@ -153,8 +154,10 @@ func (c *shardCache) get(i int) (*ShardData, error) {
 		c.mu.Lock()
 		if e.err != nil {
 			c.errorWaits++
+			metCacheErrWaits.Inc()
 		} else {
 			c.hits++
+			metCacheHits.Inc()
 			// The decode succeeded but the entry may have been
 			// evicted between close(ready) and here; only touch the
 			// LRU if it is still resident.
@@ -168,6 +171,7 @@ func (c *shardCache) get(i int) (*ShardData, error) {
 	e := &cacheEntry{shard: i, ready: make(chan struct{})}
 	c.entries[i] = e
 	c.misses++
+	metCacheMisses.Inc()
 	c.mu.Unlock()
 
 	data, err := c.decode(i)
@@ -180,14 +184,18 @@ func (c *shardCache) get(i int) (*ShardData, error) {
 		// attempt is a DecodeError, not a Decode, so the documented
 		// Decodes == Misses - DecodeErrors relation holds.
 		c.decodeErrors++
+		metCacheDecodeErrs.Inc()
 		delete(c.entries, i)
 	} else {
 		c.decodes++
+		metCacheDecodes.Inc()
 		e.bytes = decodedShardBytes(data.Vecs.Rows, data.Vecs.Cols)
 		c.bytes += e.bytes
 		if c.bytes > c.peak {
 			c.peak = c.bytes
 		}
+		metCacheBytes.Add(float64(e.bytes))
+		metCachePeakBytes.SetMax(metCacheBytes.Value())
 		e.elem = c.lru.PushFront(e)
 		c.evictLocked()
 	}
@@ -208,6 +216,8 @@ func (c *shardCache) evictLocked() {
 		delete(c.entries, e.shard)
 		c.bytes -= e.bytes
 		c.evictions++
+		metCacheEvictions.Inc()
+		metCacheBytes.Add(-float64(e.bytes))
 	}
 }
 
@@ -248,6 +258,13 @@ func (s *Store) cacheHandle() *shardCache {
 func (s *Store) SetCacheBytes(n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cache != nil {
+		// The dropped cache's resident bytes leave the process-wide
+		// footprint gauge.
+		s.cache.mu.Lock()
+		metCacheBytes.Add(-float64(s.cache.bytes))
+		s.cache.mu.Unlock()
+	}
 	s.cacheBytes = n
 	s.cache = nil
 }

@@ -263,6 +263,11 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	lk := s.lk
 	s.lk = nil
+	if s.cache != nil {
+		s.cache.mu.Lock()
+		metCacheBytes.Add(-float64(s.cache.bytes))
+		s.cache.mu.Unlock()
+	}
 	s.cache = nil
 	s.mu.Unlock()
 	err := lk.release()

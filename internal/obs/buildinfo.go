@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo is the build-identity surface for -version flags and
+// GET /api/v1/version: module version, Go toolchain, and the VCS
+// state stamped by `go build` (absent under plain `go test` or when
+// building outside a checkout).
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Dirty     bool   `json:"dirty"`
+}
+
+// Build reads the running binary's build info.
+func Build() BuildInfo {
+	bi := BuildInfo{Version: "(devel)"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.Time = s.Value
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// String renders the one-line form printed by every cmd's -version
+// flag.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	dirty := ""
+	if b.Dirty {
+		dirty = " (dirty)"
+	}
+	return fmt.Sprintf("mica %s %s rev %s%s", b.Version, b.GoVersion, rev, dirty)
+}

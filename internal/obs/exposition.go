@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+)
+
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (?:[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$`)
+
+// TestReporter is the slice of *testing.T the exposition checker
+// needs; taking the interface keeps the testing package out of
+// non-test builds.
+type TestReporter interface {
+	Helper()
+	Errorf(string, ...any)
+}
+
+// AssertWellFormedExposition fails t unless text parses as Prometheus
+// text exposition format 0.0.4: every non-comment line is
+// `name{labels} value`, every sample name is introduced by a # TYPE
+// line, and only known metric types appear. Shared by the obs format
+// tests, the serve scrape tests and the daemon e2e smoke, so all
+// three hold /metrics to one definition of well-formed.
+func AssertWellFormedExposition(t TestReporter, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		n++
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("unknown metric type in %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		name, _, _ := strings.Cut(line, "{")
+		name, _, _ = strings.Cut(name, " ")
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if _, ok := typed[strings.TrimSuffix(name, suffix)]; ok {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("sample %q has no preceding # TYPE line", name)
+		}
+	}
+	if n == 0 {
+		t.Errorf("empty exposition")
+	}
+}

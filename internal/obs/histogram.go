@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultDurationBounds covers 100µs .. ~100s in roughly-log-spaced
+// steps — wide enough for both sub-millisecond HTTP handlers and
+// multi-second pipeline stages.
+var DefaultDurationBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+func normBounds(b []float64) []float64 {
+	if len(b) == 0 {
+		b = DefaultDurationBounds
+	}
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	return out
+}
+
+// Histogram is a fixed-boundary histogram: observations land in the
+// first bucket whose upper bound is >= v, with an implicit +Inf
+// overflow bucket. Quantiles are estimated by linear interpolation
+// within the bucket containing the requested rank.
+type Histogram struct {
+	bounds  []float64       // sorted upper bounds; buckets has len(bounds)+1
+	buckets []atomic.Uint64 // non-cumulative per-bucket counts
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if v != v { // NaN
+		return
+	}
+	// First bound >= v; len(bounds) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the non-cumulative per-bucket
+// counts (last entry is the +Inf overflow bucket).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing rank q*count. Values in
+// the overflow bucket are reported as the largest finite bound: the
+// estimate is clamped to the observable range, like Prometheus's
+// histogram_quantile. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		// Position of the rank within this bucket, in [0,1].
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

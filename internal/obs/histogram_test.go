@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// bucketWidthAt returns the width of the bucket containing v, the
+// histogram's intrinsic resolution at that point.
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	if i >= len(bounds) {
+		return math.Inf(1)
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+	}
+	return bounds[i] - lo
+}
+
+// TestQuantileAccuracyProperty drives random workloads through the
+// histogram and checks every estimated quantile against an exact
+// oracle: the estimate must land within one bucket width of the true
+// value (the best any fixed-boundary sketch can promise).
+func TestQuantileAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dists := []struct {
+		name string
+		gen  func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 5 }},
+		{"exp", func() float64 { return rng.ExpFloat64() * 0.05 }},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()*1.5 - 4) }},
+		{"bimodal", func() float64 {
+			if rng.Intn(2) == 0 {
+				return 0.001 + rng.Float64()*0.001
+			}
+			return 1 + rng.Float64()
+		}},
+	}
+	quantiles := []float64{0.1, 0.5, 0.9, 0.99}
+	for _, d := range dists {
+		for trial := 0; trial < 5; trial++ {
+			h := newHistogram(normBounds(nil))
+			n := 100 + rng.Intn(5000)
+			vals := make([]float64, n)
+			for i := range vals {
+				v := d.gen()
+				vals[i] = v
+				h.Observe(v)
+			}
+			sort.Float64s(vals)
+			for _, q := range quantiles {
+				got := h.Quantile(q)
+				want := exactQuantile(vals, q)
+				tol := bucketWidthAt(h.bounds, want)
+				// Values beyond the last finite bound clamp there.
+				if want > h.bounds[len(h.bounds)-1] {
+					if got != h.bounds[len(h.bounds)-1] {
+						t.Errorf("%s trial %d q%v: overflow clamp got %v", d.name, trial, q, got)
+					}
+					continue
+				}
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s trial %d n=%d q%v: estimate %v vs exact %v exceeds bucket width %v",
+						d.name, trial, n, q, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram(normBounds(nil))
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 0 {
+		t.Fatal("NaN was observed")
+	}
+	h.Observe(1e9) // far past the last bound
+	if got := h.Quantile(0.99); got != h.bounds[len(h.bounds)-1] {
+		t.Fatalf("overflow quantile = %v, want clamp to %v", got, h.bounds[len(h.bounds)-1])
+	}
+	// Quantile args outside [0,1] are clamped, not rejected.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("q=-1 -> %v, q=0 -> %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("q=2 -> %v, q=1 -> %v", got, h.Quantile(1))
+	}
+}
+
+func TestHistogramBucketsCumulativeInvariant(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9, 2} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	want := []uint64{2, 2, 1, 1} // (<=1)=0.5,1  (<=2)=1.5,2  (<=4)=3  (+Inf)=9
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-17.0) > 1e-9 {
+		t.Fatalf("sum = %v, want 17", h.Sum())
+	}
+}
+
+func TestCustomBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mica_test_x_seconds", "", []float64{4, 1, 2})
+	h.Observe(1.5)
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Fatalf("quantile with unsorted bounds = %v, want in [1,2]", got)
+	}
+}

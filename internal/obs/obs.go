@@ -1,0 +1,293 @@
+// Package obs is a dependency-free metrics layer: atomic counters,
+// gauges and fixed-boundary histograms collected in a Registry,
+// renderable as Prometheus text exposition or a JSON snapshot.
+//
+// Metric names follow the mica_<layer>_<name> snake_case convention
+// and are validated at registration time; labeled families
+// (CounterVec, GaugeVec, HistogramVec) materialize one child per
+// label-value tuple on first use.
+//
+// The package-level Default() registry is what the pipeline layers
+// (pool, ivstore, phases, cluster, trace) record into; servers that
+// need per-instance isolation (internal/serve) construct their own
+// Registry and render both.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the registration-time contract for every metric name:
+// mica_<layer>_<name>, all snake_case. The lint test at the repo root
+// walks live registries with the same expression.
+var nameRE = regexp.MustCompile(`^mica(_[a-z][a-z0-9]*)+$`)
+
+// ValidName reports whether name satisfies the mica_<layer>_<name>
+// snake_case convention. Exposed for the registry lint test.
+func ValidName(name string) bool {
+	// Require at least layer + name beyond the mica prefix.
+	return nameRE.MatchString(name) && strings.Count(name, "_") >= 2
+}
+
+// Counter is a monotonically increasing float64 value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v. Negative deltas are ignored: counters only go up.
+func (c *Counter) Add(v float64) {
+	if v < 0 || v != v {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// metricKind discriminates registry entries for rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one registered metric name: help text, kind, label names,
+// and the children keyed by label-value tuple (the unlabeled child
+// lives under the empty key).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // label tuple key -> *Counter | *Gauge | *Histogram
+}
+
+// childKey encodes label values into a deterministic map key.
+func childKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	return strings.Join(vals, "\x00")
+}
+
+// child returns (creating if needed) the metric for the given label
+// values.
+func (f *family) child(vals []string) any {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := childKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	var m any
+	switch f.kind {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	case kindHistogram:
+		m = newHistogram(f.bounds)
+	}
+	f.children[key] = m
+	return m
+}
+
+// Registry holds metric families by name. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry the pipeline layers
+// record into.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns (creating if needed) the family for name, panicking
+// on invalid names or kind/label mismatches with a prior
+// registration. Metric registration is programmer-controlled (no
+// user input reaches it), so misuse is a bug worth failing loudly on.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match mica_<layer>_<name> snake_case", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different kind", name))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with different labels", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		bounds:   bounds,
+		children: make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter for name, registering it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge for name, registering it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram for name, registering it
+// on first use with the given bucket upper bounds (nil means
+// DefaultDurationBounds).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, kindHistogram, nil, normBounds(bounds))
+	return f.child(nil).(*Histogram)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in declaration
+// order).
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.child(vals).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.child(vals).(*Gauge) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.child(vals).(*Histogram) }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, normBounds(bounds))}
+}
+
+// Names returns every registered metric name, sorted. Used by the
+// lint test and the Prometheus writer.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// sortedChildren returns the family's children as (label-values, metric)
+// pairs sorted by label tuple, for deterministic rendering.
+func (f *family) sortedChildren() []childEntry {
+	f.mu.Lock()
+	entries := make([]childEntry, 0, len(f.children))
+	for k, m := range f.children {
+		var vals []string
+		if k != "" || len(f.labels) > 0 {
+			vals = strings.Split(k, "\x00")
+		}
+		entries = append(entries, childEntry{vals: vals, metric: m})
+	}
+	f.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		return childKey(entries[i].vals) < childKey(entries[j].vals)
+	})
+	return entries
+}
+
+type childEntry struct {
+	vals   []string
+	metric any
+}

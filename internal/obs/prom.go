@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in Prometheus
+// text exposition format (version 0.0.4), families sorted by name and
+// children sorted by label tuple so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sortFamilies(fams)
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortFamilies(fams []*family) {
+	for i := 1; i < len(fams); i++ {
+		for j := i; j > 0 && fams[j-1].name > fams[j].name; j-- {
+			fams[j-1], fams[j] = fams[j], fams[j-1]
+		}
+	}
+}
+
+func (f *family) write(w io.Writer) error {
+	kind := "counter"
+	switch f.kind {
+	case kindGauge:
+		kind = "gauge"
+	case kindHistogram:
+		kind = "histogram"
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+		return err
+	}
+	for _, e := range f.sortedChildren() {
+		if err := f.writeChild(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w io.Writer, e childEntry) error {
+	switch m := e.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, e.vals, "", ""), formatValue(m.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, e.vals, "", ""), formatValue(m.Value()))
+		return err
+	case *Histogram:
+		counts := m.BucketCounts()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(m.bounds) {
+				le = formatValue(m.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, e.vals, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSet(f.labels, e.vals, "", ""), formatValue(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSet(f.labels, e.vals, "", ""), cum)
+		return err
+	}
+	return nil
+}
+
+// labelSet renders {k="v",...} for the family labels plus an optional
+// extra pair (the histogram "le" bound). Empty set renders as "".
+func labelSet(names, vals []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// formatValue renders a float the way Prometheus clients do: integral
+// values without a decimal point, %g otherwise.
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

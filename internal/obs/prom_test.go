@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mica_test_items_total", "Items processed.").Add(7)
+	r.Gauge("mica_test_depth", "Queue depth.").Set(2.5)
+	h := r.Histogram("mica_test_dur_seconds", "Duration.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	v := r.CounterVec("mica_test_req_total", "Requests.", "endpoint", "code")
+	v.With("stats", "200").Inc()
+	v.With(`we"ird`+"\n", `back\slash`).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP mica_test_items_total Items processed.\n# TYPE mica_test_items_total counter\nmica_test_items_total 7\n",
+		"# TYPE mica_test_depth gauge\nmica_test_depth 2.5\n",
+		"# TYPE mica_test_dur_seconds histogram\n",
+		`mica_test_dur_seconds_bucket{le="0.1"} 1`,
+		`mica_test_dur_seconds_bucket{le="1"} 2`,
+		`mica_test_dur_seconds_bucket{le="+Inf"} 3`,
+		"mica_test_dur_seconds_sum 3.55",
+		"mica_test_dur_seconds_count 3",
+		`mica_test_req_total{endpoint="stats",code="200"} 1`,
+		`mica_test_req_total{endpoint="we\"ird\n",code="back\\slash"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+
+	AssertWellFormedExposition(t, out)
+
+	// Families must be sorted by name for deterministic scrapes.
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			order = append(order, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("families out of order: %v", order)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		7:      "7",
+		2.5:    "2.5",
+		-3:     "-3",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := fmt.Sprint(formatValue(1e20)); got != "1e+20" {
+		t.Errorf("formatValue(1e20) = %q", got)
+	}
+}

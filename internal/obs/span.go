@@ -1,0 +1,55 @@
+package obs
+
+import "time"
+
+// Stage-span metrics: every pipeline stage wrapped in StartSpan/End
+// shows up as a duration histogram, a runs counter and an
+// active-stage gauge, all labeled by stage name.
+const (
+	stageDurationName = "mica_stage_duration_seconds"
+	stageRunsName     = "mica_stage_runs_total"
+	stageActiveName   = "mica_stage_active"
+)
+
+// Span measures one execution of a named pipeline stage.
+type Span struct {
+	reg   *Registry
+	stage string
+	begin time.Time
+	done  bool
+}
+
+// StartSpan opens a span for stage on the default registry.
+// The caller must call End exactly once.
+func StartSpan(stage string) *Span { return Default().StartSpan(stage) }
+
+// StartSpan opens a span for stage on r.
+func (r *Registry) StartSpan(stage string) *Span {
+	r.GaugeVec(stageActiveName, "Stages currently executing.", "stage").With(stage).Add(1)
+	return &Span{reg: r, stage: stage, begin: time.Now()}
+}
+
+// End closes the span: the duration is observed into the stage
+// histogram, the runs counter is incremented and the active gauge
+// decremented. Safe to call at most once; extra calls are no-ops.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	d := time.Since(s.begin).Seconds()
+	s.reg.GaugeVec(stageActiveName, "Stages currently executing.", "stage").With(s.stage).Add(-1)
+	s.reg.HistogramVec(stageDurationName, "Stage wall-clock duration in seconds.", nil, "stage").With(s.stage).Observe(d)
+	s.reg.CounterVec(stageRunsName, "Completed stage executions.", "stage").With(s.stage).Inc()
+}
+
+// StageRuns returns how many spans for stage have completed on r.
+// Test helper for the exactly-once span assertions.
+func (r *Registry) StageRuns(stage string) float64 {
+	return r.CounterVec(stageRunsName, "Completed stage executions.", "stage").With(stage).Value()
+}
+
+// StageSeconds returns the total observed duration for stage on r.
+func (r *Registry) StageSeconds(stage string) float64 {
+	return r.HistogramVec(stageDurationName, "Stage wall-clock duration in seconds.", nil, "stage").With(stage).Sum()
+}

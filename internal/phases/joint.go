@@ -5,6 +5,7 @@ import (
 
 	"mica/internal/cluster"
 	"mica/internal/mica"
+	"mica/internal/obs"
 	"mica/internal/stats"
 )
 
@@ -145,7 +146,9 @@ func AnalyzeJoint(benches []BenchmarkIntervals, cfg Config) (*JointResult, error
 // cache-loaded JointResult can be re-clustered under a new Config
 // without re-profiling.
 func (j *JointResult) clusterJoint(cfg Config) {
+	nspan := obs.StartSpan("phases.normalize")
 	norm := stats.ZScoreNormalize(j.Vectors)
+	nspan.End()
 	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
 	j.deriveFrom(norm, sel)
 }

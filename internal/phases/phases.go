@@ -27,9 +27,14 @@ import (
 
 	"mica/internal/cluster"
 	"mica/internal/mica"
+	"mica/internal/obs"
 	"mica/internal/stats"
 	"mica/internal/trace"
 )
+
+// metIntervals counts characterized intervals across every pipeline
+// (full, cheap-pass reduced, store-backed), batched per benchmark.
+var metIntervals = obs.Default().Counter("mica_phases_intervals_total", "Intervals characterized.")
 
 // Config parameterizes phase analysis.
 type Config struct {
@@ -204,6 +209,8 @@ func analyze(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler) (*R
 // characterize streams intervals off the source into a Result's flat
 // vector matrix, leaving the clustering fields empty.
 func characterize(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler) (*Result, error) {
+	span := obs.StartSpan("phases.characterize")
+	defer span.End()
 	res := &Result{}
 	var vecs []float64
 	var start uint64
@@ -226,6 +233,7 @@ func characterize(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler
 	if len(res.Intervals) == 0 {
 		return nil, fmt.Errorf("phases: program produced no instructions")
 	}
+	metIntervals.Add(float64(len(res.Intervals)))
 	res.Vectors = &stats.Matrix{Rows: len(res.Intervals), Cols: mica.NumChars, Data: vecs}
 	return res, nil
 }
@@ -234,7 +242,9 @@ func characterize(m trace.Source, cfg Config, nextProfiler func() *mica.Profiler
 // weighted representatives.
 func (res *Result) cluster(cfg Config) {
 	// Cluster intervals in the normalized characteristic space.
+	nspan := obs.StartSpan("phases.normalize")
 	norm := stats.ZScoreNormalize(res.Vectors)
+	nspan.End()
 	sel := cluster.SelectK(norm, cfg.MaxK, 0.9, cfg.Seed)
 	res.Assign = sel.Best.Assign
 	res.K = sel.Best.K

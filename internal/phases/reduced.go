@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"mica/internal/mica"
+	"mica/internal/obs"
 	"mica/internal/stats"
 	"mica/internal/trace"
 	"mica/internal/uarch"
@@ -234,6 +235,8 @@ func CharacterizeReducedWith(m trace.Source, prof *mica.Profiler, cfg ReducedCon
 // pass. Interval.Insts always records the interval's full instruction
 // count — the quantity weights and the replay grid are built from.
 func characterizeReduced(m trace.Source, prof *mica.Profiler, cfg ReducedConfig) (*Result, uint64, error) {
+	span := obs.StartSpan("phases.characterize")
+	defer span.End()
 	pcfg := cfg.Phase
 	sample := cfg.sampleLen()
 	res := &Result{}
@@ -264,6 +267,7 @@ func characterizeReduced(m trace.Source, prof *mica.Profiler, cfg ReducedConfig)
 	if len(res.Intervals) == 0 {
 		return nil, 0, fmt.Errorf("phases: program produced no instructions")
 	}
+	metIntervals.Add(float64(len(res.Intervals)))
 	res.Vectors = &stats.Matrix{Rows: len(res.Intervals), Cols: mica.NumChars, Data: vecs}
 	return res, sampled, nil
 }
@@ -306,6 +310,8 @@ func measurementPlan(ph *Result, reps int) map[int]int {
 // must have been built from cfg.FullOptions; it is Reset before every
 // measured interval.
 func ReplayReduced(m trace.Source, fullProf *mica.Profiler, ph *Result, cfg ReducedConfig) (*ReducedResult, error) {
+	span := obs.StartSpan("phases.replay")
+	defer span.End()
 	cfg = cfg.WithDefaults()
 	rr := &ReducedResult{Phases: ph, HasHPC: !cfg.SkipHPC}
 	// Reconstruct the cheap pass's observation count from the grid: it
@@ -642,6 +648,8 @@ func ReplayJoint(j *JointResult, sources func(bench int) (trace.Source, error), 
 // store-backed joint reductions; plan maps joint row index to phase
 // and cfg must already carry its defaults.
 func replayJointPlan(j *JointResult, plan map[int]int, sources func(bench int) (trace.Source, error), cfg ReducedConfig) (*JointReduced, error) {
+	span := obs.StartSpan("phases.replay")
+	defer span.End()
 	jr := &JointReduced{
 		Joint:  j,
 		HasHPC: !cfg.SkipHPC,

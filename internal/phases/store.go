@@ -8,6 +8,7 @@ import (
 	"mica/internal/cluster"
 	"mica/internal/ivstore"
 	"mica/internal/mica"
+	"mica/internal/obs"
 	"mica/internal/stats"
 )
 
@@ -98,7 +99,9 @@ func analyzeJointStore(ctx context.Context, st *ivstore.Store, cfg Config, worke
 	// Normalization statistics, streamed shard-by-shard in the same
 	// accumulation order stats.ZScoreNormalize uses (ColumnStats is
 	// pinned bit-identical to it).
+	nspan := obs.StartSpan("phases.normalize")
 	mean, std := cluster.ColumnStats(st.Rows())
+	nspan.End()
 
 	opt := cluster.SweepOptions{Workers: workers}
 	warmUsed := false

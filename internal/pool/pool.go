@@ -38,6 +38,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"time"
 
 	"mica/internal/faults"
 )
@@ -131,10 +132,17 @@ dispatch:
 // runItem runs one item with panic recovery and the pool.item fault
 // injection point (armed only by tests; one atomic load when not).
 func runItem(ctx context.Context, worker, i int, fn func(ctx context.Context, worker, i int) error) (err error) {
+	metItems.Inc()
+	begin := time.Now()
 	defer func() {
+		metBusy.Add(time.Since(begin).Seconds())
 		if r := recover(); r != nil {
+			metPanics.Inc()
+			metFailed.Inc()
 			err = &ItemError{Item: i, Worker: worker,
 				Err: &PanicError{Value: r, Stack: debug.Stack()}}
+		} else if err != nil {
+			metFailed.Inc()
 		}
 	}()
 	if faults.Enabled() {
@@ -183,7 +191,7 @@ func Run(n, workers int, fn func(worker, i int)) {
 		// Degenerate pool: run inline, keeping call order and avoiding
 		// goroutine overhead for serial configurations.
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			runLegacyItem(0, i, fn)
 		}
 		return
 	}
@@ -194,7 +202,7 @@ func Run(n, workers int, fn func(worker, i int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range work {
-				fn(worker, i)
+				runLegacyItem(worker, i, fn)
 			}
 		}(w)
 	}
@@ -203,4 +211,13 @@ func Run(n, workers int, fn func(worker, i int)) {
 	}
 	close(work)
 	wg.Wait()
+}
+
+// runLegacyItem counts one legacy Run item. Panics still propagate —
+// the busy time of a crashing item is recorded on the way out.
+func runLegacyItem(worker, i int, fn func(worker, i int)) {
+	metItems.Inc()
+	begin := time.Now()
+	defer func() { metBusy.Add(time.Since(begin).Seconds()) }()
+	fn(worker, i)
 }

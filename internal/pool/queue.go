@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // ErrQueueSaturated is returned by Queue.TrySubmit when the pending
@@ -62,9 +63,15 @@ func NewQueue(workers, capacity int, onPanic func(v any, stack []byte)) *Queue {
 // runTask executes one task with panic recovery, isolating the queue's
 // workers from a bad task exactly as RunCtx isolates batch items.
 func (q *Queue) runTask(worker int, fn func(worker int)) {
+	begin := time.Now()
 	defer func() {
-		if r := recover(); r != nil && q.onPanic != nil {
-			q.onPanic(r, debug.Stack())
+		metBusy.Add(time.Since(begin).Seconds())
+		metQDepth.Add(-1)
+		if r := recover(); r != nil {
+			metQPanics.Inc()
+			if q.onPanic != nil {
+				q.onPanic(r, debug.Stack())
+			}
 		}
 	}()
 	fn(worker)
@@ -77,12 +84,16 @@ func (q *Queue) TrySubmit(fn func(worker int)) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		metQRejects.Inc()
 		return ErrQueueClosed
 	}
 	select {
 	case q.tasks <- fn:
+		metQTasks.Inc()
+		metQDepth.Add(1)
 		return nil
 	default:
+		metQRejects.Inc()
 		return ErrQueueSaturated
 	}
 }

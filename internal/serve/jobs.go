@@ -71,6 +71,7 @@ type jobManager struct {
 	queue  *pool.Queue
 	run    func(worker int, b mica.Benchmark) (*CharacterizationResult, error)
 	retain int
+	met    *serverMetrics
 
 	mu        sync.Mutex
 	seq       int
@@ -86,7 +87,7 @@ type jobManager struct {
 	running   int
 }
 
-func newJobManager(workers, queueCap, retain int,
+func newJobManager(workers, queueCap, retain int, met *serverMetrics,
 	run func(worker int, b mica.Benchmark) (*CharacterizationResult, error)) *jobManager {
 	if queueCap <= 0 {
 		queueCap = 64
@@ -97,6 +98,7 @@ func newJobManager(workers, queueCap, retain int,
 	m := &jobManager{
 		run:    run,
 		retain: retain,
+		met:    met,
 		byID:   make(map[string]*Job),
 		byKey:  make(map[string]*Job),
 	}
@@ -118,6 +120,8 @@ func (m *jobManager) submit(bench mica.Benchmark, key string) (*Job, bool, error
 	if j, ok := m.byKey[key]; ok && j.Status != JobFailed {
 		m.submitted++
 		m.deduped++
+		m.met.jobsSubmitted.Inc()
+		m.met.jobsDeduped.Inc()
 		j.Deduped++
 		return j, true, nil
 	}
@@ -132,9 +136,12 @@ func (m *jobManager) submit(bench mica.Benchmark, key string) (*Job, bool, error
 	}
 	if err := m.queue.TrySubmit(func(worker int) { m.execute(worker, j) }); err != nil {
 		m.rejected++
+		m.met.jobsRejected.Inc()
 		return nil, false, err
 	}
 	m.submitted++
+	m.met.jobsSubmitted.Inc()
+	m.met.jobsQueued.Add(1)
 	m.byID[j.ID] = j
 	m.byKey[key] = j
 	return j, false, nil
@@ -149,6 +156,9 @@ func (m *jobManager) execute(worker int, j *Job) {
 	j.Status = JobRunning
 	m.running++
 	m.executed++
+	m.met.jobsQueued.Add(-1)
+	m.met.jobsRunning.Add(1)
+	m.met.jobsExecuted.Inc()
 	m.mu.Unlock()
 
 	var res *CharacterizationResult
@@ -165,11 +175,13 @@ func (m *jobManager) execute(worker int, j *Job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
+	m.met.jobsRunning.Add(-1)
 	j.Finished = time.Now()
 	if err != nil {
 		j.Status = JobFailed
 		j.Error = err.Error()
 		m.failed++
+		m.met.jobsFailed.Inc()
 		// Drop the failed key mapping (if this job still owns it) so
 		// the next submission retries instead of polling a corpse.
 		if m.byKey[j.Key] == j {
@@ -179,6 +191,7 @@ func (m *jobManager) execute(worker int, j *Job) {
 		j.Status = JobDone
 		j.Result = res
 		m.done++
+		m.met.jobsDone.Inc()
 	}
 	m.finished = append(m.finished, j.ID)
 	m.evictLocked()

@@ -2,43 +2,75 @@ package serve
 
 import (
 	"sort"
-	"sync"
 	"time"
+
+	"mica/internal/obs"
 )
 
-// latWindow bounds the per-endpoint latency samples kept for the
-// percentile estimates; beyond it the ring overwrites oldest-first,
-// so the percentiles track recent traffic.
-const latWindow = 4096
+// requestBounds extends the default duration buckets downward: warm
+// similarity and stats queries answer in tens of microseconds, and the
+// percentile estimates are only as good as the bucket resolution
+// around the mass of the distribution.
+var requestBounds = append([]float64{0.00001, 0.000025, 0.00005}, obs.DefaultDurationBounds...)
 
-// endpointMetrics accumulates one endpoint's counters. All methods
-// are safe for concurrent use.
-type endpointMetrics struct {
-	mu     sync.Mutex
-	count  uint64
-	errors uint64
-	total  time.Duration
-	ring   []time.Duration
-	next   int
-	full   bool
+// serverMetrics is the serve layer's metric surface: a per-server
+// obs.Registry (so concurrent servers in one process — tests, embedded
+// uses — keep isolated endpoint stats) holding per-endpoint
+// request/error counters and latency histograms plus the job-model
+// counters. GET /metrics renders this registry together with the
+// process-global obs.Default() (pool, ivstore, trace, stage spans).
+type serverMetrics struct {
+	reg       *obs.Registry
+	requests  *obs.CounterVec
+	errors    *obs.CounterVec
+	latency   *obs.HistogramVec
+	endpoints []string
+
+	jobsSubmitted *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsExecuted  *obs.Counter
+	jobsDeduped   *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsQueued    *obs.Gauge
+	jobsRunning   *obs.Gauge
 }
 
-func (m *endpointMetrics) observe(d time.Duration, isErr bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.count++
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:           reg,
+		requests:      reg.CounterVec("mica_serve_requests_total", "HTTP requests served, including errors.", "endpoint"),
+		errors:        reg.CounterVec("mica_serve_request_errors_total", "HTTP responses with status >= 400.", "endpoint"),
+		latency:       reg.HistogramVec("mica_serve_request_seconds", "HTTP request latency in seconds.", requestBounds, "endpoint"),
+		jobsSubmitted: reg.Counter("mica_serve_jobs_submitted_total", "Accepted job submissions, including deduplicated ones."),
+		jobsRejected:  reg.Counter("mica_serve_jobs_rejected_total", "Submissions refused for backpressure or shutdown."),
+		jobsExecuted:  reg.Counter("mica_serve_jobs_executed_total", "Characterizations actually run."),
+		jobsDeduped:   reg.Counter("mica_serve_jobs_deduped_total", "Submissions collapsed onto an existing job."),
+		jobsDone:      reg.Counter("mica_serve_jobs_done_total", "Jobs finished successfully."),
+		jobsFailed:    reg.Counter("mica_serve_jobs_failed_total", "Jobs finished with an error."),
+		jobsQueued:    reg.Gauge("mica_serve_jobs_queued", "Jobs accepted but not yet running."),
+		jobsRunning:   reg.Gauge("mica_serve_jobs_running", "Jobs characterizing right now."),
+	}
+}
+
+// register pre-creates an endpoint's children so every route appears
+// in /metrics and /api/v1/stats from the first scrape, count 0.
+func (m *serverMetrics) register(endpoint string) {
+	m.requests.With(endpoint)
+	m.errors.With(endpoint)
+	m.latency.With(endpoint)
+	m.endpoints = append(m.endpoints, endpoint)
+	sort.Strings(m.endpoints)
+}
+
+// observe records one finished request.
+func (m *serverMetrics) observe(endpoint string, d time.Duration, isErr bool) {
+	m.requests.With(endpoint).Inc()
 	if isErr {
-		m.errors++
+		m.errors.With(endpoint).Inc()
 	}
-	m.total += d
-	if m.ring == nil {
-		m.ring = make([]time.Duration, latWindow)
-	}
-	m.ring[m.next] = d
-	m.next++
-	if m.next == len(m.ring) {
-		m.next, m.full = 0, true
-	}
+	m.latency.With(endpoint).Observe(d.Seconds())
 }
 
 // EndpointStats is one endpoint's snapshot in the /stats payload.
@@ -49,34 +81,28 @@ type EndpointStats struct {
 	Errors uint64 `json:"errors"`
 	// QPS is Count divided by the server's uptime.
 	QPS float64 `json:"qps"`
-	// MeanMs, P50Ms and P99Ms summarize latency over the recent
-	// window (mean is over the endpoint's whole lifetime).
+	// MeanMs, P50Ms and P99Ms summarize latency over the endpoint's
+	// lifetime; the percentiles are estimated from the fixed-boundary
+	// latency histogram (no sample window — history is never dropped).
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 }
 
-func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := EndpointStats{Count: m.count, Errors: m.errors}
+// snapshot derives one endpoint's stats from the registry.
+func (m *serverMetrics) snapshot(endpoint string, uptime time.Duration) EndpointStats {
+	h := m.latency.With(endpoint)
+	s := EndpointStats{
+		Count:  uint64(m.requests.With(endpoint).Value()),
+		Errors: uint64(m.errors.With(endpoint).Value()),
+	}
 	if uptime > 0 {
-		s.QPS = float64(m.count) / uptime.Seconds()
+		s.QPS = float64(s.Count) / uptime.Seconds()
 	}
-	if m.count > 0 {
-		s.MeanMs = float64(m.total.Milliseconds()) / float64(m.count)
+	if n := h.Count(); n > 0 {
+		s.MeanMs = h.Sum() / float64(n) * 1e3
+		s.P50Ms = h.Quantile(0.50) * 1e3
+		s.P99Ms = h.Quantile(0.99) * 1e3
 	}
-	n := m.next
-	if m.full {
-		n = len(m.ring)
-	}
-	if n == 0 {
-		return s
-	}
-	window := make([]time.Duration, n)
-	copy(window, m.ring[:n])
-	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
-	s.P50Ms = float64(window[n/2]) / float64(time.Millisecond)
-	s.P99Ms = float64(window[n*99/100]) / float64(time.Millisecond)
 	return s
 }

@@ -44,6 +44,7 @@ import (
 
 	"mica"
 	"mica/internal/ivstore"
+	"mica/internal/obs"
 	"mica/internal/pool"
 	"mica/internal/stats"
 )
@@ -91,9 +92,7 @@ type Server struct {
 	start time.Time
 
 	mux *http.ServeMux
-
-	mu      sync.Mutex
-	metrics map[string]*endpointMetrics
+	met *serverMetrics
 
 	closing chan struct{}
 	once    sync.Once
@@ -181,10 +180,10 @@ func New(st *ivstore.Store, cfg Config) (*Server, error) {
 		sim:     sim,
 		cfg:     cfg,
 		start:   time.Now(),
-		metrics: make(map[string]*endpointMetrics),
+		met:     newServerMetrics(),
 		closing: make(chan struct{}),
 	}
-	s.jobs = newJobManager(cfg.Workers, cfg.QueueCap, cfg.Retain, s.characterize)
+	s.jobs = newJobManager(cfg.Workers, cfg.QueueCap, cfg.Retain, s.met, s.characterize)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -197,6 +196,8 @@ func New(st *ivstore.Store, cfg Config) (*Server, error) {
 	s.mux.Handle("GET /api/v1/similar", s.wrap("similar", s.handleSimilar))
 	s.mux.Handle("GET /api/v1/vectors", s.wrap("vectors", s.handleVectors))
 	s.mux.Handle("GET /api/v1/stats", s.wrap("stats", s.handleStats))
+	s.mux.Handle("GET /api/v1/version", s.wrap("version", s.handleVersion))
+	s.mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
 	return s, nil
 }
 
@@ -308,10 +309,7 @@ func (w *statusWriter) WriteHeader(code int) {
 // with a 500, never the process) and per-endpoint latency/QPS/error
 // accounting.
 func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) http.Handler {
-	m := &endpointMetrics{}
-	s.mu.Lock()
-	s.metrics[name] = m
-	s.mu.Unlock()
+	s.met.register(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
@@ -320,7 +318,7 @@ func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request)) h
 				// Headers may already be out; best-effort error body.
 				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 			}
-			m.observe(time.Since(begin), sw.status >= 400)
+			s.met.observe(name, time.Since(begin), sw.status >= 400)
 		}()
 		h(sw, r)
 	})
@@ -631,16 +629,32 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	uptime := time.Since(s.start)
-	s.mu.Lock()
-	eps := make(map[string]EndpointStats, len(s.metrics))
-	for name, m := range s.metrics {
-		eps[name] = m.snapshot(uptime)
+	eps := make(map[string]EndpointStats, len(s.met.endpoints))
+	for _, name := range s.met.endpoints {
+		eps[name] = s.met.snapshot(name, uptime)
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: uptime.Seconds(),
 		Endpoints:     eps,
 		Jobs:          s.jobs.stats(),
 		Store:         s.st.CacheStats(),
 	})
+}
+
+// handleVersion reports the running binary's build identity.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Build())
+}
+
+// handleMetrics serves the Prometheus text exposition: the
+// process-global registry first (pool, ivstore, trace, pipeline stage
+// spans — everything the daemon's jobs exercise), then this server's
+// own registry (endpoints, job queue). The two registries have
+// disjoint name sets, so the concatenation is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		return
+	}
+	_ = s.met.reg.WritePrometheus(w)
 }

@@ -327,7 +327,7 @@ func TestServeBackpressureAndShutdown(t *testing.T) {
 	// before the listener starts, so no handler observes it mid-write.
 	release := make(chan struct{})
 	s.jobs.close()
-	s.jobs = newJobManager(1, 1, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+	s.jobs = newJobManager(1, 1, 0, newServerMetrics(), func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		<-release
 		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
@@ -413,7 +413,7 @@ func testBench(name string) mica.Benchmark {
 func TestJobManagerFailureRetry(t *testing.T) {
 	calls := 0
 	fail := true
-	m := newJobManager(1, 4, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+	m := newJobManager(1, 4, 0, newServerMetrics(), func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		calls++
 		if fail {
 			return nil, errors.New("injected failure")
@@ -448,7 +448,7 @@ func TestJobManagerFailureRetry(t *testing.T) {
 // TestJobManagerPanicIsolation: a panicking characterization marks the
 // job failed and the manager keeps serving.
 func TestJobManagerPanicIsolation(t *testing.T) {
-	m := newJobManager(1, 4, 0, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+	m := newJobManager(1, 4, 0, newServerMetrics(), func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		if b.Program == "bad" {
 			panic("characterization exploded")
 		}
@@ -474,7 +474,7 @@ func TestJobManagerPanicIsolation(t *testing.T) {
 // TestJobManagerRetention: finished jobs beyond the retention bound
 // are evicted, in-flight dedup mappings are never evicted.
 func TestJobManagerRetention(t *testing.T) {
-	m := newJobManager(1, 16, 2, func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
+	m := newJobManager(1, 16, 2, newServerMetrics(), func(worker int, b mica.Benchmark) (*CharacterizationResult, error) {
 		return &CharacterizationResult{Benchmark: b.Name()}, nil
 	})
 	var ids []string

@@ -1,0 +1,10 @@
+package trace
+
+import "mica/internal/obs"
+
+// Replay metrics on the default registry, batched per Run call and
+// per block — never per event.
+var (
+	metEventsDecoded = obs.Default().Counter("mica_trace_events_decoded_total", "Events decoded from trace replay.")
+	metBytesRead     = obs.Default().Counter("mica_trace_bytes_read_total", "Trace container bytes consumed (block framing + payload).")
+)

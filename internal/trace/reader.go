@@ -116,6 +116,7 @@ func (r *Reader) Run(budget uint64, obs Observer) (uint64, error) {
 		r.evOff = i
 		r.prevStatic = prev
 		r.retired += n
+		metEventsDecoded.Add(float64(n))
 	}()
 	for {
 		if budget > 0 && n >= budget {
@@ -229,6 +230,7 @@ func (r *Reader) nextBlock() error {
 		return r.corrupt("block at byte %d fails its checksum (%08x != %08x)", r.off, got, want)
 	}
 	r.off += 8 + int(bl)
+	metBytesRead.Add(float64(8 + int(bl)))
 
 	p := 0
 	nStatic, sz := binary.Uvarint(payload)
